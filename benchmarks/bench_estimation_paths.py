@@ -1,0 +1,80 @@
+"""EST-PATHS — Sec. III-C1: static path analyses vs. exhaustive execution.
+
+"The minimum execution cycles can be calculated by finding a minimum-cost
+path based on Dijkstra's shortest path algorithm from the BEGIN to the END
+vertex ... The maximum execution cycles can be calculated by finding a
+maximum-cost path based on the PERT longest path algorithm."
+
+This benchmark validates, for every dashboard module, that the Dijkstra /
+PERT figures bracket the true dynamic cycle range (measured by exhaustive
+or randomized execution on the target), and that excluding the marked
+false paths never loosens the bound.
+"""
+
+import random
+
+from repro.estimation import estimate
+from repro.target import K11, run_reaction
+
+from conftest import write_report
+
+
+def _dynamic_range(machine, program, samples=400, seed=3):
+    rng = random.Random(seed)
+    pure = [e.name for e in machine.inputs if e.is_pure]
+    valued = [e for e in machine.inputs if e.is_valued]
+    lo, hi = 10 ** 9, 0
+    for _ in range(samples):
+        state = {v.name: rng.randrange(v.num_values) for v in machine.state_vars}
+        present = {
+            name
+            for name in pure + [e.name for e in valued]
+            if rng.random() < 0.6
+        }
+        values = {e.name: rng.randrange(1 << min(e.width, 8)) for e in valued}
+        result = run_reaction(program, K11, machine, state, present, values)
+        lo, hi = min(lo, result.cycles), max(hi, result.cycles)
+    return lo, hi
+
+
+def test_estimation_paths_bracket_dynamic(
+    benchmark, dashboard_net, dashboard_synthesis, k11_params
+):
+    def run_all():
+        rows = []
+        for machine in dashboard_net.machines:
+            result, program = dashboard_synthesis[machine.name]
+            est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+            est_fp = estimate(
+                result.sgraph,
+                result.reactive.encoding,
+                k11_params,
+                exclude_infeasible=True,
+            )
+            dyn_lo, dyn_hi = _dynamic_range(machine, program)
+            rows.append((machine.name, est, est_fp, dyn_lo, dyn_hi))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        "EST-PATHS — Dijkstra/PERT estimates vs. dynamic execution (cycles)",
+        "",
+        f"{'module':14s} {'est min':>8s} {'dyn min':>8s} {'dyn max':>8s} "
+        f"{'est max':>8s} {'est max (no fp)':>15s}",
+    ]
+    for name, est, est_fp, dyn_lo, dyn_hi in rows:
+        lines.append(
+            f"{name:14s} {est.min_cycles:8d} {dyn_lo:8d} {dyn_hi:8d} "
+            f"{est.max_cycles:8d} {est_fp.max_cycles:15d}"
+        )
+    write_report("estimation_paths", lines)
+
+    for name, est, est_fp, dyn_lo, dyn_hi in rows:
+        # PERT upper bound must dominate every observed execution, with
+        # a small tolerance for the layout-approximation terms.
+        assert est.max_cycles >= dyn_hi * 0.97, name
+        # Dijkstra lower bound must stay below every observed execution.
+        assert est.min_cycles <= dyn_lo * 1.03, name
+        # Excluding false paths can only tighten the worst case.
+        assert est_fp.max_cycles <= est.max_cycles, name

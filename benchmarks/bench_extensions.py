@@ -1,0 +1,117 @@
+"""EXT — the paper's Sec. VI / IV-A forward-looking loop, closed.
+
+Three extensions the paper announces as future work, exercised together:
+
+* constraint-driven implementation selection ("exploit the cost-estimation
+  procedure to perform global optimizations aimed at satisfying timing and
+  size constraints");
+* automatic scheduling-policy selection ("automatically select a
+  scheduling policy which provably meets all the timing constraints");
+* estimator-driven hw/sw partitioning (the estimates' stated purpose:
+  "hardware/software partitioning ... require accurate and quick
+  estimates").
+"""
+
+from repro.estimation import partition
+from repro.rtos import SchedulingPolicy, propagate_rates, select_policy
+from repro.sgraph.tradeoff import synthesize_under_constraints
+
+from conftest import write_report
+
+SHOCK_RATES = {
+    "mtick": 8_000,
+    "sec": 2_000_000,
+    "fault": 50_000,
+    "speed": 20_000,
+    "sel": 1_000_000,
+}
+
+
+def test_extension_tradeoff_selection(benchmark, dashboard_net, k11_params):
+    """Per-module portfolio selection under a tight size budget."""
+
+    def run():
+        rows = []
+        for machine in dashboard_net.machines:
+            unconstrained = synthesize_under_constraints(machine, k11_params)
+            fast = synthesize_under_constraints(
+                machine, k11_params, prefer="speed"
+            )
+            rows.append((machine.name, unconstrained, fast))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "EXT — constraint-driven implementation selection (dashboard)",
+        "",
+        f"{'module':14s} {'smallest':>22s} {'fastest':>22s}",
+    ]
+    for name, small, fast in rows:
+        lines.append(
+            f"{name:14s} "
+            f"{small.chosen.name + ' ' + str(small.chosen.est.code_size) + 'B':>22s} "
+            f"{fast.chosen.name + ' ' + str(fast.chosen.est.max_cycles) + 'cy':>22s}"
+        )
+    write_report("ext_tradeoff", lines)
+
+    for name, small, fast in rows:
+        assert small.feasible and fast.feasible
+        assert small.chosen.est.code_size <= fast.chosen.est.code_size
+        assert fast.chosen.est.max_cycles <= small.chosen.est.max_cycles
+
+
+def test_extension_autoconfig_and_partition(benchmark, shock_net, k11_params):
+    """Rate sweep: policy selection, then partitioning when software fails."""
+
+    def run():
+        sweep = []
+        for asample in (12_000, 6_000, 3_500, 1_200, 300):
+            rates = dict(SHOCK_RATES, asample=asample)
+            auto = select_policy(shock_net, rates, k11_params)
+            part = None
+            if not auto.schedulable:
+                periods = propagate_rates(shock_net, rates)
+                activation = {
+                    m.name: min(
+                        periods[e.name] for e in m.inputs if e.name in periods
+                    )
+                    for m in shock_net.machines
+                }
+                part = partition(shock_net, activation, k11_params)
+            sweep.append((asample, auto, part))
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "EXT — automatic policy selection + hw/sw partitioning",
+        "(shock absorber, sweep over acceleration sample periods)",
+        "",
+        f"{'asample period':>14s} {'util':>6s} {'decision':40s}",
+    ]
+    for asample, auto, part in sweep:
+        if auto.schedulable:
+            decision = f"software, {auto.policy}"
+        else:
+            decision = (
+                f"unschedulable -> {len(part.hardware)} machines to hw "
+                f"(gates~{part.hw_gate_proxy})"
+            )
+        lines.append(f"{asample:14d} {auto.utilization:6.2f} {decision:40s}")
+    write_report("ext_autoconfig_partition", lines)
+
+    # The sweep must show the full arc: validated software at slow rates,
+    # hardware migration at fast rates.
+    slowest = sweep[0][1]
+    fastest = sweep[-1]
+    assert slowest.schedulable
+    assert slowest.policy in (
+        SchedulingPolicy.ROUND_ROBIN, SchedulingPolicy.PREEMPTIVE_PRIORITY
+    )
+    assert not fastest[1].schedulable
+    assert fastest[2] is not None and fastest[2].feasible
+    assert fastest[2].hardware
+    # Utilization grows monotonically as the sample period shrinks.
+    utils = [auto.utilization for _, auto, _ in sweep]
+    assert all(a <= b for a, b in zip(utils, utils[1:]))

@@ -1,0 +1,57 @@
+"""FIG1 — the paper's Fig. 1: the s-graph of the ``simple`` Esterel module.
+
+Regenerates the s-graph of the module from Sec. III-A and checks its
+structure: a TEST on ``present_c`` guarding a TEST on ``a == ?c`` that
+selects between {``a := 0``, ``emit y``} and {``a := a + 1``}.
+"""
+
+from repro.frontend import compile_source
+from repro.sgraph import ASSIGN, TEST, synthesize
+
+from conftest import write_report
+
+SIMPLE_RSL = """
+module simple:
+  input c : int(8);
+  output y;
+  var a : 0..255 = 0;
+  loop
+    await c;
+    if a == ?c then
+      a := 0; emit y;
+    else
+      a := a + 1;
+    end
+  end
+end
+"""
+
+
+def _synthesize_simple():
+    cfsm = compile_source(SIMPLE_RSL)
+    return synthesize(cfsm, scheme="sift")
+
+
+def test_fig1_simple_sgraph(benchmark):
+    result = benchmark(_synthesize_simple)
+    sg = result.sgraph
+    manager = result.reactive.manager
+
+    counts = sg.counts()
+    lines = ["Fig. 1 — s-graph of module `simple`", ""]
+    lines.append(sg.dump(describe=lambda v: manager.var_name(v)))
+    lines.append("")
+    lines.append(f"vertex counts: {counts}")
+    write_report("fig1_simple_sgraph", lines)
+
+    # Shape of Fig. 1: 2 TESTs (presence + comparison), 3 ASSIGNs
+    # (a := 0, emit y, a := a + 1), one BEGIN, one END.
+    assert counts[TEST] == 2
+    assert counts[ASSIGN] == 3
+    assert counts["BEGIN"] == 1 and counts["END"] == 1
+
+    # The presence test gates everything: it is the first real vertex.
+    first = sg.vertex(sg.vertex(sg.begin).children[0])
+    assert first.kind == TEST
+    test = result.reactive.encoding.test_of_var(first.var)
+    assert test is not None and test.label() == "present_c"

@@ -1,0 +1,80 @@
+"""T1 — Table I: cost/performance estimation vs. exact measurement.
+
+"Table I summarizes the result of the cost estimation procedure, and
+compares it against an exact measurement of the code size and timing
+(maximum number of clock cycles), performed by analyzing the compiled
+object code."  Rows: one per dashboard CFSM; columns: estimated and
+measured code size (bytes) and max cycles, K11 target.
+
+Shape claim checked: the s-graph-level estimates track the object-code
+measurements closely (within 10% size / 12% max-cycles here).
+"""
+
+import pytest
+
+from repro.estimation import estimate
+from repro.target import K11, analyze_program
+
+from conftest import write_report
+
+
+def test_table1_estimation_accuracy(benchmark, dashboard_synthesis, k11_params):
+    def build_rows():
+        rows = []
+        for name, (result, program) in dashboard_synthesis.items():
+            est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+            meas = analyze_program(program, K11)
+            rows.append((name, est, meas))
+        return rows
+
+    rows = benchmark(build_rows)
+
+    lines = [
+        "Table I — results of the cost/performance estimation procedure",
+        "(dashboard CFSMs, K11 target; sizes in bytes, timing in max cycles",
+        "per transition; 'meas' = analysis of the compiled object code)",
+        "",
+        f"{'module':14s} {'est size':>8s} {'meas size':>9s} {'err%':>6s} "
+        f"{'est max':>8s} {'meas max':>8s} {'err%':>6s}",
+    ]
+    max_size_err = 0.0
+    max_cycle_err = 0.0
+    for name, est, meas in rows:
+        size_err = (est.code_size - meas.code_size) / meas.code_size
+        cycle_err = (est.max_cycles - meas.max_cycles) / meas.max_cycles
+        max_size_err = max(max_size_err, abs(size_err))
+        max_cycle_err = max(max_cycle_err, abs(cycle_err))
+        lines.append(
+            f"{name:14s} {est.code_size:8d} {meas.code_size:9d} "
+            f"{100 * size_err:+6.1f} {est.max_cycles:8d} {meas.max_cycles:8d} "
+            f"{100 * cycle_err:+6.1f}"
+        )
+    lines.append("")
+    lines.append(
+        f"worst-case error: size {100 * max_size_err:.1f}%  "
+        f"max-cycles {100 * max_cycle_err:.1f}%"
+    )
+    write_report("table1_estimation", lines)
+
+    assert max_size_err < 0.10
+    assert max_cycle_err < 0.12
+
+
+def test_table1_calibration_speed(benchmark):
+    """Calibrating the 17+15+4 parameters is itself fast (seconds at most)."""
+    from repro.estimation import calibrate
+
+    params = benchmark(calibrate, K11)
+    assert len(params.lib_time) >= 20
+
+
+def test_table1_estimation_is_fast(benchmark, dashboard_synthesis, k11_params):
+    """Estimation must be much cheaper than compiling + analyzing.
+
+    The point of Sec. III-C: 'we can obtain good cost and performance
+    estimates at any intermediate stage of the optimization process,
+    without the need to compile the code and analyze the results.'
+    """
+    result, _program = dashboard_synthesis["belt_alarm"]
+
+    benchmark(estimate, result.sgraph, result.reactive.encoding, k11_params)

@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures and the report writer.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(Sec. V); the regenerated rows are written to ``benchmarks/results/*.txt``
+and printed, and the *shape* claims of the paper are asserted.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import dashboard_network, shock_network
+from repro.estimation import calibrate
+from repro.target import K11, K32
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, lines) -> str:
+    """Persist a regenerated table and echo it to stdout."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\n--- {name} ---")
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def dashboard_net():
+    return dashboard_network()
+
+
+@pytest.fixture(scope="session")
+def shock_net():
+    return shock_network()
+
+
+@pytest.fixture(scope="session")
+def k11_params():
+    return calibrate(K11)
+
+
+@pytest.fixture(scope="session")
+def k32_params():
+    return calibrate(K32)
+
+
+@pytest.fixture(scope="session")
+def dashboard_synthesis(dashboard_net):
+    """Synthesized s-graphs + compiled programs for every dashboard module."""
+    from repro.sgraph import synthesize
+    from repro.target import compile_sgraph
+
+    results = {}
+    for machine in dashboard_net.machines:
+        result = synthesize(machine)
+        program = compile_sgraph(result, K11)
+        results[machine.name] = (result, program)
+    return results

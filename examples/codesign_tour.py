@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The co-design loop the paper points toward (Sec. IV-A / VI / III-C).
+
+Demonstrates the three estimator-driven extensions on the shock absorber:
+
+1. **constraint-driven implementation selection** — pick, per CFSM, among
+   sifted decision graphs, free-ordered graphs, jump-table switches and
+   constant-time ASSIGN chains under size/cycle/jitter constraints;
+2. **automatic scheduling-policy selection** — derive task periods from
+   environment event rates, validate round-robin or rate-monotonic
+   preemptive scheduling with exact response-time analysis;
+3. **hardware/software partitioning** — when no policy can make the
+   software schedulable, move the most demanding machines to hardware,
+   priced by their characteristic-function BDD size (the same BDDs POLIS
+   synthesized hardware from).
+
+Run:  python examples/codesign_tour.py
+"""
+
+from repro.apps import shock_network
+from repro.estimation import calibrate, partition
+from repro.rtos import propagate_rates, select_policy
+from repro.sgraph.tradeoff import synthesize_under_constraints
+from repro.target import K11
+
+ENV_RATES = {
+    "mtick": 8_000,
+    "sec": 2_000_000,
+    "fault": 50_000,
+    "speed": 20_000,
+    "sel": 1_000_000,
+}
+
+
+def main() -> None:
+    network = shock_network()
+    params = calibrate(K11)
+
+    print("=== 1. Implementation selection per CFSM " + "=" * 29)
+    for machine in network.machines:
+        smallest = synthesize_under_constraints(machine, params, prefer="size")
+        print(f"\n{machine.name}:")
+        print(smallest.report())
+
+    print("\n=== 2. Scheduling-policy selection across sample rates " + "=" * 14)
+    for asample in (12_000, 6_000, 1_200):
+        rates = dict(ENV_RATES, asample=asample)
+        result = select_policy(network, rates, params)
+        print(f"\nasample every {asample} cycles:")
+        print(result.report())
+
+        if not result.schedulable:
+            print("\n=== 3. Falling back to hw/sw partitioning " + "=" * 27)
+            periods = propagate_rates(network, rates)
+            activation = {
+                m.name: min(
+                    periods[e.name] for e in m.inputs if e.name in periods
+                )
+                for m in network.machines
+            }
+            split = partition(network, activation, params)
+            print(split.report())
+            print(
+                "\nre-validating the software side with the hardware "
+                "machines moved off-CPU:"
+            )
+            from repro.rtos import RtosConfig
+
+            revalidated = select_policy(
+                network,
+                rates,
+                params,
+                base_config=RtosConfig(hw_machines=set(split.hardware)),
+            )
+            print(revalidated.report())
+
+
+if __name__ == "__main__":
+    main()

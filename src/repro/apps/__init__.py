@@ -1,0 +1,26 @@
+"""Example applications: the paper's dashboard and shock-absorber designs,
+plus an alternating-bit protocol link for the telecom application class."""
+
+from .dashboard import dashboard_machines, dashboard_network, dashboard_sources
+from .protocol import abp_machines, abp_network, abp_sources
+from .shock_absorber import (
+    MANUAL_RTOS_RAM,
+    MANUAL_RTOS_ROM,
+    shock_machines,
+    shock_network,
+    shock_sources,
+)
+
+__all__ = [
+    "abp_machines",
+    "abp_network",
+    "abp_sources",
+    "dashboard_machines",
+    "dashboard_network",
+    "dashboard_sources",
+    "shock_machines",
+    "shock_network",
+    "shock_sources",
+    "MANUAL_RTOS_ROM",
+    "MANUAL_RTOS_RAM",
+]

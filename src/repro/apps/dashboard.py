@@ -1,0 +1,213 @@
+"""The car dashboard controller (Sec. V-A).
+
+"The example considered here is a subset of the functionality of a
+dashboard controller, that implements the computational chain from the
+wheel and engine speed sensors to the pulse width-modulated outputs
+controlling the gauges."
+
+The network (all modules written in RSL and compiled through the front
+end):
+
+* ``wheel_filter``   — divides raw wheel pulses into calibrated ticks;
+* ``speedo``         — counts ticks per timer period, emits ``speed``;
+* ``odometer``       — accumulates ticks into distance increments;
+* ``tacho``          — counts engine pulses per period, emits ``rpm``;
+* ``speed_gauge``    — slew-rate-limited PWM duty for the speed needle;
+* ``rpm_gauge``      — same for the tachometer needle;
+* ``fuel_gauge``     — IIR-smoothed fuel-level duty;
+* ``belt_alarm``     — the classical seat-belt alarm controller.
+
+Environment inputs: ``wpulse``, ``stimer``, ``epulse``, ``etimer``,
+``fsample``, ``key_on``, ``key_off``, ``belt_on``, ``sec``.
+Environment outputs: ``sduty``, ``rduty``, ``fduty``, ``odo``,
+``alarm_start``, ``alarm_stop``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cfsm.machine import Cfsm
+from ..cfsm.network import Network
+from ..frontend import compile_source
+
+__all__ = ["dashboard_sources", "dashboard_machines", "dashboard_network"]
+
+
+WHEEL_FILTER = """
+module wheel_filter:
+  input wpulse;
+  output wtick;
+  var ph : 0..3 = 0;
+  loop
+    await wpulse;
+    if ph == 3 then
+      ph := 0; emit wtick;
+    else
+      ph := ph + 1;
+    end
+  end
+end
+"""
+
+SPEEDO = """
+module speedo:
+  input stimer;
+  input wtick;
+  output speed : int(8);
+  var count : 0..63 = 0;
+  loop
+    await stimer or wtick;
+    if present stimer then
+      emit speed(count * 4);
+      count := 0;
+    elif count < 63 then
+      count := count + 1;
+    end
+  end
+end
+"""
+
+ODOMETER = """
+module odometer:
+  input wtick;
+  output odo : int(8);
+  var dist : 0..99 = 0;
+  loop
+    await wtick;
+    if dist == 99 then
+      dist := 0; emit odo(1);
+    else
+      dist := dist + 1;
+    end
+  end
+end
+"""
+
+TACHO = """
+module tacho:
+  input etimer;
+  input epulse;
+  output rpm : int(8);
+  var ecount : 0..127 = 0;
+  loop
+    await etimer or epulse;
+    if present etimer then
+      emit rpm(ecount * 2);
+      ecount := 0;
+    elif ecount < 127 then
+      ecount := ecount + 1;
+    end
+  end
+end
+"""
+
+SPEED_GAUGE = """
+module speed_gauge:
+  input speed : int(8);
+  output sduty : int(8);
+  var pos : 0..255 = 0;
+  loop
+    await speed;
+    if ?speed > pos + 8 then
+      pos := pos + 8;
+    elif pos > ?speed + 8 then
+      pos := pos - 8;
+    else
+      pos := ?speed;
+    end
+    emit sduty(pos);
+  end
+end
+"""
+
+RPM_GAUGE = """
+module rpm_gauge:
+  input rpm : int(8);
+  output rduty : int(8);
+  var rpos : 0..255 = 0;
+  loop
+    await rpm;
+    if ?rpm > rpos + 16 then
+      rpos := rpos + 16;
+    elif rpos > ?rpm + 16 then
+      rpos := rpos - 16;
+    else
+      rpos := ?rpm;
+    end
+    emit rduty(rpos);
+  end
+end
+"""
+
+FUEL_GAUGE = """
+module fuel_gauge:
+  input fsample : int(8);
+  output fduty : int(8);
+  var level : 0..255 = 128;
+  loop
+    await fsample;
+    level := (level * 3 + ?fsample) / 4;
+    emit fduty(level);
+  end
+end
+"""
+
+BELT_ALARM = """
+module belt_alarm:
+  input key_on;
+  input key_off;
+  input belt_on;
+  input sec;
+  output alarm_start;
+  output alarm_stop;
+  var mode : 0..2 = 0;
+  var t : 0..15 = 0;
+  loop
+    await key_on or key_off or belt_on or sec;
+    if present key_off then
+      if mode == 2 then emit alarm_stop; end
+      mode := 0;
+      t := 0;
+    elif present belt_on then
+      if mode == 2 then emit alarm_stop; end
+      mode := 0;
+      t := 0;
+    elif present key_on then
+      mode := 1;
+      t := 0;
+    elif mode == 1 and t == 4 then
+      mode := 2; t := 0; emit alarm_start;
+    elif mode == 1 then
+      t := t + 1;
+    elif mode == 2 and t == 9 then
+      mode := 0; t := 0; emit alarm_stop;
+    elif mode == 2 then
+      t := t + 1;
+    end
+  end
+end
+"""
+
+
+def dashboard_sources() -> Dict[str, str]:
+    """RSL source of every dashboard module."""
+    return {
+        "wheel_filter": WHEEL_FILTER,
+        "speedo": SPEEDO,
+        "odometer": ODOMETER,
+        "tacho": TACHO,
+        "speed_gauge": SPEED_GAUGE,
+        "rpm_gauge": RPM_GAUGE,
+        "fuel_gauge": FUEL_GAUGE,
+        "belt_alarm": BELT_ALARM,
+    }
+
+
+def dashboard_machines() -> List[Cfsm]:
+    return [compile_source(src) for src in dashboard_sources().values()]
+
+
+def dashboard_network() -> Network:
+    """The full dashboard CFSM network."""
+    return Network("dashboard", dashboard_machines())

@@ -1,0 +1,19 @@
+"""Baseline synthesis flows: synchronous product composition and the
+ESTEREL-style single-FSM / Boolean-circuit code generators (Table III)."""
+
+from .esterel_style import (
+    FlowResult,
+    circuit_style_flow,
+    polis_flow,
+    single_fsm_flow,
+)
+from .product import CausalityError, synchronous_product
+
+__all__ = [
+    "FlowResult",
+    "circuit_style_flow",
+    "polis_flow",
+    "single_fsm_flow",
+    "CausalityError",
+    "synchronous_product",
+]

@@ -1,0 +1,111 @@
+"""Whole-design synthesis flows used as baselines in Table III.
+
+Three flows over the same network:
+
+* :func:`polis_flow` — the paper's approach: each CFSM synthesized
+  separately (BDD-ordered s-graph, sifted, outputs after support), summed;
+* :func:`single_fsm_flow` — the ESTEREL-style flow: compose the network
+  into one FSM under the synchronous hypothesis, then synthesize that
+  (decision-tree code for the whole design at once);
+* :func:`circuit_style_flow` — the ESTEREL_OPT flavour: same composition
+  but with the outputs-before-support ordering, i.e. a TEST-free
+  Boolean-expression program ("the Boolean circuit optimization inside the
+  v5 compiler ... corresponds to ordering outputs before inputs").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..cfsm.network import Network
+from ..sgraph import SynthesisResult, synthesize
+from ..target import ISAProfile, Program, analyze_program, compile_sgraph
+from .product import synchronous_product
+
+__all__ = ["FlowResult", "polis_flow", "single_fsm_flow", "circuit_style_flow"]
+
+
+@dataclass
+class FlowResult:
+    """Metrics of one synthesis flow over a whole network."""
+
+    flow: str
+    code_size: int
+    max_cycles: int
+    min_cycles: int
+    synthesis_seconds: float
+    programs: Dict[str, Program] = field(default_factory=dict)
+    results: Dict[str, SynthesisResult] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.flow:12s} size={self.code_size:6d}B "
+            f"cycles=[{self.min_cycles},{self.max_cycles}] "
+            f"synth={self.synthesis_seconds:.2f}s"
+        )
+
+
+def polis_flow(
+    network: Network,
+    profile: ISAProfile,
+    scheme: str = "sift",
+) -> FlowResult:
+    """Per-CFSM modular synthesis (the paper's flow)."""
+    start = time.perf_counter()
+    programs: Dict[str, Program] = {}
+    results: Dict[str, SynthesisResult] = {}
+    total_size = 0
+    max_cycles = 0
+    min_cycles = 0
+    for machine in network.machines:
+        result = synthesize(machine, scheme=scheme)
+        program = compile_sgraph(result, profile)
+        analysis = analyze_program(program, profile)
+        programs[machine.name] = program
+        results[machine.name] = result
+        total_size += analysis.code_size
+        max_cycles = max(max_cycles, analysis.max_cycles)
+        min_cycles = max(min_cycles, analysis.min_cycles)
+    elapsed = time.perf_counter() - start
+    return FlowResult(
+        flow="POLIS",
+        code_size=total_size,
+        max_cycles=max_cycles,
+        min_cycles=min_cycles,
+        synthesis_seconds=elapsed,
+        programs=programs,
+        results=results,
+    )
+
+
+def single_fsm_flow(
+    network: Network,
+    profile: ISAProfile,
+    scheme: str = "sift",
+    flow_name: str = "ESTEREL",
+) -> FlowResult:
+    """Whole-design single-FSM synthesis (ESTEREL-style)."""
+    start = time.perf_counter()
+    product = synchronous_product(network)
+    result = synthesize(product, scheme=scheme, check=False)
+    program = compile_sgraph(result, profile)
+    analysis = analyze_program(program, profile)
+    elapsed = time.perf_counter() - start
+    return FlowResult(
+        flow=flow_name,
+        code_size=analysis.code_size,
+        max_cycles=analysis.max_cycles,
+        min_cycles=analysis.min_cycles,
+        synthesis_seconds=elapsed,
+        programs={product.name: program},
+        results={product.name: result},
+    )
+
+
+def circuit_style_flow(network: Network, profile: ISAProfile) -> FlowResult:
+    """Single FSM with Boolean-circuit (TEST-free) code — ESTEREL_OPT."""
+    return single_fsm_flow(
+        network, profile, scheme="outputs-first", flow_name="ESTEREL_OPT"
+    )

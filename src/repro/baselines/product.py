@@ -1,0 +1,309 @@
+"""Synchronous product composition of a CFSM network.
+
+The ESTEREL-style baseline of Table III: "POLIS uses ESTEREL to process the
+CFSMs individually, while the ESTEREL compiler processes the whole design
+into a single FSM".  Under the synchronous hypothesis all internal
+communication happens in zero time and can be compiled away, producing one
+flat machine whose transitions are the consistent combinations of the
+component transitions — the construction whose code-size blowup motivates
+the paper's modular approach.
+
+Restrictions (checked):
+
+* the internal-event dependency graph between machines must be acyclic
+  (no constructive-causality analysis here; see Shiple/Berry/Touati [34]);
+* an internal event's value (``?x``) may only be read under a guard that
+  requires ``present_x`` — stale internal buffers cannot be represented in
+  a zero-delay composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfsm.expr import BinOp, Cond, Const, EventValue, Expr, UnOp, Var
+from ..cfsm.machine import (
+    Action,
+    AssignState,
+    Cfsm,
+    Emit,
+    ExprTest,
+    PresenceTest,
+    StateVar,
+    Test,
+    TestLiteral,
+    Transition,
+)
+from ..cfsm.network import Network
+
+__all__ = ["synchronous_product", "CausalityError"]
+
+
+class CausalityError(Exception):
+    """The network's internal-event dependencies contain a cycle."""
+
+
+MAX_CUBES = 50_000
+
+
+def _rewrite_expr(expr: Expr, var_map: Dict[str, str], value_map: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return Var(var_map.get(expr.name, expr.name))
+    if isinstance(expr, EventValue):
+        replacement = value_map.get(expr.event_name)
+        if replacement is not None:
+            return replacement
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_expr(expr.left, var_map, value_map),
+            _rewrite_expr(expr.right, var_map, value_map),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rewrite_expr(expr.operand, var_map, value_map))
+    if isinstance(expr, Cond):
+        return Cond(
+            _rewrite_expr(expr.cond, var_map, value_map),
+            _rewrite_expr(expr.then, var_map, value_map),
+            _rewrite_expr(expr.otherwise, var_map, value_map),
+        )
+    raise TypeError(f"cannot rewrite {expr!r}")  # pragma: no cover
+
+
+class _Cube:
+    """A resolved product transition: literal cube + actions + value env."""
+
+    __slots__ = ("literals", "actions", "values")
+
+    def __init__(
+        self,
+        literals: Dict[Tuple, Tuple[Test, bool]],
+        actions: List[Action],
+        values: Dict[str, Expr],
+    ):
+        self.literals = literals  # test key -> (test, polarity)
+        self.actions = actions
+        self.values = values  # internal event -> value expr (this cube)
+
+    def extended(self, test: Test, polarity: bool) -> Optional["_Cube"]:
+        key = test.key()
+        existing = self.literals.get(key)
+        if existing is not None:
+            if existing[1] != polarity:
+                return None  # contradictory: prune
+            return self
+        literals = dict(self.literals)
+        literals[key] = (test, polarity)
+        return _Cube(literals, self.actions, self.values)
+
+
+def _topo_order(network: Network) -> List[Cfsm]:
+    internal = {e.name for e in network.internal_events()}
+    succ: Dict[str, Set[str]] = {m.name: set() for m in network.machines}
+    indeg: Dict[str, int] = {m.name: 0 for m in network.machines}
+    for event in internal:
+        for producer in network.producers(event):
+            for consumer in network.consumers(event):
+                if consumer.name == producer.name:
+                    raise CausalityError(
+                        f"machine {producer.name} feeds itself event {event} "
+                        f"(zero-delay self-loop)"
+                    )
+                if consumer.name not in succ[producer.name]:
+                    succ[producer.name].add(consumer.name)
+                    indeg[consumer.name] += 1
+    order: List[Cfsm] = []
+    ready = [m for m in network.machines if indeg[m.name] == 0]
+    while ready:
+        machine = ready.pop(0)
+        order.append(machine)
+        for name in sorted(succ[machine.name]):
+            indeg[name] -= 1
+            if indeg[name] == 0:
+                ready.append(network.machine(name))
+    if len(order) != len(network.machines):
+        raise CausalityError(
+            f"network {network.name}: internal-event dependencies are cyclic"
+        )
+    return order
+
+
+def synchronous_product(network: Network, name: Optional[str] = None) -> Cfsm:
+    """Compose ``network`` into a single CFSM under the synchronous hypothesis."""
+    order = _topo_order(network)
+    internal = {e.name for e in network.internal_events()}
+    env_inputs = {e.name for e in network.environment_inputs()}
+
+    # Rename state variables (machine prefix) to avoid collisions.
+    state_vars: List[StateVar] = []
+    var_maps: Dict[str, Dict[str, str]] = {}
+    new_var_of: Dict[str, StateVar] = {}
+    for machine in order:
+        mapping: Dict[str, str] = {}
+        for var in machine.state_vars:
+            new_name = f"{machine.name}_{var.name}"
+            mapping[var.name] = new_name
+            new_var = StateVar(new_name, var.num_values, var.init)
+            state_vars.append(new_var)
+            new_var_of[new_name] = new_var
+        var_maps[machine.name] = mapping
+
+    # Emission table: internal event -> list of (guard cube, value expr).
+    # Built incrementally as machines are processed in topological order.
+    emitters: Dict[str, List[Tuple[Dict[Tuple, Tuple[Test, bool]], Optional[Expr]]]] = {
+        event: [] for event in internal
+    }
+
+    product_cubes: List[_Cube] = []
+
+    for machine in order:
+        var_map = var_maps[machine.name]
+        for transition in machine.transitions:
+            cubes = [_Cube({}, [], {})]
+            # Resolve guard literals one by one.
+            for literal in transition.guard:
+                test = literal.test
+                new_cubes: List[_Cube] = []
+                if isinstance(test, PresenceTest) and test.event.name in internal:
+                    event = test.event.name
+                    if literal.value:
+                        # present_x: splice every emitter alternative in.
+                        for cube in cubes:
+                            for guard, value in emitters[event]:
+                                extended: Optional[_Cube] = cube
+                                for t, pol in guard.values():
+                                    extended = extended.extended(t, pol)
+                                    if extended is None:
+                                        break
+                                if extended is None:
+                                    continue
+                                values = dict(extended.values)
+                                if value is not None:
+                                    values[event] = value
+                                new_cubes.append(
+                                    _Cube(extended.literals, extended.actions, values)
+                                )
+                    else:
+                        # absent_x: no emitter condition may hold.
+                        new_cubes = list(cubes)
+                        for guard, _value in emitters[event]:
+                            expanded: List[_Cube] = []
+                            for cube in new_cubes:
+                                # negation of the emitter cube: one literal flipped
+                                for t, pol in guard.values():
+                                    flipped = cube.extended(t, not pol)
+                                    if flipped is not None:
+                                        expanded.append(flipped)
+                            new_cubes = _dedup(expanded)
+                            if len(new_cubes) > MAX_CUBES:
+                                raise RuntimeError(
+                                    "product composition exploded "
+                                    f"({len(new_cubes)} cubes)"
+                                )
+                        if not emitters[event]:
+                            new_cubes = list(cubes)
+                else:
+                    # Environment presence test or expression test.
+                    resolved: Test = test
+                    if isinstance(test, ExprTest):
+                        resolved = None  # filled per-cube below (value deps)
+                    for cube in cubes:
+                        if isinstance(test, ExprTest):
+                            expr = _rewrite_expr(test.expr, var_map, cube.values)
+                            per_cube_test: Test = ExprTest(expr)
+                        else:
+                            per_cube_test = test
+                        extended = cube.extended(per_cube_test, literal.value)
+                        if extended is not None:
+                            new_cubes.append(extended)
+                cubes = new_cubes
+                if not cubes:
+                    break
+
+            # Materialize this transition's actions per cube.
+            for cube in cubes:
+                actions: List[Action] = []
+                for action in transition.actions:
+                    if isinstance(action, AssignState):
+                        new_name = var_map[action.var.name]
+                        actions.append(
+                            AssignState(
+                                new_var_of[new_name],
+                                _rewrite_expr(action.value, var_map, cube.values),
+                            )
+                        )
+                    elif isinstance(action, Emit):
+                        value = (
+                            None
+                            if action.value is None
+                            else _rewrite_expr(action.value, var_map, cube.values)
+                        )
+                        if action.event.name in internal:
+                            emitters[action.event.name].append(
+                                (cube.literals, value)
+                            )
+                        if (
+                            action.event.name not in internal
+                            or network.consumers(action.event.name) == []
+                            or _also_external(network, action.event.name)
+                        ):
+                            actions.append(Emit(action.event, value))
+                    else:  # pragma: no cover - defensive
+                        raise TypeError(f"unknown action {action!r}")
+                product_cubes.append(_Cube(cube.literals, actions, cube.values))
+
+    # Assemble the product CFSM.
+    inputs = [network.event(e) for e in sorted(env_inputs)]
+    outputs = [
+        e
+        for e in network.environment_outputs()
+    ]
+    transitions = []
+    for cube in product_cubes:
+        guard = [TestLiteral(test, pol) for test, pol in cube.literals.values()]
+        _check_value_reads(guard, cube.actions, internal)
+        transitions.append(Transition(guard, cube.actions))
+    return Cfsm(
+        name or f"{network.name}_product",
+        inputs=inputs,
+        outputs=outputs,
+        state_vars=state_vars,
+        transitions=transitions,
+    )
+
+
+def _also_external(network: Network, event_name: str) -> bool:
+    """An internal event that the environment also observes stays emitted."""
+    return False  # consumers exist, so it is purely internal
+
+
+def _dedup(cubes: List[_Cube]) -> List[_Cube]:
+    seen = set()
+    result = []
+    for cube in cubes:
+        key = tuple(sorted((k, pol) for k, (_t, pol) in cube.literals.items()))
+        if key not in seen:
+            seen.add(key)
+            result.append(cube)
+    return result
+
+
+def _check_value_reads(
+    guard: List[TestLiteral], actions: List[Action], internal: Set[str]
+) -> None:
+    for action in actions:
+        exprs = []
+        if isinstance(action, AssignState):
+            exprs.append(action.value)
+        elif isinstance(action, Emit) and action.value is not None:
+            exprs.append(action.value)
+        for expr in exprs:
+            for name in expr.variables():
+                if name.startswith("?") and name[1:] in internal:
+                    raise ValueError(
+                        f"product: unresolved internal value read {name} "
+                        f"(guard must require its presence)"
+                    )

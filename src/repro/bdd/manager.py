@@ -1,0 +1,655 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This is the core Boolean-function substrate of the reproduction: the paper
+represents each CFSM's reactive function as a BDD (Sec. II-B), optimizes it by
+dynamic variable reordering (Rudell's sifting, Sec. III-B3), and derives the
+s-graph directly from the BDD structure (Theorem 1).
+
+The implementation is a classical unique-table ROBDD package:
+
+* nodes are rows in parallel arrays (``_var``, ``_lo``, ``_hi``) indexed by an
+  integer node id; ids ``0`` and ``1`` are the FALSE and TRUE terminals;
+* the unique table is keyed by ``(var, lo, hi)`` so that nodes keep their ids
+  when variable *levels* move during reordering;
+* external references are :class:`Function` handles tracked through weak
+  references; garbage collection is mark-and-sweep from the live handles;
+* dynamic reordering is implemented with the standard in-place adjacent-level
+  swap, on top of which :mod:`repro.bdd.sifting` builds constrained sifting.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["BddManager", "Function", "FALSE_ID", "TRUE_ID"]
+
+FALSE_ID = 0
+TRUE_ID = 1
+
+# Sentinel "variable" of the two terminal nodes.  It is never a valid
+# variable id and always compares as the deepest possible level.
+_TERMINAL_VAR = -1
+
+
+class Function:
+    """A handle to a Boolean function stored in a :class:`BddManager`.
+
+    Handles support the usual operator algebra (``&``, ``|``, ``^``, ``~``,
+    ``>>`` for implication) plus the structural operations used by the
+    synthesis flow (cofactors, quantification, composition).  Two handles
+    compare equal iff they denote the same function, by ROBDD canonicity.
+    """
+
+    __slots__ = ("manager", "id", "__weakref__")
+
+    def __init__(self, manager: "BddManager", node_id: int):
+        self.manager = manager
+        self.id = node_id
+        manager._register_handle(self)
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Function)
+            and other.manager is self.manager
+            and other.id == self.id
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.id))
+
+    def __repr__(self) -> str:
+        return f"<Function id={self.id} size={self.size()}>"
+
+    # -- constants --------------------------------------------------------
+
+    @property
+    def is_false(self) -> bool:
+        return self.id == FALSE_ID
+
+    @property
+    def is_true(self) -> bool:
+        return self.id == TRUE_ID
+
+    @property
+    def is_constant(self) -> bool:
+        return self.id in (FALSE_ID, TRUE_ID)
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def var(self) -> int:
+        """Top variable id (raises on constants)."""
+        v = self.manager._var[self.id]
+        if v == _TERMINAL_VAR:
+            raise ValueError("constant function has no top variable")
+        return v
+
+    @property
+    def low(self) -> "Function":
+        return self.manager._wrap(self.manager._lo[self.id])
+
+    @property
+    def high(self) -> "Function":
+        return self.manager._wrap(self.manager._hi[self.id])
+
+    def size(self) -> int:
+        """Number of BDD nodes (including terminals) reachable from here."""
+        return self.manager.size(self)
+
+    def support(self) -> Set[int]:
+        """Set of variable ids the function essentially depends on."""
+        return self.manager.support(self)
+
+    # -- algebra ----------------------------------------------------------
+
+    def __invert__(self) -> "Function":
+        return self.manager.apply_not(self)
+
+    def __and__(self, other: "Function") -> "Function":
+        return self.manager.apply_and(self, other)
+
+    def __or__(self, other: "Function") -> "Function":
+        return self.manager.apply_or(self, other)
+
+    def __xor__(self, other: "Function") -> "Function":
+        return self.manager.apply_xor(self, other)
+
+    def __rshift__(self, other: "Function") -> "Function":
+        """Implication ``self -> other``."""
+        return self.manager.apply_or(self.manager.apply_not(self), other)
+
+    def iff(self, other: "Function") -> "Function":
+        return self.manager.apply_not(self.manager.apply_xor(self, other))
+
+    def ite(self, g: "Function", h: "Function") -> "Function":
+        return self.manager.ite(self, g, h)
+
+    # -- cofactors & quantification ----------------------------------------
+
+    def restrict(self, var: int, value: bool) -> "Function":
+        return self.manager.restrict(self, var, value)
+
+    def cofactors(self, var: int) -> Tuple["Function", "Function"]:
+        return self.restrict(var, False), self.restrict(var, True)
+
+    def exists(self, variables: Iterable[int]) -> "Function":
+        return self.manager.exists(self, variables)
+
+    def forall(self, variables: Iterable[int]) -> "Function":
+        return self.manager.forall(self, variables)
+
+    def compose(self, var: int, g: "Function") -> "Function":
+        return self.manager.compose(self, var, g)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def __call__(self, assignment: Dict[int, bool]) -> bool:
+        return self.manager.evaluate(self, assignment)
+
+    def count_sat(self, variables: Optional[Sequence[int]] = None) -> int:
+        return self.manager.count_sat(self, variables)
+
+    def iter_sat(self) -> Iterator[Dict[int, bool]]:
+        return self.manager.iter_sat(self)
+
+
+class BddManager:
+    """Owner of the node store, unique table, and variable order."""
+
+    def __init__(self) -> None:
+        # Node store.  Slot 0 = FALSE, slot 1 = TRUE.
+        self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
+        self._lo: List[int] = [FALSE_ID, TRUE_ID]
+        self._hi: List[int] = [FALSE_ID, TRUE_ID]
+        self._free: List[int] = []
+
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._nodes_of_var: Dict[int, Set[int]] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._op_cache: Dict[Tuple, int] = {}
+
+        # Variable order bookkeeping.
+        self._level_of_var: List[int] = []
+        self._var_at_level: List[int] = []
+        self._var_names: List[str] = []
+
+        # Live external handles, keyed by object identity (NOT equality —
+        # two equal Functions must both keep their nodes alive).
+        self._handles: Dict[int, "weakref.ref[Function]"] = {}
+        self._false = Function(self, FALSE_ID)
+        self._true = Function(self, TRUE_ID)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Declare a fresh variable at the bottom of the current order."""
+        var = len(self._level_of_var)
+        self._level_of_var.append(var)
+        self._var_at_level.append(var)
+        self._var_names.append(name if name is not None else f"v{var}")
+        self._nodes_of_var[var] = set()
+        return var
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._level_of_var)
+
+    def var_name(self, var: int) -> str:
+        return self._var_names[var]
+
+    def level_of(self, var: int) -> int:
+        return self._level_of_var[var]
+
+    def var_at(self, level: int) -> int:
+        return self._var_at_level[level]
+
+    def current_order(self) -> List[int]:
+        """Variables from top level to bottom level."""
+        return list(self._var_at_level)
+
+    # ------------------------------------------------------------------
+    # Handles & constants
+    # ------------------------------------------------------------------
+
+    def _register_handle(self, handle: Function) -> None:
+        key = id(handle)
+        self._handles[key] = weakref.ref(
+            handle, lambda _ref, key=key, h=self._handles: h.pop(key, None)
+        )
+
+    def _wrap(self, node_id: int) -> Function:
+        return Function(self, node_id)
+
+    @property
+    def false(self) -> Function:
+        return self._false
+
+    @property
+    def true(self) -> Function:
+        return self._true
+
+    def constant(self, value: bool) -> Function:
+        return self._true if value else self._false
+
+    def var(self, var: int) -> Function:
+        """The projection function of ``var``."""
+        return self._wrap(self._mk(var, FALSE_ID, TRUE_ID))
+
+    def nvar(self, var: int) -> Function:
+        """The negated projection function of ``var``."""
+        return self._wrap(self._mk(var, TRUE_ID, FALSE_ID))
+
+    def cube(self, literals: Dict[int, bool]) -> Function:
+        """Conjunction of literals, e.g. ``{a: True, b: False}`` -> a & ~b."""
+        result = self.true
+        for var in sorted(literals, key=self.level_of, reverse=True):
+            lit = self.var(var) if literals[var] else self.nvar(var)
+            result = result & lit
+        return result
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _alloc(self, var: int, lo: int, hi: int) -> int:
+        if self._free:
+            nid = self._free.pop()
+            self._var[nid] = var
+            self._lo[nid] = lo
+            self._hi[nid] = hi
+        else:
+            nid = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+        return nid
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Find-or-create the reduced node ``(var, lo, hi)``."""
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        nid = self._unique.get(key)
+        if nid is None:
+            nid = self._alloc(var, lo, hi)
+            self._unique[key] = nid
+            self._nodes_of_var[var].add(nid)
+        return nid
+
+    # ------------------------------------------------------------------
+    # Core ITE and derived operators
+    # ------------------------------------------------------------------
+
+    def _top_level(self, nid: int) -> int:
+        v = self._var[nid]
+        if v == _TERMINAL_VAR:
+            return len(self._level_of_var)
+        return self._level_of_var[v]
+
+    def _cofactor_step(self, nid: int, level: int) -> Tuple[int, int, int]:
+        """Split ``nid`` against ``level``: (top var, lo-cof, hi-cof)."""
+        if self._top_level(nid) == level:
+            return self._var[nid], self._lo[nid], self._hi[nid]
+        return self._var_at_level[level], nid, nid
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Terminal cases.
+        if f == TRUE_ID:
+            return g
+        if f == FALSE_ID:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_ID and h == FALSE_ID:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._top_level(f), self._top_level(g), self._top_level(h))
+        var = self._var_at_level[level]
+        _, f0, f1 = self._cofactor_step(f, level)
+        _, g0, g1 = self._cofactor_step(g, level)
+        _, h0, h1 = self._cofactor_step(h, level)
+        lo = self._ite(f0, g0, h0)
+        hi = self._ite(f1, g1, h1)
+        result = self._mk(var, lo, hi)
+        self._ite_cache[key] = result
+        return result
+
+    def ite(self, f: Function, g: Function, h: Function) -> Function:
+        return self._wrap(self._ite(f.id, g.id, h.id))
+
+    def apply_not(self, f: Function) -> Function:
+        return self._wrap(self._ite(f.id, FALSE_ID, TRUE_ID))
+
+    def apply_and(self, f: Function, g: Function) -> Function:
+        return self._wrap(self._ite(f.id, g.id, FALSE_ID))
+
+    def apply_or(self, f: Function, g: Function) -> Function:
+        return self._wrap(self._ite(f.id, TRUE_ID, g.id))
+
+    def apply_xor(self, f: Function, g: Function) -> Function:
+        return self._wrap(self._ite(f.id, self._ite(g.id, FALSE_ID, TRUE_ID), g.id))
+
+    def conjoin(self, functions: Iterable[Function]) -> Function:
+        result = self.true
+        for f in functions:
+            result = result & f
+        return result
+
+    def disjoin(self, functions: Iterable[Function]) -> Function:
+        result = self.false
+        for f in functions:
+            result = result | f
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactors, quantification, composition
+    # ------------------------------------------------------------------
+
+    def _restrict(self, nid: int, var: int, value: bool) -> int:
+        target_level = self._level_of_var[var]
+        cache_key = ("restrict", nid, var, value)
+        cached = self._op_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        level = self._top_level(nid)
+        if level > target_level:
+            result = nid
+        elif level == target_level:
+            result = self._hi[nid] if value else self._lo[nid]
+        else:
+            lo = self._restrict(self._lo[nid], var, value)
+            hi = self._restrict(self._hi[nid], var, value)
+            result = self._mk(self._var[nid], lo, hi)
+        self._op_cache[cache_key] = result
+        return result
+
+    def restrict(self, f: Function, var: int, value: bool) -> Function:
+        return self._wrap(self._restrict(f.id, var, value))
+
+    def _exists_one(self, nid: int, var: int) -> int:
+        lo = self._restrict(nid, var, False)
+        hi = self._restrict(nid, var, True)
+        return self._ite(lo, TRUE_ID, hi)
+
+    def exists(self, f: Function, variables: Iterable[int]) -> Function:
+        nid = f.id
+        for var in sorted(variables, key=self.level_of):
+            nid = self._exists_one(nid, var)
+        return self._wrap(nid)
+
+    def forall(self, f: Function, variables: Iterable[int]) -> Function:
+        nid = f.id
+        for var in sorted(variables, key=self.level_of):
+            lo = self._restrict(nid, var, False)
+            hi = self._restrict(nid, var, True)
+            nid = self._ite(lo, hi, FALSE_ID)
+        return self._wrap(nid)
+
+    def compose(self, f: Function, var: int, g: Function) -> Function:
+        """Substitute ``g`` for ``var`` in ``f``."""
+        lo = self._restrict(f.id, var, False)
+        hi = self._restrict(f.id, var, True)
+        return self._wrap(self._ite(g.id, hi, lo))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def size(self, f: Function) -> int:
+        seen: Set[int] = set()
+        stack = [f.id]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if self._var[nid] != _TERMINAL_VAR:
+                stack.append(self._lo[nid])
+                stack.append(self._hi[nid])
+        return len(seen)
+
+    def shared_size(self, functions: Sequence[Function]) -> int:
+        """Node count of the shared DAG rooted at ``functions``."""
+        seen: Set[int] = set()
+        stack = [f.id for f in functions]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if self._var[nid] != _TERMINAL_VAR:
+                stack.append(self._lo[nid])
+                stack.append(self._hi[nid])
+        return len(seen)
+
+    def support(self, f: Function) -> Set[int]:
+        seen: Set[int] = set()
+        result: Set[int] = set()
+        stack = [f.id]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if self._var[nid] != _TERMINAL_VAR:
+                result.add(self._var[nid])
+                stack.append(self._lo[nid])
+                stack.append(self._hi[nid])
+        return result
+
+    def evaluate(self, f: Function, assignment: Dict[int, bool]) -> bool:
+        nid = f.id
+        while self._var[nid] != _TERMINAL_VAR:
+            nid = self._hi[nid] if assignment[self._var[nid]] else self._lo[nid]
+        return nid == TRUE_ID
+
+    def count_sat(self, f: Function, variables: Optional[Sequence[int]] = None) -> int:
+        """Number of satisfying assignments over ``variables``.
+
+        ``variables`` defaults to all manager variables; it must contain the
+        support of ``f``.
+        """
+        if variables is None:
+            count_vars = set(range(self.num_vars))
+        else:
+            count_vars = set(variables)
+            missing = self.support(f) - count_vars
+            if missing:
+                names = ", ".join(self._var_names[v] for v in sorted(missing))
+                raise ValueError(f"count_sat variables missing support: {names}")
+        levels = sorted(self._level_of_var[v] for v in count_vars)
+        n = len(levels)
+
+        def rank(level: int) -> int:
+            """Number of counted levels strictly above ``level``."""
+            import bisect
+
+            return bisect.bisect_left(levels, level)
+
+        memo: Dict[int, int] = {}
+
+        def count(nid: int) -> int:
+            # Satisfying assignments over counted vars at/below this node's level.
+            if nid == FALSE_ID:
+                return 0
+            here = rank(self._top_level(nid))
+            if nid == TRUE_ID:
+                return 1 << (n - here)
+            if nid in memo:
+                return memo[nid]
+            lo, hi = self._lo[nid], self._hi[nid]
+            lo_gap = rank(self._top_level(lo)) - here - 1
+            hi_gap = rank(self._top_level(hi)) - here - 1
+            total = (count(lo) << lo_gap) + (count(hi) << hi_gap)
+            memo[nid] = total
+            return total
+
+        root_gap = rank(self._top_level(f.id))
+        return count(f.id) << root_gap
+
+    def iter_sat(self, f: Function) -> Iterator[Dict[int, bool]]:
+        """Iterate over satisfying cubes (partial assignments over support)."""
+
+        def walk(nid: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if nid == FALSE_ID:
+                return
+            if nid == TRUE_ID:
+                yield dict(partial)
+                return
+            var = self._var[nid]
+            partial[var] = False
+            yield from walk(self._lo[nid], partial)
+            partial[var] = True
+            yield from walk(self._hi[nid], partial)
+            del partial[var]
+
+        yield from walk(f.id, {})
+
+    def pick_sat(self, f: Function) -> Optional[Dict[int, bool]]:
+        """One satisfying cube, or ``None`` if unsatisfiable."""
+        for cube in self.iter_sat(f):
+            return cube
+        return None
+
+    def to_dot(self, f: Function, name: str = "bdd") -> str:
+        """Graphviz DOT rendering of the BDD rooted at ``f``."""
+        lines = [f'digraph "{name}" {{', "  rankdir=TB;"]
+        seen: Set[int] = set()
+        stack = [f.id]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            if self._var[nid] == _TERMINAL_VAR:
+                label = "1" if nid == TRUE_ID else "0"
+                lines.append(f'  n{nid} [label="{label}", shape=box];')
+                continue
+            lines.append(
+                f'  n{nid} [label="{self.var_name(self._var[nid])}", '
+                f"shape=circle];"
+            )
+            lines.append(f"  n{nid} -> n{self._lo[nid]} [style=dashed];")
+            lines.append(f"  n{nid} -> n{self._hi[nid]};")
+            stack.append(self._lo[nid])
+            stack.append(self._hi[nid])
+        lines.append("}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def live_roots(self) -> Set[int]:
+        roots: Set[int] = set()
+        for ref in list(self._handles.values()):
+            handle = ref()
+            if handle is not None:
+                roots.add(handle.id)
+        return roots
+
+    def collect(self) -> int:
+        """Mark-and-sweep from live handles; returns nodes freed."""
+        marked: Set[int] = {FALSE_ID, TRUE_ID}
+        stack = list(self.live_roots())
+        while stack:
+            nid = stack.pop()
+            if nid in marked:
+                continue
+            marked.add(nid)
+            stack.append(self._lo[nid])
+            stack.append(self._hi[nid])
+        freed = 0
+        for var, nodes in self._nodes_of_var.items():
+            dead = [nid for nid in nodes if nid not in marked]
+            for nid in dead:
+                nodes.discard(nid)
+                key = (self._var[nid], self._lo[nid], self._hi[nid])
+                if self._unique.get(key) == nid:
+                    del self._unique[key]
+                self._var[nid] = _TERMINAL_VAR
+                self._free.append(nid)
+                freed += 1
+        if freed:
+            self._ite_cache.clear()
+            self._op_cache.clear()
+        return freed
+
+    def live_node_count(self) -> int:
+        """Total non-terminal nodes currently allocated (post-collect size)."""
+        return sum(len(nodes) for nodes in self._nodes_of_var.values())
+
+    # ------------------------------------------------------------------
+    # Dynamic reordering primitive: adjacent level swap
+    # ------------------------------------------------------------------
+
+    def swap_levels(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place.
+
+        Every live :class:`Function` handle keeps denoting the same Boolean
+        function; node ids are stable, only labels/children are rewritten.
+        """
+        if not 0 <= level < self.num_vars - 1:
+            raise ValueError(f"cannot swap level {level}")
+        x = self._var_at_level[level]
+        y = self._var_at_level[level + 1]
+        affected = [
+            nid
+            for nid in self._nodes_of_var[x]
+            if self._var[self._lo[nid]] == y or self._var[self._hi[nid]] == y
+        ]
+        for nid in affected:
+            f0, f1 = self._lo[nid], self._hi[nid]
+            if self._var[f0] == y:
+                f00, f01 = self._lo[f0], self._hi[f0]
+            else:
+                f00 = f01 = f0
+            if self._var[f1] == y:
+                f10, f11 = self._lo[f1], self._hi[f1]
+            else:
+                f10 = f11 = f1
+            g0 = self._mk(x, f00, f10)
+            g1 = self._mk(x, f01, f11)
+            # Relabel nid from an x-node into a y-node.
+            del self._unique[(x, f0, f1)]
+            self._nodes_of_var[x].discard(nid)
+            self._var[nid] = y
+            self._lo[nid] = g0
+            self._hi[nid] = g1
+            assert (y, g0, g1) not in self._unique, "canonicity violated in swap"
+            self._unique[(y, g0, g1)] = nid
+            self._nodes_of_var[y].add(nid)
+        self._var_at_level[level], self._var_at_level[level + 1] = y, x
+        self._level_of_var[x] = level + 1
+        self._level_of_var[y] = level
+        self._ite_cache.clear()
+        self._op_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Debug invariants
+    # ------------------------------------------------------------------
+
+    def check(self) -> None:
+        """Validate manager invariants (used by the test-suite)."""
+        assert sorted(self._var_at_level) == list(range(self.num_vars))
+        for var, level in enumerate(self._level_of_var):
+            assert self._var_at_level[level] == var
+        for (var, lo, hi), nid in self._unique.items():
+            assert self._var[nid] == var and self._lo[nid] == lo and self._hi[nid] == hi
+            assert lo != hi, "unreduced node in unique table"
+            for child in (lo, hi):
+                if self._var[child] != _TERMINAL_VAR:
+                    assert (
+                        self._level_of_var[self._var[child]] > self._level_of_var[var]
+                    ), "ordering violated"
+        for var, nodes in self._nodes_of_var.items():
+            for nid in nodes:
+                assert self._var[nid] == var

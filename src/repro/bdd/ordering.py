@@ -1,0 +1,74 @@
+"""Static variable-ordering heuristics.
+
+The paper contrasts static ordering heuristics ("static methods used, for
+example, in [6]") with dynamic sifting, and reports that sifting wins.  We
+provide the common static heuristics so the ablation benchmark
+(ABL-SIFT in DESIGN.md) can reproduce that comparison:
+
+* declaration order (the "naive" ordering of Table II);
+* appearance order over a list of functions-to-be (first-use order);
+* interleaving by force-directed placement (a light-weight variant of the
+  FORCE heuristic: variables are iteratively placed at the barycenter of the
+  clauses/terms they appear in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .manager import BddManager
+from .sifting import move_var_to_level
+
+__all__ = ["apply_order", "appearance_order", "force_order"]
+
+
+def apply_order(manager: BddManager, order: Sequence[int]) -> None:
+    """Reorder the manager so variables appear top-to-bottom as ``order``.
+
+    ``order`` must be a permutation of all manager variables.  Implemented by
+    repeated adjacent swaps, so all live handles stay valid.
+    """
+    if sorted(order) != list(range(manager.num_vars)):
+        raise ValueError("order must be a permutation of all variables")
+    for target, var in enumerate(order):
+        move_var_to_level(manager, var, target)
+        # Variables already placed sit above `target` and are untouched
+        # because move only shifts levels >= their positions downward.
+
+
+def appearance_order(uses: Sequence[Sequence[int]]) -> List[int]:
+    """Variables ordered by first appearance across ``uses`` term lists."""
+    order: List[int] = []
+    seen: Set[int] = set()
+    for term in uses:
+        for var in term:
+            if var not in seen:
+                seen.add(var)
+                order.append(var)
+    return order
+
+
+def force_order(
+    num_vars: int, terms: Sequence[Sequence[int]], iterations: int = 20
+) -> List[int]:
+    """FORCE-style barycentric ordering.
+
+    ``terms`` are variable groups that interact (e.g. the support sets of the
+    per-output conditions); the heuristic pulls interacting variables close
+    together.
+    """
+    position: Dict[int, float] = {v: float(v) for v in range(num_vars)}
+    for _ in range(iterations):
+        center: Dict[int, List[float]] = {v: [] for v in range(num_vars)}
+        for term in terms:
+            if not term:
+                continue
+            bary = sum(position[v] for v in term) / len(term)
+            for var in term:
+                center[var].append(bary)
+        for var in range(num_vars):
+            if center[var]:
+                position[var] = sum(center[var]) / len(center[var])
+        ranked = sorted(range(num_vars), key=lambda v: position[v])
+        position = {v: float(i) for i, v in enumerate(ranked)}
+    return sorted(range(num_vars), key=lambda v: position[v])

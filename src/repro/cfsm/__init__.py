@@ -1,0 +1,56 @@
+"""The CFSM (Co-design FSM) specification model of Sec. II-D.
+
+* :mod:`~repro.cfsm.events` — pure/valued events;
+* :mod:`~repro.cfsm.expr` — the arithmetic/relational expression language;
+* :mod:`~repro.cfsm.machine` — tests, actions, transitions, CFSMs;
+* :mod:`~repro.cfsm.network` — GALS networks and the untimed simulator;
+* :mod:`~repro.cfsm.semantics` — reference reaction semantics;
+* :mod:`~repro.cfsm.builder` — fluent programmatic construction.
+"""
+
+from .builder import CfsmBuilder
+from .events import EventDef, pure_event, valued_event
+from .expr import BinOp, Cond, Const, EventValue, Expr, UnOp, Var
+from .machine import (
+    Action,
+    AssignState,
+    Cfsm,
+    Emit,
+    ExprTest,
+    PresenceTest,
+    StateVar,
+    Test,
+    TestLiteral,
+    Transition,
+)
+from .network import Network, NetworkSimulator
+from .semantics import CfsmConflictError, ReactionResult, react
+
+__all__ = [
+    "CfsmBuilder",
+    "EventDef",
+    "pure_event",
+    "valued_event",
+    "BinOp",
+    "Cond",
+    "Const",
+    "EventValue",
+    "Expr",
+    "UnOp",
+    "Var",
+    "Action",
+    "AssignState",
+    "Cfsm",
+    "Emit",
+    "ExprTest",
+    "PresenceTest",
+    "StateVar",
+    "Test",
+    "TestLiteral",
+    "Transition",
+    "Network",
+    "NetworkSimulator",
+    "CfsmConflictError",
+    "ReactionResult",
+    "react",
+]

@@ -1,0 +1,135 @@
+"""Fluent construction helpers for CFSMs.
+
+The textual frontend (:mod:`repro.frontend`) is the user-facing way to write
+CFSMs; this builder is the programmatic way, used heavily by the test-suite,
+the example applications, and the random-CFSM generators of the benchmarks.
+
+Example (the paper's Fig. 1 ``simple`` module)::
+
+    b = CfsmBuilder("simple")
+    c = b.value_input("c", width=8)
+    y = b.pure_output("y")
+    a = b.state("a", num_values=256)
+    b.transition(
+        when=[b.present(c), b.expr_test(BinOp("==", Var("a"), EventValue("c")))],
+        do=[b.assign(a, Const(0)), b.emit(y)],
+    )
+    b.transition(
+        when=[b.present(c),
+              b.expr_test(BinOp("==", Var("a"), EventValue("c")), False)],
+        do=[b.assign(a, BinOp("+", Var("a"), Const(1)))],
+    )
+    simple = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .events import EventDef, pure_event, valued_event
+from .expr import Expr
+from .machine import (
+    Action,
+    AssignState,
+    Cfsm,
+    Emit,
+    ExprTest,
+    PresenceTest,
+    StateVar,
+    Test,
+    TestLiteral,
+    Transition,
+)
+
+__all__ = ["CfsmBuilder"]
+
+
+class CfsmBuilder:
+    """Incrementally assemble a :class:`~repro.cfsm.machine.Cfsm`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: List[EventDef] = []
+        self._outputs: List[EventDef] = []
+        self._state_vars: List[StateVar] = []
+        self._transitions: List[Transition] = []
+
+    # -- declarations -------------------------------------------------------
+
+    def pure_input(self, name: str) -> EventDef:
+        event = pure_event(name)
+        self._inputs.append(event)
+        return event
+
+    def value_input(self, name: str, width: int = 16) -> EventDef:
+        event = valued_event(name, width)
+        self._inputs.append(event)
+        return event
+
+    def input(self, event: EventDef) -> EventDef:
+        """Declare an existing event definition as an input (for wiring)."""
+        self._inputs.append(event)
+        return event
+
+    def pure_output(self, name: str) -> EventDef:
+        event = pure_event(name)
+        self._outputs.append(event)
+        return event
+
+    def value_output(self, name: str, width: int = 16) -> EventDef:
+        event = valued_event(name, width)
+        self._outputs.append(event)
+        return event
+
+    def output(self, event: EventDef) -> EventDef:
+        self._outputs.append(event)
+        return event
+
+    def state(self, name: str, num_values: int, init: int = 0) -> StateVar:
+        var = StateVar(name, num_values, init)
+        self._state_vars.append(var)
+        return var
+
+    # -- guard / action atoms ------------------------------------------------
+
+    def present(self, event: EventDef, value: bool = True) -> TestLiteral:
+        return TestLiteral(PresenceTest(event), value)
+
+    def absent(self, event: EventDef) -> TestLiteral:
+        return TestLiteral(PresenceTest(event), False)
+
+    def expr_test(self, expr: Expr, value: bool = True) -> TestLiteral:
+        return TestLiteral(ExprTest(expr), value)
+
+    def emit(self, event: EventDef, value: Optional[Expr] = None) -> Emit:
+        return Emit(event, value)
+
+    def assign(self, var: StateVar, value: Expr) -> AssignState:
+        return AssignState(var, value)
+
+    # -- transitions ----------------------------------------------------------
+
+    def transition(
+        self,
+        when: Sequence[Union[TestLiteral, Test]],
+        do: Sequence[Action] = (),
+        source: Optional[str] = None,
+    ) -> Transition:
+        guard = [
+            lit if isinstance(lit, TestLiteral) else TestLiteral(lit, True)
+            for lit in when
+        ]
+        transition = Transition(guard, do, source=source)
+        self._transitions.append(transition)
+        return transition
+
+    # -- finish ----------------------------------------------------------------
+
+    def build(self) -> Cfsm:
+        return Cfsm(
+            self.name,
+            inputs=self._inputs,
+            outputs=self._outputs,
+            state_vars=self._state_vars,
+            transitions=self._transitions,
+        )

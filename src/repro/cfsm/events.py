@@ -1,0 +1,68 @@
+"""CFSM events.
+
+"An input or output CFSM event occurs at some point in time and may carry a
+value ... an example of a value-less (also called 'pure') event is an
+excessive pressure alarm" (Sec. II-D).  Every event has a presence flag;
+valued events additionally have a 1-place value buffer updated by the
+emitter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["EventDef", "pure_event", "valued_event"]
+
+
+class EventDef:
+    """Declaration of an event type, shared by emitters and detectors.
+
+    ``width`` is the bit width of the value buffer for valued events (the
+    estimation model prices integer sizes; Sec. III-C1), ``None`` for pure
+    events.
+    """
+
+    __slots__ = ("name", "width")
+
+    def __init__(self, name: str, width: Optional[int] = None):
+        if not name.isidentifier():
+            raise ValueError(f"event name {name!r} is not an identifier")
+        if width is not None and width <= 0:
+            raise ValueError(f"event {name!r}: width must be positive")
+        self.name = name
+        self.width = width
+
+    @property
+    def is_pure(self) -> bool:
+        return self.width is None
+
+    @property
+    def is_valued(self) -> bool:
+        return self.width is not None
+
+    def __repr__(self) -> str:
+        kind = "pure" if self.is_pure else f"int{self.width}"
+        return f"<EventDef {self.name}:{kind}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EventDef)
+            and other.name == self.name
+            and other.width == self.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.width))
+
+    def key(self) -> Tuple[str, Optional[int]]:
+        return (self.name, self.width)
+
+
+def pure_event(name: str) -> EventDef:
+    """A presence-only event (reset button, alarm, ...)."""
+    return EventDef(name, None)
+
+
+def valued_event(name: str, width: int = 16) -> EventDef:
+    """An event carrying an integer value (sensor sample, key code, ...)."""
+    return EventDef(name, width)

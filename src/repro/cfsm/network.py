@@ -1,0 +1,238 @@
+"""GALS networks of CFSMs and their untimed reference simulator.
+
+"Our model of a control-dominated reactive system ... is [a] globally
+asynchronous locally synchronous (GALS) network of CFSMs communicating via
+events" (Sec. II-D).  Communication uses a conceptual buffer of length one
+per (event, receiver): emitting an event that a receiver has not yet
+detected *overwrites* it — the event is lost.  This nondeterministic,
+lossy asynchrony is a deliberate modelling choice of the paper; the
+simulator therefore counts overwrites so tests and benchmarks can observe
+them.
+
+The simulator here is untimed (scheduling is a free choice each step); the
+timed RTOS-scheduled execution lives in :mod:`repro.rtos.runtime`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .events import EventDef
+from .machine import Cfsm
+from .semantics import react
+
+__all__ = ["Network", "NetworkSimulator"]
+
+
+class Network:
+    """A set of CFSMs wired by event-name identity.
+
+    An output event of one machine feeds every machine that declares an input
+    event with the same name (and the definitions must agree).  Events
+    consumed but never produced are *environment inputs*; events produced but
+    never consumed are *environment outputs* (actuator commands).
+    """
+
+    def __init__(self, name: str, machines: Sequence[Cfsm]):
+        self.name = name
+        self.machines = list(machines)
+        names = [m.name for m in self.machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"network {name}: duplicate machine names")
+        self._events: Dict[str, EventDef] = {}
+        self._collect_events()
+
+    def _collect_events(self) -> None:
+        for machine in self.machines:
+            for event in list(machine.inputs) + list(machine.outputs):
+                known = self._events.get(event.name)
+                if known is None:
+                    self._events[event.name] = event
+                elif known != event:
+                    raise ValueError(
+                        f"network {self.name}: event {event.name} declared "
+                        f"with inconsistent types"
+                    )
+
+    # -- topology ----------------------------------------------------------
+
+    def events(self) -> List[EventDef]:
+        return list(self._events.values())
+
+    def event(self, name: str) -> EventDef:
+        return self._events[name]
+
+    def producers(self, event_name: str) -> List[Cfsm]:
+        return [
+            m for m in self.machines if any(e.name == event_name for e in m.outputs)
+        ]
+
+    def consumers(self, event_name: str) -> List[Cfsm]:
+        return [
+            m for m in self.machines if any(e.name == event_name for e in m.inputs)
+        ]
+
+    def environment_inputs(self) -> List[EventDef]:
+        return [
+            e
+            for e in self._events.values()
+            if self.consumers(e.name) and not self.producers(e.name)
+        ]
+
+    def environment_outputs(self) -> List[EventDef]:
+        return [
+            e
+            for e in self._events.values()
+            if self.producers(e.name) and not self.consumers(e.name)
+        ]
+
+    def internal_events(self) -> List[EventDef]:
+        return [
+            e
+            for e in self._events.values()
+            if self.producers(e.name) and self.consumers(e.name)
+        ]
+
+    def machine(self, name: str) -> Cfsm:
+        for m in self.machines:
+            if m.name == name:
+                return m
+        raise KeyError(f"network {self.name}: no machine {name}")
+
+    def __repr__(self) -> str:
+        return f"<Network {self.name}: {len(self.machines)} machines>"
+
+
+@dataclass
+class _MachineContext:
+    machine: Cfsm
+    state: Dict[str, int]
+    flags: Set[str] = field(default_factory=set)
+    # Enablement is edge-triggered (Sec. IV-A): an event *occurrence*
+    # enables the machine; finishing a reaction disables it, even when
+    # unconsumed flags remain (they wait for the next occurrence).
+    runnable: bool = False
+
+
+class NetworkSimulator:
+    """Untimed asynchronous execution of a :class:`Network`.
+
+    Each step, one enabled machine reacts atomically.  The machine choice is
+    the model's nondeterminism; callers may pass a policy, use the built-in
+    round-robin, or drive a seeded random choice.
+    """
+
+    def __init__(self, network: Network, seed: Optional[int] = None):
+        self.network = network
+        self._contexts: Dict[str, _MachineContext] = {
+            m.name: _MachineContext(machine=m, state=m.initial_state())
+            for m in network.machines
+        }
+        # One value buffer per valued event (updated by the emitter).
+        self.values: Dict[str, int] = {}
+        self.lost_events: int = 0
+        self.reactions: int = 0
+        self.emitted_to_environment: List[Tuple[str, Optional[int]]] = []
+        self._rng = random.Random(seed)
+        self._rr_cursor = 0
+
+    # -- observation --------------------------------------------------------
+
+    def state_of(self, machine_name: str) -> Dict[str, int]:
+        return dict(self._contexts[machine_name].state)
+
+    def flags_of(self, machine_name: str) -> Set[str]:
+        return set(self._contexts[machine_name].flags)
+
+    def enabled_machines(self) -> List[str]:
+        """Machines enabled by an event occurrence (Sec. IV-A).
+
+        Enablement is edge-triggered: preserved-but-unconsumed flags do not
+        keep a machine runnable; only a fresh emission does.
+        """
+        return [name for name, ctx in self._contexts.items() if ctx.runnable]
+
+    # -- stimulus -----------------------------------------------------------
+
+    def inject(self, event_name: str, value: Optional[int] = None) -> None:
+        """Emit an environment input event into the network."""
+        event = self.network.event(event_name)
+        if event.is_valued and value is None:
+            raise ValueError(f"event {event_name} needs a value")
+        if event.is_pure and value is not None:
+            raise ValueError(f"event {event_name} is pure")
+        self._deliver(event, value)
+
+    def _deliver(self, event: EventDef, value: Optional[int]) -> None:
+        if value is not None:
+            self.values[event.name] = value
+        consumers = self.network.consumers(event.name)
+        if not consumers:
+            self.emitted_to_environment.append((event.name, value))
+            return
+        for machine in consumers:
+            ctx = self._contexts[machine.name]
+            if event.name in ctx.flags:
+                self.lost_events += 1  # overwrite: 1-place buffer
+            ctx.flags.add(event.name)
+            ctx.runnable = True  # the occurrence enables the machine
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self, machine_name: Optional[str] = None) -> Optional[str]:
+        """Run one reaction; returns the machine that ran (None if idle)."""
+        enabled = self.enabled_machines()
+        if not enabled:
+            return None
+        if machine_name is None:
+            machine_name = self._pick_round_robin(enabled)
+        elif machine_name not in enabled:
+            raise ValueError(f"machine {machine_name} is not enabled")
+        ctx = self._contexts[machine_name]
+        snapshot = set(ctx.flags)
+        ctx.runnable = False  # "once it finishes its execution ... disabled"
+        result = react(ctx.machine, ctx.state, snapshot, self.values)
+        self.reactions += 1
+        if result.fired:
+            ctx.state = result.new_state
+            ctx.flags -= snapshot  # consumed; emissions during react may re-set
+            for event, value in result.emissions:
+                self._deliver(event, value)
+        # If nothing fired, events are preserved for the next execution
+        # (Sec. IV-D: "input events are not consumed") but the machine
+        # sleeps until a new occurrence re-enables it.
+        return machine_name
+
+    def step_random(self) -> Optional[str]:
+        enabled = self.enabled_machines()
+        if not enabled:
+            return None
+        return self.step(self._rng.choice(enabled))
+
+    def _pick_round_robin(self, enabled: List[str]) -> str:
+        order = [m.name for m in self.network.machines]
+        n = len(order)
+        for offset in range(n):
+            candidate = order[(self._rr_cursor + offset) % n]
+            if candidate in enabled:
+                self._rr_cursor = (order.index(candidate) + 1) % n
+                return candidate
+        raise AssertionError("enabled machine not in network order")
+
+    def run_until_quiescent(self, max_steps: int = 10_000) -> int:
+        """Step (round-robin) until no machine is enabled; returns steps."""
+        steps = 0
+        while steps < max_steps:
+            if self.step() is None:
+                return steps
+            steps += 1
+        raise RuntimeError(
+            f"network {self.network.name} did not quiesce in {max_steps} steps"
+        )
+
+    def drain_environment(self) -> List[Tuple[str, Optional[int]]]:
+        out = self.emitted_to_environment
+        self.emitted_to_environment = []
+        return out

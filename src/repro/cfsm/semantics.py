@@ -1,0 +1,115 @@
+"""Reference executable semantics of a single CFSM reaction.
+
+This interpreter is the specification against which everything else is
+verified: the s-graph built by Theorem 1, the generated C, and the target
+machine code must all compute the same reaction function.  It follows
+Sec. II-D and Sec. III-B1:
+
+* the reaction reads an atomic snapshot of input-event presence flags and
+  value buffers;
+* all guards are evaluated against the *pre*-state (the paper's generated
+  code copies all variables on entry, Sec. V-B);
+* every enabled transition contributes its actions; conflicting effects are
+  a specification error (the synthesized relation would otherwise be
+  nondeterministic in an unintended way);
+* if no transition is enabled the reaction does not fire and input events
+  must be preserved by the RTOS (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .events import EventDef
+from .machine import AssignState, Cfsm, Emit
+
+__all__ = ["ReactionResult", "CfsmConflictError", "react"]
+
+
+class CfsmConflictError(Exception):
+    """Two simultaneously-enabled transitions demanded conflicting effects."""
+
+
+@dataclass
+class ReactionResult:
+    """Outcome of one CFSM reaction."""
+
+    fired: bool
+    new_state: Dict[str, int]
+    emissions: List[Tuple[EventDef, Optional[int]]] = field(default_factory=list)
+
+    @property
+    def emitted_names(self) -> Set[str]:
+        return {event.name for event, _ in self.emissions}
+
+
+def build_env(
+    cfsm: Cfsm, state: Dict[str, int], values: Dict[str, int]
+) -> Dict[str, int]:
+    """Expression-evaluation environment: state vars + event value buffers."""
+    env: Dict[str, int] = dict(state)
+    for event in cfsm.inputs:
+        if event.is_valued:
+            env[f"?{event.name}"] = values.get(event.name, 0)
+    return env
+
+
+def react(
+    cfsm: Cfsm,
+    state: Dict[str, int],
+    present: Set[str],
+    values: Optional[Dict[str, int]] = None,
+) -> ReactionResult:
+    """Execute one reaction of ``cfsm``.
+
+    ``present`` is the set of input-event names in the snapshot; ``values``
+    maps valued-event names to their buffer contents (missing entries read
+    as 0, modelling an uninitialized but valid buffer).
+    """
+    values = values or {}
+    unknown = present - {e.name for e in cfsm.inputs}
+    if unknown:
+        raise ValueError(f"{cfsm.name}: snapshot contains non-input events {unknown}")
+    env = build_env(cfsm, state, values)
+
+    fired = False
+    new_state = dict(state)
+    state_writers: Dict[str, Tuple[str, int]] = {}
+    emissions: List[Tuple[EventDef, Optional[int]]] = []
+    emitted: Dict[str, Optional[int]] = {}
+
+    for transition in cfsm.transitions:
+        if not transition.enabled(env, present):
+            continue
+        fired = True
+        for action in transition.actions:
+            if isinstance(action, AssignState):
+                value = action.value.evaluate(env)
+                prior = state_writers.get(action.var.name)
+                if prior is not None and prior[1] != value:
+                    raise CfsmConflictError(
+                        f"{cfsm.name}: conflicting writes to {action.var.name}: "
+                        f"{prior[1]} vs {value}"
+                    )
+                if not 0 <= value < action.var.num_values:
+                    value %= action.var.num_values
+                state_writers[action.var.name] = (action.label(), value)
+                new_state[action.var.name] = value
+            elif isinstance(action, Emit):
+                value = None if action.value is None else action.value.evaluate(env)
+                if action.event.name in emitted:
+                    if emitted[action.event.name] != value:
+                        raise CfsmConflictError(
+                            f"{cfsm.name}: event {action.event.name} emitted "
+                            f"with conflicting values"
+                        )
+                    continue
+                emitted[action.event.name] = value
+                emissions.append((action.event, value))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown action type {type(action).__name__}")
+
+    if not fired:
+        return ReactionResult(fired=False, new_state=dict(state))
+    return ReactionResult(fired=True, new_state=new_state, emissions=emissions)

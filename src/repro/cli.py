@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+* ``synth``    — compile one RSL module through the full flow and emit C,
+  target assembly, a DOT graph, or the s-graph listing, with optional
+  cost/performance estimates;
+* ``rtos``     — compile a set of RSL modules as a network and emit the
+  generated RTOS (plus, optionally, every reaction module) as one C file;
+* ``build``    — the whole co-synthesis flow: synthesize every module,
+  generate the RTOS, estimate/measure costs, optionally validate the
+  schedule from environment event rates, and write a C project directory;
+* ``check``    — explore an RSL module's state space and check invariants
+  given as Python expressions over the state variables;
+* ``info``     — summarize a module: events, state variables, transitions,
+  reactive-function statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .codegen import generate_c
+from .estimation import calibrate, estimate
+from .frontend import compile_source
+from .rtos import RtosConfig, SchedulingPolicy, generate_rtos_c
+from .sgraph import synthesize
+from .target import PROFILES, analyze_program, compile_sgraph
+
+__all__ = ["main"]
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write(path: Optional[str], text: str) -> None:
+    if path is None or path == "-":
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _synthesize_from_args(args) -> "tuple":
+    cfsm = compile_source(_read(args.module))
+    result = synthesize(
+        cfsm,
+        scheme=args.scheme,
+        multiway=not args.no_switch,
+        copy_elimination=args.copy_elimination,
+        reachability_dontcares=args.reachability_dontcares,
+    )
+    return cfsm, result
+
+
+def _cmd_synth(args) -> int:
+    cfsm, result = _synthesize_from_args(args)
+    profile = PROFILES[args.target]
+    if args.emit == "c":
+        _write(args.output, generate_c(result, include_harness=args.harness))
+    elif args.emit == "asm":
+        program = compile_sgraph(result, profile)
+        _write(args.output, program.listing())
+    elif args.emit == "dot":
+        _write(
+            args.output,
+            result.sgraph.to_dot(describe=result.reactive.manager.var_name),
+        )
+    elif args.emit == "sgraph":
+        _write(
+            args.output,
+            result.sgraph.dump(describe=result.reactive.manager.var_name),
+        )
+    if args.estimate:
+        params = calibrate(profile)
+        est = estimate(
+            result.sgraph,
+            result.reactive.encoding,
+            params,
+            copy_vars=result.copy_vars,
+        )
+        program = compile_sgraph(result, profile)
+        meas = analyze_program(program, profile)
+        sys.stderr.write(
+            f"[{cfsm.name}] estimated {est}; "
+            f"measured size={meas.code_size}B "
+            f"cycles=[{meas.min_cycles},{meas.max_cycles}] ({args.target})\n"
+        )
+    return 0
+
+
+def _cmd_rtos(args) -> int:
+    from .cfsm import Network
+
+    machines = [compile_source(_read(path)) for path in args.modules]
+    network = Network(args.name, machines)
+    config = RtosConfig(
+        policy=args.policy,
+        polled_events=set(args.polled or []),
+        chains=[chain.split(",") for chain in (args.chain or [])],
+    )
+    parts: List[str] = []
+    if args.include_reactions:
+        for machine in machines:
+            code = generate_c(
+                synthesize(machine, scheme=args.scheme)
+            )
+            if parts:
+                code = code.split("#endif /* REPRO_RUNTIME */", 1)[1]
+            parts.append(code)
+    parts.append(generate_rtos_c(network, config))
+    _write(args.output, "\n".join(parts))
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from .cfsm import Network
+    from .flow import build_system
+    from .target import PROFILES as _PROFILES
+
+    machines = [compile_source(_read(path)) for path in args.modules]
+    network = Network(args.name, machines)
+    env_rates = None
+    if args.rate:
+        env_rates = {}
+        for item in args.rate:
+            name, _, value = item.partition("=")
+            if not value:
+                raise SystemExit(f"--rate expects NAME=CYCLES, got {item!r}")
+            env_rates[name] = int(value)
+    build = build_system(
+        network,
+        profile=_PROFILES[args.target],
+        env_rates=env_rates,
+    )
+    paths = build.write_to(args.output)
+    sys.stderr.write(f"wrote {len(paths)} files to {args.output}\n")
+    print(build.report())
+    if build.schedule is not None and not build.schedule.schedulable:
+        return 1
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .verify import ReachabilityAnalysis
+
+    cfsm = compile_source(_read(args.module))
+    analysis = ReachabilityAnalysis(cfsm, max_states=args.max_states)
+    count = analysis.reachable_count()
+    sys.stderr.write(f"[{cfsm.name}] {count} reachable states\n")
+    failures = 0
+    for text in args.invariant or []:
+        code = compile(text, "<invariant>", "eval")
+
+        def predicate(state, _code=code):
+            return bool(eval(_code, {"__builtins__": {}}, dict(state)))
+
+        trace = analysis.check_invariant(predicate)
+        if trace is None:
+            print(f"PASS  {text}")
+        else:
+            failures += 1
+            print(f"FAIL  {text}")
+            print(trace.describe())
+    return 1 if failures else 0
+
+
+def _cmd_info(args) -> int:
+    cfsm = compile_source(_read(args.module))
+    result = synthesize(cfsm, scheme=args.scheme)
+    rf = result.reactive
+    print(f"module {cfsm.name}")
+    print(f"  inputs:  {', '.join(e.name for e in cfsm.inputs)}")
+    print(f"  outputs: {', '.join(e.name for e in cfsm.outputs)}")
+    print(
+        "  state:   "
+        + ", ".join(f"{v.name}[0..{v.num_values - 1}]" for v in cfsm.state_vars)
+    )
+    print(f"  transitions: {len(cfsm.transitions)}")
+    print(
+        f"  reactive function: {len(rf.input_vars)} inputs, "
+        f"{len(rf.output_vars)} outputs, chi BDD {rf.chi.size()} nodes"
+    )
+    counts = result.sgraph.counts()
+    print(
+        f"  s-graph ({result.scheme}): {counts['TEST']} TESTs, "
+        f"{counts['ASSIGN']} ASSIGNs"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="POLIS-style software synthesis for embedded control",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_synth_options(p):
+        p.add_argument("--scheme", default="sift",
+                       choices=["naive", "sift", "sift-strict",
+                                "outputs-first", "mixed"])
+        p.add_argument("--no-switch", action="store_true",
+                       help="disable multiway switch merging")
+        p.add_argument("--copy-elimination", action="store_true",
+                       help="drop unneeded on-entry state copies")
+        p.add_argument("--reachability-dontcares", action="store_true",
+                       help="use unreachable states as don't-cares")
+
+    p = sub.add_parser("synth", help="synthesize one RSL module")
+    p.add_argument("module", help="RSL source file ('-' for stdin)")
+    p.add_argument("--emit", default="c",
+                   choices=["c", "asm", "dot", "sgraph"])
+    p.add_argument("--target", default="K11", choices=sorted(PROFILES))
+    p.add_argument("--estimate", action="store_true",
+                   help="print cost/performance estimates to stderr")
+    p.add_argument("--harness", action="store_true",
+                   help="include a main() harness in the C output")
+    p.add_argument("-o", "--output", default=None)
+    add_synth_options(p)
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("rtos", help="generate the RTOS for a network")
+    p.add_argument("modules", nargs="+", help="RSL source files")
+    p.add_argument("--name", default="system")
+    p.add_argument("--policy", default=SchedulingPolicy.ROUND_ROBIN,
+                   choices=list(SchedulingPolicy.ALL))
+    p.add_argument("--polled", action="append",
+                   help="deliver this event by polling (repeatable)")
+    p.add_argument("--chain", action="append",
+                   help="comma-separated machine names fused into one task")
+    p.add_argument("--include-reactions", action="store_true",
+                   help="emit the reaction modules into the same file")
+    p.add_argument("--scheme", default="sift")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_rtos)
+
+    p = sub.add_parser(
+        "build", help="full co-synthesis flow for a network of modules"
+    )
+    p.add_argument("modules", nargs="+", help="RSL source files")
+    p.add_argument("--name", default="system")
+    p.add_argument("--target", default="K11", choices=sorted(PROFILES))
+    p.add_argument("--rate", action="append",
+                   help="environment event rate NAME=CYCLES (repeatable; "
+                        "enables automatic scheduling validation)")
+    p.add_argument("-o", "--output", default="build")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("check", help="reachability / invariant checking")
+    p.add_argument("module")
+    p.add_argument("--invariant", action="append",
+                   help="Python expression over the state variables "
+                        "(repeatable)")
+    p.add_argument("--max-states", type=int, default=200_000)
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser("info", help="summarize a module")
+    p.add_argument("module")
+    p.add_argument("--scheme", default="sift")
+    p.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

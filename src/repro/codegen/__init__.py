@@ -1,0 +1,6 @@
+"""Code generation from s-graphs (C text; the target-ISA path lives in
+:mod:`repro.target`)."""
+
+from .cgen import CodeGenerator, generate_c
+
+__all__ = ["CodeGenerator", "generate_c"]

@@ -1,0 +1,28 @@
+"""Software cost & performance estimation (Sec. III-C).
+
+* :mod:`~repro.estimation.params` — the 17 timing / 15 size / 4 system
+  cost parameters plus the library-operator tables;
+* :mod:`~repro.estimation.calibrate` — per-target calibration by measuring
+  benchmark snippets, as the paper does with profilers;
+* :mod:`~repro.estimation.estimate` — s-graph traversal estimators:
+  Dijkstra minimum path, PERT longest path, size summation.
+"""
+
+from .calibrate import calibrate
+from .estimate import Estimate, estimate, expr_size, expr_time
+from .partition import PartitionResult, partition
+from .params import CostParams, SizeParams, SystemParams, TimingParams
+
+__all__ = [
+    "calibrate",
+    "PartitionResult",
+    "partition",
+    "Estimate",
+    "estimate",
+    "expr_size",
+    "expr_time",
+    "CostParams",
+    "SizeParams",
+    "SystemParams",
+    "TimingParams",
+]

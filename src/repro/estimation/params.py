@@ -1,0 +1,114 @@
+"""Cost-parameter model (Sec. III-C1).
+
+"Currently, we use 17 cost parameters for calculating execution cycles, 15
+for code size, and four for characterizing the system (e.g., the size of a
+pointer)."  Parameters correspond to the statement kinds generated from
+s-graph vertices; library operations ("currently about 30 arithmetic,
+relational and logical functions, such as ADD(x1,x2), OR(x1,x2),
+EQ(x1,x2)") are priced through separate per-operator tables.
+
+Parameters are *calibrated per target system* by measuring benchmark
+programs (:mod:`repro.estimation.calibrate`); they are never read off the
+profile tables directly, so the estimate-vs-measurement comparison of
+Table I is a genuine one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["TimingParams", "SizeParams", "SystemParams", "CostParams"]
+
+
+@dataclass
+class TimingParams:
+    """The 17 execution-cycle parameters."""
+
+    t_frame: float = 0.0          # 1  reaction-function entry
+    t_return: float = 0.0         # 2  reaction-function return
+    t_local_init: float = 0.0     # 3  per state variable copied on entry
+    t_detect_true: float = 0.0    # 4  presence TEST, true edge (RTOS call)
+    t_detect_false: float = 0.0   # 5  presence TEST, false edge
+    t_test_true: float = 0.0      # 6  expression TEST, true-edge overhead
+    t_test_false: float = 0.0     # 7  expression TEST, false-edge overhead
+    t_testbit: float = 0.0        # 8  state-bit TEST body
+    t_switch_base: float = 0.0    # 9  multiway jump, base cost ("a")
+    t_switch_edge: float = 0.0    # 10 multiway jump, per-edge cost ("b")
+    t_emit_pure: float = 0.0      # 11 ASSIGN emitting a pure event
+    t_emit_valued: float = 0.0    # 12 ASSIGN emitting a valued event
+    t_assign_state: float = 0.0   # 13 ASSIGN to a state variable
+    t_set_fire: float = 0.0       # 14 fired-flag ASSIGN
+    t_goto: float = 0.0           # 15 branch op from code linearization
+    t_expr_load: float = 0.0      # 16 per operand load inside an expression
+    t_lib_default: float = 0.0    # 17 library op not in the table
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SizeParams:
+    """The 15 code-size parameters (bytes)."""
+
+    s_frame: float = 0.0          # 1
+    s_return: float = 0.0         # 2
+    s_local_init: float = 0.0     # 3
+    s_detect: float = 0.0         # 4  presence TEST incl. branch
+    s_test: float = 0.0           # 5  expression TEST branch overhead
+    s_testbit: float = 0.0        # 6  state-bit TEST body
+    s_switch_base: float = 0.0    # 7
+    s_switch_edge: float = 0.0    # 8  per table entry (≈ pointer size)
+    s_emit_pure: float = 0.0      # 9
+    s_emit_valued: float = 0.0    # 10
+    s_assign_state: float = 0.0   # 11
+    s_set_fire: float = 0.0       # 12
+    s_goto: float = 0.0           # 13
+    s_expr_load: float = 0.0      # 14
+    s_lib_default: float = 0.0    # 15
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SystemParams:
+    """The 4 system-characterization parameters."""
+
+    pointer_size: int = 2
+    int_size: int = 2
+    near_branch_range: int = 127
+    register_slots: int = 1
+
+
+@dataclass
+class CostParams:
+    """Complete calibrated parameter set for one target system."""
+
+    target: str
+    timing: TimingParams = field(default_factory=TimingParams)
+    size: SizeParams = field(default_factory=SizeParams)
+    system: SystemParams = field(default_factory=SystemParams)
+    lib_time: Dict[str, float] = field(default_factory=dict)
+    lib_size: Dict[str, float] = field(default_factory=dict)
+
+    def lib_time_of(self, op: str) -> float:
+        return self.lib_time.get(op, self.timing.t_lib_default)
+
+    def lib_size_of(self, op: str) -> float:
+        return self.lib_size.get(op, self.size.s_lib_default)
+
+    def describe(self) -> str:
+        lines = [f"cost parameters for target {self.target}"]
+        lines.append("  timing (cycles):")
+        for key, value in self.timing.as_dict().items():
+            lines.append(f"    {key:16s} = {value:7.2f}")
+        lines.append("  size (bytes):")
+        for key, value in self.size.as_dict().items():
+            lines.append(f"    {key:16s} = {value:7.2f}")
+        lines.append(
+            f"  system: ptr={self.system.pointer_size} int={self.system.int_size} "
+            f"near={self.system.near_branch_range} regs={self.system.register_slots}"
+        )
+        lines.append(f"  library table: {len(self.lib_time)} operators")
+        return "\n".join(lines)

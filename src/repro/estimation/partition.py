@@ -1,0 +1,114 @@
+"""Greedy hardware/software partitioning support (the POLIS context).
+
+The paper synthesizes software inside a co-design flow where
+"hardware/software partitioning ... require[s] accurate and quick estimates
+of code size and of minimum and maximum execution time" (Sec. III-C).  This
+module closes that loop with a simple partitioner:
+
+* software cost of a CFSM = CPU utilization demand, its estimated WCET
+  (plus RTOS dispatch overhead) divided by its activation period;
+* hardware cost of a CFSM = a gate-count proxy, the size of its
+  characteristic-function BDD (POLIS synthesized the hardware from the
+  same BDDs);
+* greedy: while the software demand exceeds the CPU budget, move the
+  machine with the best utilization-relieved-per-gate ratio to hardware.
+
+This is deliberately the *simplest* estimator-driven partitioner — enough
+to demonstrate the estimates driving a co-design decision, not a study of
+partitioning algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..cfsm.network import Network
+from ..sgraph import synthesize
+from .estimate import estimate
+from .params import CostParams
+
+__all__ = ["PartitionResult", "partition"]
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of a greedy hw/sw split."""
+
+    software: List[str]
+    hardware: List[str]
+    sw_utilization: float
+    hw_gate_proxy: int
+    demands: Dict[str, float] = field(default_factory=dict)
+    gate_costs: Dict[str, int] = field(default_factory=dict)
+    feasible: bool = True
+
+    def report(self) -> str:
+        lines = [
+            f"partition: {len(self.software)} sw / {len(self.hardware)} hw, "
+            f"sw utilization {self.sw_utilization:.3f}, "
+            f"hw gate proxy {self.hw_gate_proxy}"
+        ]
+        for name in self.software:
+            lines.append(f"  sw {name:16s} demand {self.demands[name]:.3f}")
+        for name in self.hardware:
+            lines.append(
+                f"  hw {name:16s} demand {self.demands[name]:.3f} "
+                f"gates~{self.gate_costs[name]}"
+            )
+        return "\n".join(lines)
+
+
+def partition(
+    network: Network,
+    activation_periods: Dict[str, int],
+    params: CostParams,
+    cpu_budget: float = 0.69,
+    dispatch_overhead: int = 40,
+    pinned_sw: Optional[Set[str]] = None,
+    pinned_hw: Optional[Set[str]] = None,
+) -> PartitionResult:
+    """Split ``network`` into software and hardware under a CPU budget.
+
+    ``activation_periods`` maps machine names to their minimum activation
+    inter-arrival (cycles); ``cpu_budget`` is the allowed total utilization
+    (default: the asymptotic rate-monotonic bound ln 2). ``pinned_sw`` /
+    ``pinned_hw`` force assignments.
+    """
+    pinned_sw = pinned_sw or set()
+    pinned_hw = pinned_hw or set()
+    demands: Dict[str, float] = {}
+    gates: Dict[str, int] = {}
+    for machine in network.machines:
+        period = activation_periods.get(machine.name)
+        if period is None:
+            raise ValueError(f"no activation period for machine {machine.name}")
+        result = synthesize(machine)
+        wcet = estimate(result.sgraph, result.reactive.encoding, params).max_cycles
+        demands[machine.name] = (wcet + dispatch_overhead) / period
+        gates[machine.name] = result.reactive.chi.size()
+
+    software = {m.name for m in network.machines} - pinned_hw
+    hardware = set(pinned_hw)
+
+    def sw_util() -> float:
+        return sum(demands[name] for name in software)
+
+    movable = sorted(software - pinned_sw)
+    while sw_util() > cpu_budget and movable:
+        # Best utilization relief per proxy gate.
+        movable.sort(key=lambda name: demands[name] / max(1, gates[name]))
+        chosen = movable.pop()  # highest relief-per-gate
+        software.discard(chosen)
+        hardware.add(chosen)
+
+    feasible = sw_util() <= cpu_budget
+    return PartitionResult(
+        software=sorted(software),
+        hardware=sorted(hardware),
+        sw_utilization=sw_util(),
+        hw_gate_proxy=sum(gates[name] for name in hardware),
+        demands=demands,
+        gate_costs=gates,
+        feasible=feasible,
+    )

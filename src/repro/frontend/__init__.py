@@ -1,0 +1,14 @@
+"""RSL front end: Esterel-flavoured reactive modules compiled to CFSMs."""
+
+from .compile import CompileError, compile_module, compile_source
+from .rsl import Module, RslSyntaxError, parse_file, parse_module
+
+__all__ = [
+    "CompileError",
+    "compile_module",
+    "compile_source",
+    "Module",
+    "RslSyntaxError",
+    "parse_file",
+    "parse_module",
+]

@@ -1,0 +1,272 @@
+"""RSL -> CFSM compilation.
+
+Each ``await`` in the loop body is a control point; the statements between
+consecutive awaits (cyclically) form the *reaction segment* executed when
+one of the awaited events arrives.  Segments are straight-line/conditional
+code with Esterel-like sequential semantics; they are compiled into the
+CFSM's snapshot-parallel transition actions by **symbolic substitution**:
+along each path, every assignment updates a symbolic environment, and all
+conditions, emission values, and final assignments are expressed over the
+*pre*-state.
+
+With more than one await a hidden program counter variable ``_pc`` is
+introduced (one value per control point), tested by every guard and
+advanced by every transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cfsm.builder import CfsmBuilder
+from ..cfsm.expr import BinOp, Cond, Const, EventValue, Expr, UnOp, Var
+from ..cfsm.machine import Action, Cfsm, TestLiteral
+from .rsl import (
+    Assign,
+    Await,
+    EmitStmt,
+    If,
+    Module,
+    PresenceExpr,
+    RslSyntaxError,
+    Stmt,
+    parse_module,
+)
+
+__all__ = ["compile_module", "compile_source", "CompileError"]
+
+PC_VAR = "_pc"
+
+
+class CompileError(Exception):
+    pass
+
+
+def _substitute(expr: Expr, env: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, (Const, EventValue, PresenceExpr)):
+        return expr
+    if isinstance(expr, Var):
+        return env.get(expr.name, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _substitute(expr.left, env), _substitute(expr.right, env))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _substitute(expr.operand, env))
+    if isinstance(expr, Cond):
+        return Cond(
+            _substitute(expr.cond, env),
+            _substitute(expr.then, env),
+            _substitute(expr.otherwise, env),
+        )
+    raise CompileError(f"cannot substitute in {expr!r}")
+
+
+@dataclass
+class _Path:
+    """One control path through a reaction segment."""
+
+    conditions: List[Tuple[Expr, bool]]
+    env: Dict[str, Expr]
+    emissions: List[Tuple[str, Optional[Expr]]]
+
+
+def _enumerate_paths(
+    stmts: Sequence[Stmt], base: _Path
+) -> List[_Path]:
+    paths = [base]
+    for stmt in stmts:
+        if isinstance(stmt, Await):
+            raise CompileError(
+                f"line {stmt.line}: await may only appear at the top level "
+                f"of the loop"
+            )
+        if isinstance(stmt, Assign):
+            for path in paths:
+                value = _substitute(stmt.value, path.env)
+                path.env = dict(path.env)
+                path.env[stmt.name] = value
+        elif isinstance(stmt, EmitStmt):
+            for path in paths:
+                value = (
+                    None if stmt.value is None else _substitute(stmt.value, path.env)
+                )
+                path.emissions = path.emissions + [(stmt.name, value)]
+        elif isinstance(stmt, If):
+            new_paths: List[_Path] = []
+            for path in paths:
+                arm_conditions: List[Tuple[Expr, bool]] = []
+                has_else = False
+                for cond, body in stmt.arms:
+                    if cond is None:
+                        has_else = True
+                        branch = _Path(
+                            conditions=path.conditions + list(arm_conditions),
+                            env=dict(path.env),
+                            emissions=list(path.emissions),
+                        )
+                        new_paths.extend(_enumerate_paths(body, branch))
+                    else:
+                        substituted = _substitute(cond, path.env)
+                        branch = _Path(
+                            conditions=path.conditions
+                            + list(arm_conditions)
+                            + [(substituted, True)],
+                            env=dict(path.env),
+                            emissions=list(path.emissions),
+                        )
+                        new_paths.extend(_enumerate_paths(body, branch))
+                        arm_conditions.append((substituted, False))
+                if not has_else:
+                    # Fall through with all conditions false.
+                    new_paths.append(
+                        _Path(
+                            conditions=path.conditions + list(arm_conditions),
+                            env=dict(path.env),
+                            emissions=list(path.emissions),
+                        )
+                    )
+            paths = new_paths
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"unknown statement {stmt!r}")
+    return paths
+
+
+def compile_module(module: Module) -> Cfsm:
+    """Compile a parsed RSL module into a CFSM."""
+    builder = CfsmBuilder(module.name)
+    events = {}
+    for decl in module.inputs:
+        if decl.width is None:
+            events[decl.name] = builder.pure_input(decl.name)
+        else:
+            events[decl.name] = builder.value_input(decl.name, width=decl.width)
+    for decl in module.outputs:
+        if decl.width is None:
+            events[decl.name] = builder.pure_output(decl.name)
+        else:
+            events[decl.name] = builder.value_output(decl.name, width=decl.width)
+    state_vars = {}
+    for decl in module.variables:
+        if decl.name == PC_VAR:
+            raise CompileError(f"variable name {PC_VAR} is reserved")
+        state_vars[decl.name] = builder.state(
+            decl.name, num_values=decl.high + 1, init=decl.init
+        )
+
+    # Split the loop body at top-level awaits.
+    segments: List[Tuple[Await, List[Stmt]]] = []
+    current_await: Optional[Await] = None
+    current_body: List[Stmt] = []
+    leading: List[Stmt] = []
+    for stmt in module.body:
+        if isinstance(stmt, Await):
+            if current_await is not None:
+                segments.append((current_await, current_body))
+            else:
+                leading = current_body
+            current_await = stmt
+            current_body = []
+        else:
+            current_body.append(stmt)
+    if current_await is None:
+        raise CompileError(f"module {module.name}: the loop needs an await")
+    segments.append((current_await, current_body))
+    if leading:
+        # Statements before the first await execute after the last await
+        # completes its cycle — prepend them to the last segment? No: the
+        # loop is cyclic, so code before the first await belongs to the
+        # final segment's tail.
+        await_stmt, body = segments[-1]
+        segments[-1] = (await_stmt, body + leading)
+
+    multi = len(segments) > 1
+    pc = builder.state(PC_VAR, num_values=max(2, len(segments))) if multi else None
+
+    for index, (await_stmt, body) in enumerate(segments):
+        next_index = (index + 1) % len(segments)
+        base = _Path(conditions=[], env={}, emissions=[])
+        paths = _enumerate_paths(body, base)
+        for event_name in await_stmt.events:
+            if event_name not in events:
+                raise CompileError(
+                    f"line {await_stmt.line}: await of undeclared event "
+                    f"{event_name}"
+                )
+            for path in paths:
+                guard: List[TestLiteral] = []
+                if multi:
+                    guard.append(
+                        builder.expr_test(BinOp("==", Var(PC_VAR), Const(index)))
+                    )
+                awaited = builder.present(events[event_name])
+                guard.append(awaited)
+                infeasible = False
+                seen: Dict[Tuple, bool] = {awaited.test.key(): True}
+                for cond, polarity in path.conditions:
+                    cond, polarity = _normalize_condition(cond, polarity)
+                    if isinstance(cond, PresenceExpr):
+                        if cond.event_name not in events:
+                            raise CompileError(
+                                f"present-condition on undeclared event "
+                                f"{cond.event_name}"
+                            )
+                        literal = builder.present(
+                            events[cond.event_name], polarity
+                        )
+                    else:
+                        _reject_nested_presence(cond)
+                        literal = builder.expr_test(cond, polarity)
+                    key = literal.test.key()
+                    if key in seen:
+                        if seen[key] != polarity:
+                            infeasible = True  # contradictory path
+                            break
+                        continue  # duplicate literal
+                    seen[key] = polarity
+                    guard.append(literal)
+                if infeasible:
+                    continue
+                actions: List[Action] = []
+                for name, value in path.env.items():
+                    actions.append(builder.assign(state_vars[name], value))
+                for name, value in path.emissions:
+                    actions.append(builder.emit(events[name], value))
+                if multi:
+                    actions.append(builder.assign(pc, Const(next_index)))
+                builder.transition(
+                    when=guard,
+                    do=actions,
+                    source=f"{module.name}.rsl:{await_stmt.line}",
+                )
+    return builder.build()
+
+
+def _normalize_condition(expr: Expr, polarity: bool) -> Tuple[Expr, bool]:
+    """Strip leading logical negations into the literal polarity."""
+    while isinstance(expr, UnOp) and expr.op == "!":
+        expr = expr.operand
+        polarity = not polarity
+    return expr, polarity
+
+
+def _reject_nested_presence(expr: Expr) -> None:
+    """`present e` may only be a whole condition, not a sub-expression."""
+    children: List[Expr] = []
+    if isinstance(expr, BinOp):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, UnOp):
+        children = [expr.operand]
+    elif isinstance(expr, Cond):
+        children = [expr.cond, expr.then, expr.otherwise]
+    for child in children:
+        if isinstance(child, PresenceExpr):
+            raise CompileError(
+                "present-conditions cannot be combined with data expressions; "
+                "split the if"
+            )
+        _reject_nested_presence(child)
+
+
+def compile_source(source: str) -> Cfsm:
+    """Parse and compile one RSL module."""
+    return compile_module(parse_module(source))

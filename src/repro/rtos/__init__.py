@@ -1,0 +1,32 @@
+"""Automatically generated RTOS (Sec. IV): scheduling, event communication,
+hw/sw interfacing, schedulability analysis, and a timed runtime simulator."""
+
+from .autoconfig import AutoConfigResult, propagate_rates, select_policy
+from .codegen import generate_rtos_c
+from .config import RtosConfig, SchedulingPolicy
+from .runtime import LatencyProbe, RtosRuntime, RunStats, Stimulus
+from .validate import (
+    TaskSpec,
+    edf_schedulable,
+    response_times,
+    rm_schedulable,
+    rm_utilization_bound,
+)
+
+__all__ = [
+    "AutoConfigResult",
+    "propagate_rates",
+    "select_policy",
+    "generate_rtos_c",
+    "RtosConfig",
+    "SchedulingPolicy",
+    "LatencyProbe",
+    "RtosRuntime",
+    "RunStats",
+    "Stimulus",
+    "TaskSpec",
+    "edf_schedulable",
+    "response_times",
+    "rm_schedulable",
+    "rm_utilization_bound",
+]

@@ -1,0 +1,217 @@
+"""Automatic RTOS configuration (the Sec. IV-A extension).
+
+"We expect that eventually it will be possible to automatically select a
+scheduling policy which provably meets all the timing constraints, based on
+the frequency of events in the environment and on the estimated execution
+times of the sw-CFSMs and of the RTOS ([4])."
+
+Given minimum inter-arrival times for the environment events, this module:
+
+1. synthesizes every software CFSM and takes its estimated WCET (plus the
+   RTOS dispatch overhead);
+2. propagates arrival rates through the network (an internal event can be
+   emitted at most once per activation of its producer, so it inherits the
+   producer's activation rate);
+3. builds the periodic-task abstraction and tries policies from cheapest
+   to most capable:
+
+   * **round-robin** — validated by the cyclic-executive bound: the sum of
+     all task WCETs (plus per-task dispatch overhead) must fit within the
+     smallest period/deadline;
+   * **preemptive priority** — rate-monotonic priorities, validated by
+     exact response-time analysis.
+
+Returns the chosen :class:`~repro.rtos.config.RtosConfig` together with the
+analysis evidence, or reports the design unschedulable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cfsm.network import Network
+from ..estimation import CostParams, estimate
+from ..sgraph import synthesize
+from .config import RtosConfig, SchedulingPolicy
+from .validate import TaskSpec, response_times
+
+__all__ = ["AutoConfigResult", "propagate_rates", "select_policy"]
+
+
+@dataclass
+class AutoConfigResult:
+    """Outcome of automatic policy selection."""
+
+    schedulable: bool
+    config: Optional[RtosConfig]
+    policy: Optional[str]
+    tasks: List[TaskSpec] = field(default_factory=list)
+    utilization: float = 0.0
+    response: Dict[str, Optional[int]] = field(default_factory=dict)
+    explanation: str = ""
+
+    def report(self) -> str:
+        lines = [f"automatic RTOS configuration: {self.explanation}"]
+        lines.append(f"  utilization (incl. overhead): {self.utilization:.3f}")
+        for task in self.tasks:
+            r = self.response.get(task.name)
+            lines.append(
+                f"  {task.name:16s} WCET {task.wcet:6d}  period {task.period:8d}"
+                + (f"  response {r}" if r is not None else "")
+            )
+        return "\n".join(lines)
+
+
+def propagate_rates(
+    network: Network, env_rates: Dict[str, int], hw_machines: Optional[set] = None
+) -> Dict[str, int]:
+    """Minimum inter-arrival time of every event in the network.
+
+    Environment rates are given; an internal event is emitted at most once
+    per activation of a producer, and a machine activates whenever any of
+    its inputs occur — so its activation inter-arrival is (pessimistically)
+    the minimum over its inputs, which its outputs inherit.  Iterated to a
+    fixpoint (the network's event graph may be a DAG of any depth).
+    """
+    rates: Dict[str, int] = dict(env_rates)
+    for _ in range(len(network.machines) + 1):
+        changed = False
+        for machine in network.machines:
+            input_rates = [
+                rates[e.name] for e in machine.inputs if e.name in rates
+            ]
+            if not input_rates:
+                continue
+            activation = min(input_rates)
+            for event in machine.outputs:
+                if rates.get(event.name, float("inf")) > activation:
+                    rates[event.name] = activation
+                    changed = True
+        if not changed:
+            return rates
+    return rates
+
+
+def _task_specs(
+    network: Network,
+    rates: Dict[str, int],
+    params: CostParams,
+    config: RtosConfig,
+    deadlines: Optional[Dict[str, int]] = None,
+) -> List[TaskSpec]:
+    deadlines = deadlines or {}
+    tasks = []
+    for machine in network.machines:
+        if machine.name in config.hw_machines:
+            continue
+        result = synthesize(machine)
+        wcet = estimate(result.sgraph, result.reactive.encoding, params).max_cycles
+        wcet += config.dispatch_overhead
+        input_rates = [
+            rates[e.name] for e in machine.inputs if e.name in rates
+        ]
+        if not input_rates:
+            continue  # never activated: no demand
+        period = min(input_rates)
+        tasks.append(
+            TaskSpec(
+                machine.name,
+                wcet,
+                period,
+                deadline=deadlines.get(machine.name),
+            )
+        )
+    return tasks
+
+
+def select_policy(
+    network: Network,
+    env_rates: Dict[str, int],
+    params: CostParams,
+    deadlines: Optional[Dict[str, int]] = None,
+    base_config: Optional[RtosConfig] = None,
+) -> AutoConfigResult:
+    """Choose and validate a scheduling policy for ``network``.
+
+    ``env_rates`` maps environment-input event names to minimum
+    inter-arrival times in target cycles; ``deadlines`` optionally tightens
+    per-machine deadlines below the derived periods.
+    """
+    base = base_config or RtosConfig()
+    rates = propagate_rates(network, env_rates, base.hw_machines)
+    missing = [
+        e.name
+        for e in network.environment_inputs()
+        if e.name not in rates
+    ]
+    if missing:
+        raise ValueError(f"no arrival rate given for environment inputs {missing}")
+    tasks = _task_specs(network, rates, params, base, deadlines)
+    utilization = sum(t.utilization for t in tasks)
+
+    # 1. Round-robin: cyclic-executive style bound.  In the worst case an
+    # event waits for one full scan executing every other task once.
+    total_wcet = sum(t.wcet for t in tasks)
+    tightest = min(t.effective_deadline for t in tasks) if tasks else 0
+    if tasks and total_wcet <= tightest:
+        config = RtosConfig(
+            policy=SchedulingPolicy.ROUND_ROBIN,
+            hw_machines=set(base.hw_machines),
+            polled_events=set(base.polled_events),
+            chains=[list(c) for c in base.chains],
+            dispatch_overhead=base.dispatch_overhead,
+            isr_overhead=base.isr_overhead,
+        )
+        return AutoConfigResult(
+            schedulable=True,
+            config=config,
+            policy=SchedulingPolicy.ROUND_ROBIN,
+            tasks=tasks,
+            utilization=utilization,
+            response={t.name: total_wcet for t in tasks},
+            explanation=(
+                f"round-robin validated: total WCET {total_wcet} fits the "
+                f"tightest deadline {tightest}"
+            ),
+        )
+
+    # 2. Preemptive rate-monotonic priorities with exact response times.
+    response = response_times(tasks)
+    if tasks and all(r is not None for r in response.values()):
+        by_period = sorted(tasks, key=lambda t: t.period)
+        priorities = {t.name: i + 1 for i, t in enumerate(by_period)}
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities=priorities,
+            hw_machines=set(base.hw_machines),
+            polled_events=set(base.polled_events),
+            chains=[list(c) for c in base.chains],
+            dispatch_overhead=base.dispatch_overhead,
+            isr_overhead=base.isr_overhead,
+        )
+        return AutoConfigResult(
+            schedulable=True,
+            config=config,
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            tasks=tasks,
+            utilization=utilization,
+            response=response,
+            explanation=(
+                "preemptive rate-monotonic priorities validated by exact "
+                "response-time analysis"
+            ),
+        )
+
+    return AutoConfigResult(
+        schedulable=False,
+        config=None,
+        policy=None,
+        tasks=tasks,
+        utilization=utilization,
+        response=response if tasks else {},
+        explanation=(
+            "unschedulable: no available policy meets every deadline "
+            f"(utilization {utilization:.2f})"
+        ),
+    )

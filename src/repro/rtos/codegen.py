@@ -1,0 +1,208 @@
+"""Generated-RTOS C emitter (Sec. IV).
+
+Emits the application-specific operating system around the per-CFSM
+reaction functions produced by :mod:`repro.codegen`:
+
+* one flag word per task, one bit per input event ("to every CFSM we assign
+  a set of private flags, one for each input");
+* event emission = setting the appropriate flag bits of every sensitive
+  task ("the emission of an event consists of setting all the appropriate
+  flags and enabling all the appropriate tasks");
+* a scheduler main loop for the chosen policy;
+* ISR bodies for interrupt-delivered hardware events and a polling routine
+  for the polled ones.
+
+Because "since only the necessary functionality is generated, the size of
+the generated RTOS is often much smaller than the size of commercial ones",
+everything is statically tabled — no dynamic task creation, no dynamic
+sensitivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..cfsm.network import Network
+from .config import RtosConfig, SchedulingPolicy
+
+__all__ = ["generate_rtos_c"]
+
+
+def generate_rtos_c(network: Network, config: RtosConfig) -> str:
+    """C source of the generated RTOS skeleton for ``network``."""
+    sw = [m for m in network.machines if m.name not in config.hw_machines]
+    tasks: List[List[str]] = []
+    covered: Set[str] = set()
+    for chain in config.chains:
+        tasks.append(list(chain))
+        covered.update(chain)
+    for m in sw:
+        if m.name not in covered:
+            tasks.append([m.name])
+
+    lines: List[str] = []
+    w = lines.append
+    w("/* Generated RTOS — POLIS-style, application specific. */")
+    w("#include <stdint.h>")
+    w("")
+    w(f"#define N_TASKS {len(tasks)}")
+    w("")
+
+    # Event bit assignment per task.
+    event_bit: Dict[str, Dict[str, int]] = {}
+    for chain in tasks:
+        task_name = "_".join(chain)
+        bits: Dict[str, int] = {}
+        index = 0
+        for mname in chain:
+            for event in network.machine(mname).inputs:
+                if event.name not in bits:
+                    bits[event.name] = index
+                    index += 1
+        event_bit[task_name] = bits
+        w(f"/* task {task_name}: flag bits " + ", ".join(
+            f"{name}=bit{bit}" for name, bit in bits.items()) + " */")
+    w("")
+    w("static volatile uint32_t task_flags[N_TASKS];")
+    w("static volatile uint32_t task_frozen[N_TASKS];")
+    w("static volatile uint32_t task_pending[N_TASKS];")
+    w("/* Edge-triggered enablement (Sec. IV-A): set by an event")
+    w(" * occurrence, cleared when the task executes. */")
+    w("static volatile uint32_t task_enabled[N_TASKS];")
+    # Value buffers may already exist in the concatenated reaction modules.
+    for event in network.events():
+        if event.is_valued:
+            w(f"#ifndef DECLARED_value_{event.name}")
+            w(f"#define DECLARED_value_{event.name}")
+            w(f"static int32_t value_{event.name};")
+            w("#endif")
+    w("")
+
+    # Reaction-function externs.
+    for chain in tasks:
+        for mname in chain:
+            w(f"extern int {mname}_react(void);")
+    w("")
+
+    # Emission routines: one per event with software consumers.
+    for event in network.events():
+        consumers = [
+            m.name
+            for m in network.consumers(event.name)
+            if m.name not in config.hw_machines
+        ]
+        if not consumers:
+            continue
+        arg = "int32_t v" if event.is_valued else "void"
+        w(f"void rtos_emit_{event.name}({arg})")
+        w("{")
+        if event.is_valued:
+            w(f"    value_{event.name} = v;")
+        for task_index, chain in enumerate(tasks):
+            task_name = "_".join(chain)
+            if not any(mname in consumers for mname in chain):
+                continue
+            bit = event_bit[task_name][event.name]
+            w(f"    if (task_frozen[{task_index}]) {{")
+            w(f"        task_pending[{task_index}] |= 1u << {bit}; "
+              f"/* snapshot freezing */")
+            w("    } else {")
+            w(f"        task_flags[{task_index}] |= 1u << {bit};")
+            w(f"        task_enabled[{task_index}] = 1;")
+            w("    }")
+        w("}")
+        w("")
+
+    # ISRs for interrupt-delivered hardware events.
+    env_inputs = [e.name for e in network.environment_inputs()]
+    for name in env_inputs:
+        if name in config.polled_events:
+            continue
+        event = network.event(name)
+        w(f"void isr_{name}(void)")
+        w("{")
+        if event.is_valued:
+            w(f"    rtos_emit_{name}(IO_PORT_{name.upper()});")
+        else:
+            w(f"    rtos_emit_{name}();")
+        if name in config.isr_chained_events:
+            # "The user has the option to specify that for designated
+            # events, all sw-CFSMs sensitive to that event are also to be
+            # executed inside the ISR" (Sec. IV-C).
+            for task_index, chain in enumerate(tasks):
+                if name in event_bit["_".join(chain)]:
+                    w(f"    rtos_run_task({task_index}); "
+                      f"/* critical: run inside ISR */")
+        w("}")
+        w("")
+
+    # Polling routine.
+    if config.polled_events:
+        w("void rtos_poll(void)")
+        w("{")
+        for name in sorted(config.polled_events):
+            event = network.event(name)
+            w(f"    if (IO_BIT_{name.upper()}) {{")
+            if event.is_valued:
+                w(f"        rtos_emit_{name}(IO_PORT_{name.upper()});")
+            else:
+                w(f"        rtos_emit_{name}();")
+            w(f"        IO_BIT_{name.upper()} = 0;")
+            w("    }")
+        w("}")
+        w("")
+
+    # Per-task runner: freeze flags, run reactions, preserve on no-fire.
+    w("void rtos_run_task(int t)")
+    w("{")
+    w("    uint32_t snapshot = task_flags[t];")
+    w("    int fired = 0;")
+    w("    task_frozen[t] = 1;")
+    w("    task_enabled[t] = 0; /* disabled once executed (Sec. IV-A) */")
+    w("    switch (t) {")
+    for task_index, chain in enumerate(tasks):
+        w(f"    case {task_index}:")
+        for mname in chain:
+            w(f"        fired |= {mname}_react();")
+        w("        break;")
+    w("    }")
+    w("    if (fired)")
+    w("        task_flags[t] &= ~snapshot; /* consume detected events */")
+    w("    if (task_pending[t]) {")
+    w("        task_flags[t] |= task_pending[t]; /* frozen arrivals */")
+    w("        task_pending[t] = 0;")
+    w("        task_enabled[t] = 1; /* fresh occurrences re-enable */")
+    w("    }")
+    w("    task_frozen[t] = 0;")
+    w("}")
+    w("")
+
+    # Scheduler loop.
+    w("void rtos_main(void)")
+    w("{")
+    if config.policy == SchedulingPolicy.ROUND_ROBIN:
+        w("    int cursor = 0;")
+        w("    for (;;) {")
+        w("        int i, t;")
+        w("        for (i = 0; i < N_TASKS; i++) {")
+        w("            t = (cursor + i) % N_TASKS;")
+        w("            if (task_enabled[t]) {")
+        w("                rtos_run_task(t);")
+        w("                cursor = (t + 1) % N_TASKS;")
+        w("                break;")
+        w("            }")
+        w("        }")
+        w("    }")
+    else:
+        priorities = []
+        for chain in tasks:
+            priorities.append(min(config.priority_of(n) for n in chain))
+        order = sorted(range(len(tasks)), key=lambda i: priorities[i])
+        w("    /* static priority: tasks scanned highest priority first */")
+        w("    for (;;) {")
+        for task_index in order:
+            w(f"        if (task_enabled[{task_index}]) "
+              f"{{ rtos_run_task({task_index}); continue; }}")
+        w("    }")
+    w("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""RTOS generation configuration.
+
+Mirrors the user-visible choices of Sec. IV: the scheduling policy
+("round-robin, static-priority based, with or without preemption"), task
+chaining ("bypass the RTOS and chain certain executions of CFSMs into a
+single task"), and, per hardware event, polling versus interrupt delivery
+("by default, all events are communicated through interrupts, but a user may
+specify any number of events to be polled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["SchedulingPolicy", "RtosConfig"]
+
+
+class SchedulingPolicy:
+    ROUND_ROBIN = "round-robin"
+    STATIC_PRIORITY = "static-priority"
+    PREEMPTIVE_PRIORITY = "preemptive-priority"
+
+    ALL = (ROUND_ROBIN, STATIC_PRIORITY, PREEMPTIVE_PRIORITY)
+
+
+@dataclass
+class RtosConfig:
+    """Parameters of one generated RTOS instance."""
+
+    policy: str = SchedulingPolicy.ROUND_ROBIN
+    # Machine name -> static priority (lower number = higher priority).
+    priorities: Dict[str, int] = field(default_factory=dict)
+    # Machines implemented in hardware (react instantly, off-CPU).
+    hw_machines: Set[str] = field(default_factory=set)
+    # Event names delivered from hardware by polling instead of interrupts.
+    polled_events: Set[str] = field(default_factory=set)
+    # Events whose ISR also runs all sensitive sw-CFSMs immediately
+    # ("the most critical tasks can be given immediate attention").
+    isr_chained_events: Set[str] = field(default_factory=set)
+    # Groups of sw machines fused into single tasks (executed in order).
+    chains: List[List[str]] = field(default_factory=list)
+
+    # Overheads, in target cycles.
+    dispatch_overhead: int = 40
+    isr_overhead: int = 60
+    polling_routine_cost: int = 25
+    polling_period: int = 2_000
+    hw_reaction_delay: int = 2
+
+    def __post_init__(self) -> None:
+        if self.policy not in SchedulingPolicy.ALL:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; pick one of {SchedulingPolicy.ALL}"
+            )
+
+    def priority_of(self, machine: str) -> int:
+        return self.priorities.get(machine, 100)
+
+    def chain_of(self, machine: str) -> Optional[Tuple[str, ...]]:
+        for chain in self.chains:
+            if machine in chain:
+                return tuple(chain)
+        return None

@@ -1,0 +1,117 @@
+"""ROM/RAM footprint accounting for a synthesized system (Sec. V-B).
+
+The shock-absorber comparison reports "code size of the synthesized
+implementation ... bytes of ROM and bytes of RAM, including the RTOS
+(round-robin scheduler and I/O drivers)".  This module prices:
+
+* **ROM** — the per-CFSM reaction code (measured on the target) plus the
+  generated RTOS: scheduler loop, one emission routine per event with
+  software consumers, ISR stubs, optional polling routine;
+* **RAM** — state variables, the entry copies that make write-before-read
+  safe (the paper notes this buffering dominates its RAM figure), event
+  value buffers, per-task flag words, expression temporaries, and a stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cfsm.network import Network
+from ..target.isa import Program
+from ..target.profiles import ISAProfile
+from .config import RtosConfig
+
+__all__ = ["Footprint", "system_footprint", "generated_rtos_rom"]
+
+
+@dataclass
+class Footprint:
+    rom: int
+    ram: int
+
+    def __str__(self) -> str:
+        return f"ROM={self.rom}B RAM={self.ram}B"
+
+    def __add__(self, other: "Footprint") -> "Footprint":
+        return Footprint(self.rom + other.rom, self.ram + other.ram)
+
+
+# Generated-RTOS sizing model (bytes), in units of the target pointer size.
+_SCHEDULER_BASE = 60          # main loop, task scan
+_PER_TASK_TABLE = 8           # task entry: function pointer, flags addr, prio
+_PER_EMIT_ROUTINE = 24        # flag-set + enable per sensitive task
+_PER_ISR = 18                 # vector + emission call
+_POLLING_ROUTINE = 30         # port scan + conditional emissions
+_STACK_BYTES = 128
+
+
+def generated_rtos_rom(network: Network, config: RtosConfig, profile: ISAProfile) -> int:
+    """ROM bytes of the generated RTOS skeleton."""
+    scale = max(1, profile.pointer_size // 2)
+    sw = [m for m in network.machines if m.name not in config.hw_machines]
+    n_tasks = len(config.chains) + len(
+        [m for m in sw if not config.chain_of(m.name)]
+    )
+    rom = _SCHEDULER_BASE * scale
+    rom += n_tasks * _PER_TASK_TABLE * scale
+    for event in network.events():
+        consumers = [
+            m
+            for m in network.consumers(event.name)
+            if m.name not in config.hw_machines
+        ]
+        if consumers:
+            rom += (_PER_EMIT_ROUTINE + 6 * (len(consumers) - 1)) * scale
+    for event in network.environment_inputs():
+        if event.name not in config.polled_events:
+            rom += _PER_ISR * scale
+    if config.polled_events:
+        rom += (_POLLING_ROUTINE + 8 * len(config.polled_events)) * scale
+    return rom
+
+
+def system_footprint(
+    network: Network,
+    config: RtosConfig,
+    profile: ISAProfile,
+    programs: Dict[str, Program],
+    max_temps: int = 4,
+    copied_counts: Optional[Dict[str, int]] = None,
+) -> Footprint:
+    """Total ROM/RAM of reaction code + generated RTOS for ``network``.
+
+    ``copied_counts`` maps machine names to the number of state variables
+    their code copies on entry (from the data-flow analysis); by default
+    every state variable is assumed copied.
+    """
+    rom = 0
+    ram = _STACK_BYTES
+    int_size = profile.int_size
+    for machine in network.machines:
+        if machine.name in config.hw_machines:
+            continue
+        program = programs[machine.name]
+        if program.total_size is None:
+            program.assemble(profile)
+        rom += int(program.total_size)
+        # State variables + their on-entry copies (the paper's RAM driver).
+        copies = (
+            copied_counts.get(machine.name, len(machine.state_vars))
+            if copied_counts is not None
+            else len(machine.state_vars)
+        )
+        ram += (len(machine.state_vars) + copies) * int_size
+        ram += max_temps * int_size  # expression temporaries
+    # Event buffers: a value slot per valued event, a flag bit per
+    # (task, input event) rounded up to flag words per task.
+    for event in network.events():
+        if event.is_valued:
+            ram += int_size
+    sw = [m for m in network.machines if m.name not in config.hw_machines]
+    n_tasks = len(config.chains) + len(
+        [m for m in sw if not config.chain_of(m.name)]
+    )
+    ram += 3 * 4 * n_tasks  # flags, pending, frozen words
+    rom += generated_rtos_rom(network, config, profile)
+    return Footprint(rom=rom, ram=ram)

@@ -1,0 +1,503 @@
+"""Timed execution of a CFSM network under a generated RTOS.
+
+A discrete-event cosimulation in the spirit of the POLIS simulation
+environment (Sec. III-C, reference [30]): software CFSMs share one CPU under
+the configured scheduling policy, each reaction's duration is the *exact*
+cycle count of the compiled target code for that snapshot, hardware CFSMs
+react off-CPU after a fixed small delay, and hw->sw event delivery goes
+through interrupts or a periodic polling routine.
+
+The runtime enforces the RTOS semantics of Sec. IV:
+
+* a task is *enabled* exactly when one of its input-event flags is set;
+* once a reaction starts reading its flags, later emissions are remembered
+  in a pending set and become visible only after the reaction completes
+  (the interleaving-error example of Sec. IV-D is a regression test);
+* if no transition fires, the detected events are preserved;
+* emitting an event whose flag is already set overwrites it (lost event);
+* with the preemptive policy, a higher-priority task arriving mid-reaction
+  suspends the running one; a reaction's emissions become visible only when
+  it completes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cfsm.machine import Cfsm
+from ..cfsm.network import Network
+from ..cfsm.semantics import react
+from ..target.isa import Program
+from ..target.machine import run_program
+from ..target.profiles import ISAProfile
+from .config import RtosConfig, SchedulingPolicy
+
+__all__ = ["RtosRuntime", "Stimulus", "LatencyProbe", "RunStats"]
+
+
+@dataclass
+class Stimulus:
+    """An environment event injection at an absolute time (in cycles)."""
+
+    time: int
+    event: str
+    value: Optional[int] = None
+
+
+@dataclass
+class LatencyProbe:
+    """Latency from occurrences of event ``source`` to event ``sink``.
+
+    Each sink occurrence is paired with the *most recent* unmatched source
+    occurrence (and older unmatched sources are discarded): a sink responds
+    to the latest stimulus, and sources that produced no reaction — e.g. a
+    command superseded before the actuator could act — must not inflate
+    later measurements.
+    """
+
+    source: str
+    sink: str
+    samples: List[int] = field(default_factory=list)
+    _pending: List[int] = field(default_factory=list)
+
+    def note(self, event: str, time: int) -> None:
+        if event == self.source:
+            self._pending.append(time)
+        if event == self.sink and self._pending:
+            self.samples.append(time - self._pending[-1])
+            self._pending.clear()
+
+    @property
+    def worst(self) -> Optional[int]:
+        return max(self.samples) if self.samples else None
+
+    @property
+    def average(self) -> Optional[float]:
+        return sum(self.samples) / len(self.samples) if self.samples else None
+
+
+@dataclass
+class RunStats:
+    reactions: int = 0
+    null_reactions: int = 0  # executed but no transition fired
+    lost_events: int = 0
+    dispatches: int = 0
+    preemptions: int = 0
+    interrupts: int = 0
+    polls: int = 0
+    busy_cycles: int = 0
+    span: int = 0
+    emissions: Dict[str, int] = field(default_factory=dict)
+
+    def utilization(self) -> float:
+        return self.busy_cycles / self.span if self.span else 0.0
+
+
+class _Task:
+    """One schedulable unit: a chain of one or more sw-CFSMs."""
+
+    def __init__(self, name: str, machines: List[Cfsm], priority: int):
+        self.name = name
+        self.machines = machines
+        self.priority = priority
+        self.flags: Set[str] = set()
+        self.pending: Set[str] = set()
+        self.active = False  # reaction in flight (possibly preempted)
+        # Edge-triggered enablement (Sec. IV-A): set by an event occurrence,
+        # cleared when an execution starts; preserved flags alone do not
+        # keep the task runnable.
+        self.runnable = False
+        self.state: Dict[str, Dict[str, int]] = {
+            m.name: m.initial_state() for m in machines
+        }
+        self.inputs: Set[str] = set()
+        for m in machines:
+            self.inputs |= {e.name for e in m.inputs}
+
+    @property
+    def enabled(self) -> bool:
+        return self.runnable and bool(self.flags) and not self.active
+
+
+@dataclass
+class _Frame:
+    """One (possibly preempted) task activation on the CPU."""
+
+    task: _Task
+    remaining: int
+    emissions: List[Tuple[str, Optional[int]]]
+    started_at: int
+    generation: int
+
+
+class RtosRuntime:
+    """Discrete-event simulator of the synthesized system."""
+
+    def __init__(
+        self,
+        network: Network,
+        config: RtosConfig,
+        profile: Optional[ISAProfile] = None,
+        programs: Optional[Dict[str, Program]] = None,
+        fallback_reaction_cycles: int = 100,
+    ):
+        self.network = network
+        self.config = config
+        self.profile = profile
+        self.programs = programs or {}
+        self.fallback_reaction_cycles = fallback_reaction_cycles
+
+        self.time = 0
+        self.stats = RunStats()
+        self.values: Dict[str, int] = {}
+        self.trace: List[Tuple[int, str, str]] = []
+        self.probes: List[LatencyProbe] = []
+        self.env_log: List[Tuple[int, str, Optional[int]]] = []
+
+        self._tasks: List[_Task] = []
+        self._task_of_machine: Dict[str, _Task] = {}
+        self._build_tasks()
+
+        self._hw = [m for m in network.machines if m.name in config.hw_machines]
+        self._hw_state = {m.name: m.initial_state() for m in self._hw}
+        self._poll_latch: Set[str] = set()
+
+        self._queue: List[Tuple[int, int, str, tuple]] = []
+        self._seq = 0
+        self._stack: List[_Frame] = []  # running (top) + preempted frames
+        self._generation = 0
+        self._rr_cursor = 0
+
+        if config.polled_events:
+            self._push(config.polling_period, "poll", ())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_tasks(self) -> None:
+        chained: Set[str] = set()
+        for chain in self.config.chains:
+            machines = [self.network.machine(name) for name in chain]
+            for m in machines:
+                if m.name in self.config.hw_machines:
+                    raise ValueError(f"cannot chain hardware machine {m.name}")
+            priority = min(self.config.priority_of(n) for n in chain)
+            task = _Task("+".join(chain), machines, priority)
+            self._tasks.append(task)
+            for m in machines:
+                self._task_of_machine[m.name] = task
+                chained.add(m.name)
+        for m in self.network.machines:
+            if m.name in chained or m.name in self.config.hw_machines:
+                continue
+            task = _Task(m.name, [m], self.config.priority_of(m.name))
+            self._tasks.append(task)
+            self._task_of_machine[m.name] = task
+
+    def add_probe(self, source: str, sink: str) -> LatencyProbe:
+        probe = LatencyProbe(source, sink)
+        self.probes.append(probe)
+        return probe
+
+    def schedule_stimuli(self, stimuli: Sequence[Stimulus]) -> None:
+        for s in stimuli:
+            self._push(s.time, "env", (s.event, s.value))
+
+    # ------------------------------------------------------------------
+    # Event queue
+    # ------------------------------------------------------------------
+
+    def _push(self, time: int, kind: str, payload: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, kind, payload))
+
+    # ------------------------------------------------------------------
+    # Emission / delivery
+    # ------------------------------------------------------------------
+
+    def _deliver(
+        self,
+        event: str,
+        value: Optional[int],
+        from_hw: bool,
+        exclude_task: Optional[_Task] = None,
+    ) -> None:
+        for probe in self.probes:
+            probe.note(event, self.time)
+        self.stats.emissions[event] = self.stats.emissions.get(event, 0) + 1
+        if value is not None:
+            self.values[event] = value
+
+        consumers = self.network.consumers(event)
+        if not consumers:
+            self.env_log.append((self.time, event, value))
+            return
+        hw_consumers = [m for m in consumers if m.name in self.config.hw_machines]
+        sw_consumers = [m for m in consumers if m.name not in self.config.hw_machines]
+
+        for machine in hw_consumers:
+            self._push(
+                self.time + self.config.hw_reaction_delay,
+                "hw_react",
+                (machine.name, event),
+            )
+        if not sw_consumers:
+            return
+        if from_hw and event in self.config.polled_events:
+            self._poll_latch.add(event)
+            return
+        if from_hw:
+            self.stats.interrupts += 1
+            self._consume_cpu(self.config.isr_overhead)
+        for machine in sw_consumers:
+            task = self._task_of_machine[machine.name]
+            if task is exclude_task:
+                continue  # already consumed inside the chained task
+            self._set_flag(task, event)
+            if from_hw and event in self.config.isr_chained_events:
+                # Critical event: the sensitive task runs inside the ISR
+                # itself (Sec. IV-C), ahead of whatever was scheduled.
+                self._run_in_isr(task)
+
+    def _set_flag(self, task: _Task, event: str) -> None:
+        if task.active:
+            # Snapshot freezing (Sec. IV-D): remembered for the next run.
+            if event in task.pending:
+                self.stats.lost_events += 1
+            task.pending.add(event)
+        else:
+            if event in task.flags:
+                self.stats.lost_events += 1
+            task.flags.add(event)
+            task.runnable = True  # the occurrence enables the task
+        self._maybe_preempt(task)
+
+    # ------------------------------------------------------------------
+    # CPU model
+    # ------------------------------------------------------------------
+
+    def _consume_cpu(self, cycles: int) -> None:
+        """Charge overhead cycles, delaying whatever is running."""
+        self.stats.busy_cycles += cycles
+        if self._stack:
+            top = self._stack[-1]
+            # Credit the time the frame has already run before extending.
+            elapsed = self.time - top.started_at
+            top.remaining = max(0, top.remaining - elapsed) + cycles
+            self._reschedule_top()
+
+    def _reschedule_top(self) -> None:
+        self._generation += 1
+        top = self._stack[-1]
+        top.generation = self._generation
+        top.started_at = self.time
+        self._push(self.time + top.remaining, "cpu", (self._generation,))
+
+    def _start_task(self, task: _Task) -> None:
+        self.stats.dispatches += 1
+        duration, emissions = self._execute_task(task)
+        duration += self.config.dispatch_overhead
+        self.stats.busy_cycles += duration
+        frame = _Frame(
+            task=task,
+            remaining=duration,
+            emissions=emissions,
+            started_at=self.time,
+            generation=0,
+        )
+        self._stack.append(frame)
+        self.trace.append((self.time, "run", task.name))
+        self._reschedule_top()
+
+    def _maybe_preempt(self, task: _Task) -> None:
+        if self.config.policy != SchedulingPolicy.PREEMPTIVE_PRIORITY:
+            return
+        if not task.enabled or not self._stack:
+            return
+        top = self._stack[-1]
+        if task.priority >= top.task.priority:
+            return
+        # Suspend the running frame and start the higher-priority task.
+        elapsed = self.time - top.started_at
+        top.remaining = max(0, top.remaining - elapsed)
+        self._generation += 1  # invalidate the queued completion
+        self.stats.preemptions += 1
+        self.trace.append((self.time, "preempt", top.task.name))
+        self._start_task(task)
+
+    def _run_in_isr(self, task: _Task) -> None:
+        """Execute a critical task immediately, inside the interrupt."""
+        if not task.enabled:
+            return
+        duration, emissions = self._execute_task(task)
+        self.stats.busy_cycles += duration
+        self._consume_cpu(0)  # resync any suspended frame's clock
+        if self._stack:
+            self._stack[-1].remaining += duration
+            self._reschedule_top()
+        chain_consumed = getattr(task, "chain_consumed", set())
+        for name, value in emissions:
+            exclude = task if name in chain_consumed else None
+            self._deliver(name, value, from_hw=False, exclude_task=exclude)
+        if task.pending:
+            task.flags |= task.pending
+            task.pending = set()
+            task.runnable = True
+        task.active = False
+
+    def _dispatch(self) -> None:
+        while not self._stack:
+            task = self._pick_task()
+            if task is None:
+                return
+            self._start_task(task)
+            return
+
+    def _pick_task(self) -> Optional[_Task]:
+        enabled = [t for t in self._tasks if t.enabled]
+        if not enabled:
+            return None
+        if self.config.policy == SchedulingPolicy.ROUND_ROBIN:
+            order = {t.name: i for i, t in enumerate(self._tasks)}
+            enabled.sort(
+                key=lambda t: (order[t.name] - self._rr_cursor) % len(self._tasks)
+            )
+            chosen = enabled[0]
+            self._rr_cursor = (order[chosen.name] + 1) % len(self._tasks)
+            return chosen
+        enabled.sort(key=lambda t: t.priority)
+        return enabled[0]
+
+    # ------------------------------------------------------------------
+    # Reaction execution
+    # ------------------------------------------------------------------
+
+    def _run_reaction(self, machine: Cfsm, state: Dict[str, int], snapshot: Set[str]):
+        """One reaction; returns (fired, new_state, emissions, cycles)."""
+        program = self.programs.get(machine.name)
+        if program is not None and self.profile is not None:
+            memory: Dict[str, int] = dict(state)
+            for event in machine.inputs:
+                if event.is_valued:
+                    memory[f"V_{event.name}"] = self.values.get(event.name, 0)
+            result = run_program(program, self.profile, memory, snapshot)
+            new_state = {k: memory[k] for k in state}
+            emissions = [(name, value) for name, value in result.emissions]
+            return result.fired, new_state, emissions, result.cycles
+        res = react(machine, state, snapshot, self.values)
+        return (
+            res.fired,
+            res.new_state,
+            [(e.name, v) for e, v in res.emissions],
+            self.fallback_reaction_cycles,
+        )
+
+    def _execute_task(self, task: _Task) -> Tuple[int, List[Tuple[str, Optional[int]]]]:
+        """Compute one activation's effects; returns (cycles, emissions)."""
+        task.active = True
+        task.runnable = False  # disabled once executed (Sec. IV-A)
+        snapshot = set(task.flags)
+        duration = 0
+        emissions_out: List[Tuple[str, Optional[int]]] = []
+        consumed: Set[str] = set()
+        internal: Set[str] = set()
+        internally_consumed: Set[str] = set()
+        for machine in task.machines:
+            inputs = {e.name for e in machine.inputs}
+            machine_snapshot = (snapshot | internal) & inputs
+            if not machine_snapshot:
+                continue
+            fired, new_state, emissions, cycles = self._run_reaction(
+                machine, task.state[machine.name], machine_snapshot
+            )
+            duration += cycles
+            self.stats.reactions += 1
+            if fired:
+                task.state[machine.name] = new_state
+                consumed |= machine_snapshot & snapshot
+                internally_consumed |= machine_snapshot & internal
+                internal -= machine_snapshot
+                for name, value in emissions:
+                    if value is not None:
+                        self.values[name] = value
+                    # Chained delivery: later machines in the same task see
+                    # the event immediately, without RTOS involvement.
+                    if any(
+                        any(e.name == name for e in m.inputs)
+                        for m in task.machines
+                    ):
+                        internal.add(name)
+                    emissions_out.append((name, value))
+            else:
+                self.stats.null_reactions += 1
+        task.flags -= consumed
+        task.chain_consumed = internally_consumed
+        return max(duration, 1), emissions_out
+
+    def _complete_frame(self) -> None:
+        frame = self._stack.pop()
+        task = frame.task
+        # Visible effects happen at completion.  Events already consumed
+        # inside the chained task are not re-delivered to it.
+        chain_consumed = getattr(task, "chain_consumed", set())
+        for name, value in frame.emissions:
+            exclude = task if name in chain_consumed else None
+            self._deliver(name, value, from_hw=False, exclude_task=exclude)
+        if task.pending:
+            # Arrivals during execution are fresh occurrences: re-enable.
+            task.flags |= task.pending
+            task.pending = set()
+            task.runnable = True
+        task.active = False
+        if self._stack:
+            self._reschedule_top()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, until: int) -> RunStats:
+        """Process events until simulated time ``until`` (cycles)."""
+        while self._queue:
+            time, _, kind, payload = self._queue[0]
+            if time > until:
+                break
+            heapq.heappop(self._queue)
+            self.time = max(self.time, time)
+            if kind == "env":
+                event, value = payload
+                self.env_log.append((self.time, f"<-{event}", value))
+                self._deliver(event, value, from_hw=True)
+            elif kind == "hw_react":
+                name, trigger = payload
+                machine = self.network.machine(name)
+                inputs = {e.name for e in machine.inputs}
+                res = react(
+                    machine, self._hw_state[name], {trigger} & inputs, self.values
+                )
+                if res.fired:
+                    self._hw_state[name] = res.new_state
+                    for event, value in res.emissions:
+                        self._deliver(event.name, value, from_hw=True)
+            elif kind == "poll":
+                self.stats.polls += 1
+                self._consume_cpu(self.config.polling_routine_cost)
+                for event in sorted(self._poll_latch):
+                    for machine in self.network.consumers(event):
+                        if machine.name not in self.config.hw_machines:
+                            self._set_flag(self._task_of_machine[machine.name], event)
+                self._poll_latch.clear()
+                self._push(self.time + self.config.polling_period, "poll", ())
+            elif kind == "cpu":
+                (generation,) = payload
+                if self._stack and self._stack[-1].generation == generation:
+                    self._complete_frame()
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown simulation event {kind}")
+            self._dispatch()
+        self.time = max(self.time, until)
+        self.stats.span = max(self.time, 1)
+        return self.stats

@@ -1,0 +1,124 @@
+"""Write-before-read data-flow analysis (the Sec. V-B extension).
+
+"The increase in ROM and RAM size is due mostly to the fact that all
+variables used by an s-graph are copied upon entry in the corresponding
+routine, to provide a safe implementation of the update of their next-state
+values.  We are working on a data flow analysis step that will allow us to
+detect write-before-read cases that require such buffering, and reduce ROM
+and RAM, as well as CPU time, when no such buffering is needed."
+
+This module implements that analysis on the s-graph: a state variable needs
+its entry copy **iff some BEGIN→END path writes it at one vertex and reads
+it at a later vertex** (a write-before-read).  Otherwise every read on every
+path sees the original value and the generated code may read the live
+variable directly.
+
+Reads are attributed per vertex through the encoding:
+
+* a TEST on an opaque expression test reads the state variables in the
+  expression;
+* a TEST (or multiway switch) on a state-variable bit reads that variable;
+* an ASSIGN reads the variables in its action's value expression, and —
+  for non-constant labels — the variables behind every input variable in
+  the label's support;
+* an ASSIGN of a ``AssignState`` action writes its target variable
+  (conservatively, even when the label may evaluate to 0).
+
+Within a single ASSIGN vertex a self-update like ``a := a + 1`` reads
+before it writes, so it alone forces no buffering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..cfsm.machine import AssignState, Emit, ExprTest
+from ..synthesis.encoding import ReactiveEncoding
+from .graph import ASSIGN, SGraph, TEST
+
+__all__ = ["vars_needing_copy", "vertex_reads", "vertex_writes"]
+
+
+def _vars_of_input_var(encoding: ReactiveEncoding, var: int) -> Set[str]:
+    """State variables observed through one encoding input variable."""
+    owner = encoding.state_bit_owner(var)
+    if owner is not None:
+        return {owner[0]}
+    test = encoding.test_of_var(var)
+    if isinstance(test, ExprTest):
+        return {
+            name
+            for name in test.expr.variables()
+            if not name.startswith("?")
+        }
+    return set()
+
+
+def vertex_reads(sg: SGraph, encoding: ReactiveEncoding, vid: int) -> Set[str]:
+    """State variables read by the code generated for one vertex."""
+    vertex = sg.vertex(vid)
+    reads: Set[str] = set()
+    if vertex.kind == TEST:
+        collapsed = getattr(vertex, "collapsed_predicates", None)
+        if collapsed is not None:
+            for pred in collapsed:
+                for var in pred.support():
+                    reads |= _vars_of_input_var(encoding, var)
+        elif vertex.is_switch:
+            reads.add(vertex.switch_state)
+        else:
+            reads |= _vars_of_input_var(encoding, vertex.var)
+        return reads
+    if vertex.kind == ASSIGN:
+        action = encoding.action_of_var(vertex.var)
+        if vertex.label is not None and not vertex.label.is_constant:
+            for var in vertex.label.support():
+                reads |= _vars_of_input_var(encoding, var)
+        value = None
+        if isinstance(action, AssignState):
+            value = action.value
+        elif isinstance(action, Emit):
+            value = action.value
+        if value is not None:
+            reads |= {
+                name for name in value.variables() if not name.startswith("?")
+            }
+        return reads
+    return reads
+
+
+def vertex_writes(sg: SGraph, encoding: ReactiveEncoding, vid: int) -> Set[str]:
+    """State variables (conservatively) written by one vertex."""
+    vertex = sg.vertex(vid)
+    if vertex.kind == ASSIGN:
+        action = encoding.action_of_var(vertex.var)
+        if isinstance(action, AssignState):
+            return {action.var.name}
+    return set()
+
+
+def vars_needing_copy(sg: SGraph, encoding: ReactiveEncoding) -> Set[str]:
+    """State variables with a write-before-read on some s-graph path.
+
+    Returns the subset of the CFSM's state variables whose on-entry copy
+    is required for correctness; the rest may be read live.
+    """
+    reach = sg.reachable()
+    reads: Dict[int, Set[str]] = {}
+    writes: Dict[int, Set[str]] = {}
+    for vid in reach:
+        reads[vid] = vertex_reads(sg, encoding, vid)
+        writes[vid] = vertex_writes(sg, encoding, vid)
+
+    # For each vertex, the set of variables written at some strict
+    # predecessor on a path from BEGIN (propagated along edges).
+    written_before: Dict[int, Set[str]] = {vid: set() for vid in reach}
+    needing: Set[str] = set()
+    for vid in sg.topo_order():
+        incoming = written_before[vid]
+        # A read here of anything already written upstream needs the copy.
+        needing |= incoming & reads[vid]
+        outgoing = incoming | writes[vid]
+        for child in sg.vertex(vid).children:
+            written_before[child] = written_before[child] | outgoing
+    return needing

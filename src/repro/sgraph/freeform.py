@@ -1,0 +1,142 @@
+"""Free-ordering s-graph construction (the Sec. VI extension).
+
+"The current code size minimization algorithm uses a single order for
+variables along all s-graph paths.  While this is required in BDDs in order
+to ensure canonicity of representation, it is not clear whether it helps in
+the software synthesis case.  We are thus planning to explore unordered
+variants of decision diagrams for our software optimization [29]."
+
+This module implements that exploration: a *free* (per-path-ordered)
+s-graph builder.  At every node the builder chooses which input variable to
+test next by a greedy cofactor-size heuristic — different paths may test
+variables in different orders, like Meinel's branching programs [29] and
+unlike a BDD.  Output variables are assigned as soon as the characteristic
+function determines them, so the paper's output-after-support discipline
+holds by construction.
+
+Sharing is preserved: the construction memoizes on the (canonical,
+ordered-BDD) characteristic-function node reached, so identical residual
+functions share one subgraph no matter how the paths got there.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd import Function
+from ..synthesis.reactive import ReactiveFunction
+from .build import reduce_sgraph
+from .graph import SGraph
+
+__all__ = ["build_free_sgraph", "free_synthesize"]
+
+
+def _greedy_pick(chi: Function, candidates: List[int]) -> int:
+    """Input variable minimizing the summed cofactor sizes.
+
+    The classic greedy heuristic for free-ordered branching programs: the
+    best test is the one whose two residual problems are jointly smallest
+    (ties broken toward balanced splits, then variable id for determinism).
+    """
+    best = None
+    best_key = None
+    for var in candidates:
+        lo, hi = chi.cofactors(var)
+        total = lo.size() + hi.size()
+        balance = abs(lo.size() - hi.size())
+        key = (total, balance, var)
+        if best_key is None or key < best_key:
+            best, best_key = var, key
+    assert best is not None
+    return best
+
+
+def build_free_sgraph(
+    rf: ReactiveFunction,
+    name: Optional[str] = None,
+) -> SGraph:
+    """Build an s-graph with a per-path (free) test ordering.
+
+    Produces a graph in the paper's ordering class (i) — all decisions are
+    TESTs, ASSIGN labels are constants — but without a global variable
+    order; zero-assignments are pruned as in the standard pipeline.
+    """
+    manager = rf.manager
+    outputs = set(rf.output_vars)
+    inputs = set(rf.input_vars)
+    sg = SGraph(rf.input_vars, rf.output_vars, name=name or f"{rf.cfsm.name}_free")
+    memo: Dict[int, int] = {}
+
+    def settle_outputs(chi: Function) -> Tuple[Function, List[int]]:
+        """Strip determined/free outputs; return residual chi + 1-assigns."""
+        assigns: List[int] = []
+        changed = True
+        while changed:
+            changed = False
+            for var in sorted(chi.support() & outputs):
+                c0, c1 = chi.cofactors(var)
+                if c0.id == c1.id:
+                    chi = c0  # free output: cheapest option, no assignment
+                    changed = True
+                elif c0.is_false:
+                    assigns.append(var)  # forced to 1
+                    chi = c1
+                    changed = True
+                elif c1.is_false:
+                    chi = c0  # forced to 0: pruned zero-assign
+                    changed = True
+        return chi, assigns
+
+    def rec(chi: Function) -> int:
+        if chi.is_false or chi.is_true:
+            return sg.end
+        cached = memo.get(chi.id)
+        if cached is not None:
+            return cached
+        residual, forced = settle_outputs(chi)
+        if residual.id != chi.id:
+            tail = rec(residual)
+            vid = tail
+            for var in reversed(forced):
+                vid = sg.add_assign(var, manager.true, vid)
+            memo[chi.id] = vid
+            return vid
+        candidates = sorted(chi.support() & inputs)
+        if not candidates:
+            # Only undetermined outputs left: all don't-cares, resolved to 0.
+            memo[chi.id] = sg.end
+            return sg.end
+        var = _greedy_pick(chi, candidates)
+        lo, hi = chi.cofactors(var)
+        lo_vid = rec(lo)
+        hi_vid = rec(hi)
+        if lo_vid == hi_vid and not (lo.is_false or hi.is_false):
+            vid = lo_vid
+        else:
+            vid = sg.add_test(
+                var, [lo_vid, hi_vid], infeasible=[lo.is_false, hi.is_false]
+            )
+        memo[chi.id] = vid
+        return vid
+
+    root = rec(rf.chi)
+    sg.set_begin(root)
+    reduce_sgraph(sg)
+    return sg
+
+
+def free_synthesize(rf: ReactiveFunction, sift_first: bool = True):
+    """Convenience: sift (for a good canonical chi), then build free.
+
+    Returns a :class:`~repro.sgraph.SynthesisResult`-compatible object via
+    the standard dataclass.
+    """
+    from . import SynthesisResult
+    from .build import default_order
+
+    if sift_first:
+        rf.sift()
+    sg = build_free_sgraph(rf)
+    return SynthesisResult(
+        reactive=rf, sgraph=sg, order=default_order(rf), scheme="free"
+    )

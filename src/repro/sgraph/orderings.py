@@ -1,0 +1,94 @@
+"""The variable-ordering schemes of Sec. III-B3.
+
+Three classes of orderings shape the s-graph:
+
+(i)   each output after its support — "all the decision computation is done
+      by TESTs; ASSIGN nodes are labeled only with actions";
+(ii)  each output before its support — "an s-graph without TEST nodes",
+      everything computed in ASSIGN expression labels (the ESTEREL-style
+      Boolean-circuit flavour);
+(iii) anything else — a mix of TEST and ASSIGN computation.
+
+The entry points here *reorder the manager in place* and return the order to
+feed :func:`repro.sgraph.build.build_sgraph`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..bdd import apply_order
+from ..synthesis.reactive import ReactiveFunction
+from .build import default_order
+
+__all__ = [
+    "naive_order",
+    "sifted_order",
+    "outputs_first_order",
+    "mixed_order",
+]
+
+
+def naive_order(rf: ReactiveFunction) -> List[int]:
+    """Declaration order, all outputs after all inputs, no reordering.
+
+    This is the paper's untuned starting point (the first row of Table II).
+    """
+    order = list(rf.input_vars) + list(rf.output_vars)
+    apply_order(rf.manager, _complete(rf, order))
+    return order
+
+
+def sifted_order(rf: ReactiveFunction, strict: bool = False) -> List[int]:
+    """Dynamic reordering by sifting (scheme (i)).
+
+    ``strict=True`` keeps all outputs after all inputs; ``strict=False``
+    relaxes to each output after its own support, "forcing each output to
+    appear only after its own support" — the second Table II variant, which
+    shares subgraphs better.
+    """
+    naive_order(rf)  # deterministic starting point
+    rf.sift(strict=strict)
+    return default_order(rf)
+
+
+def outputs_first_order(rf: ReactiveFunction) -> List[int]:
+    """Scheme (ii): all outputs before all inputs -> TEST-free s-graph.
+
+    "The s-graph obtained in this way has no TEST vertices.  Hence, all its
+    executions take exactly the same time" — the constant-time style whose
+    size the paper finds uncompetitive (ESTEREL_OPT row of Table III).
+    """
+    order = list(rf.output_vars) + list(rf.input_vars)
+    apply_order(rf.manager, _complete(rf, order))
+    return order
+
+
+def mixed_order(rf: ReactiveFunction, seed: int = 0) -> List[int]:
+    """Scheme (iii): a reproducible random interleaving respecting supports.
+
+    Outputs are inserted at random positions after their support — used by
+    the property-based tests to exercise the generic build procedure.
+    """
+    rng = random.Random(seed)
+    manager = rf.manager
+    inputs = list(rf.input_vars)
+    rng.shuffle(inputs)
+    positions = {var: i for i, var in enumerate(inputs)}
+    order = list(inputs)
+    for out in rf.output_vars:
+        support = manager.support(rf.conditions_by_var(out))
+        floor = max((positions[v] for v in support if v in positions), default=-1)
+        index = rng.randint(floor + 1, len(order))
+        order.insert(index, out)
+        positions = {var: i for i, var in enumerate(order)}
+    apply_order(manager, _complete(rf, order))
+    return order
+
+
+def _complete(rf: ReactiveFunction, order: List[int]) -> List[int]:
+    """Extend a reactive-variable order to all manager variables."""
+    mine = set(order)
+    rest = [v for v in range(rf.manager.num_vars) if v not in mine]
+    return order + rest

@@ -1,0 +1,144 @@
+"""Constraint-driven implementation selection (the Sec. VI extension).
+
+"In the future we plan to exploit the cost-estimation procedure to perform
+global optimizations aimed at satisfying timing and size constraints, with
+a much finer tuning than is currently possible."
+
+This module implements that loop for a single CFSM: synthesize a portfolio
+of implementations —
+
+* the sifted decision graph, with and without multiway switches (the
+  size/speed trade of jump tables);
+* the free-ordered decision graph (smallest code);
+* the outputs-first ASSIGN chain (constant execution time — "absolute
+  exactness in execution time prediction is a key for safe operation");
+
+— estimate each with the calibrated parameters, discard the ones violating
+the constraints (code size, worst-case cycles, and execution-time *jitter*,
+max - min), and return the best feasible implementation under the stated
+preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cfsm.machine import Cfsm
+from ..estimation.estimate import Estimate, estimate
+from ..estimation.params import CostParams
+from ..synthesis import synthesize_reactive
+from . import SynthesisResult, synthesize
+from .freeform import free_synthesize
+
+__all__ = ["Candidate", "TradeoffResult", "synthesize_under_constraints"]
+
+
+@dataclass
+class Candidate:
+    """One synthesized implementation with its estimated costs."""
+
+    name: str
+    result: SynthesisResult
+    est: Estimate
+
+    @property
+    def jitter(self) -> int:
+        return self.est.max_cycles - self.est.min_cycles
+
+
+@dataclass
+class TradeoffResult:
+    """Outcome of constraint-driven selection."""
+
+    feasible: bool
+    chosen: Optional[Candidate]
+    candidates: List[Candidate] = field(default_factory=list)
+    explanation: str = ""
+
+    def report(self) -> str:
+        lines = [f"implementation selection: {self.explanation}"]
+        for cand in self.candidates:
+            marker = "->" if self.chosen is cand else "  "
+            lines.append(
+                f" {marker} {cand.name:16s} {cand.est}  jitter={cand.jitter}"
+            )
+        return "\n".join(lines)
+
+
+def _portfolio(cfsm: Cfsm, params: CostParams) -> List[Candidate]:
+    candidates: List[Candidate] = []
+
+    def add(name: str, result: SynthesisResult) -> None:
+        est = estimate(
+            result.sgraph,
+            result.reactive.encoding,
+            params,
+            copy_vars=result.copy_vars,
+        )
+        candidates.append(Candidate(name, result, est))
+
+    add("sift+switch", synthesize(cfsm, scheme="sift", multiway=True,
+                                  copy_elimination=True))
+    add("sift", synthesize(cfsm, scheme="sift", multiway=False,
+                           copy_elimination=True))
+    add("free", free_synthesize(synthesize_reactive(cfsm)))
+    add("assign-chain", synthesize(cfsm, scheme="outputs-first",
+                                   copy_elimination=True))
+    return candidates
+
+
+def synthesize_under_constraints(
+    cfsm: Cfsm,
+    params: CostParams,
+    max_size: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    max_jitter: Optional[int] = None,
+    prefer: str = "size",
+) -> TradeoffResult:
+    """Pick the best implementation of ``cfsm`` under cost constraints.
+
+    ``prefer`` is ``"size"`` or ``"speed"`` and breaks ties among feasible
+    candidates.  Returns an infeasible result (with the closest candidate
+    still attached) when no implementation satisfies every constraint.
+    """
+    if prefer not in ("size", "speed"):
+        raise ValueError("prefer must be 'size' or 'speed'")
+    candidates = _portfolio(cfsm, params)
+
+    def violation(cand: Candidate) -> float:
+        v = 0.0
+        if max_size is not None and cand.est.code_size > max_size:
+            v += (cand.est.code_size - max_size) / max_size
+        if max_cycles is not None and cand.est.max_cycles > max_cycles:
+            v += (cand.est.max_cycles - max_cycles) / max_cycles
+        if max_jitter is not None and cand.jitter > max_jitter:
+            v += (cand.jitter - max_jitter) / max(1, max_jitter)
+        return v
+
+    feasible = [cand for cand in candidates if violation(cand) == 0.0]
+    if feasible:
+        if prefer == "size":
+            key = lambda c: (c.est.code_size, c.est.max_cycles)
+        else:
+            key = lambda c: (c.est.max_cycles, c.est.code_size)
+        chosen = min(feasible, key=key)
+        return TradeoffResult(
+            feasible=True,
+            chosen=chosen,
+            candidates=candidates,
+            explanation=(
+                f"{chosen.name} chosen among {len(feasible)} feasible "
+                f"candidates (prefer {prefer})"
+            ),
+        )
+    closest = min(candidates, key=violation)
+    return TradeoffResult(
+        feasible=False,
+        chosen=closest,
+        candidates=candidates,
+        explanation=(
+            f"no candidate satisfies the constraints; closest is "
+            f"{closest.name}"
+        ),
+    )

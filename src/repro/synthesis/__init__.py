@@ -1,0 +1,11 @@
+"""CFSM -> reactive-function lowering (encoding + characteristic BDD)."""
+
+from .encoding import ReactiveEncoding
+from .reactive import ConsistencyError, ReactiveFunction, synthesize_reactive
+
+__all__ = [
+    "ReactiveEncoding",
+    "ReactiveFunction",
+    "ConsistencyError",
+    "synthesize_reactive",
+]

@@ -1,0 +1,6 @@
+"""Formal analysis of CFSMs: reachability and invariant checking
+(the verification side of the FSM story, Sec. I-G)."""
+
+from .reachability import Counterexample, ReachabilityAnalysis, check_invariant
+
+__all__ = ["Counterexample", "ReachabilityAnalysis", "check_invariant"]

@@ -1,0 +1,174 @@
+"""Behavioral tests of the dashboard controller modules."""
+
+import pytest
+
+from repro.cfsm import NetworkSimulator, react
+
+
+@pytest.fixture(scope="module")
+def machines(dashboard_net):
+    return {m.name: m for m in dashboard_net.machines}
+
+
+class TestWheelFilter:
+    def test_divides_by_four(self, machines):
+        m = machines["wheel_filter"]
+        state = m.initial_state()
+        ticks = 0
+        for _ in range(16):
+            res = react(m, state, {"wpulse"})
+            state = res.new_state
+            ticks += "wtick" in res.emitted_names
+        assert ticks == 4
+
+
+class TestSpeedo:
+    def test_counts_then_reports(self, machines):
+        m = machines["speedo"]
+        state = m.initial_state()
+        for _ in range(5):
+            state = react(m, state, {"wtick"}).new_state
+        res = react(m, state, {"stimer"})
+        assert res.emissions[0][1] == 20  # count * 4
+        assert res.new_state["count"] == 0
+
+    def test_count_saturates(self, machines):
+        m = machines["speedo"]
+        state = {"count": 63}
+        res = react(m, state, {"wtick"})
+        assert res.new_state["count"] == 63
+
+    def test_timer_wins_when_both_present(self, machines):
+        m = machines["speedo"]
+        res = react(m, {"count": 3}, {"stimer", "wtick"})
+        assert res.emissions[0][1] == 12
+        assert res.new_state["count"] == 0
+
+
+class TestOdometer:
+    def test_rollover_emits_increment(self, machines):
+        m = machines["odometer"]
+        state = m.initial_state()
+        emitted = 0
+        for _ in range(250):
+            res = react(m, state, {"wtick"})
+            state = res.new_state
+            emitted += "odo" in res.emitted_names
+        assert emitted == 2  # every 100 ticks
+
+
+class TestGauges:
+    def test_speed_gauge_slew_limited_up(self, machines):
+        m = machines["speed_gauge"]
+        res = react(m, {"pos": 0}, {"speed"}, {"speed": 100})
+        assert res.new_state["pos"] == 8  # limited to +8 per update
+        assert res.emissions[0][1] == 8
+
+    def test_speed_gauge_slew_limited_down(self, machines):
+        m = machines["speed_gauge"]
+        res = react(m, {"pos": 100}, {"speed"}, {"speed": 0})
+        assert res.new_state["pos"] == 92
+
+    def test_speed_gauge_tracks_when_close(self, machines):
+        m = machines["speed_gauge"]
+        res = react(m, {"pos": 50}, {"speed"}, {"speed": 53})
+        assert res.new_state["pos"] == 53
+
+    def test_fuel_gauge_converges(self, machines):
+        m = machines["fuel_gauge"]
+        state = m.initial_state()
+        for _ in range(40):
+            state = react(m, state, {"fsample"}, {"fsample": 200}).new_state
+        assert abs(state["level"] - 200) <= 4  # IIR settles near the input
+
+
+class TestBeltAlarm:
+    def _step(self, m, state, present):
+        res = react(m, state, present)
+        return res.new_state, res.emitted_names
+
+    def test_alarm_after_five_seconds_unbelted(self, machines):
+        m = machines["belt_alarm"]
+        state = m.initial_state()
+        state, out = self._step(m, state, {"key_on"})
+        assert out == set()
+        for _ in range(4):
+            state, out = self._step(m, state, {"sec"})
+            assert out == set()
+        state, out = self._step(m, state, {"sec"})  # fifth second
+        assert out == {"alarm_start"}
+
+    def test_belt_fastened_stops_alarm(self, machines):
+        m = machines["belt_alarm"]
+        state = m.initial_state()
+        state, _ = self._step(m, state, {"key_on"})
+        for _ in range(5):
+            state, out = self._step(m, state, {"sec"})
+        assert out == {"alarm_start"}
+        state, out = self._step(m, state, {"belt_on"})
+        assert out == {"alarm_stop"}
+
+    def test_belt_before_timeout_prevents_alarm(self, machines):
+        m = machines["belt_alarm"]
+        state = m.initial_state()
+        state, _ = self._step(m, state, {"key_on"})
+        state, _ = self._step(m, state, {"sec"})
+        state, out = self._step(m, state, {"belt_on"})
+        assert out == set()
+        for _ in range(10):
+            state, out = self._step(m, state, {"sec"})
+            assert out == set()
+
+    def test_alarm_times_out_after_ten_seconds(self, machines):
+        m = machines["belt_alarm"]
+        state = m.initial_state()
+        state, _ = self._step(m, state, {"key_on"})
+        for _ in range(5):
+            state, out = self._step(m, state, {"sec"})
+        assert out == {"alarm_start"}
+        for _ in range(9):
+            state, out = self._step(m, state, {"sec"})
+            assert out == set()
+        state, out = self._step(m, state, {"sec"})  # tenth alarm second
+        assert out == {"alarm_stop"}
+
+    def test_key_off_stops_alarm(self, machines):
+        m = machines["belt_alarm"]
+        state = m.initial_state()
+        state, _ = self._step(m, state, {"key_on"})
+        for _ in range(5):
+            state, out = self._step(m, state, {"sec"})
+        state, out = self._step(m, state, {"key_off"})
+        assert out == {"alarm_stop"}
+
+
+class TestNetworkWiring:
+    def test_sensor_to_gauge_chain(self, dashboard_net):
+        sim = NetworkSimulator(dashboard_net)
+        # 20 wheel pulses -> 5 wticks; timer tick reports speed 20 -> gauge.
+        for _ in range(20):
+            sim.inject("wpulse")
+            sim.run_until_quiescent()
+        sim.inject("stimer")
+        sim.run_until_quiescent()
+        out = dict()
+        for name, value in sim.drain_environment():
+            out.setdefault(name, []).append(value)
+        assert out["sduty"][-1] == 8  # slew-limited first step toward 20
+
+    def test_engine_chain(self, dashboard_net):
+        sim = NetworkSimulator(dashboard_net)
+        for _ in range(10):
+            sim.inject("epulse")
+            sim.run_until_quiescent()
+        sim.inject("etimer")
+        sim.run_until_quiescent()
+        outs = [name for name, _ in sim.drain_environment()]
+        assert "rduty" in outs
+
+    def test_independent_subsystems_do_not_interfere(self, dashboard_net):
+        sim = NetworkSimulator(dashboard_net)
+        sim.inject("fsample", 100)
+        sim.run_until_quiescent()
+        outs = {name for name, _ in sim.drain_environment()}
+        assert outs == {"fduty"}

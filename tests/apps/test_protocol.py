@@ -1,0 +1,200 @@
+"""Tests for the alternating-bit protocol application."""
+
+import random
+
+import pytest
+
+from repro.apps import abp_network
+from repro.cfsm import NetworkSimulator
+
+
+class AbpDriver:
+    """Test harness around the simulator with explicit loss control."""
+
+    def __init__(self, seed=None):
+        self.net = abp_network()
+        self.sim = NetworkSimulator(self.net, seed=seed)
+        self.delivered = []
+        self.completed = 0
+
+    def _drain(self):
+        for name, value in self.sim.drain_environment():
+            if name == "deliver":
+                self.delivered.append(value)
+            elif name == "sdone":
+                self.completed += 1
+
+    def submit(self, payload, drop_frame=False, drop_ack=False):
+        if drop_frame:
+            self.sim.inject("dropf")
+        if drop_ack:
+            self.sim.inject("dropa")
+        self.sim.inject("send_req", payload)
+        self.sim.run_until_quiescent()
+        self._drain()
+
+    def timeout(self, drop_frame=False, drop_ack=False):
+        if drop_frame:
+            self.sim.inject("dropf")
+        if drop_ack:
+            self.sim.inject("dropa")
+        self.sim.inject("timeout")
+        self.sim.run_until_quiescent()
+        self._drain()
+
+
+class TestHappyPath:
+    def test_single_message(self):
+        abp = AbpDriver()
+        abp.submit(42)
+        assert abp.delivered == [42]
+        assert abp.completed == 1
+
+    def test_sequence_of_messages(self):
+        abp = AbpDriver()
+        for payload in (1, 2, 3, 200, 255):
+            abp.submit(payload)
+        assert abp.delivered == [1, 2, 3, 200, 255]
+        assert abp.completed == 5
+
+    def test_send_while_busy_ignored(self):
+        abp = AbpDriver()
+        abp.submit(10, drop_frame=True)  # in flight, unacked
+        abp.submit(20)  # sender busy: must be ignored
+        abp.timeout()  # retransmit 10
+        assert abp.delivered == [10]
+        assert abp.completed == 1
+
+
+class TestFrameLoss:
+    def test_retransmission_recovers(self):
+        abp = AbpDriver()
+        abp.submit(99, drop_frame=True)
+        assert abp.delivered == []
+        abp.timeout()
+        assert abp.delivered == [99]
+        assert abp.completed == 1
+
+    def test_multiple_losses_need_multiple_timeouts(self):
+        abp = AbpDriver()
+        abp.submit(5, drop_frame=True)
+        abp.timeout(drop_frame=True)
+        abp.timeout(drop_frame=True)
+        assert abp.delivered == []
+        abp.timeout()
+        assert abp.delivered == [5]
+
+
+class TestAckLoss:
+    def test_duplicate_frame_not_redelivered(self):
+        abp = AbpDriver()
+        abp.submit(7, drop_ack=True)
+        assert abp.delivered == [7]  # receiver got it
+        assert abp.completed == 0  # sender still waiting
+        abp.timeout()  # duplicate frame -> re-ack, no re-delivery
+        assert abp.delivered == [7]
+        assert abp.completed == 1
+
+    def test_protocol_continues_after_ack_loss(self):
+        abp = AbpDriver()
+        abp.submit(1, drop_ack=True)
+        abp.timeout()
+        abp.submit(2)
+        assert abp.delivered == [1, 2]
+        assert abp.completed == 2
+
+
+class TestAdversary:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_loss_pattern_preserves_fifo_exactly_once(self, seed):
+        """Any loss pattern: delivery is exactly-once, in order."""
+        rng = random.Random(seed)
+        abp = AbpDriver()
+        sent = []
+        for payload in rng.sample(range(256), 12):
+            sent.append(payload)
+            abp.submit(
+                payload,
+                drop_frame=rng.random() < 0.4,
+                drop_ack=rng.random() < 0.3,
+            )
+            # Pump timeouts (with further random losses) until acked.
+            for _ in range(20):
+                if abp.completed == len(sent):
+                    break
+                abp.timeout(
+                    drop_frame=rng.random() < 0.3,
+                    drop_ack=rng.random() < 0.3,
+                )
+            assert abp.completed == len(sent), "protocol wedged"
+        assert abp.delivered == sent
+        assert abp.completed == len(sent)
+
+
+class TestSynthesis:
+    def test_all_modules_synthesize_and_match_reference(self):
+        import random as _random
+
+        from repro.cfsm import react
+        from repro.sgraph import synthesize
+        from repro.target import K11, compile_sgraph, run_reaction
+
+        rng = _random.Random(4)
+        for machine in abp_network().machines:
+            result = synthesize(machine)
+            program = compile_sgraph(result, K11)
+            pure = [e.name for e in machine.inputs if e.is_pure]
+            valued = [e for e in machine.inputs if e.is_valued]
+            for _ in range(50):
+                state = {
+                    v.name: rng.randrange(v.num_values)
+                    for v in machine.state_vars
+                }
+                present = {
+                    n for n in pure + [e.name for e in valued]
+                    if rng.random() < 0.5
+                }
+                values = {
+                    e.name: rng.randrange(1 << min(e.width, 8)) for e in valued
+                }
+                expected = react(machine, state, present, values)
+                outcome = run_reaction(
+                    program, K11, machine, dict(state), present, values
+                )
+                assert outcome.fired == expected.fired
+                assert outcome.emitted_names() == expected.emitted_names
+                assert {k: outcome.memory[k] for k in state} == expected.new_state
+
+    def test_sender_invariants(self):
+        from repro.verify import ReachabilityAnalysis
+
+        sender = abp_network().machine("abp_sender")
+        analysis = ReachabilityAnalysis(sender, value_enum_limit=8)
+        assert analysis.check_invariant(
+            lambda s: s["sbit"] in (0, 1) and s["busy"] in (0, 1)
+        ) is None
+
+
+class TestRtosCosimulation:
+    def test_end_to_end_under_rtos(self):
+        from repro.rtos import RtosConfig, RtosRuntime, Stimulus
+        from repro.sgraph import synthesize
+        from repro.target import K11, compile_sgraph
+
+        net = abp_network()
+        programs = {
+            m.name: compile_sgraph(synthesize(m), K11) for m in net.machines
+        }
+        rt = RtosRuntime(net, RtosConfig(), profile=K11, programs=programs)
+        stimuli = []
+        t = 1_000
+        for i, payload in enumerate((11, 22, 33)):
+            stimuli.append(Stimulus(t, "send_req", payload))
+            t += 20_000
+        # One frame loss for the second message plus its recovery timeout.
+        stimuli.append(Stimulus(21_000 - 200, "dropf"))
+        stimuli.append(Stimulus(28_000, "timeout"))
+        rt.schedule_stimuli(stimuli)
+        stats = rt.run(until=t + 50_000)
+        assert stats.emissions.get("deliver", 0) == 3
+        assert stats.emissions.get("sdone", 0) == 3

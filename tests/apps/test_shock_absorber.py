@@ -1,0 +1,185 @@
+"""Behavioral tests of the shock-absorber controller."""
+
+import pytest
+
+from repro.cfsm import NetworkSimulator, react
+from repro.rtos import RtosConfig, RtosRuntime, Stimulus
+from repro.sgraph import synthesize
+from repro.target import K11, compile_sgraph
+
+
+@pytest.fixture(scope="module")
+def machines(shock_net):
+    return {m.name: m for m in shock_net.machines}
+
+
+class TestAccelFilter:
+    def test_smoothing_converges(self, machines):
+        m = machines["accel_filter"]
+        state = m.initial_state()
+        for _ in range(40):
+            state = react(m, state, {"asample"}, {"asample": 250}).new_state
+        assert state["smooth"] >= 245
+
+    def test_every_sample_produces_output(self, machines):
+        m = machines["accel_filter"]
+        res = react(m, m.initial_state(), {"asample"}, {"asample": 130})
+        assert res.emitted_names == {"acc"}
+
+
+class TestRoadClassifier:
+    def _feed(self, m, state, acc, n=1):
+        emitted = []
+        for _ in range(n):
+            res = react(m, state, {"acc"}, {"acc": acc})
+            state = res.new_state
+            emitted += [(e.name, v) for e, v in res.emissions]
+        return state, emitted
+
+    def test_rough_road_raises_class(self, machines):
+        m = machines["road_classifier"]
+        state = m.initial_state()
+        state, emitted = self._feed(m, state, 255, n=30)
+        classes = [v for name, v in emitted if name == "road"]
+        assert classes and classes[-1] == 3
+
+    def test_smooth_road_stays_class_zero(self, machines):
+        m = machines["road_classifier"]
+        state = m.initial_state()
+        state, emitted = self._feed(m, state, 128, n=20)
+        assert not emitted  # never leaves class 0: no change events
+
+    def test_class_emitted_only_on_change(self, machines):
+        m = machines["road_classifier"]
+        state = m.initial_state()
+        state, emitted = self._feed(m, state, 255, n=40)
+        classes = [v for name, v in emitted if name == "road"]
+        assert len(classes) == len(set(classes))  # monotone, no repeats
+
+
+class TestDampingLogic:
+    def test_sport_selector_forces_mode_3(self, machines):
+        m = machines["damping_logic"]
+        res = react(m, m.initial_state(), {"sel"}, {"sel": 3})
+        assert ("mode", 3) in [(e.name, v) for e, v in res.emissions]
+
+    def test_rough_road_forces_firm(self, machines):
+        m = machines["damping_logic"]
+        res = react(m, m.initial_state(), {"road"}, {"road": 3})
+        assert ("mode", 2) in [(e.name, v) for e, v in res.emissions]
+
+    def test_high_speed_forces_firm(self, machines):
+        m = machines["damping_logic"]
+        res = react(m, m.initial_state(), {"speed"}, {"speed": 150})
+        assert ("mode", 2) in [(e.name, v) for e, v in res.emissions]
+
+    def test_calm_conditions_soften(self, machines):
+        m = machines["damping_logic"]
+        state = dict(m.initial_state())
+        state.update({"r": 0, "v": 10, "s": 0, "m": 2})
+        res = react(m, state, {"speed"}, {"speed": 10})
+        assert ("mode", 0) in [(e.name, v) for e, v in res.emissions]
+
+    def test_no_event_on_unchanged_mode(self, machines):
+        m = machines["damping_logic"]
+        state = dict(m.initial_state())
+        state.update({"m": 2, "r": 3})
+        res = react(m, state, {"road"}, {"road": 3})
+        assert res.emissions == []
+
+
+class TestActuator:
+    def test_mode_change_drives_solenoid(self, machines):
+        m = machines["actuator"]
+        res = react(m, m.initial_state(), {"mode"}, {"mode": 2})
+        assert [(e.name, v) for e, v in res.emissions] == [("sol", 2)]
+        assert res.new_state["busy"] == 1
+
+    def test_busy_actuator_defers_commands(self, machines):
+        m = machines["actuator"]
+        state = dict(m.initial_state())
+        state["busy"] = 1
+        res = react(m, state, {"mode"}, {"mode": 3})
+        assert res.emissions == []
+        assert res.new_state["nxt"] == 3
+
+    def test_settle_tick_completes_motion(self, machines):
+        m = machines["actuator"]
+        state = dict(m.initial_state())
+        state["busy"] = 1
+        res = react(m, state, {"mtick"})
+        assert res.emitted_names == {"settle"}
+        assert res.new_state["busy"] == 0
+
+    def test_same_mode_ignored(self, machines):
+        m = machines["actuator"]
+        state = dict(m.initial_state())  # cur = 1
+        res = react(m, state, {"mode"}, {"mode": 1})
+        assert res.emissions == []
+
+
+class TestDiagnostics:
+    def test_limp_mode_after_three_faults(self, machines):
+        m = machines["diagnostics"]
+        state = m.initial_state()
+        emitted = set()
+        for _ in range(3):
+            res = react(m, state, {"fault"})
+            state = res.new_state
+            emitted |= res.emitted_names
+        assert emitted == {"limp_on"}
+        assert state["limp"] == 1
+
+    def test_faults_decay_and_limp_clears(self, machines):
+        m = machines["diagnostics"]
+        state = {"faults": 3, "limp": 1}
+        emitted = set()
+        for _ in range(3):
+            res = react(m, state, {"sec"})
+            state = res.new_state
+            emitted |= res.emitted_names
+        assert emitted == {"limp_off"}
+        assert state == {"faults": 0, "limp": 0}
+
+    def test_fault_counter_saturates(self, machines):
+        m = machines["diagnostics"]
+        state = {"faults": 15, "limp": 1}
+        res = react(m, state, {"fault"})
+        assert res.new_state["faults"] == 15
+
+
+class TestFullSystem:
+    def test_rough_road_scenario(self, shock_net):
+        """Acceleration spikes drive the solenoid to firm damping."""
+        sim = NetworkSimulator(shock_net)
+        for _ in range(40):
+            sim.inject("asample", 255)
+            sim.run_until_quiescent()
+        outs = [(n, v) for n, v in sim.drain_environment() if n == "sol"]
+        assert outs and outs[-1][1] == 2  # firm
+
+    def test_latency_requirement_under_rtos(self, shock_net):
+        """The paper's latency requirement: sensor-to-actuator under bound.
+
+        The paper reports both implementations satisfied the 12 us I/O
+        latency; at a 68HC11-ish 2 MHz E-clock the equivalent budget for
+        the mode -> sol path is a few tens of cycles of RTOS work plus the
+        reaction itself — we check the full acc -> sol chain stays under
+        3000 cycles.
+        """
+        programs = {
+            m.name: compile_sgraph(synthesize(m), K11)
+            for m in shock_net.machines
+        }
+        config = RtosConfig(dispatch_overhead=20, isr_overhead=30)
+        rt = RtosRuntime(shock_net, config, profile=K11, programs=programs)
+        probe = rt.add_probe("mode", "sol")
+        stimuli = []
+        t = 0
+        for i in range(60):
+            t += 2_000
+            stimuli.append(Stimulus(t, "asample", 255 if i % 2 else 0))
+        rt.schedule_stimuli(stimuli)
+        stats = rt.run(until=400_000)
+        assert stats.emissions.get("sol", 0) >= 1
+        assert probe.worst is not None and probe.worst < 3_000

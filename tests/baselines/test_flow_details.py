@@ -1,0 +1,121 @@
+"""Additional baseline-flow and product-composition detail tests."""
+
+import pytest
+
+from repro.baselines import (
+    FlowResult,
+    circuit_style_flow,
+    polis_flow,
+    single_fsm_flow,
+    synchronous_product,
+)
+from repro.cfsm import (
+    BinOp,
+    CfsmBuilder,
+    Const,
+    EventValue,
+    Network,
+    NetworkSimulator,
+    Var,
+    react,
+)
+from repro.target import K11
+
+
+@pytest.fixture(scope="module")
+def tiny_net():
+    """A two-stage filter network small enough for exhaustive checks."""
+    b1 = CfsmBuilder("stage1")
+    x = b1.value_input("x", width=3)
+    mid = b1.value_output("m1", width=4)
+    b1.transition(
+        when=[b1.present(x)],
+        do=[b1.emit(mid, BinOp("+", EventValue("x"), Const(1)))],
+    )
+    b2 = CfsmBuilder("stage2")
+    m_in = b2.input(mid)
+    y = b2.value_output("y", width=4)
+    total = b2.state("total", 8)
+    b2.transition(
+        when=[b2.present(m_in)],
+        do=[
+            b2.assign(total, BinOp("+", Var("total"), Const(1))),
+            b2.emit(y, EventValue("m1")),
+        ],
+    )
+    return Network("tiny", [b1.build(), b2.build()])
+
+
+class TestFlowResult:
+    def test_str_format(self, tiny_net):
+        flow = polis_flow(tiny_net, K11)
+        text = str(flow)
+        assert "POLIS" in text and "size=" in text and "synth=" in text
+
+    def test_flow_names(self, tiny_net):
+        assert single_fsm_flow(tiny_net, K11).flow == "ESTEREL"
+        assert circuit_style_flow(tiny_net, K11).flow == "ESTEREL_OPT"
+
+    def test_polis_per_module_results_exposed(self, tiny_net):
+        flow = polis_flow(tiny_net, K11)
+        assert set(flow.results) == {"stage1", "stage2"}
+        for result in flow.results.values():
+            assert result.sgraph is not None
+
+
+class TestProductExhaustive:
+    def test_product_vs_network_all_inputs_and_states(self, tiny_net):
+        product = synchronous_product(tiny_net)
+        for total in range(8):
+            for value in range(8):
+                sim = NetworkSimulator(tiny_net)
+                sim._contexts["stage2"].state["total"] = total
+                sim.inject("x", value)
+                sim.run_until_quiescent()
+                net_out = sorted(
+                    (n, v) for n, v in sim.drain_environment()
+                )
+                res = react(
+                    product,
+                    {"stage2_total": total},
+                    {"x"},
+                    {"x": value},
+                )
+                prod_out = sorted((e.name, v) for e, v in res.emissions)
+                assert net_out == prod_out
+                assert res.new_state["stage2_total"] == sim.state_of(
+                    "stage2"
+                )["total"]
+
+    def test_product_single_machine_is_renamed_copy(self):
+        b = CfsmBuilder("solo")
+        go = b.pure_input("go")
+        y = b.pure_output("y")
+        n = b.state("n", 4)
+        b.transition(
+            when=[b.present(go)],
+            do=[b.assign(n, BinOp("+", Var("n"), Const(1))), b.emit(y)],
+        )
+        net = Network("solo_net", [b.build()])
+        product = synchronous_product(net)
+        assert [v.name for v in product.state_vars] == ["solo_n"]
+        res = react(product, {"solo_n": 2}, {"go"})
+        assert res.new_state == {"solo_n": 3}
+        assert res.emitted_names == {"y"}
+
+    def test_product_fans_out_one_event_to_two_consumers(self):
+        bP = CfsmBuilder("P")
+        go = bP.pure_input("go")
+        tick = bP.pure_output("tick")
+        bP.transition(when=[bP.present(go)], do=[bP.emit(tick)])
+        consumers = []
+        for name in ("C1", "C2"):
+            b = CfsmBuilder(name)
+            t = b.input(tick)
+            o = b.pure_output(f"out_{name}")
+            b.transition(when=[b.present(t)], do=[b.emit(o)])
+            consumers.append(b.build())
+        net = Network("fan", [bP.build()] + consumers)
+        product = synchronous_product(net)
+        res = react(product, product.initial_state(), {"go"})
+        assert res.emitted_names == {"out_C1", "out_C2"}

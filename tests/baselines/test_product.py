@@ -1,0 +1,146 @@
+"""Tests for synchronous product composition."""
+
+import random
+
+import pytest
+
+from repro.baselines import CausalityError, synchronous_product
+from repro.cfsm import (
+    BinOp,
+    CfsmBuilder,
+    Const,
+    EventValue,
+    Network,
+    NetworkSimulator,
+    Var,
+    react,
+)
+
+
+def build_pipeline():
+    from ..rtos.test_runtime import build_pipeline as bp
+
+    return bp()
+
+
+class TestComposition:
+    def test_interface_of_product(self):
+        net = build_pipeline()
+        product = synchronous_product(net)
+        assert [e.name for e in product.inputs] == ["go"]
+        assert [e.name for e in product.outputs] == ["outp"]
+        assert [v.name for v in product.state_vars] == ["B_n"]
+
+    def test_internal_value_substitution(self):
+        net = build_pipeline()
+        product = synchronous_product(net)
+        rendered = " | ".join(repr(t) for t in product.transitions)
+        # B's guard on ?mid becomes a guard on ?go + 1.
+        assert "VALUE_go + 1" in rendered
+        assert "VALUE_mid" not in rendered
+
+    def test_equivalence_with_network_quiescence(self):
+        net = build_pipeline()
+        product = synchronous_product(net)
+        for value in range(16):
+            sim = NetworkSimulator(net)
+            sim.inject("go", value)
+            sim.run_until_quiescent()
+            net_out = sorted(name for name, _ in sim.drain_environment())
+            net_state = sim.state_of("B")["n"]
+
+            res = react(product, product.initial_state(), {"go"}, {"go": value})
+            prod_out = sorted(e.name for e, _ in res.emissions)
+            assert net_out == prod_out
+            assert res.new_state["B_n"] == net_state
+
+    def test_multi_step_trace_equivalence(self):
+        net = build_pipeline()
+        product = synchronous_product(net)
+        rng = random.Random(3)
+        sim = NetworkSimulator(net)
+        state = product.initial_state()
+        for _ in range(30):
+            value = rng.randrange(16)
+            sim.inject("go", value)
+            sim.run_until_quiescent()
+            net_out = sorted(name for name, _ in sim.drain_environment())
+            res = react(product, state, {"go"}, {"go": value})
+            state = res.new_state
+            assert sorted(e.name for e, _ in res.emissions) == net_out
+            assert state["B_n"] == sim.state_of("B")["n"]
+
+    def test_absent_internal_event_paths(self):
+        """A consumer transition guarded on the ABSENCE of an internal event."""
+        bA = CfsmBuilder("A")
+        t = bA.pure_input("t")
+        s = bA.state("phase", 2)
+        ping = bA.pure_output("ping")
+        bA.transition(
+            when=[bA.present(t), bA.expr_test(BinOp("==", Var("phase"), Const(0)))],
+            do=[bA.emit(ping), bA.assign(s, Const(1))],
+        )
+        bA.transition(
+            when=[bA.present(t), bA.expr_test(BinOp("==", Var("phase"), Const(1)))],
+            do=[bA.assign(s, Const(0))],
+        )
+        A = bA.build()
+        bB = CfsmBuilder("B")
+        tB = bB.input(t)
+        pingB = bB.input(ping)
+        quiet = bB.pure_output("quiet")
+        bB.transition(when=[bB.present(tB), bB.absent(pingB)], do=[bB.emit(quiet)])
+        B = bB.build()
+        net = Network("alt", [A, B])
+        product = synchronous_product(net)
+        # phase 0: ping emitted -> no quiet; phase 1: quiet.
+        res0 = react(product, {"A_phase": 0}, {"t"})
+        assert "quiet" not in {e.name for e, _ in res0.emissions}
+        res1 = react(product, {"A_phase": 1}, {"t"})
+        assert "quiet" in {e.name for e, _ in res1.emissions}
+
+    def test_dashboard_product_builds(self, dashboard_net):
+        product = synchronous_product(dashboard_net)
+        assert len(product.transitions) > len(dashboard_net.machines)
+        assert {e.name for e in product.outputs} == {
+            e.name for e in dashboard_net.environment_outputs()
+        }
+
+
+class TestRestrictions:
+    def test_causality_cycle_rejected(self):
+        b1 = CfsmBuilder("P")
+        a_in = b1.pure_input("a")
+        b_out = b1.pure_output("b")
+        b1.transition(when=[b1.present(a_in)], do=[b1.emit(b_out)])
+        P = b1.build()
+        b2 = CfsmBuilder("Q")
+        b_in = b2.input(b_out)
+        a_out = b2.output(a_in)
+        b2.transition(when=[b2.present(b_in)], do=[b2.emit(a_out)])
+        Q = b2.build()
+        with pytest.raises(CausalityError):
+            synchronous_product(Network("cycle", [P, Q]))
+
+    def test_zero_delay_self_loop_rejected(self):
+        b = CfsmBuilder("selfy")
+        x = b.pure_input("x")
+        b.output(x)
+        b.transition(when=[b.present(x)], do=[b.emit(x)])
+        with pytest.raises(CausalityError):
+            synchronous_product(Network("selfnet", [b.build()]))
+
+    def test_state_variables_renamed_apart(self):
+        machines = []
+        for name in ("M1", "M2"):
+            b = CfsmBuilder(name)
+            t = b.pure_input("t")
+            n = b.state("n", 4)  # same name in both machines
+            b.transition(
+                when=[b.present(t)],
+                do=[b.assign(n, BinOp("+", Var("n"), Const(1)))],
+            )
+            machines.append(b.build())
+        product = synchronous_product(Network("twins", machines))
+        names = {v.name for v in product.state_vars}
+        assert names == {"M1_n", "M2_n"}

@@ -1,0 +1,82 @@
+"""Tests for multi-valued variable encoding."""
+
+import pytest
+
+from repro.bdd import BddManager, MultiValuedVar
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+class TestEncoding:
+    def test_bit_count(self, mgr):
+        assert MultiValuedVar(mgr, "a", 2).num_bits == 1
+        assert MultiValuedVar(mgr, "b", 3).num_bits == 2
+        assert MultiValuedVar(mgr, "c", 4).num_bits == 2
+        assert MultiValuedVar(mgr, "d", 5).num_bits == 3
+        assert MultiValuedVar(mgr, "e", 256).num_bits == 8
+
+    def test_domain_validation(self, mgr):
+        with pytest.raises(ValueError):
+            MultiValuedVar(mgr, "x", 1)
+
+    def test_encode_decode_roundtrip(self, mgr):
+        v = MultiValuedVar(mgr, "s", 11)
+        for value in range(11):
+            assert v.decode(v.encode(value)) == value
+
+    def test_encode_rejects_out_of_domain(self, mgr):
+        v = MultiValuedVar(mgr, "s", 5)
+        with pytest.raises(ValueError):
+            v.encode(5)
+        with pytest.raises(ValueError):
+            v.encode(-1)
+
+    def test_msb_first_naming_and_order(self, mgr):
+        v = MultiValuedVar(mgr, "s", 8)
+        names = [mgr.var_name(b) for b in v.bits]
+        assert names == ["s.b2", "s.b1", "s.b0"]
+        # encode(4) sets only the MSB
+        bits = v.encode(4)
+        assert bits[v.bits[0]] and not bits[v.bits[1]] and not bits[v.bits[2]]
+
+    def test_decode_missing_bits_read_zero(self, mgr):
+        v = MultiValuedVar(mgr, "s", 4)
+        assert v.decode({}) == 0
+
+    def test_value_of_out_of_domain(self, mgr):
+        v = MultiValuedVar(mgr, "s", 3)
+        code_3 = {v.bits[0]: True, v.bits[1]: True}
+        assert v.value_of(code_3) is None
+        assert v.value_of(v.encode(2)) == 2
+
+
+class TestFunctions:
+    def test_equals(self, mgr):
+        v = MultiValuedVar(mgr, "s", 6)
+        f = v.equals(4)
+        assert f(v.encode(4))
+        for other in (0, 1, 2, 3, 5):
+            assert not f(v.encode(other))
+
+    def test_in_set(self, mgr):
+        v = MultiValuedVar(mgr, "s", 6)
+        f = v.in_set([1, 3, 5])
+        for value in range(6):
+            assert f(v.encode(value)) == (value in (1, 3, 5))
+
+    def test_valid_excludes_unused_codes(self, mgr):
+        v = MultiValuedVar(mgr, "s", 5)  # 3 bits, codes 5..7 invalid
+        valid = v.valid()
+        assert valid.count_sat(v.bits) == 5
+
+    def test_valid_for_power_of_two_is_true(self, mgr):
+        v = MultiValuedVar(mgr, "s", 8)
+        assert v.valid() == mgr.true
+
+    def test_group_returns_bits(self, mgr):
+        v = MultiValuedVar(mgr, "s", 9)
+        assert v.group() == v.bits
+        assert v.group() is not v.bits  # defensive copy

@@ -1,0 +1,126 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.cfsm.expr import (
+    BINARY_OPS,
+    BinOp,
+    Cond,
+    Const,
+    EventValue,
+    UnOp,
+    Var,
+)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 3, 4, 7),
+            ("-", 3, 4, -1),
+            ("*", 3, 4, 12),
+            ("/", 9, 2, 4),
+            ("/", -9, 2, -4),  # C-style truncation
+            ("%", 9, 4, 1),
+            ("%", -9, 4, -1),  # C-style remainder
+            ("<", 2, 3, 1),
+            ("<=", 3, 3, 1),
+            (">", 2, 3, 0),
+            (">=", 3, 3, 1),
+            ("==", 5, 5, 1),
+            ("!=", 5, 5, 0),
+            ("&&", 2, 0, 0),
+            ("||", 0, 2, 1),
+            ("&", 6, 3, 2),
+            ("|", 6, 3, 7),
+            ("<<", 3, 2, 12),
+            (">>", 12, 2, 3),
+            ("min", 3, 7, 3),
+            ("max", 3, 7, 7),
+        ],
+    )
+    def test_binary(self, op, a, b, expected):
+        assert BinOp(op, Const(a), Const(b)).evaluate({}) == expected
+
+    def test_safe_division_by_zero(self):
+        assert BinOp("/", Const(7), Const(0)).evaluate({}) == 0
+        assert BinOp("%", Const(7), Const(0)).evaluate({}) == 0
+
+    def test_unary(self):
+        assert UnOp("-", Const(5)).evaluate({}) == -5
+        assert UnOp("!", Const(0)).evaluate({}) == 1
+        assert UnOp("!", Const(3)).evaluate({}) == 0
+
+    def test_var_reads_env(self):
+        assert Var("a").evaluate({"a": 42}) == 42
+
+    def test_event_value_reads_buffer(self):
+        assert EventValue("c").evaluate({"?c": 9}) == 9
+
+    def test_cond(self):
+        e = Cond(Var("x"), Const(1), Const(2))
+        assert e.evaluate({"x": 1}) == 1
+        assert e.evaluate({"x": 0}) == 2
+
+    def test_nested_expression(self):
+        # (a + 1) * (b - 2)
+        e = BinOp("*", BinOp("+", Var("a"), Const(1)), BinOp("-", Var("b"), Const(2)))
+        assert e.evaluate({"a": 3, "b": 7}) == 20
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Const(1), Const(2))
+        with pytest.raises(ValueError):
+            UnOp("~", Const(1))
+
+
+class TestRendering:
+    def test_simple_render(self):
+        assert BinOp("+", Var("a"), Const(1)).render_c() == "a + 1"
+
+    def test_precedence_parentheses(self):
+        e = BinOp("*", BinOp("+", Var("a"), Const(1)), Var("b"))
+        assert e.render_c() == "(a + 1) * b"
+
+    def test_no_redundant_parentheses(self):
+        e = BinOp("+", BinOp("*", Var("a"), Var("b")), Const(1))
+        assert e.render_c() == "a * b + 1"
+
+    def test_division_renders_safe_macro(self):
+        assert BinOp("/", Var("a"), Var("b")).render_c() == "SAFE_DIV(a, b)"
+        assert BinOp("%", Var("a"), Var("b")).render_c() == "SAFE_MOD(a, b)"
+
+    def test_min_max_function_style(self):
+        assert BinOp("min", Var("a"), Const(3)).render_c() == "MIN(a, 3)"
+
+    def test_event_value_render(self):
+        assert EventValue("c").render_c() == "VALUE_c"
+
+    def test_cond_render(self):
+        assert Cond(Var("x"), Const(1), Const(0)).render_c() == "ITE(x, 1, 0)"
+
+    def test_unary_render(self):
+        assert UnOp("!", Var("x")).render_c() == "!x"
+        assert UnOp("-", BinOp("+", Var("a"), Var("b"))).render_c() == "-(a + b)"
+
+
+class TestIntrospection:
+    def test_variables(self):
+        e = BinOp("+", Var("a"), BinOp("*", EventValue("c"), Var("b")))
+        assert sorted(e.variables()) == ["?c", "a", "b"]
+
+    def test_operators(self):
+        e = BinOp("+", Var("a"), UnOp("-", Var("b")))
+        assert sorted(e.operators()) == ["ADD", "NEG"]
+
+    def test_equality_and_hash(self):
+        a = BinOp("+", Var("x"), Const(1))
+        b = BinOp("+", Var("x"), Const(1))
+        c = BinOp("+", Var("x"), Const(2))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_every_binary_op_has_library_name(self):
+        names = {meta[0] for meta in BINARY_OPS.values()}
+        assert len(names) == len(BINARY_OPS)  # distinct library entries

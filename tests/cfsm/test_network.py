@@ -1,0 +1,197 @@
+"""Tests for GALS networks and the untimed simulator."""
+
+import pytest
+
+from repro.cfsm import (
+    BinOp,
+    CfsmBuilder,
+    Const,
+    EventValue,
+    Network,
+    NetworkSimulator,
+    Var,
+)
+
+
+def make_pipeline():
+    """A -> (mid) -> B with value transformation."""
+    bA = CfsmBuilder("A")
+    go = bA.value_input("go", width=4)
+    mid = bA.value_output("mid", width=8)
+    bA.transition(
+        when=[bA.present(go)],
+        do=[bA.emit(mid, BinOp("+", EventValue("go"), Const(1)))],
+    )
+    A = bA.build()
+
+    bB = CfsmBuilder("B")
+    midB = bB.input(mid)
+    out = bB.pure_output("outp")
+    n = bB.state("n", num_values=8)
+    gt = BinOp(">", EventValue("mid"), Const(3))
+    bB.transition(
+        when=[bB.present(midB), bB.expr_test(gt)],
+        do=[bB.emit(out), bB.assign(n, BinOp("+", Var("n"), Const(1)))],
+    )
+    bB.transition(
+        when=[bB.present(midB), bB.expr_test(gt, False)],
+        do=[bB.assign(n, BinOp("+", Var("n"), Const(1)))],
+    )
+    B = bB.build()
+    return Network("pipe", [A, B])
+
+
+@pytest.fixture
+def pipe():
+    return make_pipeline()
+
+
+class TestTopology:
+    def test_event_classification(self, pipe):
+        assert [e.name for e in pipe.environment_inputs()] == ["go"]
+        assert [e.name for e in pipe.internal_events()] == ["mid"]
+        assert [e.name for e in pipe.environment_outputs()] == ["outp"]
+
+    def test_producers_consumers(self, pipe):
+        assert [m.name for m in pipe.producers("mid")] == ["A"]
+        assert [m.name for m in pipe.consumers("mid")] == ["B"]
+
+    def test_inconsistent_event_types_rejected(self):
+        b1 = CfsmBuilder("P")
+        b1.pure_input("t")
+        b1.value_output("x", 8)
+        p = b1.build()
+        b2 = CfsmBuilder("Q")
+        b2.pure_input("x")  # same name, pure: type clash
+        q = b2.build()
+        with pytest.raises(ValueError):
+            Network("bad", [p, q])
+
+    def test_duplicate_machine_names_rejected(self):
+        b = CfsmBuilder("M")
+        b.pure_input("t")
+        with pytest.raises(ValueError):
+            Network("bad", [b.build(), b.build()])
+
+    def test_machine_lookup(self, pipe):
+        assert pipe.machine("A").name == "A"
+        with pytest.raises(KeyError):
+            pipe.machine("Z")
+
+
+class TestSimulator:
+    def test_pipeline_end_to_end(self, pipe):
+        sim = NetworkSimulator(pipe)
+        sim.inject("go", 5)
+        steps = sim.run_until_quiescent()
+        assert steps == 2  # A reacts, then B
+        assert sim.drain_environment() == [("outp", None)]
+        assert sim.state_of("B") == {"n": 1}
+
+    def test_small_value_no_output(self, pipe):
+        sim = NetworkSimulator(pipe)
+        sim.inject("go", 1)  # mid = 2, not > 3
+        sim.run_until_quiescent()
+        assert sim.drain_environment() == []
+        assert sim.state_of("B") == {"n": 1}
+
+    def test_event_loss_on_overwrite(self, pipe):
+        sim = NetworkSimulator(pipe)
+        sim.inject("go", 5)
+        sim.inject("go", 6)  # overwrites before A runs
+        assert sim.lost_events == 1
+        sim.run_until_quiescent()
+        # Only the second value was seen.
+        assert sim.state_of("B") == {"n": 1}
+
+    def test_enabled_machines(self, pipe):
+        sim = NetworkSimulator(pipe)
+        assert sim.enabled_machines() == []
+        sim.inject("go", 2)
+        assert sim.enabled_machines() == ["A"]
+
+    def test_step_returns_none_when_idle(self, pipe):
+        sim = NetworkSimulator(pipe)
+        assert sim.step() is None
+
+    def test_explicit_machine_choice(self, pipe):
+        sim = NetworkSimulator(pipe)
+        sim.inject("go", 9)
+        assert sim.step("A") == "A"
+        with pytest.raises(ValueError):
+            sim.step("A")  # no longer enabled
+
+    def test_pure_event_injection_validation(self, pipe):
+        sim = NetworkSimulator(pipe)
+        with pytest.raises(ValueError):
+            sim.inject("go")  # valued event needs a value
+
+    def test_events_preserved_when_no_transition_fires(self):
+        """Sec. IV-D: unconsumed events stay pending."""
+        b = CfsmBuilder("gated")
+        go = b.pure_input("go")
+        arm = b.pure_input("arm")
+        y = b.pure_output("y")
+        s = b.state("armed", 2)
+        b.transition(when=[b.present(arm)], do=[b.assign(s, Const(1))])
+        b.transition(
+            when=[b.present(go), b.absent(arm), b.expr_test(BinOp("==", Var("armed"), Const(1)))],
+            do=[b.emit(y)],
+        )
+        net = Network("g", [b.build()])
+        sim = NetworkSimulator(net)
+        sim.inject("go")  # not armed yet: reaction runs, nothing fires
+        sim.step()
+        assert sim.flags_of("gated") == {"go"}  # preserved
+        sim.inject("arm")
+        sim.run_until_quiescent()  # arm fires; whole snapshot (incl. go) consumed
+        assert sim.drain_environment() == []
+        sim.inject("go")  # now armed and arm absent: y fires
+        sim.run_until_quiescent()
+        assert ("y", None) in sim.drain_environment()
+
+    def test_round_robin_fairness(self):
+        machines = []
+        for name in ("M0", "M1", "M2"):
+            b = CfsmBuilder(name)
+            t = b.pure_input("tick")
+            o = b.pure_output(f"o_{name}")
+            b.transition(when=[b.present(t)], do=[b.emit(o)])
+            machines.append(b.build())
+        net = Network("rr", machines)
+        sim = NetworkSimulator(net)
+        sim.inject("tick")
+        ran = [sim.step() for _ in range(3)]
+        assert ran == ["M0", "M1", "M2"]
+
+    def test_random_stepping_reproducible(self, pipe):
+        runs = []
+        for _ in range(2):
+            sim = NetworkSimulator(pipe, seed=42)
+            sim.inject("go", 9)
+            order = []
+            while True:
+                who = sim.step_random()
+                if who is None:
+                    break
+                order.append(who)
+            runs.append(order)
+        assert runs[0] == runs[1]
+
+    def test_quiescence_guard(self):
+        """A self-sustaining loop must hit the step bound."""
+        b1 = CfsmBuilder("ping")
+        ia = b1.pure_input("a")
+        ob = b1.pure_output("b")
+        b1.transition(when=[b1.present(ia)], do=[b1.emit(ob)])
+        ping = b1.build()
+        b2 = CfsmBuilder("pong")
+        ib = b2.input(ob)
+        oa = b2.output(ia)
+        b2.transition(when=[b2.present(ib)], do=[b2.emit(oa)])
+        pong = b2.build()
+        net = Network("loop", [ping, pong])
+        sim = NetworkSimulator(net)
+        sim.inject("a")
+        with pytest.raises(RuntimeError):
+            sim.run_until_quiescent(max_steps=50)

@@ -1,0 +1,113 @@
+"""Tests for the reference reaction semantics."""
+
+import pytest
+
+from repro.cfsm import (
+    BinOp,
+    CfsmBuilder,
+    CfsmConflictError,
+    Const,
+    EventValue,
+    Var,
+    react,
+)
+
+
+class TestBasicReaction:
+    def test_no_events_no_fire(self, simple_cfsm):
+        res = react(simple_cfsm, {"a": 3}, set())
+        assert not res.fired
+        assert res.new_state == {"a": 3}
+        assert res.emissions == []
+
+    def test_matching_value_emits_and_resets(self, simple_cfsm):
+        res = react(simple_cfsm, {"a": 5}, {"c"}, {"c": 5})
+        assert res.fired
+        assert res.new_state == {"a": 0}
+        assert res.emitted_names == {"y"}
+
+    def test_mismatch_increments(self, simple_cfsm):
+        res = react(simple_cfsm, {"a": 5}, {"c"}, {"c": 9})
+        assert res.fired
+        assert res.new_state == {"a": 6}
+        assert res.emissions == []
+
+    def test_state_wraps_around_domain(self, simple_cfsm):
+        res = react(simple_cfsm, {"a": 15}, {"c"}, {"c": 0})
+        assert res.new_state == {"a": 0}  # 16 mod 16
+
+    def test_snapshot_with_unknown_event_rejected(self, simple_cfsm):
+        with pytest.raises(ValueError):
+            react(simple_cfsm, {"a": 0}, {"nope"})
+
+    def test_missing_value_buffer_reads_zero(self, simple_cfsm):
+        res = react(simple_cfsm, {"a": 0}, {"c"})  # no values dict
+        assert res.emitted_names == {"y"}  # a == 0 == default buffer
+
+
+class TestMultiTransition:
+    def test_all_enabled_transitions_execute(self, counter_cfsm):
+        # up and rst both present: rst transition fires (reset), up guard
+        # requires rst absent so only the reset actions run.
+        res = react(counter_cfsm, {"n": 3}, {"up", "rst"})
+        assert res.new_state == {"n": 0}
+        assert res.emissions == [(counter_cfsm.output_event("count"), 0)]
+
+    def test_emission_value_uses_prestate(self, counter_cfsm):
+        res = react(counter_cfsm, {"n": 2}, {"up"})
+        assert res.new_state == {"n": 3}
+        # emitted value computed from the same pre-state
+        assert res.emissions[0][1] == 3
+
+    def test_duplicate_emission_same_value_deduplicated(self):
+        b = CfsmBuilder("dup")
+        a = b.pure_input("a")
+        y = b.pure_output("y")
+        b.transition(when=[b.present(a)], do=[b.emit(y)])
+        b.transition(when=[b.present(a)], do=[b.emit(y)])
+        m = b.build()
+        res = react(m, {}, {"a"})
+        assert len(res.emissions) == 1
+
+    def test_conflicting_state_writes_raise(self):
+        b = CfsmBuilder("conflict")
+        a = b.pure_input("a")
+        s = b.state("s", 4)
+        b.transition(when=[b.present(a)], do=[b.assign(s, Const(1))])
+        b.transition(when=[b.present(a)], do=[b.assign(s, Const(2))])
+        m = b.build()
+        with pytest.raises(CfsmConflictError):
+            react(m, {"s": 0}, {"a"})
+
+    def test_conflicting_emission_values_raise(self):
+        b = CfsmBuilder("conflict2")
+        a = b.pure_input("a")
+        y = b.value_output("y", 8)
+        b.transition(when=[b.present(a)], do=[b.emit(y, Const(1))])
+        b.transition(when=[b.present(a)], do=[b.emit(y, Const(2))])
+        m = b.build()
+        with pytest.raises(CfsmConflictError):
+            react(m, {}, {"a"})
+
+    def test_agreeing_writes_allowed(self):
+        b = CfsmBuilder("agree")
+        a = b.pure_input("a")
+        s = b.state("s", 4)
+        b.transition(when=[b.present(a)], do=[b.assign(s, Const(1))])
+        b.transition(when=[b.present(a)], do=[b.assign(s, BinOp("+", Const(0), Const(1)))])
+        m = b.build()
+        res = react(m, {"s": 0}, {"a"})
+        assert res.new_state == {"s": 1}
+
+
+class TestValueBuffers:
+    def test_value_persists_across_reactions(self):
+        """The 1-place buffer keeps the last value even when absent."""
+        b = CfsmBuilder("buf")
+        c = b.value_input("c", 8)
+        t = b.pure_input("tick")
+        y = b.value_output("y", 8)
+        b.transition(when=[b.present(t)], do=[b.emit(y, EventValue("c"))])
+        m = b.build()
+        res = react(m, {}, {"tick"}, {"c": 42})
+        assert res.emissions[0][1] == 42

@@ -1,0 +1,145 @@
+"""Tests for the C code generator."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.codegen import generate_c
+from repro.sgraph import synthesize
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+
+class TestTextualStructure:
+    def test_contains_react_function(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm))
+        assert "int simple_react(void)" in code
+        assert "return fired;" in code
+
+    def test_declarations_present(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm))
+        assert "static rt_int a = 0;" in code
+        assert "static rt_int present_c" in code
+        assert "static rt_int value_c" in code
+
+    def test_rtos_macros_overridable(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm))
+        assert "#ifndef DETECT_c" in code
+        assert "#ifndef EMIT_y" in code
+
+    def test_goto_style_flat_code(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm))
+        assert "goto" in code
+        assert "_END_:" in code
+
+    def test_entry_copies_state_variables(self, simple_cfsm):
+        """Write-before-read safety: 'variables ... copied upon entry'."""
+        code = generate_c(synthesize(simple_cfsm))
+        assert "rt_int L_a = a;" in code
+
+    def test_expressions_read_copies(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm))
+        assert "L_a == value_c" in code
+
+    def test_switch_generated_for_multiway(self, modal_cfsm):
+        code = generate_c(synthesize(modal_cfsm, multiway=True))
+        assert "switch (L_mode)" in code
+        assert "case 0:" in code
+        assert "default: goto _END_;" in code
+
+    def test_outputs_first_scheme_emits_ite(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm, scheme="outputs-first"))
+        assert "ITE(" in code
+
+    def test_harness_included_on_request(self, simple_cfsm):
+        code = generate_c(synthesize(simple_cfsm), include_harness=True)
+        assert "#ifdef REPRO_HARNESS" in code and "int main(void)" in code
+
+    def test_state_wrap_for_non_power_of_two(self, counter_cfsm):
+        code = generate_c(synthesize(counter_cfsm))
+        assert "% 5" in code  # n has 5 values
+
+    def test_constant_assignment_not_wrapped(self, counter_cfsm):
+        code = generate_c(synthesize(counter_cfsm))
+        assert "n = 0;" in code  # reset is constant-folded, no modulo
+
+
+@pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
+class TestGccCompilation:
+    def _compile(self, code, tmp_path, name):
+        src = tmp_path / f"{name}.c"
+        src.write_text(code)
+        result = subprocess.run(
+            [
+                "gcc", "-std=c99", "-Wall", "-Werror", "-Wno-unused-label",
+                "-Wno-unused-variable", "-c", str(src),
+                "-o", str(tmp_path / f"{name}.o"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        return result
+
+    @pytest.mark.parametrize("scheme", ["naive", "sift", "outputs-first", "mixed"])
+    def test_simple_compiles_under_all_schemes(
+        self, simple_cfsm, tmp_path, scheme
+    ):
+        code = generate_c(synthesize(simple_cfsm, scheme=scheme))
+        self._compile(code, tmp_path, f"simple_{scheme}")
+
+    def test_modal_with_switch_compiles(self, modal_cfsm, tmp_path):
+        code = generate_c(synthesize(modal_cfsm, multiway=True))
+        self._compile(code, tmp_path, "modal")
+
+    def test_counter_compiles(self, counter_cfsm, tmp_path):
+        code = generate_c(synthesize(counter_cfsm))
+        self._compile(code, tmp_path, "counter")
+
+    def test_dashboard_modules_compile(self, dashboard_net, tmp_path):
+        for machine in dashboard_net.machines:
+            code = generate_c(synthesize(machine))
+            self._compile(code, tmp_path, machine.name)
+
+
+@pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
+class TestCompiledBehaviour:
+    def test_compiled_c_matches_reference(self, simple_cfsm, tmp_path):
+        """Drive the compiled reaction function across a value sweep."""
+        from repro.cfsm import react
+
+        code = generate_c(synthesize(simple_cfsm))
+        driver = """
+#include <stdio.h>
+int main(void)
+{
+    int v;
+    for (v = 0; v < 16; v++) {
+        present_c = 1;
+        value_c = v;
+        emitted_y = 0;
+        int fired = simple_react();
+        printf("%d %d %d %d\\n", v, fired, (int)emitted_y, (int)a);
+    }
+    return 0;
+}
+"""
+        src = tmp_path / "drive.c"
+        src.write_text(code + driver)
+        exe = tmp_path / "drive"
+        res = subprocess.run(
+            ["gcc", "-std=c99", "-Wno-unused-label", str(src), "-o", str(exe)],
+            capture_output=True,
+            text=True,
+        )
+        assert res.returncode == 0, res.stderr
+        out = subprocess.run([str(exe)], capture_output=True, text=True)
+        state = {"a": 0}
+        for line in out.stdout.strip().splitlines():
+            v, fired, emitted, a_after = map(int, line.split())
+            expected = react(simple_cfsm, state, {"c"}, {"c": v})
+            assert fired == int(expected.fired)
+            assert emitted == int("y" in expected.emitted_names)
+            assert a_after == expected.new_state["a"]
+            state = expected.new_state

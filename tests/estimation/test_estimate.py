@@ -1,0 +1,90 @@
+"""Tests for the s-graph estimators against target measurement."""
+
+import pytest
+
+from repro.cfsm import BinOp, Const, Var
+from repro.estimation import estimate, expr_size, expr_time
+from repro.sgraph import synthesize
+from repro.target import K11, K32, analyze_program, compile_sgraph
+
+from ..conftest import make_counter_cfsm, make_modal_cfsm, make_simple_cfsm
+
+MACHINES = {
+    "simple": make_simple_cfsm,
+    "counter": make_counter_cfsm,
+    "modal": make_modal_cfsm,
+}
+
+
+class TestExpressionCosts:
+    def test_expr_time_monotone_in_size(self, k11_params):
+        small = BinOp("+", Var("a"), Const(1))
+        large = BinOp("*", small, BinOp("-", Var("b"), Const(2)))
+        assert expr_time(large, k11_params) > expr_time(small, k11_params)
+        assert expr_size(large, k11_params) > expr_size(small, k11_params)
+
+    def test_multiplication_priced_higher(self, k11_params):
+        add = BinOp("+", Var("a"), Var("b"))
+        mul = BinOp("*", Var("a"), Var("b"))
+        assert expr_time(mul, k11_params) > expr_time(add, k11_params)
+
+    def test_leaf_has_positive_cost(self, k11_params):
+        assert expr_time(Var("a"), k11_params) > 0
+
+
+class TestEstimateVsMeasurement:
+    """Table I: estimates must track measured size and cycles closely."""
+
+    @pytest.mark.parametrize("machine", sorted(MACHINES))
+    @pytest.mark.parametrize(
+        "profile_name", ["K11", "K32"]
+    )
+    def test_accuracy_bounds(self, machine, profile_name, k11_params, k32_params):
+        profile = {"K11": K11, "K32": K32}[profile_name]
+        params = {"K11": k11_params, "K32": k32_params}[profile_name]
+        cfsm = MACHINES[machine]()
+        result = synthesize(cfsm)
+        est = estimate(result.sgraph, result.reactive.encoding, params)
+        meas = analyze_program(compile_sgraph(result, profile), profile)
+        assert est.code_size == pytest.approx(meas.code_size, rel=0.15)
+        assert est.max_cycles == pytest.approx(meas.max_cycles, rel=0.20)
+        assert est.min_cycles == pytest.approx(meas.min_cycles, rel=0.20)
+
+    def test_dashboard_accuracy(self, dashboard_net, k11_params):
+        """Aggregate error across the paper's actual benchmark set."""
+        size_errors = []
+        cycle_errors = []
+        for machine in dashboard_net.machines:
+            result = synthesize(machine)
+            est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+            meas = analyze_program(compile_sgraph(result, K11), K11)
+            size_errors.append(abs(est.code_size - meas.code_size) / meas.code_size)
+            cycle_errors.append(
+                abs(est.max_cycles - meas.max_cycles) / meas.max_cycles
+            )
+        assert max(size_errors) < 0.10
+        assert max(cycle_errors) < 0.12
+
+    def test_min_le_max(self, simple_cfsm, k11_params):
+        result = synthesize(simple_cfsm)
+        est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+        assert est.min_cycles <= est.max_cycles
+        assert est.code_size > 0
+
+    def test_exclude_infeasible_never_increases_max(self, modal_cfsm, k11_params):
+        result = synthesize(modal_cfsm)
+        enc = result.reactive.encoding
+        with_fp = estimate(result.sgraph, enc, k11_params, exclude_infeasible=False)
+        without_fp = estimate(result.sgraph, enc, k11_params, exclude_infeasible=True)
+        assert without_fp.max_cycles <= with_fp.max_cycles
+        assert without_fp.code_size == with_fp.code_size
+
+    def test_outputs_first_scheme_estimable(self, simple_cfsm, k11_params):
+        result = synthesize(simple_cfsm, scheme="outputs-first")
+        est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+        assert est.code_size > 0 and est.max_cycles > 0
+
+    def test_str_representation(self, simple_cfsm, k11_params):
+        result = synthesize(simple_cfsm)
+        est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+        assert "size=" in str(est) and "cycles=" in str(est)

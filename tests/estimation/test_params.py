@@ -1,0 +1,83 @@
+"""Tests for the cost-parameter model and calibration."""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.cfsm.expr import BINARY_OPS, UNARY_OPS
+from repro.estimation import (
+    CostParams,
+    SizeParams,
+    SystemParams,
+    TimingParams,
+    calibrate,
+)
+from repro.target import K11, K32
+
+
+class TestParameterCounts:
+    """The paper: 17 timing, 15 size, 4 system parameters (Sec. III-C1)."""
+
+    def test_exactly_17_timing_parameters(self):
+        assert len(fields(TimingParams)) == 17
+
+    def test_exactly_15_size_parameters(self):
+        assert len(fields(SizeParams)) == 15
+
+    def test_exactly_4_system_parameters(self):
+        assert len(fields(SystemParams)) == 4
+
+    def test_describe_lists_everything(self, k11_params):
+        text = k11_params.describe()
+        assert "t_frame" in text and "s_goto" in text and "library table" in text
+
+
+class TestCalibration:
+    def test_all_timing_parameters_nonnegative(self, k11_params, k32_params):
+        for params in (k11_params, k32_params):
+            for key, value in params.timing.as_dict().items():
+                assert value >= 0, key
+
+    def test_all_size_parameters_nonnegative(self, k11_params, k32_params):
+        for params in (k11_params, k32_params):
+            for key, value in params.size.as_dict().items():
+                assert value >= 0, key
+
+    def test_library_table_covers_all_operators(self, k11_params):
+        names = {meta[0] for meta in BINARY_OPS.values()}
+        names |= {meta[0] for meta in UNARY_OPS.values()}
+        assert names <= set(k11_params.lib_time)
+        assert names <= set(k11_params.lib_size)
+
+    def test_library_table_has_about_30_functions(self, k11_params):
+        assert 20 <= len(k11_params.lib_time) <= 40
+
+    def test_expensive_ops_cost_more(self, k11_params):
+        assert k11_params.lib_time["MUL"] > k11_params.lib_time["ADD"]
+        assert k11_params.lib_time["DIV"] > k11_params.lib_time["MUL"]
+
+    def test_detection_includes_rtos_call_cost(self, k11_params):
+        # A presence test (RTOS call) is pricier than a plain branch edge.
+        assert k11_params.timing.t_detect_true > k11_params.timing.t_test_true
+
+    def test_profiles_calibrate_differently(self, k11_params, k32_params):
+        assert k11_params.lib_time["MUL"] > k32_params.lib_time["MUL"]
+        assert k11_params.size.s_expr_load < k32_params.size.s_expr_load
+
+    def test_system_params_track_profile(self, k11_params, k32_params):
+        assert k11_params.system.pointer_size == K11.pointer_size
+        assert k32_params.system.pointer_size == K32.pointer_size
+        assert k11_params.system.near_branch_range == K11.near_range
+
+    def test_default_lib_cost_is_an_average(self, k11_params):
+        times = list(k11_params.lib_time.values())
+        assert min(times) <= k11_params.timing.t_lib_default <= max(times)
+
+    def test_lib_lookup_falls_back_to_default(self, k11_params):
+        assert k11_params.lib_time_of("NO_SUCH_OP") == k11_params.timing.t_lib_default
+        assert k11_params.lib_size_of("NO_SUCH_OP") == k11_params.size.s_lib_default
+
+    def test_switch_edge_size_reflects_pointer(self, k11_params):
+        assert k11_params.size.s_switch_edge == pytest.approx(
+            K11.pointer_size, abs=1.0
+        )

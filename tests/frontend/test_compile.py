@@ -1,0 +1,273 @@
+"""Tests for RSL -> CFSM compilation."""
+
+import pytest
+
+from repro.cfsm import AssignState, Emit, react
+from repro.frontend import CompileError, compile_source
+
+
+SIMPLE = """
+module simple:
+  input c : int(4);
+  output y;
+  var a : 0..15 = 0;
+  loop
+    await c;
+    if a == ?c then
+      a := 0; emit y;
+    else
+      a := a + 1;
+    end
+  end
+end
+"""
+
+
+class TestSimpleModule:
+    def test_structure_matches_fig1(self):
+        m = compile_source(SIMPLE)
+        assert len(m.transitions) == 2
+        assert len(m.state_vars) == 1  # no hidden pc for one await
+        labels = {t.actions[0].label() for t in m.transitions}
+        assert "a := 0" in labels
+
+    def test_behaviour(self):
+        m = compile_source(SIMPLE)
+        state = {"a": 0}
+        res = react(m, state, {"c"}, {"c": 0})
+        assert res.emitted_names == {"y"} and res.new_state == {"a": 0}
+        res = react(m, state, {"c"}, {"c": 7})
+        assert res.emitted_names == set() and res.new_state == {"a": 1}
+
+
+class TestSequentialSemantics:
+    def test_assignment_then_emit_sees_new_value(self):
+        m = compile_source(
+            """
+            module s:
+              input a;
+              output z : int(8);
+              var n : 0..255 = 0;
+              loop
+                await a;
+                n := n + 1;
+                emit z(n);
+              end
+            end
+            """
+        )
+        res = react(m, {"n": 0}, {"a"})
+        assert res.new_state == {"n": 1}
+        assert res.emissions[0][1] == 1  # sees the incremented value
+
+    def test_chained_assignments_compose(self):
+        m = compile_source(
+            """
+            module s:
+              input a;
+              output z : int(8);
+              var n : 0..255 = 3;
+              loop
+                await a;
+                n := n + 1;
+                n := n * 2;
+                emit z(n);
+              end
+            end
+            """
+        )
+        res = react(m, {"n": 3}, {"a"})
+        assert res.new_state == {"n": 8}
+        assert res.emissions[0][1] == 8
+
+    def test_condition_after_assignment_sees_new_value(self):
+        m = compile_source(
+            """
+            module s:
+              input a;
+              output big;
+              var n : 0..255 = 0;
+              loop
+                await a;
+                n := n + 10;
+                if n > 15 then emit big; end
+              end
+            end
+            """
+        )
+        assert react(m, {"n": 6}, {"a"}).emitted_names == {"big"}
+        assert react(m, {"n": 3}, {"a"}).emitted_names == set()
+
+
+class TestMultipleAwaits:
+    SEQ = """
+    module seq:
+      input a;
+      input b : int(4);
+      output z : int(8);
+      var n : 0..255 = 0;
+      loop
+        await a;
+        n := n + 1;
+        emit z(n);
+        await b;
+        if ?b > n then n := 0; end
+      end
+    end
+    """
+
+    def test_pc_variable_introduced(self):
+        m = compile_source(self.SEQ)
+        assert any(v.name == "_pc" for v in m.state_vars)
+
+    def test_await_discipline(self):
+        m = compile_source(self.SEQ)
+        state = m.initial_state()
+        # b while awaiting a: nothing fires
+        res = react(m, state, {"b"}, {"b": 3})
+        assert not res.fired
+        # a fires segment 0 and advances
+        res = react(m, state, {"a"})
+        assert res.fired and res.new_state["_pc"] == 1
+        state = res.new_state
+        # a while awaiting b: nothing fires
+        assert not react(m, state, {"a"}).fired
+        # b fires segment 1 and wraps back
+        res = react(m, state, {"b"}, {"b": 9})
+        assert res.fired and res.new_state["_pc"] == 0
+        assert res.new_state["n"] == 0
+
+    def test_leading_statements_join_last_segment(self):
+        m = compile_source(
+            """
+            module lead:
+              input a;
+              input b;
+              output z : int(8);
+              var n : 0..255 = 0;
+              loop
+                n := n + 1;
+                await a;
+                emit z(n);
+                await b;
+              end
+            end
+            """
+        )
+        state = m.initial_state()
+        res = react(m, state, {"a"})  # first segment emits pre-increment n
+        assert res.emissions[0][1] == 0
+        res2 = react(m, res.new_state, {"b"})  # leading stmt runs here
+        assert res2.new_state["n"] == 1
+
+
+class TestPresenceConditions:
+    def test_priority_chain(self):
+        m = compile_source(
+            """
+            module p:
+              input a;
+              input b;
+              output ya;
+              output yb;
+              loop
+                await a or b;
+                if present a then emit ya;
+                else emit yb;
+                end
+              end
+            end
+            """
+        )
+        assert react(m, {}, {"a"}).emitted_names == {"ya"}
+        assert react(m, {}, {"b"}).emitted_names == {"yb"}
+        assert react(m, {}, {"a", "b"}).emitted_names == {"ya"}
+
+    def test_not_present(self):
+        m = compile_source(
+            """
+            module p:
+              input a;
+              input b;
+              output solo;
+              loop
+                await a or b;
+                if not present b then emit solo; end
+              end
+            end
+            """
+        )
+        assert react(m, {}, {"a"}).emitted_names == {"solo"}
+        assert react(m, {}, {"a", "b"}).emitted_names == set()
+
+    def test_nested_present_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                """
+                module p:
+                  input a;
+                  input b;
+                  output y;
+                  var x : 0..3;
+                  loop
+                    await a or b;
+                    if present b and x == 1 then emit y; end
+                  end
+                end
+                """
+            )
+
+
+class TestCompileErrors:
+    def test_missing_await(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                "module m: input a; output y; loop emit y; end end"
+            )
+
+    def test_await_inside_if(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                """
+                module m:
+                  input a;
+                  input b;
+                  var x : 0..3;
+                  loop
+                    await a;
+                    if x == 0 then await b; end
+                  end
+                end
+                """
+            )
+
+    def test_await_undeclared_event(self):
+        with pytest.raises(CompileError):
+            compile_source("module m: input a; loop await nope; end end")
+
+    def test_reserved_pc_name(self):
+        with pytest.raises(CompileError):
+            compile_source(
+                "module m: input a; var _pc : 0..3; loop await a; end end"
+            )
+
+    def test_contradictory_path_pruned(self):
+        # x == 1 both true and false on one path: the path vanishes,
+        # compilation still succeeds and the machine behaves correctly.
+        m = compile_source(
+            """
+            module m:
+              input a;
+              output y;
+              var x : 0..3;
+              loop
+                await a;
+                if x == 1 then
+                  if x == 1 then emit y; end
+                end
+              end
+            end
+            """
+        )
+        assert react(m, {"x": 1}, {"a"}).emitted_names == {"y"}
+        assert react(m, {"x": 0}, {"a"}).emitted_names == set()

@@ -1,0 +1,117 @@
+"""Property-based robustness tests for the RSL front end."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfsm import react
+from repro.frontend import CompileError, RslSyntaxError, compile_source, parse_module
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.text(alphabet=string.printable, max_size=200))
+def test_parser_never_crashes_on_garbage(text):
+    """Arbitrary input must either parse or raise RslSyntaxError."""
+    try:
+        parse_module(text)
+    except RslSyntaxError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="modulenput :;()?.=<>+-*/\n\t0123456789abc", max_size=300))
+def test_parser_never_crashes_on_near_miss_input(text):
+    try:
+        parse_module("module m:\n" + text)
+    except RslSyntaxError:
+        pass
+
+
+@st.composite
+def generated_modules(draw):
+    """Well-formed random RSL modules."""
+    n_inputs = draw(st.integers(1, 3))
+    inputs = [f"e{i}" for i in range(n_inputs)]
+    widths = [draw(st.sampled_from([None, 4, 8])) for _ in inputs]
+    n_vars = draw(st.integers(0, 2))
+    variables = [
+        (f"x{i}", draw(st.sampled_from([3, 7, 15, 255])))
+        for i in range(n_vars)
+    ]
+
+    def expr(depth=0):
+        atoms = [str(draw(st.integers(0, 9)))]
+        atoms += [name for name, _ in variables]
+        atoms += [f"?{e}" for e, w in zip(inputs, widths) if w is not None]
+        if depth >= 2 or draw(st.booleans()):
+            return draw(st.sampled_from(atoms))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
+
+    def cond():
+        op = draw(st.sampled_from(["==", "!=", "<", ">", "<=", ">="]))
+        return f"{expr()} {op} {expr()}"
+
+    lines = [f"module fuzz{draw(st.integers(0, 999))}:"]
+    for event, width in zip(inputs, widths):
+        suffix = f" : int({width})" if width is not None else ""
+        lines.append(f"  input {event}{suffix};")
+    lines.append("  output yy;")
+    for name, high in variables:
+        lines.append(f"  var {name} : 0..{high} = 0;")
+    lines.append("  loop")
+    lines.append(f"    await {' or '.join(inputs)};")
+    n_stmts = draw(st.integers(1, 3))
+    for _ in range(n_stmts):
+        kind = draw(st.integers(0, 2))
+        if kind == 0 and variables:
+            name, _ = draw(st.sampled_from(variables))
+            lines.append(f"    {name} := {expr()};")
+        elif kind == 1:
+            lines.append("    emit yy;")
+        else:
+            body = "emit yy;" if not variables else (
+                f"{variables[0][0]} := {expr()};"
+            )
+            lines.append(f"    if {cond()} then {body} end")
+    lines.append("  end")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(generated_modules())
+def test_generated_modules_compile_and_react(source):
+    """Every generated module compiles and every reaction terminates."""
+    cfsm = compile_source(source)
+    state = cfsm.initial_state()
+    events = [e.name for e in cfsm.inputs]
+    values = {e.name: 3 for e in cfsm.inputs if e.is_valued}
+    for i in range(5):
+        present = {events[i % len(events)]}
+        result = react(cfsm, state, present, values)
+        state = result.new_state
+        for var in cfsm.state_vars:
+            assert 0 <= state[var.name] < var.num_values
+
+
+@settings(max_examples=40, deadline=None)
+@given(generated_modules())
+def test_generated_modules_synthesize_equivalently(source):
+    """Fuzzed modules survive the whole synthesis + target pipeline."""
+    from repro.sgraph import synthesize
+    from repro.target import K11, compile_sgraph, run_reaction
+
+    cfsm = compile_source(source)
+    result = synthesize(cfsm)
+    program = compile_sgraph(result, K11)
+    state = cfsm.initial_state()
+    values = {e.name: 5 for e in cfsm.inputs if e.is_valued}
+    for event in cfsm.inputs:
+        expected = react(cfsm, state, {event.name}, values)
+        outcome = run_reaction(
+            program, K11, cfsm, dict(state), {event.name}, values
+        )
+        assert outcome.fired == expected.fired
+        assert outcome.emitted_names() == expected.emitted_names
+        assert {k: outcome.memory[k] for k in state} == expected.new_state

@@ -1,0 +1,162 @@
+"""Tests for the RSL lexer/parser."""
+
+import pytest
+
+from repro.cfsm.expr import BinOp, Const, EventValue, UnOp, Var
+from repro.frontend import RslSyntaxError, parse_module
+from repro.frontend.rsl import Assign, Await, EmitStmt, If, PresenceExpr
+
+
+MINIMAL = """
+module m:
+  input a;
+  output y;
+  loop
+    await a;
+    emit y;
+  end
+end
+"""
+
+
+class TestStructure:
+    def test_minimal_module(self):
+        mod = parse_module(MINIMAL)
+        assert mod.name == "m"
+        assert [d.name for d in mod.inputs] == ["a"]
+        assert [d.name for d in mod.outputs] == ["y"]
+        assert isinstance(mod.body[0], Await)
+        assert isinstance(mod.body[1], EmitStmt)
+
+    def test_valued_io(self):
+        mod = parse_module(
+            "module m: input c : int(8); output z : int(16); "
+            "loop await c; emit z(?c); end end"
+        )
+        assert mod.inputs[0].width == 8
+        assert mod.outputs[0].width == 16
+        assert isinstance(mod.body[1].value, EventValue)
+
+    def test_var_declaration(self):
+        mod = parse_module(
+            "module m: input a; var x : 0..255 = 7; loop await a; end end"
+        )
+        decl = mod.variables[0]
+        assert (decl.low, decl.high, decl.init) == (0, 255, 7)
+
+    def test_var_default_init_zero(self):
+        mod = parse_module(
+            "module m: input a; var x : 0..3; loop await a; end end"
+        )
+        assert mod.variables[0].init == 0
+
+    def test_await_or_list(self):
+        mod = parse_module(
+            "module m: input a; input b; loop await a or b; end end"
+        )
+        assert mod.body[0].events == ["a", "b"]
+
+    def test_comments_ignored(self):
+        mod = parse_module(
+            "module m: # header comment\n input a; // trailing\n"
+            " loop await a; end end"
+        )
+        assert mod.name == "m"
+
+    def test_if_elif_else(self):
+        mod = parse_module(
+            """
+            module m:
+              input a;
+              var x : 0..9;
+              loop
+                await a;
+                if x == 0 then x := 1;
+                elif x == 1 then x := 2;
+                else x := 0;
+                end
+              end
+            end
+            """
+        )
+        stmt = mod.body[1]
+        assert isinstance(stmt, If)
+        assert len(stmt.arms) == 3
+        assert stmt.arms[2][0] is None  # else arm
+
+
+class TestExpressions:
+    def _expr(self, text):
+        mod = parse_module(
+            f"module m: input a; input c : int(8); var x : 0..9; var y : 0..9;"
+            f" loop await a; x := {text}; end end"
+        )
+        return mod.body[1].value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_comparison_binds_looser_than_arith(self):
+        e = self._expr("x + 1 == y * 2")
+        assert e.op == "==" and e.left.op == "+" and e.right.op == "*"
+
+    def test_and_or_not(self):
+        e = self._expr("not x == 1 and y == 2 or x == 3")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+        assert isinstance(e.left.left, UnOp) and e.left.left.op == "!"
+
+    def test_event_value(self):
+        e = self._expr("?c + 1")
+        assert isinstance(e.left, EventValue) and e.left.event_name == "c"
+
+    def test_unary_minus(self):
+        e = self._expr("-x + 1")
+        assert e.op == "+" and isinstance(e.left, UnOp)
+
+    def test_true_false_literals(self):
+        assert self._expr("true").value == 1  # type: ignore[union-attr]
+        assert self._expr("false").value == 0  # type: ignore[union-attr]
+
+    def test_present_expression(self):
+        mod = parse_module(
+            "module m: input a; input b; var x : 0..3; loop await a or b;"
+            " if present b then x := 1; end end end"
+        )
+        cond = mod.body[1].arms[0][0]
+        assert isinstance(cond, PresenceExpr) and cond.event_name == "b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("module : input a; loop await a; end end", "expected"),
+            ("module m input a; loop await a; end end", "expected ':'"),
+            ("module m: input a loop await a; end end", "expected ';'"),
+            ("module m: input a; loop await a end end", "expected ';'"),
+            ("module m: input a; loop emit ; end end", "expected"),
+            ("module m: input a; var x : 1..5; loop await a; end end", "start at 0"),
+            ("module m: input a; loop await a; x := ; end end", "expression"),
+        ],
+    )
+    def test_syntax_errors(self, source, fragment):
+        with pytest.raises(RslSyntaxError) as err:
+            parse_module(source)
+        assert fragment in str(err.value)
+
+    def test_error_reports_line_number(self):
+        source = "module m:\n  input a;\n  loop\n    await ;\n  end\nend"
+        with pytest.raises(RslSyntaxError) as err:
+            parse_module(source)
+        assert err.value.line == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(RslSyntaxError):
+            parse_module("module m: input a; loop await a; $ end end")

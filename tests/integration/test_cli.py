@@ -1,0 +1,222 @@
+"""Tests for the command-line interface."""
+
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+SIMPLE = """
+module simple:
+  input c : int(4);
+  output y;
+  var a : 0..15 = 0;
+  loop
+    await c;
+    if a == ?c then a := 0; emit y;
+    else a := a + 1;
+    end
+  end
+end
+"""
+
+PRODUCER = """
+module producer:
+  input go;
+  output tickt;
+  loop
+    await go;
+    emit tickt;
+  end
+end
+"""
+
+CONSUMER = """
+module consumer:
+  input tickt;
+  output donee;
+  loop
+    await tickt;
+    emit donee;
+  end
+end
+"""
+
+
+@pytest.fixture
+def simple_rsl(tmp_path):
+    path = tmp_path / "simple.rsl"
+    path.write_text(SIMPLE)
+    return str(path)
+
+
+class TestSynth:
+    def test_emit_c(self, simple_rsl, capsys):
+        assert main(["synth", simple_rsl]) == 0
+        out = capsys.readouterr().out
+        assert "int simple_react(void)" in out
+
+    def test_emit_asm(self, simple_rsl, capsys):
+        assert main(["synth", simple_rsl, "--emit", "asm"]) == 0
+        out = capsys.readouterr().out
+        assert "DETECT c" in out and "RET" in out
+
+    def test_emit_dot(self, simple_rsl, capsys):
+        assert main(["synth", simple_rsl, "--emit", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_emit_sgraph(self, simple_rsl, capsys):
+        assert main(["synth", simple_rsl, "--emit", "sgraph"]) == 0
+        assert "TEST present_c" in capsys.readouterr().out
+
+    def test_output_file(self, simple_rsl, tmp_path):
+        out = tmp_path / "simple.c"
+        assert main(["synth", simple_rsl, "-o", str(out)]) == 0
+        assert "simple_react" in out.read_text()
+
+    def test_estimate_flag(self, simple_rsl, capsys):
+        assert main(["synth", simple_rsl, "--estimate"]) == 0
+        err = capsys.readouterr().err
+        assert "estimated" in err and "measured" in err
+
+    def test_second_target(self, simple_rsl, capsys):
+        assert main(
+            ["synth", simple_rsl, "--emit", "asm", "--target", "K32",
+             "--estimate"]
+        ) == 0
+        assert "K32" in capsys.readouterr().err
+
+    def test_scheme_and_options(self, simple_rsl, capsys):
+        assert main(
+            ["synth", simple_rsl, "--scheme", "outputs-first",
+             "--copy-elimination"]
+        ) == 0
+        assert "ITE(" in capsys.readouterr().out
+
+
+class TestRtos:
+    def test_network_rtos(self, tmp_path, capsys):
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        p2 = tmp_path / "c.rsl"
+        p2.write_text(CONSUMER)
+        assert main(["rtos", str(p1), str(p2)]) == 0
+        out = capsys.readouterr().out
+        assert "#define N_TASKS 2" in out
+        assert "rtos_emit_tickt" in out
+
+    def test_network_with_reactions_compiles(self, tmp_path):
+        if shutil.which("gcc") is None:
+            pytest.skip("gcc not available")
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        p2 = tmp_path / "c.rsl"
+        p2.write_text(CONSUMER)
+        out = tmp_path / "system.c"
+        assert main(
+            ["rtos", str(p1), str(p2), "--include-reactions", "-o", str(out)]
+        ) == 0
+        source = out.read_text()
+        stubs = "static int go_port;\n#define IO_PORT_GO go_port\n"
+        out.write_text(
+            stubs + source + "int main(void){ rtos_run_task(0); return 0; }\n"
+        )
+        run = subprocess.run(
+            ["gcc", "-std=c99", "-Wno-unused-label", str(out),
+             "-o", str(tmp_path / "system")],
+            capture_output=True, text=True,
+        )
+        assert run.returncode == 0, run.stderr
+
+    def test_chained_tasks(self, tmp_path, capsys):
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        p2 = tmp_path / "c.rsl"
+        p2.write_text(CONSUMER)
+        assert main(
+            ["rtos", str(p1), str(p2), "--chain", "producer,consumer"]
+        ) == 0
+        assert "#define N_TASKS 1" in capsys.readouterr().out
+
+
+class TestCheck:
+    def test_passing_invariant(self, simple_rsl, capsys):
+        assert main(
+            ["check", simple_rsl, "--invariant", "0 <= a <= 15"]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_failing_invariant_returns_nonzero(self, simple_rsl, capsys):
+        assert main(["check", simple_rsl, "--invariant", "a < 2"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "counterexample" in out
+
+    def test_reachable_count_reported(self, simple_rsl, capsys):
+        assert main(["check", simple_rsl]) == 0
+        assert "reachable states" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_summary(self, simple_rsl, capsys):
+        assert main(["info", simple_rsl]) == 0
+        out = capsys.readouterr().out
+        assert "module simple" in out
+        assert "transitions: 2" in out
+        assert "chi BDD" in out
+
+
+class TestAsProcess:
+    def test_python_dash_m_invocation(self, simple_rsl):
+        run = subprocess.run(
+            [sys.executable, "-m", "repro", "synth", simple_rsl,
+             "--emit", "sgraph"],
+            capture_output=True, text=True,
+        )
+        assert run.returncode == 0, run.stderr
+        assert "BEGIN" in run.stdout
+
+
+class TestBuild:
+    def test_full_flow_build(self, tmp_path, capsys):
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        p2 = tmp_path / "c.rsl"
+        p2.write_text(CONSUMER)
+        out = tmp_path / "proj"
+        assert main(
+            ["build", str(p1), str(p2), "-o", str(out)]
+        ) == 0
+        assert (out / "rtos.c").exists()
+        assert (out / "producer.c").exists()
+        assert (out / "BUILD_REPORT.txt").exists()
+        report = capsys.readouterr().out
+        assert "producer" in report and "consumer" in report
+
+    def test_build_with_rates_validates_schedule(self, tmp_path, capsys):
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        p2 = tmp_path / "c.rsl"
+        p2.write_text(CONSUMER)
+        assert main(
+            ["build", str(p1), str(p2), "--rate", "go=50000",
+             "-o", str(tmp_path / "proj2")]
+        ) == 0
+        assert "round-robin validated" in capsys.readouterr().out
+
+    def test_build_with_infeasible_rates_fails(self, tmp_path, capsys):
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        p2 = tmp_path / "c.rsl"
+        p2.write_text(CONSUMER)
+        assert main(
+            ["build", str(p1), str(p2), "--rate", "go=1",
+             "-o", str(tmp_path / "proj3")]
+        ) == 1
+
+    def test_malformed_rate_rejected(self, tmp_path):
+        p1 = tmp_path / "p.rsl"
+        p1.write_text(PRODUCER)
+        with pytest.raises(SystemExit):
+            main(["build", str(p1), "--rate", "nonsense"])

@@ -1,0 +1,59 @@
+"""CLI error-path and option-surface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.frontend import RslSyntaxError, parse_file
+
+
+class TestErrorPaths:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["synth", str(tmp_path / "nope.rsl")])
+
+    def test_syntax_error_propagates(self, tmp_path):
+        bad = tmp_path / "bad.rsl"
+        bad.write_text("module ???")
+        with pytest.raises(RslSyntaxError):
+            main(["synth", str(bad)])
+
+    def test_unknown_subcommand_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_emit_rejected(self, tmp_path):
+        src = tmp_path / "m.rsl"
+        src.write_text(
+            "module m: input a; output y; loop await a; emit y; end end"
+        )
+        with pytest.raises(SystemExit):
+            main(["synth", str(src), "--emit", "wasm"])
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "module piped: input a; output y; loop await a; emit y; "
+                "end end"
+            ),
+        )
+        assert main(["info", "-"]) == 0
+        assert "module piped" in capsys.readouterr().out
+
+
+class TestParserSurface:
+    def test_every_subcommand_has_help(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("synth", "rtos", "check", "info"):
+            assert command in text
+
+    def test_parse_file_helper(self, tmp_path):
+        src = tmp_path / "m.rsl"
+        src.write_text(
+            "module filed: input a; output y; loop await a; emit y; end end"
+        )
+        module = parse_file(str(src))
+        assert module.name == "filed"

@@ -1,0 +1,121 @@
+"""Integration tests: DOT exports and whole-network RTOS C compilation."""
+
+import re
+import shutil
+import subprocess
+
+import pytest
+
+from repro.rtos import RtosConfig, generate_rtos_c
+from repro.sgraph import synthesize
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+
+class TestDotExport:
+    def test_sgraph_dot_well_formed(self, simple_cfsm):
+        result = synthesize(simple_cfsm)
+        dot = result.sgraph.to_dot(
+            describe=result.reactive.manager.var_name
+        )
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "BEGIN" in dot and "END" in dot
+        assert "present_c" in dot
+        # Every declared node has a definition line.
+        edges = re.findall(r"n(\d+) -> n(\d+)", dot)
+        nodes = {m for pair in edges for m in pair}
+        defined = set(re.findall(r"n(\d+) \[", dot))
+        assert nodes <= defined
+
+    def test_switch_rendered_as_diamond(self, modal_cfsm):
+        result = synthesize(modal_cfsm, multiway=True)
+        dot = result.sgraph.to_dot()
+        assert "switch mode" in dot
+
+    def test_bdd_dot_well_formed(self, simple_cfsm):
+        result = synthesize(simple_cfsm)
+        manager = result.reactive.manager
+        dot = manager.to_dot(result.reactive.chi, name="chi")
+        assert dot.startswith('digraph "chi"')
+        assert '[label="1", shape=box]' in dot
+        assert "style=dashed" in dot
+
+    @pytest.mark.skipif(
+        shutil.which("dot") is None, reason="graphviz not available"
+    )
+    def test_graphviz_accepts_output(self, simple_cfsm, tmp_path):
+        result = synthesize(simple_cfsm)
+        dot_file = tmp_path / "g.dot"
+        dot_file.write_text(result.sgraph.to_dot())
+        run = subprocess.run(
+            ["dot", "-Tsvg", str(dot_file), "-o", str(tmp_path / "g.svg")],
+            capture_output=True,
+        )
+        assert run.returncode == 0
+
+
+@pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
+class TestWholeSystemCCompilation:
+    def test_dashboard_system_compiles_as_one_unit(self, dashboard_net, tmp_path):
+        """All eight reaction modules + the generated RTOS link together."""
+        from repro.codegen import generate_c
+
+        sources = []
+        for machine in dashboard_net.machines:
+            code = generate_c(synthesize(machine))
+            # Strip the shared runtime header from all but the first module.
+            if sources:
+                code = code.split("#endif /* REPRO_RUNTIME */", 1)[1]
+            sources.append(code)
+        rtos = generate_rtos_c(dashboard_net, RtosConfig())
+        stubs = ["#include <stdint.h>"]
+        for event in dashboard_net.environment_inputs():
+            stubs.append(f"static int32_t IO_PORT_{event.name.upper()};")
+        main = (
+            "int main(void) { rtos_run_task(0); return 0; }\n"
+        )
+        source = "\n".join(sources) + "\n".join(stubs) + "\n" + rtos + main
+        path = tmp_path / "system.c"
+        path.write_text(source)
+        run = subprocess.run(
+            [
+                "gcc", "-std=c99", "-Wno-unused-label",
+                str(path), "-o", str(tmp_path / "system"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert run.returncode == 0, run.stderr
+
+    def test_shock_system_compiles(self, shock_net, tmp_path):
+        from repro.codegen import generate_c
+
+        sources = []
+        for machine in shock_net.machines:
+            code = generate_c(synthesize(machine, copy_elimination=True))
+            if sources:
+                code = code.split("#endif /* REPRO_RUNTIME */", 1)[1]
+            sources.append(code)
+        rtos = generate_rtos_c(shock_net, RtosConfig())
+        stubs = []
+        for event in shock_net.environment_inputs():
+            stubs.append(f"static int32_t IO_PORT_{event.name.upper()};")
+        source = (
+            "\n".join(sources)
+            + "\n".join(stubs)
+            + "\n"
+            + rtos
+            + "int main(void) { rtos_run_task(0); return 0; }\n"
+        )
+        path = tmp_path / "shock.c"
+        path.write_text(source)
+        run = subprocess.run(
+            [
+                "gcc", "-std=c99", "-Wno-unused-label",
+                str(path), "-o", str(tmp_path / "shock"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert run.returncode == 0, run.stderr

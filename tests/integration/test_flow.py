@@ -1,0 +1,128 @@
+"""Tests for the one-call co-synthesis flow and cross-simulator consistency."""
+
+import os
+import random
+import shutil
+import subprocess
+
+import pytest
+
+from repro.flow import build_system
+from repro.rtos import RtosConfig, RtosRuntime, SchedulingPolicy, Stimulus
+from repro.target import K11, K32
+
+
+class TestBuildSystem:
+    def test_dashboard_build(self, dashboard_net, k11_params):
+        build = build_system(dashboard_net, params=k11_params)
+        assert set(build.modules) == {m.name for m in dashboard_net.machines}
+        assert build.total_code_size() > 0
+        assert build.footprint is not None and build.footprint.ram > 0
+        assert "rtos_run_task" in build.rtos_source
+
+    def test_report_contains_every_module(self, shock_net, k11_params):
+        build = build_system(shock_net, params=k11_params)
+        report = build.report()
+        for machine in shock_net.machines:
+            assert machine.name in report
+
+    def test_automatic_scheduling_integrated(self, shock_net, k11_params):
+        rates = {
+            "asample": 6_000, "mtick": 8_000, "sec": 2_000_000,
+            "fault": 50_000, "speed": 20_000, "sel": 1_000_000,
+        }
+        build = build_system(shock_net, env_rates=rates, params=k11_params)
+        assert build.schedule is not None and build.schedule.schedulable
+        assert build.config.policy in SchedulingPolicy.ALL
+
+    def test_hw_machines_excluded_from_software_build(
+        self, shock_net, k11_params
+    ):
+        config = RtosConfig(hw_machines={"accel_filter"})
+        build = build_system(shock_net, config=config, params=k11_params)
+        assert "accel_filter" not in build.modules
+
+    def test_write_to_produces_compilable_project(
+        self, dashboard_net, k11_params, tmp_path
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        written = build.write_to(str(tmp_path / "out"))
+        names = {os.path.basename(path) for path in written}
+        assert "rtos.c" in names and "BUILD_REPORT.txt" in names
+        assert "belt_alarm.c" in names
+        if shutil.which("gcc") is None:
+            return
+        # Concatenate in module order + RTOS and compile as one unit.
+        parts = []
+        for machine in dashboard_net.machines:
+            text = (tmp_path / "out" / f"{machine.name}.c").read_text()
+            if parts:
+                text = text.split("#endif /* REPRO_RUNTIME */", 1)[1]
+            parts.append(text)
+        stubs = "".join(
+            f"static int32_t IO_PORT_{e.name.upper()};\n"
+            for e in dashboard_net.environment_inputs()
+        )
+        source = (
+            "\n".join(parts) + stubs
+            + (tmp_path / "out" / "rtos.c").read_text()
+            + "int main(void){ rtos_run_task(0); return 0; }\n"
+        )
+        target = tmp_path / "system.c"
+        target.write_text(source)
+        run = subprocess.run(
+            ["gcc", "-std=c99", "-Wno-unused-label", str(target),
+             "-o", str(tmp_path / "system")],
+            capture_output=True, text=True,
+        )
+        assert run.returncode == 0, run.stderr
+
+    def test_k32_build(self, dashboard_net, k32_params):
+        build = build_system(dashboard_net, profile=K32, params=k32_params)
+        assert build.total_code_size() > 0
+
+
+class TestCrossSimulatorConsistency:
+    """The timed RTOS cosimulation and the untimed reference simulator must
+    produce identical event counts on loss-free, well-spaced traces."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dashboard_emission_counts_agree(self, dashboard_net, seed):
+        from repro.cfsm import NetworkSimulator
+        from repro.sgraph import synthesize
+        from repro.target import compile_sgraph
+
+        rng = random.Random(seed)
+        env = [e for e in dashboard_net.environment_inputs()]
+        trace = []
+        t = 0
+        for _ in range(120):
+            t += rng.randrange(3_000, 6_000)
+            event = rng.choice(env)
+            value = rng.randrange(256) if event.is_valued else None
+            trace.append((t, event.name, value))
+
+        # Untimed reference.
+        ref = NetworkSimulator(dashboard_net)
+        ref_counts = {}
+        for _t, name, value in trace:
+            ref.inject(name, value)
+            ref.run_until_quiescent()
+            for out, _v in ref.drain_environment():
+                ref_counts[out] = ref_counts.get(out, 0) + 1
+
+        # Timed cosimulation on compiled target code.
+        programs = {
+            m.name: compile_sgraph(synthesize(m), K11)
+            for m in dashboard_net.machines
+        }
+        rt = RtosRuntime(
+            dashboard_net, RtosConfig(), profile=K11, programs=programs
+        )
+        rt.schedule_stimuli([Stimulus(t, n, v) for t, n, v in trace])
+        stats = rt.run(until=t + 100_000)
+        assert stats.lost_events == 0
+        for out in dashboard_net.environment_outputs():
+            assert stats.emissions.get(out.name, 0) == ref_counts.get(
+                out.name, 0
+            ), out.name

@@ -1,0 +1,193 @@
+"""Tests for automatic RTOS policy selection and hw/sw partitioning."""
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, Network, Var
+from repro.estimation import partition
+from repro.rtos import (
+    RtosConfig,
+    RtosRuntime,
+    SchedulingPolicy,
+    Stimulus,
+    propagate_rates,
+    select_policy,
+)
+from repro.target import K11, compile_sgraph
+from repro.sgraph import synthesize
+
+
+def _simple_machine(name, in_event, out_event, work=0):
+    b = CfsmBuilder(name)
+    t = b.pure_input(in_event)
+    o = b.pure_output(out_event)
+    actions = [b.emit(o)]
+    if work:
+        acc = b.state("acc", 256)
+        expr = Var("acc")
+        for i in range(work):
+            expr = BinOp("*", BinOp("+", expr, Const(i)), Const(3))
+        actions.append(b.assign(acc, expr))
+    b.transition(when=[b.present(t)], do=actions)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def duo_net():
+    light = _simple_machine("light", "fast_in", "fast_out")
+    heavy = _simple_machine("heavy", "slow_in", "slow_out", work=14)
+    return Network("duo", [light, heavy])
+
+
+class TestRatePropagation:
+    def test_env_rates_pass_through(self, duo_net):
+        rates = propagate_rates(duo_net, {"fast_in": 100, "slow_in": 5000})
+        assert rates["fast_in"] == 100
+
+    def test_outputs_inherit_activation_rate(self, duo_net):
+        rates = propagate_rates(duo_net, {"fast_in": 100, "slow_in": 5000})
+        assert rates["fast_out"] == 100
+        assert rates["slow_out"] == 5000
+
+    def test_chain_propagation(self):
+        a = _simple_machine("a", "env", "mid")
+        b = _simple_machine("b", "mid", "out")
+        net = Network("chain", [a, b])
+        rates = propagate_rates(net, {"env": 777})
+        assert rates["mid"] == 777 and rates["out"] == 777
+
+
+class TestPolicySelection:
+    def test_light_load_selects_round_robin(self, duo_net, k11_params):
+        result = select_policy(
+            duo_net, {"fast_in": 50_000, "slow_in": 100_000}, k11_params
+        )
+        assert result.schedulable
+        assert result.policy == SchedulingPolicy.ROUND_ROBIN
+        assert result.utilization < 0.1
+
+    def test_tight_load_selects_preemptive_rm(self, duo_net, k11_params):
+        """Total WCET exceeds the fast period, but RM preemption fits."""
+        heavy_wcet = next(
+            t.wcet for t in select_policy(
+                duo_net, {"fast_in": 10**6, "slow_in": 10**6}, k11_params
+            ).tasks
+            if t.name == "heavy"
+        )
+        fast_period = heavy_wcet  # light's deadline < light+heavy WCET
+        result = select_policy(
+            duo_net,
+            {"fast_in": fast_period, "slow_in": 40 * heavy_wcet},
+            k11_params,
+        )
+        assert result.schedulable
+        assert result.policy == SchedulingPolicy.PREEMPTIVE_PRIORITY
+        assert result.config.priorities["light"] < result.config.priorities["heavy"]
+
+    def test_overload_reported_unschedulable(self, duo_net, k11_params):
+        result = select_policy(
+            duo_net, {"fast_in": 10, "slow_in": 10}, k11_params
+        )
+        assert not result.schedulable
+        assert result.config is None
+        assert "unschedulable" in result.explanation
+        assert result.utilization > 1.0
+
+    def test_missing_rate_rejected(self, duo_net, k11_params):
+        with pytest.raises(ValueError):
+            select_policy(duo_net, {"fast_in": 1000}, k11_params)
+
+    def test_report_is_readable(self, duo_net, k11_params):
+        result = select_policy(
+            duo_net, {"fast_in": 50_000, "slow_in": 50_000}, k11_params
+        )
+        text = result.report()
+        assert "utilization" in text and "light" in text
+
+    def test_selected_config_meets_deadlines_in_simulation(
+        self, duo_net, k11_params
+    ):
+        """Close the loop: the validated config holds up in cosimulation."""
+        rates = {"fast_in": 30_000, "slow_in": 60_000}
+        result = select_policy(duo_net, rates, k11_params)
+        assert result.schedulable
+        programs = {
+            m.name: compile_sgraph(synthesize(m), K11)
+            for m in duo_net.machines
+        }
+        rt = RtosRuntime(duo_net, result.config, profile=K11, programs=programs)
+        probe = rt.add_probe("fast_in", "fast_out")
+        stimuli = [Stimulus(30_000 * i + 7, "fast_in") for i in range(20)]
+        stimuli += [Stimulus(60_000 * i + 13, "slow_in") for i in range(10)]
+        rt.schedule_stimuli(stimuli)
+        stats = rt.run(until=700_000)
+        assert stats.emissions.get("fast_out", 0) == 20
+        deadline = next(t.effective_deadline for t in result.tasks if t.name == "light")
+        assert probe.worst is not None and probe.worst <= deadline
+
+    def test_shock_absorber_rates(self, shock_net, k11_params):
+        """A realistic sample rate validates; an aggressive one does not."""
+        base = {
+            "mtick": 8_000, "sec": 2_000_000, "fault": 50_000,
+            "speed": 20_000, "sel": 1_000_000,
+        }
+        ok = select_policy(shock_net, dict(base, asample=6_000), k11_params)
+        assert ok.schedulable
+        overload = select_policy(shock_net, dict(base, asample=300), k11_params)
+        assert not overload.schedulable
+
+
+class TestPartition:
+    def _activation_periods(self, net, env_rates):
+        rates = propagate_rates(net, env_rates)
+        return {
+            m.name: min(rates[e.name] for e in m.inputs if e.name in rates)
+            for m in net.machines
+        }
+
+    def test_light_load_stays_all_software(self, duo_net, k11_params):
+        periods = self._activation_periods(
+            duo_net, {"fast_in": 100_000, "slow_in": 100_000}
+        )
+        result = partition(duo_net, periods, k11_params)
+        assert result.feasible
+        assert result.hardware == []
+
+    def test_overload_moves_machines_to_hardware(self, shock_net, k11_params):
+        env = {
+            "asample": 300, "mtick": 8_000, "sec": 2_000_000,
+            "fault": 50_000, "speed": 20_000, "sel": 1_000_000,
+        }
+        periods = self._activation_periods(shock_net, env)
+        result = partition(shock_net, periods, k11_params)
+        assert result.feasible
+        assert result.hardware  # something moved
+        assert result.sw_utilization <= 0.69 + 1e-9
+
+    def test_pinned_software_respected(self, shock_net, k11_params):
+        env = {
+            "asample": 300, "mtick": 8_000, "sec": 2_000_000,
+            "fault": 50_000, "speed": 20_000, "sel": 1_000_000,
+        }
+        periods = self._activation_periods(shock_net, env)
+        result = partition(
+            shock_net, periods, k11_params, pinned_sw={"diagnostics"}
+        )
+        assert "diagnostics" in result.software
+
+    def test_pinned_hardware_respected(self, duo_net, k11_params):
+        periods = self._activation_periods(
+            duo_net, {"fast_in": 100_000, "slow_in": 100_000}
+        )
+        result = partition(duo_net, periods, k11_params, pinned_hw={"heavy"})
+        assert "heavy" in result.hardware
+
+    def test_missing_period_rejected(self, duo_net, k11_params):
+        with pytest.raises(ValueError):
+            partition(duo_net, {"light": 1000}, k11_params)
+
+    def test_report_readable(self, duo_net, k11_params):
+        periods = self._activation_periods(
+            duo_net, {"fast_in": 100_000, "slow_in": 100_000}
+        )
+        text = partition(duo_net, periods, k11_params).report()
+        assert "partition:" in text and "sw " in text

@@ -1,0 +1,124 @@
+"""Tests for the generated-RTOS C emitter and footprint model."""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Network, Var
+from repro.rtos import RtosConfig, SchedulingPolicy, generate_rtos_c
+from repro.rtos.footprint import generated_rtos_rom, system_footprint
+from repro.sgraph import synthesize
+from repro.target import K11, compile_sgraph
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+
+@pytest.fixture(scope="module")
+def pipe_net():
+    from .test_runtime import build_pipeline
+
+    return build_pipeline()
+
+
+class TestRtosEmitter:
+    def test_task_table(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        assert "#define N_TASKS 2" in code
+        assert "extern int A_react(void);" in code
+        assert "extern int B_react(void);" in code
+
+    def test_emission_routine_per_consumed_event(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        assert "void rtos_emit_go(int32_t v)" in code
+        assert "void rtos_emit_mid(int32_t v)" in code
+        # outp has no software consumer: no emission routine.
+        assert "rtos_emit_outp" not in code
+
+    def test_snapshot_freezing_logic_present(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        assert "task_pending" in code
+        assert "task_frozen" in code
+        assert "snapshot" in code
+
+    def test_event_preservation_on_no_fire(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        assert "if (fired)" in code
+        assert "task_flags[t] &= ~snapshot" in code
+
+    def test_round_robin_loop(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        assert "cursor" in code
+
+    def test_priority_loop_orders_scan(self, pipe_net):
+        cfg = RtosConfig(
+            policy=SchedulingPolicy.STATIC_PRIORITY,
+            priorities={"B": 1, "A": 2},
+        )
+        code = generate_rtos_c(pipe_net, cfg)
+        # B (priority 1) must be checked before A in the scan.
+        first = code.index("rtos_run_task(1)")  # task index of B
+        second = code.index("rtos_run_task(0)")
+        assert first < second
+
+    def test_isr_for_interrupt_events(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        assert "void isr_go(void)" in code
+
+    def test_polling_routine_when_requested(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig(polled_events={"go"}))
+        assert "void rtos_poll(void)" in code
+        assert "isr_go" not in code
+
+    def test_chained_tasks_share_runner(self, pipe_net):
+        code = generate_rtos_c(pipe_net, RtosConfig(chains=[["A", "B"]]))
+        assert "#define N_TASKS 1" in code
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
+    def test_generated_rtos_compiles(self, pipe_net, tmp_path):
+        code = generate_rtos_c(pipe_net, RtosConfig())
+        stubs = """
+#include <stdint.h>
+static int32_t IO_PORT_GO;
+#define IO_PORT_GO IO_PORT_GO
+int A_react(void) { return 0; }
+int B_react(void) { return 0; }
+void rtos_run_task(int t);
+"""
+        src = tmp_path / "rtos.c"
+        src.write_text(stubs + code)
+        result = subprocess.run(
+            ["gcc", "-std=c99", "-c", str(src), "-o", str(tmp_path / "rtos.o")],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+
+
+class TestFootprint:
+    def test_rom_grows_with_tasks(self, pipe_net):
+        single = generated_rtos_rom(pipe_net, RtosConfig(chains=[["A", "B"]]), K11)
+        double = generated_rtos_rom(pipe_net, RtosConfig(), K11)
+        assert double > single
+
+    def test_system_footprint_includes_code(self, pipe_net):
+        programs = {
+            m.name: compile_sgraph(synthesize(m), K11) for m in pipe_net.machines
+        }
+        fp = system_footprint(pipe_net, RtosConfig(), K11, programs)
+        code_bytes = sum(p.total_size for p in programs.values())
+        assert fp.rom > code_bytes  # code + RTOS
+        assert fp.ram > 0
+
+    def test_footprint_addition(self, pipe_net):
+        from repro.rtos.footprint import Footprint
+
+        total = Footprint(10, 4) + Footprint(5, 2)
+        assert (total.rom, total.ram) == (15, 6)
+
+    def test_generated_rtos_is_small(self, pipe_net):
+        """Sec. IV-E: generated RTOS much smaller than a commercial kernel."""
+        from repro.apps.shock_absorber import MANUAL_RTOS_ROM
+
+        rom = generated_rtos_rom(pipe_net, RtosConfig(), K11)
+        assert rom < MANUAL_RTOS_ROM / 10

@@ -1,0 +1,106 @@
+"""Detail tests for the footprint model and RTOS configuration."""
+
+import pytest
+
+from repro.cfsm import CfsmBuilder, Network
+from repro.rtos import RtosConfig, SchedulingPolicy
+from repro.rtos.footprint import Footprint, generated_rtos_rom, system_footprint
+from repro.sgraph import synthesize
+from repro.target import K11, K32, compile_sgraph
+
+
+def simple_net(n_machines=2, valued=False):
+    machines = []
+    for i in range(n_machines):
+        b = CfsmBuilder(f"m{i}")
+        if valued:
+            t = b.value_input(f"in{i}", width=8)
+        else:
+            t = b.pure_input(f"in{i}")
+        o = b.pure_output(f"out{i}")
+        b.transition(when=[b.present(t)], do=[b.emit(o)])
+        machines.append(b.build())
+    return Network("net", machines)
+
+
+class TestGeneratedRtosRom:
+    def test_grows_with_machines(self):
+        small = generated_rtos_rom(simple_net(2), RtosConfig(), K11)
+        large = generated_rtos_rom(simple_net(5), RtosConfig(), K11)
+        assert large > small
+
+    def test_polling_routine_adds_rom(self):
+        net = simple_net(2)
+        base = generated_rtos_rom(net, RtosConfig(), K11)
+        polled = generated_rtos_rom(
+            net, RtosConfig(polled_events={"in0"}), K11
+        )
+        assert polled > base - 20  # ISR removed, polling routine added
+        only_polling_delta = polled - base
+        assert only_polling_delta != 0
+
+    def test_wider_pointers_scale_rom(self):
+        net = simple_net(3)
+        assert generated_rtos_rom(net, RtosConfig(), K32) > generated_rtos_rom(
+            net, RtosConfig(), K11
+        )
+
+    def test_hw_machines_shrink_rtos(self):
+        net = simple_net(3)
+        base = generated_rtos_rom(net, RtosConfig(), K11)
+        mixed = generated_rtos_rom(net, RtosConfig(hw_machines={"m0"}), K11)
+        assert mixed < base
+
+
+class TestSystemFootprint:
+    def _programs(self, net):
+        return {m.name: compile_sgraph(synthesize(m), K11) for m in net.machines}
+
+    def test_valued_events_add_buffers(self):
+        pure = simple_net(2, valued=False)
+        valued = simple_net(2, valued=True)
+        fp_pure = system_footprint(pure, RtosConfig(), K11, self._programs(pure))
+        fp_valued = system_footprint(
+            valued, RtosConfig(), K11, self._programs(valued)
+        )
+        assert fp_valued.ram > fp_pure.ram
+
+    def test_copied_counts_reduce_ram(self):
+        b = CfsmBuilder("stateful")
+        t = b.pure_input("t")
+        o = b.pure_output("o")
+        s = b.state("s", 16)
+        from repro.cfsm import BinOp, Const, Var
+
+        b.transition(
+            when=[b.present(t)],
+            do=[b.assign(s, BinOp("+", Var("s"), Const(1))), b.emit(o)],
+        )
+        net = Network("one", [b.build()])
+        programs = self._programs(net)
+        full = system_footprint(net, RtosConfig(), K11, programs)
+        slim = system_footprint(
+            net, RtosConfig(), K11, programs, copied_counts={"stateful": 0}
+        )
+        assert slim.ram < full.ram
+
+    def test_footprint_str(self):
+        assert str(Footprint(100, 10)) == "ROM=100B RAM=10B"
+
+
+class TestConfigHelpers:
+    def test_priority_default(self):
+        config = RtosConfig(priorities={"a": 1})
+        assert config.priority_of("a") == 1
+        assert config.priority_of("unlisted") == 100
+
+    def test_chain_lookup(self):
+        config = RtosConfig(chains=[["a", "b"], ["c"]])
+        assert config.chain_of("b") == ("a", "b")
+        assert config.chain_of("c") == ("c",)
+        assert config.chain_of("z") is None
+
+    def test_all_policies_listed(self):
+        assert set(SchedulingPolicy.ALL) == {
+            "round-robin", "static-priority", "preemptive-priority",
+        }

@@ -1,0 +1,333 @@
+"""Tests for the RTOS runtime simulator (Sec. IV semantics)."""
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Network, Var
+from repro.rtos import RtosConfig, RtosRuntime, SchedulingPolicy, Stimulus
+from repro.sgraph import synthesize
+from repro.target import K11, compile_sgraph
+
+
+def build_pipeline():
+    bA = CfsmBuilder("A")
+    go = bA.value_input("go", width=4)
+    mid = bA.value_output("mid", width=8)
+    bA.transition(
+        when=[bA.present(go)],
+        do=[bA.emit(mid, BinOp("+", EventValue("go"), Const(1)))],
+    )
+    A = bA.build()
+    bB = CfsmBuilder("B")
+    midB = bB.input(mid)
+    out = bB.pure_output("outp")
+    n = bB.state("n", num_values=8)
+    gt = BinOp(">", EventValue("mid"), Const(3))
+    bB.transition(
+        when=[bB.present(midB), bB.expr_test(gt)],
+        do=[bB.emit(out), bB.assign(n, BinOp("+", Var("n"), Const(1)))],
+    )
+    bB.transition(
+        when=[bB.present(midB), bB.expr_test(gt, False)],
+        do=[bB.assign(n, BinOp("+", Var("n"), Const(1)))],
+    )
+    B = bB.build()
+    return Network("pipe", [A, B])
+
+
+@pytest.fixture(scope="module")
+def pipe_net():
+    return build_pipeline()
+
+
+@pytest.fixture(scope="module")
+def pipe_programs(pipe_net):
+    return {m.name: compile_sgraph(synthesize(m), K11) for m in pipe_net.machines}
+
+
+def run_pipe(pipe_net, pipe_programs, config, stimuli, until=500_000):
+    rt = RtosRuntime(pipe_net, config, profile=K11, programs=pipe_programs)
+    probe = rt.add_probe("go", "outp")
+    rt.schedule_stimuli(stimuli)
+    stats = rt.run(until=until)
+    return rt, stats, probe
+
+
+class TestBasicExecution:
+    def test_pipeline_delivers(self, pipe_net, pipe_programs):
+        _, stats, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(),
+            [Stimulus(1000 * i + 100, "go", 7) for i in range(10)],
+        )
+        assert stats.emissions.get("outp", 0) == 10
+        assert stats.reactions == 20
+        assert stats.lost_events == 0
+
+    def test_value_threshold_respected(self, pipe_net, pipe_programs):
+        _, stats, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(),
+            [Stimulus(1000 * i + 100, "go", i % 8) for i in range(16)],
+        )
+        expected = sum(1 for i in range(16) if (i % 8) + 1 > 3)
+        assert stats.emissions.get("outp", 0) == expected
+
+    def test_fallback_semantics_without_programs(self, pipe_net):
+        rt = RtosRuntime(pipe_net, RtosConfig())
+        rt.schedule_stimuli([Stimulus(100, "go", 9)])
+        stats = rt.run(until=10_000)
+        assert stats.emissions.get("outp", 0) == 1
+
+    def test_utilization_bounded(self, pipe_net, pipe_programs):
+        _, stats, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(),
+            [Stimulus(5000 * i + 100, "go", 7) for i in range(5)],
+        )
+        assert 0.0 < stats.utilization() < 1.0
+
+    def test_burst_overwrites_lose_events(self, pipe_net, pipe_programs):
+        # Three same-cycle injections: the first dispatches the task, the
+        # second lands in the frozen-pending set, the third overwrites it.
+        _, stats, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(),
+            [
+                Stimulus(100, "go", 7),
+                Stimulus(100, "go", 2),
+                Stimulus(100, "go", 2),
+            ],
+        )
+        assert stats.lost_events >= 1
+        # Only the first (7) crossed the threshold; the surviving burst
+        # value (2) did not.
+        assert stats.emissions.get("outp", 0) == 1
+
+
+class TestPolicies:
+    def test_round_robin_alternates(self, pipe_net, pipe_programs):
+        rt, stats, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(policy=SchedulingPolicy.ROUND_ROBIN),
+            [Stimulus(1000 * i, "go", 7) for i in range(6)],
+        )
+        ran = [name for _, kind, name in rt.trace if kind == "run"]
+        assert set(ran) == {"A", "B"}
+
+    def test_priority_orders_dispatch(self):
+        """Two tasks enabled simultaneously: priority picks first."""
+        machines = []
+        for name in ("LO", "HI"):
+            b = CfsmBuilder(name)
+            t = b.pure_input("tick")
+            o = b.pure_output(f"o_{name}")
+            b.transition(when=[b.present(t)], do=[b.emit(o)])
+            machines.append(b.build())
+        net = Network("duo", machines)
+        cfg = RtosConfig(
+            policy=SchedulingPolicy.STATIC_PRIORITY,
+            priorities={"HI": 1, "LO": 9},
+        )
+        rt = RtosRuntime(net, cfg)
+        rt.schedule_stimuli([Stimulus(100, "tick")])
+        rt.run(until=50_000)
+        ran = [name for _, kind, name in rt.trace if kind == "run"]
+        assert ran[0] == "HI"
+
+    def test_preemption_reduces_high_priority_latency(self):
+        # Heavy low-priority task + light high-priority task.
+        bH = CfsmBuilder("H")
+        tick = bH.pure_input("tick")
+        hout = bH.pure_output("hout")
+        acc = bH.state("hacc", num_values=256)
+        expr = Var("hacc")
+        for i in range(12):
+            expr = BinOp("*", BinOp("+", expr, Const(i)), Const(3))
+        bH.transition(when=[bH.present(tick)], do=[bH.assign(acc, expr), bH.emit(hout)])
+        bL = CfsmBuilder("L")
+        ping = bL.pure_input("ping")
+        pong = bL.pure_output("pong")
+        bL.transition(when=[bL.present(ping)], do=[bL.emit(pong)])
+        net = Network("mix", [bH.build(), bL.build()])
+        programs = {m.name: compile_sgraph(synthesize(m), K11) for m in net.machines}
+
+        worst = {}
+        for policy in (
+            SchedulingPolicy.STATIC_PRIORITY,
+            SchedulingPolicy.PREEMPTIVE_PRIORITY,
+        ):
+            cfg = RtosConfig(policy=policy, priorities={"L": 1, "H": 5})
+            rt = RtosRuntime(net, cfg, profile=K11, programs=programs)
+            probe = rt.add_probe("ping", "pong")
+            stim = [Stimulus(10_000 * i + 50, "tick") for i in range(8)]
+            stim += [Stimulus(10_000 * i + 60, "ping") for i in range(8)]
+            rt.schedule_stimuli(stim)
+            stats = rt.run(until=200_000)
+            worst[policy] = probe.worst
+            if policy == SchedulingPolicy.PREEMPTIVE_PRIORITY:
+                assert stats.preemptions > 0
+        assert worst[SchedulingPolicy.PREEMPTIVE_PRIORITY] < worst[
+            SchedulingPolicy.STATIC_PRIORITY
+        ]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RtosConfig(policy="lottery")
+
+
+class TestSnapshotFreezing:
+    def test_section_4d_interleaving_regression(self):
+        """Events arriving mid-reaction are deferred to the next run.
+
+        This is the paper's erroneous-interleaving example: a CFSM checking
+        flags in sequence must never observe a set of events that was true
+        at no single point in time.
+        """
+        b = CfsmBuilder("seq2")
+        e1 = b.pure_input("e1")
+        e2 = b.pure_input("e2")
+        bad = b.pure_output("bad")
+        # Fires only on "e2 without e1" — the combination the paper's broken
+        # implementation would fabricate.
+        b.transition(when=[b.present(e2), b.absent(e1)], do=[b.emit(bad)])
+        b.transition(when=[b.present(e1), b.present(e2)], do=[])
+        b.transition(when=[b.present(e1), b.absent(e2)], do=[])
+        net = Network("freeze", [b.build()])
+        cfg = RtosConfig()
+        rt = RtosRuntime(net, cfg, fallback_reaction_cycles=1000)
+        # e1 arrives; while the task runs (1000 cycles), e1+e2 arrive again.
+        rt.schedule_stimuli(
+            [Stimulus(100, "e1"), Stimulus(200, "e1"), Stimulus(201, "e2")]
+        )
+        stats = rt.run(until=100_000)
+        # The atomic snapshots were {e1} then {e1, e2}: never e2 alone.
+        assert stats.emissions.get("bad", 0) == 0
+        assert stats.reactions == 2
+
+    def test_pending_events_not_lost(self, pipe_net, pipe_programs):
+        cfg = RtosConfig(dispatch_overhead=0)
+        rt = RtosRuntime(pipe_net, cfg, profile=K11, programs=pipe_programs)
+        # Second go arrives while A is still executing the first.
+        rt.schedule_stimuli([Stimulus(100, "go", 7), Stimulus(101, "go", 7)])
+        stats = rt.run(until=100_000)
+        assert stats.emissions.get("mid", 0) == 2
+
+
+class TestChaining:
+    def test_chain_reduces_dispatches(self, pipe_net, pipe_programs):
+        stimuli = [Stimulus(2000 * i + 100, "go", 7) for i in range(10)]
+        _, plain, _ = run_pipe(pipe_net, pipe_programs, RtosConfig(), stimuli)
+        _, chained, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(chains=[["A", "B"]]),
+            stimuli,
+        )
+        assert chained.dispatches < plain.dispatches
+        assert chained.emissions.get("outp", 0) == plain.emissions.get("outp", 0)
+
+    def test_chain_lowers_latency(self, pipe_net, pipe_programs):
+        stimuli = [Stimulus(2000 * i + 100, "go", 7) for i in range(10)]
+        _, _, plain_probe = run_pipe(pipe_net, pipe_programs, RtosConfig(), stimuli)
+        _, _, chain_probe = run_pipe(
+            pipe_net, pipe_programs, RtosConfig(chains=[["A", "B"]]), stimuli
+        )
+        assert chain_probe.worst < plain_probe.worst
+
+    def test_chaining_hw_machine_rejected(self, pipe_net):
+        cfg = RtosConfig(chains=[["A", "B"]], hw_machines={"A"})
+        with pytest.raises(ValueError):
+            RtosRuntime(pipe_net, cfg)
+
+
+class TestHardwareInterface:
+    def test_polling_adds_latency(self, pipe_net, pipe_programs):
+        stimuli = [Stimulus(20_000 * i + 100, "go", 7) for i in range(5)]
+        _, _, isr_probe = run_pipe(pipe_net, pipe_programs, RtosConfig(), stimuli)
+        _, polled_stats, polled_probe = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(polled_events={"go"}, polling_period=5_000),
+            stimuli,
+        )
+        assert polled_stats.polls > 0
+        assert polled_probe.worst > isr_probe.worst
+
+    def test_interrupts_counted(self, pipe_net, pipe_programs):
+        _, stats, _ = run_pipe(
+            pipe_net,
+            pipe_programs,
+            RtosConfig(),
+            [Stimulus(1000 * i + 1, "go", 7) for i in range(4)],
+        )
+        assert stats.interrupts == 4
+
+    def test_hw_machine_reacts_off_cpu(self):
+        """A hardware CFSM transforms events without consuming CPU."""
+        bHW = CfsmBuilder("HWF")
+        raw = bHW.pure_input("raw")
+        cooked = bHW.pure_output("cooked")
+        bHW.transition(when=[bHW.present(raw)], do=[bHW.emit(cooked)])
+        bSW = CfsmBuilder("SW")
+        c_in = bSW.input(cooked)
+        done = bSW.pure_output("done")
+        bSW.transition(when=[bSW.present(c_in)], do=[bSW.emit(done)])
+        net = Network("hwsw", [bHW.build(), bSW.build()])
+        cfg = RtosConfig(hw_machines={"HWF"})
+        rt = RtosRuntime(net, cfg)
+        rt.schedule_stimuli([Stimulus(100, "raw")])
+        stats = rt.run(until=50_000)
+        assert stats.emissions.get("done", 0) == 1
+        # Only the software machine was dispatched.
+        assert stats.dispatches == 1
+
+
+class TestIsrChaining:
+    def test_isr_chained_event_runs_inside_interrupt(self):
+        """Sec. IV-C: critical events execute their tasks inside the ISR."""
+        # Heavy background task + critical event handler.
+        bH = CfsmBuilder("BG")
+        tick = bH.pure_input("bg_tick")
+        bout = bH.pure_output("bg_out")
+        acc = bH.state("bacc", num_values=256)
+        expr = Var("bacc")
+        for i in range(12):
+            expr = BinOp("*", BinOp("+", expr, Const(i)), Const(3))
+        bH.transition(when=[bH.present(tick)], do=[bH.assign(acc, expr), bH.emit(bout)])
+        bC = CfsmBuilder("CRIT")
+        alarm = bC.pure_input("alarm")
+        react_out = bC.pure_output("react_out")
+        bC.transition(when=[bC.present(alarm)], do=[bC.emit(react_out)])
+        net = Network("isr", [bH.build(), bC.build()])
+        programs = {m.name: compile_sgraph(synthesize(m), K11) for m in net.machines}
+
+        worst = {}
+        for label, cfg in (
+            ("plain", RtosConfig()),
+            ("isr-chained", RtosConfig(isr_chained_events={"alarm"})),
+        ):
+            rt = RtosRuntime(net, cfg, profile=K11, programs=programs)
+            probe = rt.add_probe("alarm", "react_out")
+            stim = [Stimulus(10_000 * i + 50, "bg_tick") for i in range(8)]
+            # alarm lands right after the heavy task starts
+            stim += [Stimulus(10_000 * i + 120, "alarm") for i in range(8)]
+            rt.schedule_stimuli(stim)
+            stats = rt.run(until=200_000)
+            assert stats.emissions.get("react_out", 0) == 8, label
+            worst[label] = probe.worst
+        # ISR chaining beats waiting for the heavy task to finish.
+        assert worst["isr-chained"] < worst["plain"]
+
+    def test_isr_chained_rtos_c_contains_run_task(self):
+        """The generated RTOS inlines the critical task into the ISR body."""
+        from repro.rtos import generate_rtos_c
+
+        net = build_pipeline()
+        code = generate_rtos_c(net, RtosConfig(isr_chained_events={"go"}))
+        isr_body = code.split("void isr_go(void)")[1].split("}")[0]
+        assert "rtos_run_task" in isr_body

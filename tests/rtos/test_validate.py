@@ -1,0 +1,106 @@
+"""Tests for schedulability analysis (Liu & Layland, response times, EDF)."""
+
+import math
+
+import pytest
+
+from repro.rtos import (
+    TaskSpec,
+    edf_schedulable,
+    response_times,
+    rm_schedulable,
+    rm_utilization_bound,
+)
+
+
+class TestRmBound:
+    def test_single_task_bound_is_one(self):
+        assert rm_utilization_bound(1) == pytest.approx(1.0)
+
+    def test_two_task_bound(self):
+        assert rm_utilization_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+
+    def test_bound_decreases_towards_ln2(self):
+        bounds = [rm_utilization_bound(n) for n in range(1, 50)]
+        assert all(a > b for a, b in zip(bounds, bounds[1:]))
+        assert bounds[-1] == pytest.approx(math.log(2), abs=0.01)
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            rm_utilization_bound(0)
+
+
+class TestRmTest:
+    def test_light_load_schedulable(self):
+        tasks = [TaskSpec("a", 10, 100), TaskSpec("b", 10, 200)]
+        assert rm_schedulable(tasks)
+
+    def test_overload_unschedulable(self):
+        tasks = [TaskSpec("a", 60, 100), TaskSpec("b", 60, 100)]
+        assert not rm_schedulable(tasks)
+
+    def test_bound_is_sufficient_not_necessary(self):
+        # U = 1.0 with harmonic periods: RM-bound fails, but exact
+        # response-time analysis accepts.
+        tasks = [TaskSpec("a", 50, 100), TaskSpec("b", 100, 200)]
+        assert not rm_schedulable(tasks)
+        assert all(r is not None for r in response_times(tasks).values())
+
+
+class TestResponseTimes:
+    def test_textbook_example(self):
+        """Classic example: C=(1,1,3), T=(3,5,9)."""
+        tasks = [
+            TaskSpec("t1", 1, 3),
+            TaskSpec("t2", 1, 5),
+            TaskSpec("t3", 3, 9),
+        ]
+        r = response_times(tasks)
+        assert r["t1"] == 1
+        assert r["t2"] == 2
+        # t3: 3 -> 3+I(3)=5 -> 3+I(5)=6 -> 3+I(6)=7 -> 3+I(7)=8 -> fixed at 8
+        assert r["t3"] == 8
+
+    def test_unschedulable_task_reports_none(self):
+        tasks = [TaskSpec("fast", 5, 10), TaskSpec("slow", 8, 12)]
+        r = response_times(tasks)
+        assert r["fast"] == 5
+        assert r["slow"] is None
+
+    def test_explicit_deadline_used(self):
+        tasks = [TaskSpec("a", 5, 100, deadline=4)]
+        assert response_times(tasks)["a"] is None
+
+    def test_utilization_property(self):
+        t = TaskSpec("a", 25, 100)
+        assert t.utilization == 0.25
+
+
+class TestEdf:
+    def test_full_utilization_accepted(self):
+        tasks = [TaskSpec("a", 50, 100), TaskSpec("b", 100, 200)]
+        assert edf_schedulable(tasks)
+
+    def test_overload_rejected(self):
+        tasks = [TaskSpec("a", 60, 100), TaskSpec("b", 90, 200)]
+        assert not edf_schedulable(tasks)
+
+
+class TestIntegrationWithEstimates:
+    def test_estimated_wcets_feed_analysis(self, dashboard_net, k11_params):
+        """WCETs from the estimator make a plausible task set."""
+        from repro.estimation import estimate
+        from repro.sgraph import synthesize
+
+        periods = {name: 20_000 for name in
+                   (m.name for m in dashboard_net.machines)}
+        tasks = []
+        for machine in dashboard_net.machines:
+            result = synthesize(machine)
+            est = estimate(result.sgraph, result.reactive.encoding, k11_params)
+            tasks.append(
+                TaskSpec(machine.name, est.max_cycles + 40, periods[machine.name])
+            )
+        assert rm_schedulable(tasks)
+        r = response_times(tasks)
+        assert all(value is not None for value in r.values())

@@ -1,0 +1,147 @@
+"""Tests for the write-before-read data-flow analysis (Sec. V-B extension)."""
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Var, react
+from repro.sgraph import synthesize, vars_needing_copy
+from repro.target import K11, compile_sgraph, run_reaction
+
+from ..conftest import all_snapshots, make_modal_cfsm, make_simple_cfsm
+
+
+class TestAnalysis:
+    def test_simple_module_needs_no_copy(self, simple_cfsm):
+        """`simple` reads `a` only in the guard, before any write."""
+        result = synthesize(simple_cfsm)
+        needed = vars_needing_copy(result.sgraph, result.reactive.encoding)
+        assert needed == set()
+
+    def test_modal_needs_no_copy(self, modal_cfsm):
+        result = synthesize(modal_cfsm)
+        needed = vars_needing_copy(result.sgraph, result.reactive.encoding)
+        assert needed == set()
+
+    def test_write_before_read_detected(self):
+        """Two state vars where one's update is read by the other's guard.
+
+        The s-graph may order the ASSIGN to `x` before the TEST on `y`...
+        here we force a real hazard: x is written by one action and read
+        by a later emit value on the same path.
+        """
+        b = CfsmBuilder("hazard")
+        go = b.pure_input("go")
+        out = b.value_output("out", 8)
+        x = b.state("x", 16)
+        # Same transition: assign x and emit out(x) — the emit must see the
+        # OLD x, so if the ASSIGN vertex precedes the emit vertex on the
+        # path, x needs buffering.
+        b.transition(
+            when=[b.present(go)],
+            do=[b.assign(x, BinOp("+", Var("x"), Const(1))), b.emit(out, Var("x"))],
+        )
+        result = synthesize(b.build())
+        needed = vars_needing_copy(result.sgraph, result.reactive.encoding)
+        sg = result.sgraph
+        # Whether buffering is needed depends on vertex order; verify the
+        # analysis agrees with the actual order by checking semantics below.
+        program = compile_sgraph(
+            synthesize(b.build(), copy_elimination=True), K11
+        )
+        r = run_reaction(program, K11, b.build(), {"x": 5}, {"go"}, {})
+        assert ("out", 5) in r.emissions  # pre-state value emitted
+        assert r.memory["x"] == 6
+
+    def test_copy_vars_none_means_all(self, simple_cfsm):
+        result = synthesize(simple_cfsm)  # default: no elimination
+        assert result.copy_vars is None
+        assert result.copied_state_vars() == ["a"]
+
+    def test_copy_elimination_records_set(self, simple_cfsm):
+        result = synthesize(simple_cfsm, copy_elimination=True)
+        assert result.copy_vars == set()
+        assert result.copied_state_vars() == []
+
+
+class TestSemanticPreservation:
+    """Copy elimination must never change behaviour."""
+
+    @pytest.mark.parametrize(
+        "factory", [make_simple_cfsm, make_modal_cfsm], ids=["simple", "modal"]
+    )
+    def test_exhaustive_equivalence(self, factory):
+        cfsm = factory()
+        result = synthesize(cfsm, copy_elimination=True)
+        program = compile_sgraph(result, K11)
+        for state, present, values in all_snapshots(cfsm):
+            expected = react(cfsm, state, present, values)
+            r = run_reaction(program, K11, cfsm, dict(state), present, values)
+            assert r.fired == expected.fired
+            assert r.emitted_names() == expected.emitted_names
+            assert {k: r.memory[k] for k in state} == expected.new_state
+
+    def test_dashboard_modules_equivalent(self, dashboard_net):
+        import random
+
+        rng = random.Random(9)
+        for machine in dashboard_net.machines:
+            result = synthesize(machine, copy_elimination=True)
+            program = compile_sgraph(result, K11)
+            pure = [e.name for e in machine.inputs if e.is_pure]
+            valued = [e for e in machine.inputs if e.is_valued]
+            for _ in range(40):
+                state = {
+                    v.name: rng.randrange(v.num_values)
+                    for v in machine.state_vars
+                }
+                present = {
+                    n for n in pure + [e.name for e in valued]
+                    if rng.random() < 0.5
+                }
+                values = {e.name: rng.randrange(256) for e in valued}
+                expected = react(machine, state, present, values)
+                r = run_reaction(program, K11, machine, dict(state), present, values)
+                assert r.fired == expected.fired
+                assert {k: r.memory[k] for k in state} == expected.new_state
+
+
+class TestSavings:
+    def test_elimination_shrinks_code_and_cycles(self, dashboard_net):
+        from repro.target import analyze_program
+
+        saved_bytes = 0
+        saved_cycles = 0
+        for machine in dashboard_net.machines:
+            base = analyze_program(
+                compile_sgraph(synthesize(machine), K11), K11
+            )
+            slim = analyze_program(
+                compile_sgraph(synthesize(machine, copy_elimination=True), K11),
+                K11,
+            )
+            assert slim.code_size <= base.code_size
+            assert slim.max_cycles <= base.max_cycles
+            saved_bytes += base.code_size - slim.code_size
+            saved_cycles += base.max_cycles - slim.max_cycles
+        assert saved_bytes > 0  # the dashboard has eliminable copies
+        assert saved_cycles > 0
+
+    def test_generated_c_omits_unneeded_copies(self, simple_cfsm):
+        from repro.codegen import generate_c
+
+        code = generate_c(synthesize(simple_cfsm, copy_elimination=True))
+        assert "rt_int L_a" not in code
+        assert "a == value_c" in code  # reads the live variable
+
+    def test_estimator_tracks_copy_savings(self, simple_cfsm, k11_params):
+        from repro.estimation import estimate
+
+        result = synthesize(simple_cfsm, copy_elimination=True)
+        full = estimate(result.sgraph, result.reactive.encoding, k11_params)
+        slim = estimate(
+            result.sgraph,
+            result.reactive.encoding,
+            k11_params,
+            copy_vars=result.copy_vars,
+        )
+        assert slim.code_size < full.code_size
+        assert slim.max_cycles < full.max_cycles

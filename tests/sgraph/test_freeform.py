@@ -1,0 +1,134 @@
+"""Tests for the free-ordering (unordered decision diagram) builder."""
+
+import pytest
+
+from repro.cfsm import AssignState, Emit, react
+from repro.sgraph import TEST, free_synthesize, synthesize
+from repro.sgraph.freeform import build_free_sgraph
+from repro.synthesis import synthesize_reactive
+
+from ..conftest import (
+    all_snapshots,
+    make_counter_cfsm,
+    make_modal_cfsm,
+    make_simple_cfsm,
+)
+
+MACHINES = {
+    "simple": make_simple_cfsm,
+    "counter": make_counter_cfsm,
+    "modal": make_modal_cfsm,
+}
+
+
+@pytest.mark.parametrize("machine", sorted(MACHINES))
+def test_free_sgraph_equivalent_to_reference(machine):
+    cfsm = MACHINES[machine]()
+    rf = synthesize_reactive(cfsm)
+    result = free_synthesize(rf)
+    for state, present, values in all_snapshots(cfsm):
+        expected = react(cfsm, state, present, values)
+        bits = rf.encoding.evaluate_inputs(state, present, values)
+        outcome = result.sgraph.evaluate(bits)
+        actions = [
+            rf.encoding.action_of_var(v)
+            for v, on in outcome.outputs.items()
+            if on
+        ]
+        emitted = {a.event.name for a in actions if isinstance(a, Emit)}
+        assert emitted == expected.emitted_names
+        new_state = dict(state)
+        env = dict(state)
+        for event in cfsm.inputs:
+            if event.is_valued:
+                env[f"?{event.name}"] = (values or {}).get(event.name, 0)
+        for a in actions:
+            if isinstance(a, AssignState):
+                new_state[a.var.name] = a.value.evaluate(env) % a.var.num_values
+        assert new_state == expected.new_state
+
+
+@pytest.mark.parametrize("machine", sorted(MACHINES))
+def test_free_competitive_with_ordered(machine):
+    """The greedy free builder stays within a small factor of the sifted
+    ordered graph (it is a heuristic, not a subsumption, but on these
+    machines it never loses more than a vertex or two)."""
+    cfsm = MACHINES[machine]()
+    ordered = synthesize(cfsm, multiway=False)
+    rf = synthesize_reactive(cfsm)
+    free = free_synthesize(rf)
+    assert len(free.sgraph.reachable()) <= len(ordered.sgraph.reachable()) + 2
+
+
+def test_free_allows_different_orders_on_different_paths(dashboard_net):
+    """At least one dashboard module exhibits genuinely free ordering."""
+    found_free_order = False
+    for machine in dashboard_net.machines:
+        rf = synthesize_reactive(machine)
+        sg = free_synthesize(rf).sgraph
+
+        orders = []
+
+        def walk(vid, prefix):
+            vertex = sg.vertex(vid)
+            if vertex.kind == TEST and not vertex.is_switch:
+                for child in vertex.children:
+                    walk(child, prefix + (vertex.var,))
+            elif vertex.children:
+                for child in vertex.children:
+                    walk(child, prefix)
+            else:
+                orders.append(prefix)
+
+        walk(sg.vertex(sg.begin).children[0], ())
+        # Two paths test an overlapping variable pair in opposite orders?
+        ranks = [
+            {var: i for i, var in enumerate(path)} for path in orders
+        ]
+        for i, a in enumerate(ranks):
+            for b in ranks[i + 1 :]:
+                shared = [v for v in a if v in b]
+                for x in range(len(shared)):
+                    for y in range(x + 1, len(shared)):
+                        u, v = shared[x], shared[y]
+                        if (a[u] < a[v]) != (b[u] < b[v]):
+                            found_free_order = True
+    assert found_free_order
+
+
+def test_each_variable_tested_once_per_path(simple_cfsm):
+    rf = synthesize_reactive(simple_cfsm)
+    sg = free_synthesize(rf).sgraph
+
+    def walk(vid, seen):
+        vertex = sg.vertex(vid)
+        if vertex.kind == TEST:
+            assert vertex.var not in seen
+            for child in vertex.children:
+                walk(child, seen | {vertex.var})
+        elif vertex.children:
+            for child in vertex.children:
+                walk(child, seen)
+
+    walk(sg.vertex(sg.begin).children[0], set())
+
+
+def test_free_sgraph_compiles_and_runs(counter_cfsm):
+    from repro.target import K11, compile_sgraph, run_reaction
+
+    rf = synthesize_reactive(counter_cfsm)
+    result = free_synthesize(rf)
+    program = compile_sgraph(result, K11)
+    for state, present, values in all_snapshots(counter_cfsm):
+        expected = react(counter_cfsm, state, present, values)
+        r = run_reaction(program, K11, counter_cfsm, dict(state), present, values)
+        assert r.fired == expected.fired
+        assert r.emitted_names() == expected.emitted_names
+        assert {k: r.memory[k] for k in state} == expected.new_state
+
+
+def test_sift_first_can_be_disabled(simple_cfsm):
+    rf = synthesize_reactive(simple_cfsm)
+    result = free_synthesize(rf, sift_first=False)
+    assert result.scheme == "free"
+    assert len(result.sgraph.reachable()) > 0

@@ -1,0 +1,203 @@
+"""Tests for s-graph optimization passes."""
+
+import pytest
+
+from repro.cfsm import react
+from repro.sgraph import (
+    ASSIGN,
+    TEST,
+    build_sgraph,
+    collapse_tests,
+    merge_multiway,
+    prune_zero_assigns,
+    reduce_sgraph,
+    synthesize,
+)
+from repro.synthesis import synthesize_reactive
+
+from ..conftest import all_snapshots, make_modal_cfsm
+from .test_build import check_equivalence
+
+
+class TestPruneZeroAssigns:
+    def test_prune_removes_zero_assigns(self, simple_cfsm):
+        result = synthesize(simple_cfsm, scheme="naive", prune=False, multiway=False)
+        sg = result.sgraph
+        zero = [
+            v
+            for v in sg.vertices()
+            if v.kind == ASSIGN and v.label is not None and v.label.is_false
+        ]
+        assert zero  # unpruned graph has explicit o := 0 vertices
+        removed = prune_zero_assigns(sg)
+        assert removed == len(zero)
+        remaining = [
+            v
+            for vid in sg.reachable()
+            for v in [sg.vertex(vid)]
+            if v.kind == ASSIGN and v.label is not None and v.label.is_false
+        ]
+        assert not remaining
+
+    def test_prune_preserves_semantics(self, counter_cfsm):
+        result = synthesize(counter_cfsm, scheme="naive", prune=False, multiway=False)
+        prune_zero_assigns(result.sgraph)
+        reduce_sgraph(result.sgraph)
+        check_equivalence(counter_cfsm, result)
+
+    def test_prune_noop_when_nothing_to_remove(self, simple_cfsm):
+        result = synthesize(simple_cfsm, scheme="sift")  # already pruned
+        assert prune_zero_assigns(result.sgraph) == 0
+
+
+class TestMergeMultiway:
+    def test_switch_created_for_state_tests(self, modal_cfsm):
+        result = synthesize(modal_cfsm, scheme="sift", multiway=False)
+        sg = result.sgraph
+        created = merge_multiway(sg, result.reactive.encoding)
+        assert created >= 1
+        switches = [
+            sg.vertex(vid)
+            for vid in sg.reachable()
+            if sg.vertex(vid).kind == TEST and sg.vertex(vid).is_switch
+        ]
+        assert switches
+        assert switches[0].switch_state == "mode"
+        assert len(switches[0].children) == 4  # 2 bits
+
+    def test_out_of_domain_codes_infeasible(self, modal_cfsm):
+        result = synthesize(modal_cfsm, scheme="sift")  # multiway on
+        sg = result.sgraph
+        for vid in sg.reachable():
+            vertex = sg.vertex(vid)
+            if vertex.kind == TEST and vertex.is_switch:
+                assert vertex.infeasible[3]  # mode == 3 cannot happen
+                assert not vertex.infeasible[0]
+
+    def test_merge_preserves_semantics(self, modal_cfsm):
+        result = synthesize(modal_cfsm, scheme="sift", multiway=True)
+        check_equivalence(modal_cfsm, result)
+
+    def test_merge_skips_single_bit_variables(self):
+        from repro.cfsm import CfsmBuilder, BinOp, Const, Var
+
+        b = CfsmBuilder("bit")
+        a = b.pure_input("a")
+        y = b.pure_output("y")
+        s = b.state("s", 2)
+        b.transition(
+            when=[b.present(a), b.expr_test(BinOp("==", Var("s"), Const(0)))],
+            do=[b.assign(s, Const(1)), b.emit(y)],
+        )
+        b.transition(
+            when=[b.present(a), b.expr_test(BinOp("==", Var("s"), Const(1)))],
+            do=[b.assign(s, Const(0))],
+        )
+        result = synthesize(b.build(), scheme="sift", multiway=True)
+        switches = [
+            v for v in result.sgraph.vertices() if v.kind == TEST and v.is_switch
+        ]
+        assert not switches  # a 1-bit switch is just an if
+
+
+class TestCollapseTests:
+    def test_collapse_preserves_semantics(self, modal_cfsm):
+        result = synthesize(modal_cfsm, scheme="sift", multiway=False)
+        sg = result.sgraph
+        collapsed = collapse_tests(sg, result.reactive.manager)
+        if collapsed:
+            check_equivalence(modal_cfsm, result)
+
+    def test_collapse_creates_multiway_vertex(self, simple_cfsm):
+        result = synthesize(simple_cfsm, scheme="sift", multiway=False)
+        sg = result.sgraph
+        collapsed = collapse_tests(sg, result.reactive.manager)
+        assert collapsed >= 1
+        found = [
+            v
+            for vid in sg.reachable()
+            for v in [sg.vertex(vid)]
+            if getattr(v, "collapsed_predicates", None)
+        ]
+        assert found
+        check_equivalence(simple_cfsm, result)
+
+    def test_collapsed_predicates_partition(self, simple_cfsm):
+        result = synthesize(simple_cfsm, scheme="sift", multiway=False)
+        sg = result.sgraph
+        collapse_tests(sg, result.reactive.manager)
+        m = result.reactive.manager
+        for vid in sg.reachable():
+            vertex = sg.vertex(vid)
+            preds = getattr(vertex, "collapsed_predicates", None)
+            if preds is None:
+                continue
+            union = m.disjoin(preds)
+            assert union.is_true  # exhaustive
+            for i, p in enumerate(preds):
+                for q in preds[i + 1 :]:
+                    assert (p & q).is_false  # disjoint
+
+
+class TestGraphUtilities:
+    def test_topo_order_starts_at_begin(self, simple_cfsm):
+        sg = synthesize(simple_cfsm).sgraph
+        order = sg.topo_order()
+        assert order[0] == sg.begin
+        position = {vid: i for i, vid in enumerate(order)}
+        for vid in order:
+            for child in sg.vertex(vid).children:
+                assert position[vid] < position[child]
+
+    def test_cycle_detection(self, simple_cfsm):
+        sg = synthesize(simple_cfsm).sgraph
+        # Manufacture a cycle.
+        for vid in sg.reachable():
+            vertex = sg.vertex(vid)
+            if vertex.kind == ASSIGN:
+                vertex.children = [sg.begin]
+                break
+        with pytest.raises(ValueError):
+            sg.topo_order()
+
+    def test_dump_is_readable(self, simple_cfsm):
+        result = synthesize(simple_cfsm)
+        text = result.sgraph.dump(
+            describe=lambda v: result.reactive.manager.var_name(v)
+        )
+        assert "BEGIN" in text and "END" in text and "TEST" in text
+
+    def test_counts(self, simple_cfsm):
+        sg = synthesize(simple_cfsm).sgraph
+        counts = sg.counts()
+        assert counts["BEGIN"] == 1 and counts["END"] == 1
+
+
+class TestSwitchThreshold:
+    """Footnote 6: the if-vs-switch target-dependent parameter."""
+
+    def test_high_threshold_suppresses_small_switches(self, modal_cfsm):
+        # modal's switch has 3 feasible targets; demanding 4 keeps the
+        # if-tree.
+        result = synthesize(modal_cfsm, multiway=True, multiway_threshold=4)
+        switches = [
+            v
+            for vid in result.sgraph.reachable()
+            for v in [result.sgraph.vertex(vid)]
+            if v.kind == TEST and v.is_switch
+        ]
+        assert not switches
+
+    def test_low_threshold_keeps_switch(self, modal_cfsm):
+        result = synthesize(modal_cfsm, multiway=True, multiway_threshold=2)
+        switches = [
+            v
+            for vid in result.sgraph.reachable()
+            for v in [result.sgraph.vertex(vid)]
+            if v.kind == TEST and v.is_switch
+        ]
+        assert switches
+
+    def test_threshold_preserves_semantics(self, modal_cfsm):
+        result = synthesize(modal_cfsm, multiway=True, multiway_threshold=4)
+        check_equivalence(modal_cfsm, result)

@@ -1,0 +1,112 @@
+"""Property-based tests: random CFSMs synthesize to equivalent s-graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfsm import (
+    AssignState,
+    BinOp,
+    CfsmBuilder,
+    Const,
+    Emit,
+    Var,
+    react,
+)
+from repro.sgraph import synthesize
+from repro.synthesis import ConsistencyError
+
+from ..conftest import all_snapshots
+
+
+@st.composite
+def random_cfsms(draw):
+    """Small random CFSMs: 2 pure inputs, state var, random guarded commands.
+
+    Transitions are built so that simultaneously-enabled ones never
+    conflict: each transition is guarded by a distinct combination of the
+    two input presences, making them pairwise disjoint.
+    """
+    b = CfsmBuilder("rand")
+    e1 = b.pure_input("e1")
+    e2 = b.pure_input("e2")
+    y = b.pure_output("y")
+    z = b.value_output("z", 4)
+    n_values = draw(st.sampled_from([2, 3, 4, 5]))
+    s = b.state("s", num_values=n_values)
+
+    guards = [
+        [b.present(e1), b.present(e2)],
+        [b.present(e1), b.absent(e2)],
+        [b.absent(e1), b.present(e2)],
+    ]
+    n_transitions = draw(st.integers(min_value=1, max_value=3))
+    for i in range(n_transitions):
+        guard = list(guards[i])
+        # Optionally refine with a state comparison.
+        if draw(st.booleans()):
+            k = draw(st.integers(min_value=0, max_value=n_values - 1))
+            polarity = draw(st.booleans())
+            guard.append(
+                b.expr_test(BinOp("==", Var("s"), Const(k)), polarity)
+            )
+        actions = []
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind in (0, 2):
+            delta = draw(st.integers(min_value=0, max_value=2))
+            actions.append(b.assign(s, BinOp("+", Var("s"), Const(delta))))
+        if kind in (1, 2):
+            actions.append(b.emit(y))
+        if kind == 3:
+            actions.append(b.emit(z, BinOp("+", Var("s"), Const(1))))
+        b.transition(when=guard, do=actions)
+    return b.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_cfsms(), st.sampled_from(["naive", "sift", "outputs-first", "mixed"]))
+def test_random_cfsm_sgraph_equivalence(cfsm, scheme):
+    result = synthesize(cfsm, scheme=scheme)
+    rf = result.reactive
+    sg = result.sgraph
+    for state, present, values in all_snapshots(cfsm):
+        expected = react(cfsm, state, present, values)
+        bits = rf.encoding.evaluate_inputs(state, present, values)
+        outcome = sg.evaluate(bits)
+        actions = [
+            rf.encoding.action_of_var(v)
+            for v, value in outcome.outputs.items()
+            if value
+        ]
+        emitted = {a.event.name for a in actions if isinstance(a, Emit)}
+        assert emitted == expected.emitted_names
+        new_state = dict(state)
+        for a in actions:
+            if isinstance(a, AssignState):
+                new_state[a.var.name] = (
+                    a.value.evaluate(dict(state)) % a.var.num_values
+                )
+        assert new_state == expected.new_state
+        assert bool(actions) == expected.fired
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_cfsms())
+def test_sifted_never_larger_than_naive_chi(cfsm):
+    """Sifting may only shrink (or keep) the characteristic function."""
+    from repro.synthesis import synthesize_reactive
+    from repro.sgraph.orderings import naive_order
+
+    rf = synthesize_reactive(cfsm)
+    naive_order(rf)
+    before = rf.chi.size()
+    rf.sift()
+    assert rf.chi.size() <= before
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_cfsms())
+def test_sgraph_is_acyclic_with_single_begin_end(cfsm):
+    sg = synthesize(cfsm).sgraph
+    order = sg.topo_order()  # raises on cycles
+    counts = sg.counts()
+    assert counts["BEGIN"] == 1 and counts["END"] == 1
+    assert order[0] == sg.begin

@@ -1,0 +1,123 @@
+"""Tests for sequential (unreachable-state) don't-cares in synthesis."""
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, Var, react
+from repro.sgraph import synthesize
+from repro.target import K11, analyze_program, compile_sgraph, run_reaction
+
+
+def make_sparse_cycle():
+    """An 8-value state variable whose protocol only ever visits {0,1,2}.
+
+    States 3..7 carry dead transitions a naive synthesis must implement but
+    a reachability-aware one can discard.
+    """
+    b = CfsmBuilder("sparse")
+    go = b.pure_input("go")
+    y = b.pure_output("y")
+    z = b.pure_output("z")
+    s = b.state("s", 8)
+    for value, target in ((0, 1), (1, 2), (2, 0)):
+        b.transition(
+            when=[b.present(go), b.expr_test(BinOp("==", Var("s"), Const(value)))],
+            do=[b.assign(s, Const(target))] + ([b.emit(y)] if value == 2 else []),
+        )
+    # Dead logic on unreachable states.
+    for value in (3, 4, 5, 6, 7):
+        b.transition(
+            when=[b.present(go), b.expr_test(BinOp("==", Var("s"), Const(value)))],
+            do=[b.assign(s, Const(value - 1)), b.emit(z)],
+        )
+    return b.build()
+
+
+class TestSparseCycle:
+    def test_code_shrinks(self):
+        cfsm = make_sparse_cycle()
+        base = analyze_program(compile_sgraph(synthesize(cfsm), K11), K11)
+        slim = analyze_program(
+            compile_sgraph(synthesize(cfsm, reachability_dontcares=True), K11),
+            K11,
+        )
+        assert slim.code_size < base.code_size
+        # The dead z-emission disappears entirely.
+        slim_result = synthesize(cfsm, reachability_dontcares=True)
+        from repro.cfsm import Emit
+
+        live_actions = set()
+        for vid in slim_result.sgraph.reachable():
+            vertex = slim_result.sgraph.vertex(vid)
+            if vertex.kind == "ASSIGN":
+                action = slim_result.reactive.encoding.action_of_var(vertex.var)
+                if isinstance(action, Emit):
+                    live_actions.add(action.event.name)
+        assert "z" not in live_actions
+
+    def test_equivalence_on_reachable_states(self):
+        """On states the protocol can actually reach, behaviour is intact."""
+        cfsm = make_sparse_cycle()
+        result = synthesize(cfsm, reachability_dontcares=True)
+        program = compile_sgraph(result, K11)
+        state = {"s": 0}
+        for _ in range(9):
+            expected = react(cfsm, state, {"go"})
+            outcome = run_reaction(program, K11, cfsm, dict(state), {"go"}, {})
+            assert outcome.fired == expected.fired
+            assert outcome.emitted_names() == expected.emitted_names
+            assert {"s": outcome.memory["s"]} == expected.new_state
+            state = expected.new_state
+
+    def test_chi_strictly_smaller(self):
+        cfsm = make_sparse_cycle()
+        base = synthesize(cfsm)
+        slim = synthesize(cfsm, reachability_dontcares=True)
+        assert slim.reactive.chi.size() < base.reactive.chi.size()
+
+
+class TestGuards:
+    def test_no_gain_is_harmless(self, dashboard_net):
+        """Belt alarm: don't-cares exist but buy nothing — must stay correct."""
+        belt = dashboard_net.machine("belt_alarm")
+        base = analyze_program(compile_sgraph(synthesize(belt), K11), K11)
+        slim = analyze_program(
+            compile_sgraph(synthesize(belt, reachability_dontcares=True), K11),
+            K11,
+        )
+        assert slim.code_size <= base.code_size + 4  # never meaningfully worse
+
+    def test_huge_state_space_skipped(self, shock_net):
+        """damping_logic's 16k-state space must be skipped, not explored."""
+        import time
+
+        machine = shock_net.machine("damping_logic")
+        start = time.perf_counter()
+        result = synthesize(machine, reachability_dontcares=True)
+        assert time.perf_counter() - start < 10.0
+        assert result.sgraph is not None
+
+    def test_stateless_machine_skipped(self):
+        b = CfsmBuilder("stateless")
+        go = b.pure_input("go")
+        y = b.pure_output("y")
+        b.transition(when=[b.present(go)], do=[b.emit(y)])
+        result = synthesize(b.build(), reachability_dontcares=True)
+        assert result.sgraph is not None
+
+    def test_work_guard_triggers(self):
+        from repro.verify import ReachabilityAnalysis
+
+        b = CfsmBuilder("churn")
+        go = b.pure_input("go")
+        x = b.state("x", 64)
+        y = b.state("y", 64)
+        b.transition(
+            when=[b.present(go)],
+            do=[
+                b.assign(x, BinOp("+", Var("x"), Const(1))),
+                b.assign(y, BinOp("+", Var("y"), Var("x"))),
+            ],
+        )
+        analysis = ReachabilityAnalysis(b.build(), max_work=50)
+        with pytest.raises(RuntimeError):
+            analysis.explore()

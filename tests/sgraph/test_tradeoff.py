@@ -1,0 +1,90 @@
+"""Tests for constraint-driven implementation selection."""
+
+import pytest
+
+from repro.sgraph.tradeoff import synthesize_under_constraints
+
+
+class TestSelection:
+    def test_unconstrained_prefers_smallest(self, simple_cfsm, k11_params):
+        result = synthesize_under_constraints(simple_cfsm, k11_params)
+        assert result.feasible
+        smallest = min(c.est.code_size for c in result.candidates)
+        assert result.chosen.est.code_size == smallest
+
+    def test_prefer_speed_picks_fastest(self, modal_cfsm, k11_params):
+        result = synthesize_under_constraints(
+            modal_cfsm, k11_params, prefer="speed"
+        )
+        fastest = min(c.est.max_cycles for c in result.candidates)
+        assert result.chosen.est.max_cycles == fastest
+
+    def test_size_constraint_filters(self, modal_cfsm, k11_params):
+        free_size = min(c.est.code_size for c in synthesize_under_constraints(
+            modal_cfsm, k11_params).candidates)
+        result = synthesize_under_constraints(
+            modal_cfsm, k11_params, max_size=free_size
+        )
+        assert result.feasible
+        assert result.chosen.est.code_size <= free_size
+
+    def test_jitter_constraint_selects_assign_chain(self, simple_cfsm, k11_params):
+        """A zero-jitter demand forces the constant-time ASSIGN chain."""
+        result = synthesize_under_constraints(
+            simple_cfsm, k11_params, max_jitter=0
+        )
+        if result.feasible:
+            assert result.chosen.name == "assign-chain"
+            assert result.chosen.jitter == 0
+        else:
+            # Even the assign chain can carry data-dependent jitter from
+            # expression guards; then it must at least be the closest.
+            assert result.chosen.name == "assign-chain"
+
+    def test_impossible_constraints_report_infeasible(self, modal_cfsm, k11_params):
+        result = synthesize_under_constraints(
+            modal_cfsm, k11_params, max_size=1, max_cycles=1
+        )
+        assert not result.feasible
+        assert result.chosen is not None  # closest is still offered
+        assert "no candidate" in result.explanation
+
+    def test_portfolio_contains_all_styles(self, simple_cfsm, k11_params):
+        result = synthesize_under_constraints(simple_cfsm, k11_params)
+        names = {c.name for c in result.candidates}
+        assert names == {"sift+switch", "sift", "free", "assign-chain"}
+
+    def test_assign_chain_has_least_jitter(self, simple_cfsm, k11_params):
+        result = synthesize_under_constraints(simple_cfsm, k11_params)
+        by_name = {c.name: c for c in result.candidates}
+        assert by_name["assign-chain"].jitter <= min(
+            by_name["sift"].jitter, by_name["free"].jitter
+        )
+
+    def test_invalid_preference_rejected(self, simple_cfsm, k11_params):
+        with pytest.raises(ValueError):
+            synthesize_under_constraints(simple_cfsm, k11_params, prefer="luck")
+
+    def test_report_readable(self, simple_cfsm, k11_params):
+        result = synthesize_under_constraints(simple_cfsm, k11_params)
+        text = result.report()
+        assert "->" in text and "jitter=" in text
+
+    def test_chosen_candidates_are_runnable(self, counter_cfsm, k11_params):
+        from repro.cfsm import react
+        from repro.target import K11, compile_sgraph, run_reaction
+
+        from ..conftest import all_snapshots
+
+        for prefer in ("size", "speed"):
+            result = synthesize_under_constraints(
+                counter_cfsm, k11_params, prefer=prefer
+            )
+            program = compile_sgraph(result.chosen.result, K11)
+            for state, present, values in all_snapshots(counter_cfsm):
+                expected = react(counter_cfsm, state, present, values)
+                r = run_reaction(
+                    program, K11, counter_cfsm, dict(state), present, values
+                )
+                assert r.fired == expected.fired
+                assert {k: r.memory[k] for k in state} == expected.new_state

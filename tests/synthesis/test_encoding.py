@@ -1,0 +1,144 @@
+"""Tests for the reactive-function encoding."""
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Var
+from repro.synthesis import ReactiveEncoding
+
+
+class TestAllocation:
+    def test_simple_allocation(self, simple_cfsm):
+        enc = ReactiveEncoding(simple_cfsm)
+        # present_c + one opaque test (a == ?c reads state AND event value)
+        assert len(enc.presence_vars) == 1
+        assert len(enc.opaque_tests) == 1
+        assert enc.state_mvars == {}  # 'a' only appears in the mixed test
+        assert len(enc.output_vars) == 3
+
+    def test_state_test_folding(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        # All mode == k tests fold onto the mode bits: no opaque variables.
+        assert enc.opaque_tests == []
+        assert "mode" in enc.state_mvars
+        assert enc.state_mvars["mode"].num_bits == 2
+
+    def test_folding_can_be_disabled(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm, fold_state_tests=False)
+        assert len(enc.opaque_tests) == 3
+        assert enc.state_mvars == {}
+
+    def test_folded_test_functions(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        mvar = enc.state_mvars["mode"]
+        # The function of "mode == 1" holds exactly on code 1.
+        for key, (name, fn) in enc.folded_tests.items():
+            test = enc.test_by_key[key]
+            for value in range(3):
+                expected = test.evaluate({"mode": value}, set())
+                assert fn(mvar.encode(value)) == expected
+
+    def test_input_vars_cover_all_kinds(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        assert len(enc.input_vars) == 2 + 2  # go, halt + 2 mode bits
+
+    def test_action_lookup(self, simple_cfsm):
+        enc = ReactiveEncoding(simple_cfsm)
+        for var in enc.output_vars:
+            action = enc.action_of_var(var)
+            assert enc.action_vars[action.key()] == var
+
+
+class TestCareSet:
+    def test_invalid_state_codes_excluded(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        mvar = enc.state_mvars["mode"]
+        care = enc.care
+        for value in range(3):
+            bits = mvar.encode(value)
+            bits.update({v: False for v in enc.input_vars if v not in bits})
+            assert care(bits)
+        bits = {mvar.bits[0]: True, mvar.bits[1]: True}  # code 3: invalid
+        bits.update({v: False for v in enc.input_vars if v not in bits})
+        assert not care(bits)
+
+    def test_exclusive_value_tests_constrained(self):
+        """?c < 3 and ?c > 5 can never hold together (incompatibility)."""
+        b = CfsmBuilder("m")
+        c = b.value_input("c", width=4)
+        y1, y2 = b.pure_output("lo"), b.pure_output("hi")
+        lt = BinOp("<", EventValue("c"), Const(3))
+        gt = BinOp(">", EventValue("c"), Const(5))
+        b.transition(when=[b.present(c), b.expr_test(lt)], do=[b.emit(y1)])
+        b.transition(when=[b.present(c), b.expr_test(gt)], do=[b.emit(y2)])
+        enc = ReactiveEncoding(b.build())
+        v_lt = enc.opaque_var[lt and enc.opaque_tests[0].key()]
+        v_gt = enc.opaque_var[enc.opaque_tests[1].key()]
+        both = {v_lt: True, v_gt: True}
+        both.update({v: False for v in enc.input_vars if v not in both})
+        assert not enc.care(both)
+        one = {v_lt: True, v_gt: False}
+        one.update({v: False for v in enc.input_vars if v not in one})
+        assert enc.care(one)
+
+    def test_unbounded_values_unconstrained(self):
+        """Wide event values (> 12 bits) yield no enumeration constraint."""
+        b = CfsmBuilder("m")
+        c = b.value_input("c", width=16)
+        y = b.pure_output("y")
+        lt = BinOp("<", EventValue("c"), Const(3))
+        gt = BinOp(">", EventValue("c"), Const(5))
+        b.transition(when=[b.present(c), b.expr_test(lt)], do=[b.emit(y)])
+        b.transition(when=[b.present(c), b.expr_test(gt), b.expr_test(lt, False)], do=[])
+        enc = ReactiveEncoding(b.build())
+        assert enc.care.is_true
+
+    def test_state_correlated_test(self):
+        """A test reading one state var correlates with the state bits."""
+        b = CfsmBuilder("m")
+        go = b.pure_input("go")
+        y = b.pure_output("y")
+        s = b.state("s", num_values=3)
+        # mixed test reading s and another quantity would be opaque; force
+        # an opaque test on s alone by disabling folding.
+        eq = BinOp("==", Var("s"), Const(2))
+        b.transition(when=[b.present(go), b.expr_test(eq)], do=[b.emit(y)])
+        enc = ReactiveEncoding(b.build(), fold_state_tests=False)
+        assert len(enc.opaque_tests) == 1
+        # Without state bits in play there is nothing to correlate against.
+        assert enc.state_mvars == {}
+
+
+class TestRuntimeViews:
+    def test_evaluate_inputs(self, simple_cfsm):
+        enc = ReactiveEncoding(simple_cfsm)
+        bits = enc.evaluate_inputs({"a": 5}, {"c"}, {"c": 5})
+        assert bits[enc.presence_vars["c"]]
+        opaque = enc.opaque_var[enc.opaque_tests[0].key()]
+        assert bits[opaque]  # a == ?c holds
+        bits = enc.evaluate_inputs({"a": 5}, set(), {"c": 4})
+        assert not bits[enc.presence_vars["c"]]
+        assert not bits[opaque]
+
+    def test_evaluate_inputs_encodes_state_bits(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        bits = enc.evaluate_inputs({"mode": 2}, set())
+        mvar = enc.state_mvars["mode"]
+        assert mvar.decode(bits) == 2
+
+    def test_render_input_var_c(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        texts = [enc.render_input_var_c(v) for v in enc.input_vars]
+        assert "DETECT_go()" in texts
+        assert any(">> 1) & 1" in t for t in texts)  # state bit extraction
+
+    def test_state_bit_owner(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        mvar = enc.state_mvars["mode"]
+        assert enc.state_bit_owner(mvar.bits[0]) == ("mode", 1)  # MSB
+        assert enc.state_bit_owner(mvar.bits[1]) == ("mode", 0)
+        assert enc.state_bit_owner(enc.presence_vars["go"]) is None
+
+    def test_sifting_groups(self, modal_cfsm):
+        enc = ReactiveEncoding(modal_cfsm)
+        groups = enc.sifting_groups()
+        assert groups == [enc.state_mvars["mode"].bits]

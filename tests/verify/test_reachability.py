@@ -1,0 +1,144 @@
+"""Tests for reachability analysis and invariant checking."""
+
+import pytest
+
+from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Var, react
+from repro.verify import ReachabilityAnalysis, check_invariant
+
+
+class TestExploration:
+    def test_counter_reaches_exactly_its_cycle(self, counter_cfsm):
+        analysis = ReachabilityAnalysis(counter_cfsm)
+        # mod-5 counter: every value 0..4 reachable, nothing else exists.
+        assert analysis.reachable_count() == 5
+
+    def test_modal_reaches_all_three_modes(self, modal_cfsm):
+        analysis = ReachabilityAnalysis(modal_cfsm)
+        assert {s[0] for s in analysis.reachable_states} == {0, 1, 2}
+
+    def test_unreachable_states_not_explored(self, dashboard_net):
+        belt = dashboard_net.machine("belt_alarm")
+        analysis = ReachabilityAnalysis(belt)
+        # 3 modes x 16 timer values exist syntactically; the protocol
+        # reaches only a third of them.
+        assert analysis.reachable_count() < 48
+        assert (0, 0) in analysis.reachable_states
+
+    def test_reachable_states_confirmed_by_simulation(self, counter_cfsm):
+        """Every state the interpreter can reach is in the analysis."""
+        analysis = ReachabilityAnalysis(counter_cfsm)
+        state = counter_cfsm.initial_state()
+        seen = {tuple(state.values())}
+        for _ in range(12):
+            state = react(counter_cfsm, state, {"up"}).new_state
+            seen.add((state["n"],))
+        assert seen <= analysis.reachable_states
+
+    def test_state_space_guard(self):
+        b = CfsmBuilder("big")
+        go = b.pure_input("go")
+        x = b.state("x", 256)
+        y = b.state("y", 256)
+        b.transition(
+            when=[b.present(go)],
+            do=[
+                b.assign(x, BinOp("+", Var("x"), Const(1))),
+                b.assign(y, BinOp("+", Var("y"), BinOp("*", Var("x"), Const(3)))),
+            ],
+        )
+        analysis = ReachabilityAnalysis(b.build(), max_states=100)
+        with pytest.raises(RuntimeError):
+            analysis.explore()
+
+
+class TestInvariants:
+    def test_holding_invariant_returns_none(self, counter_cfsm):
+        assert check_invariant(counter_cfsm, lambda s: 0 <= s["n"] <= 4) is None
+
+    def test_violated_invariant_yields_trace(self, counter_cfsm):
+        trace = check_invariant(counter_cfsm, lambda s: s["n"] < 3)
+        assert trace is not None
+        assert trace.final["n"] == 3
+        assert len(trace) == 3  # three 'up' steps
+        assert "counterexample" in trace.describe()
+
+    def test_trace_steps_are_executable(self, counter_cfsm):
+        """Replay the counterexample on the reference interpreter."""
+        trace = check_invariant(counter_cfsm, lambda s: s["n"] != 4)
+        assert trace is not None
+        state = counter_cfsm.initial_state()
+        for expected_state, how in trace.steps:
+            assert state == expected_state
+            present = set(how.replace(" (havoc)", "").split("+"))
+            state = react(counter_cfsm, state, present).new_state
+        assert state == trace.final
+
+    def test_belt_alarm_safety_properties(self, dashboard_net):
+        belt = dashboard_net.machine("belt_alarm")
+        analysis = ReachabilityAnalysis(belt)
+        # The alarm phase never exceeds its 10-second window.
+        assert analysis.check_invariant(
+            lambda s: not (s["mode"] == 2 and s["t"] > 9)
+        ) is None
+        # The waiting phase never exceeds its 5-second window.
+        assert analysis.check_invariant(
+            lambda s: not (s["mode"] == 1 and s["t"] > 4)
+        ) is None
+
+    def test_belt_alarm_liveness_witness(self, dashboard_net):
+        """The alarm state is genuinely reachable (with the classic trace)."""
+        belt = dashboard_net.machine("belt_alarm")
+        trace = check_invariant(belt, lambda s: s["mode"] != 2)
+        assert trace is not None
+        hows = [how for _, how in trace.steps]
+        assert hows[0] == "key_on"
+        assert hows[1:] == ["sec"] * 5
+
+    def test_actuator_protocol_invariants(self, shock_net):
+        actuator = shock_net.machine("actuator")
+        analysis = ReachabilityAnalysis(actuator)
+        # pend implies a recorded next command differing is *not* required
+        # (nxt may equal cur after races), but busy/pend stay boolean and
+        # cur/nxt stay in the mode domain.
+        assert analysis.check_invariant(
+            lambda s: s["busy"] in (0, 1) and s["pend"] in (0, 1)
+        ) is None
+        assert analysis.check_invariant(
+            lambda s: 0 <= s["cur"] <= 3 and 0 <= s["nxt"] <= 3
+        ) is None
+
+    def test_diagnostics_limp_consistency(self, shock_net):
+        diag = shock_net.machine("diagnostics")
+        analysis = ReachabilityAnalysis(diag)
+        # Limp mode engages only with at least one recorded fault... the
+        # decay path clears limp exactly when faults hit zero.
+        assert analysis.check_invariant(
+            lambda s: s["limp"] == 0 or s["faults"] >= 1
+        ) is None
+
+
+class TestHavocAbstraction:
+    def test_wide_values_are_havocked_soundly(self):
+        """A 16-bit input cannot be enumerated; writes are over-approximated."""
+        b = CfsmBuilder("wide")
+        c = b.value_input("c", width=16)
+        x = b.state("x", 8)
+        b.transition(
+            when=[b.present(c)],
+            do=[b.assign(x, BinOp("%", EventValue("c"), Const(8)))],
+        )
+        analysis = ReachabilityAnalysis(b.build(), value_enum_limit=64)
+        # Havoc makes every domain value reachable (sound, maybe spurious).
+        assert analysis.reachable_count() == 8
+
+    def test_small_values_enumerated_exactly(self):
+        b = CfsmBuilder("narrow")
+        c = b.value_input("c", width=2)  # values 0..3
+        x = b.state("x", 8)
+        b.transition(
+            when=[b.present(c)],
+            do=[b.assign(x, EventValue("c"))],
+        )
+        analysis = ReachabilityAnalysis(b.build())
+        # Exact enumeration: only 0..3 (plus initial 0) reachable.
+        assert {s[0] for s in analysis.reachable_states} == {0, 1, 2, 3}
