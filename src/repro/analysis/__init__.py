@@ -1,0 +1,50 @@
+"""``repro lint``: static analysis over CFSM networks, s-graphs and C.
+
+Three check layers mirror the three representations the synthesis flow
+moves through (Sec. II-III of the paper):
+
+* **network** — GALS topology hazards: racing writers on single-place
+  buffers, type-mismatched event declarations, undriven/unconsumed
+  events, unreachable states and dead transitions;
+* **sgraph**  — Theorem 1 / Definition 1 well-formedness of the
+  synthesized s-graph (DAG shape, unique BEGIN/END, at-most-once
+  assignment per path, BDD-consistent TEST order, infeasible flags that
+  agree with the care set);
+* **codegen** — sanity of the emitted portable-assembly C (goto targets,
+  unreachable labels, read-before-assign).
+
+Checks are registered declaratively (``@check``) and produce
+:class:`Diagnostic` records collected into a :class:`Report` with stable
+exit codes.  See ``repro lint --help`` for the CLI.
+"""
+
+from . import c_checks, network_checks, sgraph_checks  # noqa: F401  register checks
+from .c_checks import CSourceContext
+from .diagnostics import Diagnostic, Finding, Report, Severity
+from .network_checks import NetworkContext
+from .registry import Check, all_checks, check, checks_for, get_check, run_checks
+from .reporters import JSON_SCHEMA_ID, render_json, render_text
+from .runner import lint_c_source, lint_design, lint_sgraph
+from .sgraph_checks import SGraphContext
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Diagnostic",
+    "Report",
+    "Check",
+    "check",
+    "checks_for",
+    "all_checks",
+    "get_check",
+    "run_checks",
+    "NetworkContext",
+    "SGraphContext",
+    "CSourceContext",
+    "lint_design",
+    "lint_sgraph",
+    "lint_c_source",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_ID",
+]

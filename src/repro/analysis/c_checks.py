@@ -1,0 +1,345 @@
+"""Lint checks over the generated portable-assembly C.
+
+The code generator emits a deliberately narrow C subset inside each
+``*_react`` function — labels, ``goto``, ``if (...) goto``, ``switch``
+dispatch blocks, straight-line assignments and ``return`` (Sec. III-C's
+"portable assembly").  That narrowness makes the translation unit
+statically analyzable with a line-level scanner: we rebuild the control
+flow graph from the text alone and verify
+
+* every ``goto`` targets a label that exists (``c-goto-target``);
+* every label is reachable from the function entry
+  (``c-unreachable-label``);
+* no statement reads an uninitialized local before every path to it has
+  assigned one (``c-read-before-assign``, must-assign dataflow).
+
+The scanner is intentionally strict about shape: it understands exactly
+what ``repro.codegen`` emits (plus uninitialized ``rt_int x;`` locals so
+hand-written violations are expressible) and ignores everything outside
+the ``*_react`` bodies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .diagnostics import Finding, Severity
+from .registry import check
+
+__all__ = ["CSourceContext", "ReactFunction", "Statement"]
+
+_FUNC_RE = re.compile(r"^int\s+(\w+_react)\s*\(void\)\s*$")
+_LABEL_RE = re.compile(r"^(\w+):\s*(?:/\*.*\*/\s*)?$")
+_GOTO_RE = re.compile(r"^goto\s+(\w+)\s*;")
+_IF_GOTO_RE = re.compile(r"^if\s*\((.*)\)\s*goto\s+(\w+)\s*;")
+_SWITCH_RE = re.compile(r"^switch\s*\((.*)\)\s*\{")
+_RETURN_RE = re.compile(r"^return\b(.*);")
+_ASSIGN_RE = re.compile(r"^(\w+)\s*=\s*(.*);")
+_DECL_RE = re.compile(r"^(?:rt_int|int)\s+(\w+)\s*(=\s*(.*))?;")
+_IDENT_RE = re.compile(r"\b[A-Za-z_]\w*\b")
+_ANY_GOTO_RE = re.compile(r"\bgoto\s+(\w+)\s*;")
+
+
+@dataclass
+class Statement:
+    """One linearized statement of a ``*_react`` body."""
+
+    line: int  # 1-based line in the translation unit
+    kind: str  # decl | assign | if-goto | goto | switch | return | other
+    text: str
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    goto_targets: List[str] = field(default_factory=list)
+    falls_through: bool = True
+    labels: List[str] = field(default_factory=list)  # labels defined here
+
+
+@dataclass
+class ReactFunction:
+    """A parsed reactive function: statements plus label table."""
+
+    name: str
+    line: int
+    statements: List[Statement]
+    labels: Dict[str, int]  # label -> statement index
+    uninitialized: Set[str]  # locals declared without an initializer
+
+    def successors(self, index: int) -> List[int]:
+        statement = self.statements[index]
+        out = [
+            self.labels[target]
+            for target in statement.goto_targets
+            if target in self.labels
+        ]
+        if statement.falls_through and index + 1 < len(self.statements):
+            out.append(index + 1)
+        return out
+
+    def reachable(self) -> Set[int]:
+        if not self.statements:
+            return set()
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.successors(stack.pop()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+class CSourceContext:
+    """One generated C translation unit, parsed into react functions."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.functions = _parse_functions(source)
+
+
+def _strip_comment(line: str) -> str:
+    return re.sub(r"/\*.*?\*/", " ", line).strip()
+
+
+def _idents(expression: str) -> Set[str]:
+    return set(_IDENT_RE.findall(expression))
+
+
+def _parse_functions(source: str) -> List[ReactFunction]:
+    lines = source.splitlines()
+    functions: List[ReactFunction] = []
+    i = 0
+    while i < len(lines):
+        match = _FUNC_RE.match(lines[i].strip())
+        if not match:
+            i += 1
+            continue
+        name = match.group(1)
+        start = i + 1
+        # skip the opening brace line
+        body_start = start + 1 if start < len(lines) and lines[start].strip() == "{" else start
+        depth = 1
+        j = body_start
+        while j < len(lines) and depth > 0:
+            stripped = _strip_comment(lines[j])
+            depth += stripped.count("{") - stripped.count("}")
+            j += 1
+        functions.append(_parse_body(name, i + 1, lines, body_start, j - 1))
+        i = j
+    return functions
+
+
+def _parse_body(
+    name: str, func_line: int, lines: List[str], start: int, end: int
+) -> ReactFunction:
+    statements: List[Statement] = []
+    labels: Dict[str, int] = {}
+    uninitialized: Set[str] = set()
+    pending_labels: List[str] = []
+    index = start
+    while index < end:
+        raw = lines[index]
+        text = _strip_comment(raw)
+        lineno = index + 1
+        index += 1
+        if not text:
+            continue
+        label = _LABEL_RE.match(text)
+        if label and not text.startswith("default"):
+            pending_labels.append(label.group(1))
+            continue
+        statement = _classify(text, lineno, lines, index, end, uninitialized)
+        if statement is None:
+            continue
+        if isinstance(statement, tuple):
+            statement, index = statement
+        for pending in pending_labels:
+            labels.setdefault(pending, len(statements))
+            statement.labels.append(pending)
+        pending_labels = []
+        statements.append(statement)
+    return ReactFunction(
+        name=name,
+        line=func_line,
+        statements=statements,
+        labels=labels,
+        uninitialized=uninitialized,
+    )
+
+
+def _classify(
+    text: str,
+    lineno: int,
+    lines: List[str],
+    index: int,
+    end: int,
+    uninitialized: Set[str],
+) -> Optional[object]:
+    declaration = _DECL_RE.match(text)
+    if declaration:
+        var, has_init, init = declaration.groups()
+        statement = Statement(line=lineno, kind="decl", text=text)
+        if has_init:
+            statement.writes.add(var)
+            statement.reads = _idents(init or "")
+        else:
+            uninitialized.add(var)
+        return statement
+    if_goto = _IF_GOTO_RE.match(text)
+    if if_goto:
+        condition, target = if_goto.groups()
+        return Statement(
+            line=lineno,
+            kind="if-goto",
+            text=text,
+            reads=_idents(condition),
+            goto_targets=[target],
+        )
+    plain_goto = _GOTO_RE.match(text)
+    if plain_goto:
+        return Statement(
+            line=lineno,
+            kind="goto",
+            text=text,
+            goto_targets=[plain_goto.group(1)],
+            falls_through=False,
+        )
+    switch = _SWITCH_RE.match(text)
+    if switch:
+        # Consume the whole dispatch block; its successors are every goto
+        # inside, plus fallthrough iff there is no default arm.
+        reads = _idents(switch.group(1))
+        targets: List[str] = []
+        has_default = False
+        depth = 1
+        scan = index
+        while scan < end and depth > 0:
+            inner = _strip_comment(lines[scan])
+            depth += inner.count("{") - inner.count("}")
+            if depth > 0:
+                targets.extend(_ANY_GOTO_RE.findall(inner))
+                if inner.startswith("default"):
+                    has_default = True
+            scan += 1
+        statement = Statement(
+            line=lineno,
+            kind="switch",
+            text=text,
+            reads=reads,
+            goto_targets=targets,
+            falls_through=not has_default,
+        )
+        return (statement, scan)
+    ret = _RETURN_RE.match(text)
+    if ret:
+        return Statement(
+            line=lineno,
+            kind="return",
+            text=text,
+            reads=_idents(ret.group(1)),
+            falls_through=False,
+        )
+    assign = _ASSIGN_RE.match(text)
+    if assign:
+        var, expression = assign.groups()
+        return Statement(
+            line=lineno,
+            kind="assign",
+            text=text,
+            reads=_idents(expression),
+            writes={var},
+        )
+    return Statement(line=lineno, kind="other", text=text, reads=_idents(text))
+
+
+@check(
+    "c-goto-target",
+    layer="codegen",
+    severity=Severity.ERROR,
+    description="a goto targets a label that does not exist in its function",
+)
+def check_goto_target(ctx: CSourceContext) -> Iterator[Finding]:
+    for function in ctx.functions:
+        for statement in function.statements:
+            for target in statement.goto_targets:
+                if target not in function.labels:
+                    yield Finding(
+                        message=(
+                            f"goto targets undefined label '{target}' in "
+                            f"{function.name}()"
+                        ),
+                        location=f"line {statement.line}",
+                    )
+
+
+@check(
+    "c-unreachable-label",
+    layer="codegen",
+    severity=Severity.WARNING,
+    description="a label can never be reached from the function entry",
+)
+def check_unreachable_label(ctx: CSourceContext) -> Iterator[Finding]:
+    for function in ctx.functions:
+        reachable = function.reachable()
+        for label, target in sorted(function.labels.items()):
+            if target not in reachable:
+                yield Finding(
+                    message=(
+                        f"label '{label}' in {function.name}() is unreachable "
+                        "dead code"
+                    ),
+                    location=f"line {function.statements[target].line}",
+                )
+
+
+@check(
+    "c-read-before-assign",
+    layer="codegen",
+    severity=Severity.ERROR,
+    description="a local variable may be read before any assignment on some path",
+)
+def check_read_before_assign(ctx: CSourceContext) -> Iterator[Finding]:
+    for function in ctx.functions:
+        if not function.uninitialized:
+            continue
+        yield from _must_assign_violations(function)
+
+
+def _must_assign_violations(function: ReactFunction) -> Iterator[Finding]:
+    """Forward must-assign dataflow (intersection at joins) to a fixpoint."""
+    statements = function.statements
+    tracked = function.uninitialized
+    if not statements:
+        return
+    reachable = function.reachable()
+    entry: Dict[int, Optional[Set[str]]] = {i: None for i in range(len(statements))}
+    entry[0] = set()
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        known = entry[index]
+        assert known is not None
+        out = known | (statements[index].writes & tracked)
+        for succ in function.successors(index):
+            previous = entry[succ]
+            merged = out if previous is None else (previous & out)
+            if previous is None or merged != previous:
+                entry[succ] = set(merged)
+                worklist.append(succ)
+    reported: Set[Tuple[str, int]] = set()
+    for index, statement in enumerate(statements):
+        if index not in reachable or entry[index] is None:
+            continue
+        for var in sorted((statement.reads & tracked) - entry[index]):
+            if (var, statement.line) in reported:
+                continue
+            reported.add((var, statement.line))
+            yield Finding(
+                message=(
+                    f"'{var}' may be read before assignment in "
+                    f"{function.name}() (some path reaches this read without "
+                    "writing it)"
+                ),
+                location=f"line {statement.line}",
+            )

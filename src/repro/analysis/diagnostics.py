@@ -1,0 +1,105 @@
+"""Diagnostics core of the ``repro lint`` static-analysis subsystem.
+
+Every check produces :class:`Diagnostic` records; a :class:`Report`
+aggregates them across artifacts and maps them onto stable exit codes:
+
+* ``0`` — no finding at or above the failure threshold;
+* ``1`` — at least one finding at or above the threshold (default: ERROR);
+* ``2`` — reserved for usage errors (bad arguments, unreadable files),
+  raised by the CLI layer itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Severity", "Diagnostic", "Finding", "Report"]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; comparison follows escalation order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """What a check function yields: message + location, id-agnostic.
+
+    The runner stamps the check id, layer, artifact and default severity
+    onto it to form a :class:`Diagnostic`; ``severity`` here overrides the
+    check's default for one finding.
+    """
+
+    message: str
+    location: str = ""
+    severity: Optional[Severity] = None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one check against one artifact."""
+
+    check: str
+    severity: Severity
+    layer: str
+    artifact: str
+    location: str
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.artifact}:{self.location}" if self.location else self.artifact
+        return f"{where}: {self.severity}: [{self.check}] {self.message}"
+
+    def sort_key(self):
+        return (-int(self.severity), self.layer, self.check, self.artifact,
+                self.location, self.message)
+
+
+@dataclass
+class Report:
+    """All diagnostics of one lint run."""
+
+    design: str = "design"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def counts(self) -> Dict[str, int]:
+        out = {str(s): 0 for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)}
+        for diagnostic in self.diagnostics:
+            out[str(diagnostic.severity)] += 1
+        return out
+
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def exit_code(self, fail_on: str = "error") -> int:
+        """0 clean / 1 findings at or above the ``fail_on`` severity."""
+        if fail_on == "never":
+            return 0
+        threshold = Severity.parse(fail_on)
+        return 1 if any(d.severity >= threshold for d in self.diagnostics) else 0

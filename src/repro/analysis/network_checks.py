@@ -1,0 +1,351 @@
+"""Network-level lint checks over a set of CFSMs (the GALS topology).
+
+The paper's communication model gives every (event, receiver) pair one
+single-place buffer: "the sender always writes into the buffer ... an
+event may be lost" (Sec. II-B).  These checks flag the topological
+hazards of that model — racing writers, type-inconsistent declarations,
+events nobody drives or consumes — plus sequential dead code found with
+the existing reachability engine: unreachable state-variable values and
+transitions that no reachable snapshot can ever enable.
+
+Unlike :class:`repro.cfsm.Network`, the checks accept a *raw* machine
+list: a type-mismatched design (which the ``Network`` constructor rejects
+outright) must still be lintable, so the event-table merge is redone here
+diagnostically.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..cfsm.machine import Cfsm
+from .diagnostics import Finding, Severity
+from .registry import check
+
+__all__ = ["NetworkContext"]
+
+# Exhaustive exploration bounds: designs beyond these report an INFO
+# "skipped" finding instead of silently passing.
+STATE_SPACE_LIMIT = 4096
+PRESENCE_LIMIT = 256  # 2**8 presence subsets
+VALUE_COMBO_LIMIT = 64
+EVAL_BUDGET = 500_000
+
+
+def _event_kind(event) -> str:
+    return "pure" if event.is_pure else f"int{event.width}"
+
+
+def _transition_label(transition) -> str:
+    if transition.source:
+        return transition.source
+    guard = " & ".join(
+        ("" if lit.value else "!") + lit.test.label() for lit in transition.guard
+    )
+    return guard or "true"
+
+
+class NetworkContext:
+    """Shared, lazily computed facts about one machine set."""
+
+    def __init__(self, machines: Sequence[Cfsm]):
+        self.machines = list(machines)
+        self._reach: Dict[str, Optional[object]] = {}
+
+    # -- event topology -----------------------------------------------------
+
+    def producers(self, event_name: str) -> List[Cfsm]:
+        return [
+            m for m in self.machines if any(e.name == event_name for e in m.outputs)
+        ]
+
+    def consumers(self, event_name: str) -> List[Cfsm]:
+        return [
+            m for m in self.machines if any(e.name == event_name for e in m.inputs)
+        ]
+
+    def declarations(self) -> Iterator[Tuple[str, "Cfsm", object]]:
+        """(event name, declaring machine, EventDef) for every declaration."""
+        for machine in self.machines:
+            for event in list(machine.inputs) + list(machine.outputs):
+                yield event.name, machine, event
+
+    def event_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for name, _, _ in self.declarations():
+            seen.setdefault(name)
+        return list(seen)
+
+    # -- reachability --------------------------------------------------------
+
+    def state_space(self, machine: Cfsm) -> int:
+        total = 1
+        for var in machine.state_vars:
+            total *= var.num_values
+        return total
+
+    def reachability(self, machine: Cfsm):
+        """A ReachabilityAnalysis for ``machine``, or None when too large."""
+        if machine.name not in self._reach:
+            if self.state_space(machine) > STATE_SPACE_LIMIT:
+                self._reach[machine.name] = None
+            else:
+                from ..verify import ReachabilityAnalysis
+
+                self._reach[machine.name] = ReachabilityAnalysis(machine)
+        return self._reach[machine.name]
+
+
+@check(
+    "net-type-mismatch",
+    layer="network",
+    severity=Severity.ERROR,
+    description="an event is declared with inconsistent types across machines",
+)
+def check_type_mismatch(ctx: NetworkContext) -> Iterator[Finding]:
+    first: Dict[str, Tuple[Cfsm, object]] = {}
+    reported = set()
+    for name, machine, event in ctx.declarations():
+        known = first.get(name)
+        if known is None:
+            first[name] = (machine, event)
+            continue
+        known_machine, known_event = known
+        if known_event != event and (name, machine.name) not in reported:
+            reported.add((name, machine.name))
+            yield Finding(
+                message=(
+                    f"event '{name}' declared as {_event_kind(event)} here but "
+                    f"as {_event_kind(known_event)} in machine "
+                    f"'{known_machine.name}'"
+                ),
+                location=machine.name,
+            )
+
+
+@check(
+    "net-buffer-race",
+    layer="network",
+    severity=Severity.WARNING,
+    description="multiple writers race one single-place event buffer",
+)
+def check_buffer_race(ctx: NetworkContext) -> Iterator[Finding]:
+    for name in ctx.event_names():
+        producers = ctx.producers(name)
+        consumers = ctx.consumers(name)
+        if len(producers) > 1 and consumers:
+            writers = ", ".join(sorted(m.name for m in producers))
+            readers = ", ".join(sorted(m.name for m in consumers))
+            yield Finding(
+                message=(
+                    f"event '{name}' has {len(producers)} writers ({writers}) "
+                    f"racing the single-place buffer read by {readers}; "
+                    "a second emission before the reaction overwrites the first"
+                ),
+                location=name,
+            )
+
+
+@check(
+    "net-undriven-event",
+    layer="network",
+    severity=Severity.INFO,
+    description="an event is consumed but never produced inside the design",
+)
+def check_undriven(ctx: NetworkContext) -> Iterator[Finding]:
+    for name in ctx.event_names():
+        if ctx.consumers(name) and not ctx.producers(name):
+            yield Finding(
+                message=(
+                    f"event '{name}' is consumed but never produced inside the "
+                    "design (environment input)"
+                ),
+                location=name,
+            )
+
+
+@check(
+    "net-unconsumed-event",
+    layer="network",
+    severity=Severity.INFO,
+    description="an event is produced but never consumed inside the design",
+)
+def check_unconsumed(ctx: NetworkContext) -> Iterator[Finding]:
+    for name in ctx.event_names():
+        if ctx.producers(name) and not ctx.consumers(name):
+            yield Finding(
+                message=(
+                    f"event '{name}' is produced but never consumed inside the "
+                    "design (environment output)"
+                ),
+                location=name,
+            )
+
+
+@check(
+    "net-unreachable-state",
+    layer="network",
+    severity=Severity.WARNING,
+    description="a state-variable value is unreachable from the initial state",
+)
+def check_unreachable_state(ctx: NetworkContext) -> Iterator[Finding]:
+    for machine in ctx.machines:
+        if not machine.state_vars:
+            continue
+        analysis = ctx.reachability(machine)
+        if analysis is None:
+            yield Finding(
+                message=(
+                    f"state space of '{machine.name}' exceeds "
+                    f"{STATE_SPACE_LIMIT} states; reachability checks skipped"
+                ),
+                location=machine.name,
+                severity=Severity.INFO,
+            )
+            continue
+        reachable = analysis.reachable_states
+        for index, var in enumerate(machine.state_vars):
+            seen = {state[index] for state in reachable}
+            for value in range(var.num_values):
+                if value not in seen:
+                    yield Finding(
+                        message=(
+                            f"state variable '{var.name}' never takes value "
+                            f"{value} in any reachable state"
+                        ),
+                        location=f"{machine.name}/{var.name}",
+                    )
+
+
+def _value_combos(machine: Cfsm) -> Tuple[List[Dict[str, int]], bool]:
+    """Valuations of the valued-input buffers to try; flag says exhaustive."""
+    valued = [e for e in machine.inputs if e.is_valued]
+    if not valued:
+        return [{}], True
+    total = 1
+    for event in valued:
+        total *= 1 << event.width
+    names = [e.name for e in valued]
+    if total <= VALUE_COMBO_LIMIT:
+        spaces = [range(1 << e.width) for e in valued]
+        exact = True
+    else:
+        # Boundary sampling: enough for equality/threshold guards on the
+        # extremes, deliberately not exhaustive.
+        spaces = [
+            sorted({0, 1, (1 << e.width) - 1, 1 << (e.width - 1)})
+            for e in valued
+        ]
+        exact = False
+    return [dict(zip(names, combo)) for combo in product(*spaces)], exact
+
+
+@check(
+    "net-dead-transition",
+    layer="network",
+    severity=Severity.WARNING,
+    description="a transition can never fire from any reachable state",
+)
+def check_dead_transition(ctx: NetworkContext) -> Iterator[Finding]:
+    for machine in ctx.machines:
+        if not machine.transitions:
+            continue
+        analysis = ctx.reachability(machine)
+        encoding = None
+        if analysis is not None:
+            encoding = analysis.encoding
+        else:
+            from ..synthesis.reactive import synthesize_reactive
+
+            encoding = synthesize_reactive(machine, check=False).encoding
+        manager = encoding.manager
+        care = encoding.care
+        cubes = [
+            encoding.guard_function(transition.guard)
+            for transition in machine.transitions
+        ]
+
+        # Structural layer: a guard contradictory within the care set is
+        # dead no matter what the environment does.
+        structurally_dead = set()
+        for index, cube in enumerate(cubes):
+            if (cube & care).is_false:
+                structurally_dead.add(index)
+                yield Finding(
+                    message=(
+                        "transition "
+                        f"'{_transition_label(machine.transitions[index])}' has "
+                        "a contradictory guard (unsatisfiable within the care "
+                        "set)"
+                    ),
+                    location=f"{machine.name}/transition#{index}",
+                )
+
+        # Sequential layer: exhaustive sweep of reachable snapshots.
+        if analysis is None:
+            continue  # skip already reported by net-unreachable-state
+        states = [analysis._dict(t) for t in sorted(analysis.reachable_states)]
+        inputs = [e.name for e in machine.inputs]
+        if 2 ** len(inputs) > PRESENCE_LIMIT:
+            yield Finding(
+                message=(
+                    f"'{machine.name}' has {len(inputs)} inputs; dead-transition "
+                    "sweep skipped (presence space too large)"
+                ),
+                location=machine.name,
+                severity=Severity.INFO,
+            )
+            continue
+        presence_sets = [
+            {name for bit, name in enumerate(inputs) if combo & (1 << bit)}
+            for combo in range(2 ** len(inputs))
+        ]
+        combos, exact_values = _value_combos(machine)
+        work = len(states) * len(presence_sets) * len(combos) * len(cubes)
+        if work > EVAL_BUDGET:
+            yield Finding(
+                message=(
+                    f"dead-transition sweep over '{machine.name}' needs {work} "
+                    f"evaluations (> {EVAL_BUDGET}); skipped"
+                ),
+                location=machine.name,
+                severity=Severity.INFO,
+            )
+            continue
+        alive = set(structurally_dead)  # no need to re-prove those dead
+        for state in states:
+            for present in presence_sets:
+                for values in combos:
+                    bits = encoding.evaluate_inputs(state, present, values)
+                    for index, cube in enumerate(cubes):
+                        if index in alive:
+                            continue
+                        if manager.evaluate(cube, bits):
+                            alive.add(index)
+            if len(alive) == len(cubes):
+                break
+        for index in range(len(cubes)):
+            if index not in alive and index not in structurally_dead:
+                if exact_values:
+                    yield Finding(
+                        message=(
+                            "transition "
+                            f"'{_transition_label(machine.transitions[index])}' "
+                            "never fires from any reachable state under any "
+                            "input"
+                        ),
+                        location=f"{machine.name}/transition#{index}",
+                    )
+                else:
+                    # Sampled value space: absence of a witness is not proof.
+                    yield Finding(
+                        message=(
+                            "transition "
+                            f"'{_transition_label(machine.transitions[index])}' "
+                            "did not fire under any sampled input value "
+                            "(value space too large for an exhaustive sweep)"
+                        ),
+                        location=f"{machine.name}/transition#{index}",
+                        severity=Severity.INFO,
+                    )

@@ -1,0 +1,121 @@
+"""Pluggable check registry for ``repro lint``.
+
+A check is a generator function yielding :class:`~.diagnostics.Finding`
+records, registered under a stable id and one of three layers:
+
+* ``network`` — runs over a set of CFSMs (the GALS network topology);
+* ``sgraph``  — runs over one synthesized s-graph + its encoding;
+* ``codegen`` — runs over one generated portable-assembly C translation
+  unit.
+
+Registration is declarative (the ``@check(...)`` decorator); the runner
+asks the registry for a layer's checks and stamps each yielded finding
+into a full :class:`~.diagnostics.Diagnostic`.  Third parties (and tests)
+can register additional checks the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .diagnostics import Diagnostic, Finding, Severity
+
+__all__ = ["Check", "check", "checks_for", "all_checks", "get_check", "run_checks"]
+
+LAYERS = ("network", "sgraph", "codegen")
+
+
+@dataclass(frozen=True)
+class Check:
+    """One registered static check."""
+
+    id: str
+    layer: str
+    severity: Severity
+    description: str
+    fn: Callable
+
+
+_REGISTRY: Dict[str, Check] = {}
+
+
+def check(check_id: str, layer: str, severity: Severity, description: str):
+    """Register the decorated generator function as a lint check."""
+    if layer not in LAYERS:
+        raise ValueError(f"unknown layer {layer!r} for check {check_id!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        if check_id in _REGISTRY:
+            raise ValueError(f"duplicate check id {check_id!r}")
+        _REGISTRY[check_id] = Check(
+            id=check_id, layer=layer, severity=severity,
+            description=description, fn=fn,
+        )
+        return fn
+
+    return decorate
+
+
+def checks_for(layer: str) -> List[Check]:
+    return sorted(
+        (c for c in _REGISTRY.values() if c.layer == layer), key=lambda c: c.id
+    )
+
+
+def all_checks() -> List[Check]:
+    return sorted(_REGISTRY.values(), key=lambda c: (c.layer, c.id))
+
+
+def get_check(check_id: str) -> Check:
+    return _REGISTRY[check_id]
+
+
+def run_checks(
+    layer: str,
+    artifact: str,
+    *args,
+    only: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Run every registered check of ``layer`` over one artifact.
+
+    ``args`` are passed to each check function; ``only`` restricts the run
+    to the named check ids.  A check that crashes reports itself as an
+    ERROR diagnostic instead of taking the whole run down.
+    """
+    wanted = set(only) if only is not None else None
+    out: List[Diagnostic] = []
+    for registered in checks_for(layer):
+        if wanted is not None and registered.id not in wanted:
+            continue
+        try:
+            findings = list(registered.fn(*args))
+        except Exception as exc:  # noqa: BLE001 - checks must not be fatal
+            out.append(
+                Diagnostic(
+                    check=registered.id,
+                    severity=Severity.ERROR,
+                    layer=layer,
+                    artifact=artifact,
+                    location="",
+                    message=f"check crashed: {type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        for finding in findings:
+            if isinstance(finding, Finding):
+                out.append(
+                    Diagnostic(
+                        check=registered.id,
+                        severity=finding.severity or registered.severity,
+                        layer=layer,
+                        artifact=artifact,
+                        location=finding.location,
+                        message=finding.message,
+                    )
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(
+                    f"check {registered.id!r} yielded {finding!r}, expected Finding"
+                )
+    return out

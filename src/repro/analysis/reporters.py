@@ -1,0 +1,65 @@
+"""Text and JSON renderers for lint reports.
+
+The JSON document is a stable machine-readable contract (schema id
+``repro-lint-report/v1``) so CI jobs and editor integrations can consume
+``repro lint --json`` without scraping the human-readable output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import Report, Severity
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_ID"]
+
+JSON_SCHEMA_ID = "repro-lint-report/v1"
+
+
+def render_text(report: Report, verbose: bool = False) -> str:
+    """Human-readable listing, most severe first; INFO only when verbose."""
+    lines = []
+    shown = 0
+    hidden = 0
+    for diagnostic in report.sorted():
+        if diagnostic.severity <= Severity.INFO and not verbose:
+            hidden += 1
+            continue
+        lines.append(diagnostic.render())
+        shown += 1
+    counts = report.counts()
+    summary = (
+        f"{report.design}: {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+    if hidden:
+        summary += f" ({hidden} info hidden; use --verbose)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report, fail_on: str = "error") -> str:
+    """The ``repro-lint-report/v1`` JSON document, deterministically ordered."""
+    counts = report.counts()
+    document = {
+        "schema": JSON_SCHEMA_ID,
+        "design": report.design,
+        "summary": {
+            "errors": counts["error"],
+            "warnings": counts["warning"],
+            "infos": counts["info"],
+            "exit_code": report.exit_code(fail_on),
+        },
+        "diagnostics": [
+            {
+                "check": d.check,
+                "severity": str(d.severity),
+                "layer": d.layer,
+                "artifact": d.artifact,
+                "location": d.location,
+                "message": d.message,
+            }
+            for d in report.sorted()
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

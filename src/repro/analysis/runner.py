@@ -1,0 +1,90 @@
+"""Drive every lint layer over a design.
+
+``lint_design`` is the one-call entry point used by the ``repro lint``
+CLI and the ``flow.build_system(lint=True)`` gate: network checks over
+the machine set, then — per machine — s-graph checks over the synthesis
+result and codegen checks over the emitted C.  A machine whose synthesis
+itself blows up becomes a ``synthesis-error`` diagnostic rather than a
+crash, so one broken module never hides findings in the others.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..cfsm.machine import Cfsm
+from .c_checks import CSourceContext
+from .diagnostics import Diagnostic, Report, Severity
+from .network_checks import NetworkContext
+from .registry import run_checks
+from .sgraph_checks import SGraphContext
+
+__all__ = ["lint_design", "lint_sgraph", "lint_c_source"]
+
+
+def lint_design(
+    machines: Sequence[Cfsm],
+    design: str = "design",
+    scheme: str = "sift",
+    only: Optional[Iterable[str]] = None,
+) -> Report:
+    """Run every applicable check over ``machines``; returns the Report."""
+    report = Report(design=design)
+    report.extend(
+        run_checks("network", design, NetworkContext(machines), only=only)
+    )
+    for machine in machines:
+        try:
+            from ..codegen import generate_c
+            from ..sgraph import synthesize
+
+            result = synthesize(machine, scheme=scheme, check=False)
+            c_source = generate_c(result)
+        except Exception as exc:  # noqa: BLE001 - must degrade to a finding
+            report.diagnostics.append(
+                Diagnostic(
+                    check="synthesis-error",
+                    severity=Severity.ERROR,
+                    layer="sgraph",
+                    artifact=machine.name,
+                    location="",
+                    message=(
+                        f"synthesis failed: {type(exc).__name__}: {exc}"
+                    ),
+                )
+            )
+            continue
+        context = SGraphContext(result.sgraph, result.reactive.encoding)
+        report.extend(run_checks("sgraph", machine.name, context, only=only))
+        report.extend(
+            run_checks(
+                "codegen", machine.name, CSourceContext(c_source), only=only
+            )
+        )
+    return report
+
+
+def lint_sgraph(
+    sgraph,
+    encoding=None,
+    artifact: str = "sgraph",
+    only: Optional[Iterable[str]] = None,
+) -> Report:
+    """S-graph layer only, for callers who already synthesized."""
+    report = Report(design=artifact)
+    context = SGraphContext(sgraph, encoding)
+    report.extend(run_checks("sgraph", artifact, context, only=only))
+    return report
+
+
+def lint_c_source(
+    source: str,
+    artifact: str = "generated.c",
+    only: Optional[Iterable[str]] = None,
+) -> Report:
+    """Codegen layer only, over one C translation unit."""
+    report = Report(design=artifact)
+    report.extend(
+        run_checks("codegen", artifact, CSourceContext(source), only=only)
+    )
+    return report

@@ -1,0 +1,310 @@
+"""S-graph well-formedness checks (Theorem 1 / Definition 1 of the paper).
+
+Definition 1 presents the s-graph as a DAG over BEGIN, END, TEST and
+ASSIGN vertices; Theorem 1 states that the s-graph built from the
+characteristic function chi computes the reactive function — which holds
+only while the structural invariants do:
+
+* the graph is acyclic with a unique BEGIN and a unique END;
+* along any BEGIN→END path each output is assigned at most once (the
+  don't-care resolution may drop an assignment entirely, never double it);
+* TEST vertices respect the BDD variable order along every path (and in
+  particular never re-test a variable a path has already resolved);
+* ``infeasible`` edge flags agree with the care set: a flagged edge must
+  be unsatisfiable, since timing analysis excludes it as a false path
+  (Sec. III-C).
+
+Checks degrade gracefully: anything that needs a topological order skips
+itself (with the DAG violation reported separately) when the graph is
+cyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..sgraph import ASSIGN, BEGIN, END, TEST
+from .diagnostics import Finding, Severity
+from .registry import check
+
+__all__ = ["SGraphContext"]
+
+
+class SGraphContext:
+    """One synthesized s-graph plus the encoding that explains it."""
+
+    def __init__(self, sgraph, encoding=None):
+        self.sgraph = sgraph
+        self.encoding = encoding
+        self.manager = encoding.manager if encoding is not None else None
+        self._topo: Optional[List[int]] = None
+        self._topo_failed = False
+
+    def topo(self) -> Optional[List[int]]:
+        if self._topo is None and not self._topo_failed:
+            try:
+                self._topo = self.sgraph.topo_order()
+            except ValueError:
+                self._topo_failed = True
+        return self._topo
+
+    def reachable(self):
+        return self.sgraph.reachable()
+
+    def describe_var(self, var: int) -> str:
+        if self.manager is not None:
+            try:
+                return self.manager.var_name(var)
+            except Exception:  # noqa: BLE001 - description is best-effort
+                pass
+        return f"v{var}"
+
+    def vertex_levels(self, vertex) -> List[int]:
+        """BDD levels constrained by one TEST vertex.
+
+        Only plain binary TESTs carry the BDD ordering invariant; switch
+        and collapsed vertices are post-pass merges that deliberately
+        re-read several variables at once, so they are opaque here.
+        """
+        if getattr(vertex, "collapsed_predicates", None) is not None:
+            return []
+        if vertex.is_switch:
+            return []
+        return [self.manager.level_of(vertex.var)]
+
+
+@check(
+    "sg-not-dag",
+    layer="sgraph",
+    severity=Severity.ERROR,
+    description="the s-graph contains a cycle (Definition 1 requires a DAG)",
+)
+def check_dag(ctx: SGraphContext) -> Iterator[Finding]:
+    if ctx.topo() is None:
+        yield Finding(message="s-graph contains a cycle; it is not a DAG")
+
+
+@check(
+    "sg-begin-end",
+    layer="sgraph",
+    severity=Severity.ERROR,
+    description="the s-graph must have a unique BEGIN, a unique END, and no dangling vertices",
+)
+def check_begin_end(ctx: SGraphContext) -> Iterator[Finding]:
+    sg = ctx.sgraph
+    begins = [v.vid for v in sg.vertices() if v.kind == BEGIN]
+    ends = [v.vid for v in sg.vertices() if v.kind == END]
+    if len(begins) != 1:
+        yield Finding(message=f"expected exactly one BEGIN vertex, found {len(begins)}")
+    if len(ends) != 1:
+        yield Finding(message=f"expected exactly one END vertex, found {len(ends)}")
+    if sg.begin is None or sg.begin not in {v.vid for v in sg.vertices()}:
+        yield Finding(message="BEGIN vertex is unset or missing")
+        return
+    for vertex in sg.vertices():
+        if vertex.kind != END and not vertex.children:
+            yield Finding(
+                message=f"{vertex.kind} vertex has no successor (dangling path)",
+                location=f"vertex {vertex.vid}",
+            )
+    if ctx.topo() is not None and sg.end not in sg.reachable():
+        yield Finding(message="END is unreachable from BEGIN")
+
+
+@check(
+    "sg-multi-assign-path",
+    layer="sgraph",
+    severity=Severity.ERROR,
+    description="some BEGIN→END path assigns one output more than once",
+)
+def check_multi_assign(ctx: SGraphContext) -> Iterator[Finding]:
+    order = ctx.topo()
+    if order is None:
+        return
+    sg = ctx.sgraph
+    reachable = ctx.reachable()
+    assigns_by_var: Dict[int, List[int]] = {}
+    for vertex in sg.vertices():
+        if vertex.vid not in reachable or vertex.kind != ASSIGN:
+            continue
+        if vertex.label is not None and vertex.label.is_false:
+            continue  # emits no code, cannot double-assign
+        assigns_by_var.setdefault(vertex.var, []).append(vertex.vid)
+    for var, vids in sorted(assigns_by_var.items()):
+        if len(vids) < 2:
+            continue
+        targets = set(vids)
+        # reaches_assign[u]: some descendant of u assigns ``var``.
+        reaches_assign: Dict[int, bool] = {}
+        for vid in reversed(order):
+            if vid not in reachable:
+                continue
+            flag = False
+            for child in sg.vertex(vid).children:
+                if child in targets or reaches_assign.get(child, False):
+                    flag = True
+                    break
+            reaches_assign[vid] = flag
+        for vid in vids:
+            if reaches_assign.get(vid, False):
+                name = ctx.describe_var(var)
+                yield Finding(
+                    message=(
+                        f"output '{name}' can be assigned twice on one "
+                        "BEGIN→END path (violates the exactly/at-most-once "
+                        "property of Theorem 1)"
+                    ),
+                    location=f"vertex {vid}",
+                )
+
+
+@check(
+    "sg-retest",
+    layer="sgraph",
+    severity=Severity.WARNING,
+    description="a path tests the same variable twice",
+)
+def check_retest(ctx: SGraphContext) -> Iterator[Finding]:
+    yield from _order_findings(ctx, want_retest=True)
+
+
+@check(
+    "sg-test-order",
+    layer="sgraph",
+    severity=Severity.WARNING,
+    description="TEST order along a path contradicts the BDD variable order",
+)
+def check_test_order(ctx: SGraphContext) -> Iterator[Finding]:
+    yield from _order_findings(ctx, want_retest=False)
+
+
+def _order_findings(ctx: SGraphContext, want_retest: bool) -> Iterator[Finding]:
+    order = ctx.topo()
+    if order is None or ctx.manager is None:
+        return
+    sg = ctx.sgraph
+    reachable = ctx.reachable()
+    inf = float("inf")
+    # min_below[v]: smallest BDD level tested strictly below v.
+    min_below: Dict[int, float] = {}
+    own: Dict[int, List[int]] = {}
+    for vid in reversed(order):
+        if vid not in reachable:
+            continue
+        vertex = sg.vertex(vid)
+        if vertex.kind == TEST:
+            own[vid] = ctx.vertex_levels(vertex)
+        best = inf
+        for child in vertex.children:
+            child_own = own.get(child)
+            if child_own:
+                best = min(best, min(child_own))
+            best = min(best, min_below.get(child, inf))
+        min_below[vid] = best
+    for vid in order:
+        levels = own.get(vid)
+        if not levels:
+            continue
+        below = min_below[vid]
+        if below == inf:
+            continue
+        retest = below in levels
+        if retest and want_retest:
+            name = ctx.describe_var(ctx.manager.var_at(int(below)))
+            yield Finding(
+                message=(
+                    f"variable '{name}' is tested again on a path below this "
+                    "TEST (a BDD-derived s-graph resolves each variable once)"
+                ),
+                location=f"vertex {vid}",
+            )
+        elif not retest and below < max(levels) and not want_retest:
+            name = ctx.describe_var(ctx.manager.var_at(int(below)))
+            yield Finding(
+                message=(
+                    f"variable '{name}' is tested below this TEST but sits "
+                    "above it in the BDD variable order"
+                ),
+                location=f"vertex {vid}",
+            )
+
+
+@check(
+    "sg-infeasible-care",
+    layer="sgraph",
+    severity=Severity.WARNING,
+    description="an edge marked infeasible is satisfiable within the care set",
+)
+def check_infeasible_care(ctx: SGraphContext) -> Iterator[Finding]:
+    order = ctx.topo()
+    if order is None or ctx.encoding is None:
+        return
+    sg = ctx.sgraph
+    manager = ctx.manager
+    care = ctx.encoding.care
+    reachable = ctx.reachable()
+    # Forward path-condition propagation from BEGIN.
+    cond = {sg.begin: manager.true}
+    for vid in order:
+        if vid not in reachable or vid not in cond:
+            continue
+        vertex = sg.vertex(vid)
+        here = cond[vid]
+        for index, child in enumerate(vertex.children):
+            constraint = _edge_constraint(ctx, vertex, index)
+            through = here & constraint if constraint is not None else here
+            if (
+                vertex.kind == TEST
+                and vertex.infeasible
+                and vertex.infeasible[index]
+                and not (through & care).is_false
+            ):
+                yield Finding(
+                    message=(
+                        f"edge #{index} is marked infeasible but is satisfiable "
+                        "within the care set; worst-case timing may wrongly "
+                        "exclude it as a false path"
+                    ),
+                    location=f"vertex {vid}",
+                )
+            cond[child] = cond.get(child, manager.false) | through
+
+
+def _edge_constraint(ctx: SGraphContext, vertex, index: int):
+    """Path constraint contributed by taking edge ``index`` out of ``vertex``."""
+    if vertex.kind != TEST:
+        return None
+    manager = ctx.manager
+    collapsed = getattr(vertex, "collapsed_predicates", None)
+    if collapsed is not None:
+        constraint = collapsed[index]
+        for previous in collapsed[:index]:
+            constraint = constraint & ~previous
+        return constraint
+    if vertex.is_switch:
+        bits = vertex.switch_bits  # MSB-first
+        constraint = manager.true
+        for position, bit in enumerate(bits):
+            literal = manager.var(bit)
+            if not (index >> (len(bits) - 1 - position)) & 1:
+                literal = ~literal
+            constraint = constraint & literal
+        return constraint
+    literal = manager.var(vertex.var)
+    return literal if index == 1 else ~literal
+
+
+@check(
+    "sg-unreachable-vertex",
+    layer="sgraph",
+    severity=Severity.WARNING,
+    description="a vertex is unreachable from BEGIN",
+)
+def check_unreachable_vertex(ctx: SGraphContext) -> Iterator[Finding]:
+    reachable = ctx.reachable()
+    for vertex in ctx.sgraph.vertices():
+        if vertex.vid not in reachable:
+            yield Finding(
+                message=f"{vertex.kind} vertex is unreachable from BEGIN",
+                location=f"vertex {vertex.vid}",
+            )

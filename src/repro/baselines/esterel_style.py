@@ -19,6 +19,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict
 
+if __package__ in (None, ""):  # executed as a plain script
+    import os
+    import sys
+
+    sys.path.insert(
+        0,
+        os.path.normpath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+        ),
+    )
+    __package__ = "repro.baselines"
+    import repro.baselines  # noqa: F401  bind the parent package
+
 from ..cfsm.network import Network
 from ..sgraph import SynthesisResult, synthesize
 from ..target import ISAProfile, Program, analyze_program, compile_sgraph
@@ -109,3 +122,27 @@ def circuit_style_flow(network: Network, profile: ISAProfile) -> FlowResult:
     return single_fsm_flow(
         network, profile, scheme="outputs-first", flow_name="ESTEREL_OPT"
     )
+
+
+def main() -> int:
+    """Table-III-style comparison of the three flows on a small network."""
+    from ..apps import dashboard_machines
+    from ..target import K11
+
+    machines = {m.name: m for m in dashboard_machines()}
+    network = Network(
+        "mini_dash",
+        [machines["wheel_filter"], machines["speedo"], machines["speed_gauge"]],
+    )
+    print(f"network {network.name}: {len(network.machines)} CFSMs, target K11")
+    for flow in (
+        polis_flow(network, K11),
+        single_fsm_flow(network, K11),
+        circuit_style_flow(network, K11),
+    ):
+        print(flow)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ Subcommands:
   schedule from environment event rates, and write a C project directory;
 * ``check``    — explore an RSL module's state space and check invariants
   given as Python expressions over the state variables;
+* ``lint``     — static analysis of a set of RSL modules: network-level
+  hazards, s-graph well-formedness, and generated-C sanity checks, with
+  text or JSON output and stable exit codes (0 clean, 1 findings at or
+  above ``--fail-on``, 2 usage error);
 * ``info``     — summarize a module: events, state variables, transitions,
   reactive-function statistics.
 """
@@ -173,6 +177,53 @@ def _cmd_check(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args) -> int:
+    from .analysis import lint_design, render_json, render_text
+    from .frontend.rsl import RslSyntaxError
+
+    if args.list_checks:
+        from .analysis import all_checks
+
+        for registered in all_checks():
+            print(
+                f"{registered.id:24s} {registered.layer:8s} "
+                f"{registered.severity!s:8s} {registered.description}"
+            )
+        return 0
+    if not args.modules:
+        sys.stderr.write("repro lint: no modules given\n")
+        return 2
+    if args.check:
+        from .analysis import all_checks
+
+        known = {registered.id for registered in all_checks()}
+        for check_id in args.check:
+            if check_id not in known:
+                sys.stderr.write(
+                    f"repro lint: unknown check '{check_id}' "
+                    "(see --list-checks)\n"
+                )
+                return 2
+    machines = []
+    for path in args.modules:
+        try:
+            machines.append(compile_source(_read(path)))
+        except (OSError, RslSyntaxError) as exc:
+            sys.stderr.write(f"repro lint: {path}: {exc}\n")
+            return 2
+    report = lint_design(
+        machines,
+        design=args.name,
+        scheme=args.scheme,
+        only=args.check or None,
+    )
+    if args.json:
+        _write(args.output, render_json(report, fail_on=args.fail_on))
+    else:
+        _write(args.output, render_text(report, verbose=args.verbose))
+    return report.exit_code(args.fail_on)
+
+
 def _cmd_info(args) -> int:
     cfsm = compile_source(_read(args.module))
     result = synthesize(cfsm, scheme=args.scheme)
@@ -262,6 +313,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "(repeatable)")
     p.add_argument("--max-states", type=int, default=200_000)
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "lint", help="static analysis over a set of RSL modules"
+    )
+    p.add_argument("modules", nargs="*", help="RSL source files")
+    p.add_argument("--name", default="design",
+                   help="design name used in the report")
+    p.add_argument("--scheme", default="sift",
+                   choices=["naive", "sift", "sift-strict",
+                            "outputs-first", "mixed"])
+    p.add_argument("--check", action="append",
+                   help="run only this check id (repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro-lint-report/v1 JSON document")
+    p.add_argument("--fail-on", default="error",
+                   choices=["error", "warning", "info", "never"],
+                   help="lowest severity that makes the exit code 1")
+    p.add_argument("--verbose", action="store_true",
+                   help="show INFO diagnostics in text output")
+    p.add_argument("--list-checks", action="store_true",
+                   help="list the registered checks and exit")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("info", help="summarize a module")
     p.add_argument("module")

@@ -113,13 +113,27 @@ def build_system(
     scheme: str = "sift",
     copy_elimination: bool = True,
     params: Optional[CostParams] = None,
+    lint: bool = False,
 ) -> SystemBuild:
     """Run the complete flow over ``network``.
 
     With ``env_rates`` given (event name -> min inter-arrival cycles), the
     scheduling policy is selected and validated automatically; otherwise the
-    provided/default ``config`` is used as-is.
+    provided/default ``config`` is used as-is.  With ``lint=True`` the
+    static-analysis subsystem runs first and any ERROR diagnostic aborts
+    the build with a ``ValueError``.
     """
+    if lint:
+        from .analysis import lint_design, render_text
+
+        lint_report = lint_design(
+            network.machines, design=network.name, scheme=scheme
+        )
+        if lint_report.has_errors():
+            raise ValueError(
+                "lint found errors in the design:\n"
+                + render_text(lint_report)
+            )
     params = params or calibrate(profile)
     schedule: Optional[AutoConfigResult] = None
     if env_rates is not None:

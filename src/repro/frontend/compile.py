@@ -29,7 +29,6 @@ from .rsl import (
     If,
     Module,
     PresenceExpr,
-    RslSyntaxError,
     Stmt,
     parse_module,
 )

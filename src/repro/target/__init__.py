@@ -1,0 +1,30 @@
+"""Target back end: portable ISA, profiles, compiler, simulator, analysis.
+
+This package is the "software synthesis" tail of the POLIS flow
+(Sec. III-C): it compiles s-graphs into a small accumulator instruction
+set, simulates them cycle-accurately against a target profile, and
+measures exact code size and best/worst-case reaction cycles — the
+numbers the s-graph-level estimator is validated against in Table I.
+"""
+
+from .analysis import PathAnalysis, analyze_program
+from .compile import compile_sgraph, compile_two_level
+from .isa import Program
+from .machine import ExecutionResult, ReactionOutcome, run_program, run_reaction
+from .profiles import K11, K32, PROFILES, ISAProfile
+
+__all__ = [
+    "ISAProfile",
+    "K11",
+    "K32",
+    "PROFILES",
+    "Program",
+    "ExecutionResult",
+    "ReactionOutcome",
+    "PathAnalysis",
+    "analyze_program",
+    "compile_sgraph",
+    "compile_two_level",
+    "run_program",
+    "run_reaction",
+]

@@ -1,0 +1,156 @@
+"""Cycle-accurate interpreter for the portable accumulator ISA.
+
+This is the stand-in for the paper's instruction-set simulators: the
+calibration benchmarks (Sec. III-C1) and the estimate-vs-measurement
+comparisons of Table I both run programs here and read back exact cycle
+counts from the active :class:`~repro.target.profiles.ISAProfile` tables.
+
+``run_program`` mutates ``memory`` in place — the RTOS cosimulator relies
+on that to read back the post-reaction state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..cfsm.expr import BINARY_OPS, UNARY_OPS
+from .isa import Program
+from .profiles import ISAProfile
+
+__all__ = ["ExecutionResult", "ReactionOutcome", "run_program", "run_reaction"]
+
+# Library routine semantics come straight from the expression operator
+# tables, so the target agrees with the reference interpreter bit for bit.
+_BINARY_FN: Dict[str, Callable[[int, int], int]] = {
+    name: fn for (name, _, fn) in BINARY_OPS.values()
+}
+_UNARY_FN: Dict[str, Callable[[int], int]] = {
+    name: fn for (name, fn) in UNARY_OPS.values()
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    cycles: int = 0
+    fired: bool = False
+    emissions: List[Tuple[str, Optional[int]]] = field(default_factory=list)
+
+
+def run_program(
+    program: Program,
+    profile: ISAProfile,
+    memory: Dict[str, int],
+    present: Set[str],
+) -> ExecutionResult:
+    """Execute ``program`` once against ``memory`` and the ``present`` events."""
+    labels = program.resolve()
+    instructions = program.instructions
+    result = ExecutionResult()
+    acc = 0
+    pc = 0
+    steps = 0
+    limit = max(64, 16 * len(instructions))
+    while 0 <= pc < len(instructions):
+        steps += 1
+        if steps > limit:
+            raise RuntimeError(
+                f"program {program.name!r} exceeded {limit} steps (control cycle?)"
+            )
+        op, args = instructions[pc]
+        taken = False
+        next_pc = pc + 1
+        if op == "FRAME":
+            pass
+        elif op == "RET":
+            result.cycles += profile.instr_cycles(op, args)
+            return result
+        elif op == "LD":
+            acc = int(memory.get(args[0], 0))
+        elif op == "LDI":
+            acc = int(args[0])
+        elif op == "ST":
+            memory[args[0]] = acc
+        elif op == "DETECT":
+            acc = 1 if args[0] in present else 0
+        elif op == "BNZ":
+            taken = acc != 0
+            if taken:
+                next_pc = labels[args[0]]
+        elif op == "BZ":
+            taken = acc == 0
+            if taken:
+                next_pc = labels[args[0]]
+        elif op == "TSTBIT":
+            acc = (int(memory.get(args[0], 0)) >> int(args[1])) & 1
+        elif op == "JTAB":
+            index = int(memory.get(args[0], 0))
+            table = args[1]
+            target = table[index] if 0 <= index < len(table) else args[2]
+            next_pc = labels[target]
+        elif op == "JMP":
+            next_pc = labels[args[0]]
+        elif op == "EMIT":
+            result.emissions.append((args[0], None))
+        elif op == "EMITV":
+            result.emissions.append((args[0], acc))
+        elif op == "SETF":
+            result.fired = True
+        elif op == "LIB":
+            name = args[0]
+            acc = _BINARY_FN[name](
+                int(memory.get(args[1], 0)), int(memory.get(args[2], 0))
+            )
+        elif op == "LIB1":
+            acc = _UNARY_FN[args[0]](int(memory.get(args[1], 0)))
+        elif op == "LIB3":
+            cond = int(memory.get(args[1], 0))
+            acc = int(memory.get(args[2] if cond else args[3], 0))
+        else:
+            raise ValueError(f"unknown opcode {op!r} in program {program.name!r}")
+        result.cycles += profile.instr_cycles(op, args, taken=taken)
+        pc = next_pc
+    return result
+
+
+@dataclass
+class ReactionOutcome:
+    """One reaction of a compiled CFSM, in CFSM-level terms."""
+
+    fired: bool
+    memory: Dict[str, int]
+    emissions: List[Tuple[str, Optional[int]]]
+    cycles: int
+
+    def emitted_names(self) -> Set[str]:
+        return {name for name, _ in self.emissions}
+
+
+def run_reaction(
+    program: Program,
+    profile: ISAProfile,
+    cfsm,
+    state: Dict[str, int],
+    present: Set[str],
+    values: Optional[Dict[str, int]] = None,
+) -> ReactionOutcome:
+    """Run one reaction of ``program`` from a CFSM-level snapshot.
+
+    ``state`` maps state variables to values; ``present`` names the events
+    detected this reaction; ``values`` holds the 1-place value buffers of
+    the valued inputs (absent buffers read 0).
+    """
+    memory = dict(state)
+    values = values or {}
+    for event in cfsm.inputs:
+        if event.is_valued:
+            memory[f"V_{event.name}"] = int(values.get(event.name, 0))
+    result = run_program(program, profile, memory, set(present))
+    return ReactionOutcome(
+        fired=result.fired,
+        memory=memory,
+        emissions=list(result.emissions),
+        cycles=result.cycles,
+    )

@@ -1,0 +1,166 @@
+"""Target-system profiles (the paper's "K1" micro-controllers, Sec. III-C1).
+
+A profile is the per-target half of the synthesis back end: word/pointer
+sizes plus a cycle/size table for every instruction of the portable
+accumulator ISA and for each entry of the arithmetic library ("about 30
+arithmetic, relational and logical functions are included in the library").
+
+Two profiles are provided:
+
+* ``K11`` — an 8/16-bit micro-controller in the 68HC11 mould: tiny, dense
+  CISC encodings, one-cycle-per-byte-ish timings, and painfully slow
+  software multiply/divide library routines.
+* ``K32`` — a 32-bit RISC core in the R3000 mould: fixed 4-byte
+  instructions (larger code) but far faster arithmetic.
+
+The cost parameters used by the estimator are *not* read from these tables
+directly; they are recovered by :func:`repro.estimation.calibrate.calibrate`,
+which measures benchmark sequences on the simulated machine exactly as the
+paper measures them on real boards.  Keeping the tables here and the
+parameters there preserves that measurement loop.
+
+Invariants the code generator relies on (and the calibration recipes
+implicitly encode):
+
+* ``LD``, ``LDI`` and ``ST`` share one cycle count and one size per
+  profile — the estimator prices every operand shuffle as (multiples of)
+  half a load/store pair.
+* ``JTAB`` size grows by exactly ``pointer_size`` per table slot.
+* ``JMP`` and ``BNZ`` share a size, so a BDD-branch node (test + taken
+  branch + fallthrough jump) matches the estimator's per-node price.
+* The ``ITE`` library entry sits at the mean of the table, because the
+  estimator prices the ``Cond`` operator at the library default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["ISAProfile", "K11", "K32", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class ISAProfile:
+    """Cycle/size tables and system parameters of one target system."""
+
+    name: str
+    pointer_size: int
+    int_size: int
+    near_range: int
+    cycles: Mapping[str, int] = field(default_factory=dict)
+    sizes: Mapping[str, int] = field(default_factory=dict)
+    lib_cycles: Mapping[str, int] = field(default_factory=dict)
+    lib_sizes: Mapping[str, int] = field(default_factory=dict)
+
+    # -- per-instruction accessors ------------------------------------------
+
+    def instr_size(self, op: str, args: Tuple) -> int:
+        if op in ("LIB", "LIB1", "LIB3"):
+            return int(self.lib_sizes[args[0]])
+        if op == "JTAB":
+            return int(self.sizes["JTAB"] + len(args[1]) * self.pointer_size)
+        return int(self.sizes[op])
+
+    def instr_cycles(self, op: str, args: Tuple, taken: bool = False) -> int:
+        if op in ("LIB", "LIB1", "LIB3"):
+            return int(self.lib_cycles[args[0]])
+        if op in ("BNZ", "BZ"):
+            return int(self.cycles[f"{op}_taken" if taken else f"{op}_not"])
+        return int(self.cycles[op])
+
+
+def _with_ite(table: Dict[str, int]) -> Dict[str, int]:
+    """Price the ITE pseudo-library entry at the table mean (rounded)."""
+    table = dict(table)
+    table["ITE"] = int(round(sum(table.values()) / len(table)))
+    return table
+
+
+_K11_LIB_CYCLES = _with_ite(
+    {
+        "MUL": 40, "DIV": 65, "MOD": 70, "ADD": 7, "SUB": 7,
+        "LT": 9, "LE": 9, "GT": 9, "GE": 9, "EQ": 9, "NE": 9,
+        "AND": 8, "OR": 8, "BAND": 6, "BOR": 6,
+        "SHR": 12, "SHL": 12, "MIN": 11, "MAX": 11, "NEG": 5, "NOT": 5,
+    }
+)
+_K11_LIB_SIZES = _with_ite(
+    {
+        "MUL": 5, "DIV": 5, "MOD": 5, "ADD": 4, "SUB": 4,
+        "LT": 4, "LE": 4, "GT": 4, "GE": 4, "EQ": 4, "NE": 4,
+        "AND": 4, "OR": 4, "BAND": 4, "BOR": 4,
+        "SHR": 4, "SHL": 4, "MIN": 4, "MAX": 4, "NEG": 3, "NOT": 3,
+    }
+)
+
+K11 = ISAProfile(
+    name="K11",
+    pointer_size=2,
+    int_size=2,
+    near_range=127,
+    cycles={
+        "FRAME": 6, "RET": 8,
+        "LD": 3, "LDI": 3, "ST": 3,
+        "DETECT": 9,
+        "BNZ_taken": 5, "BNZ_not": 3, "BZ_taken": 5, "BZ_not": 3,
+        "TSTBIT": 6, "JTAB": 10, "JMP": 4,
+        "EMIT": 10, "EMITV": 12, "SETF": 3,
+    },
+    sizes={
+        "FRAME": 4, "RET": 2,
+        "LD": 3, "LDI": 3, "ST": 3,
+        "DETECT": 6,
+        "BNZ": 3, "BZ": 3,
+        "TSTBIT": 4, "JTAB": 8, "JMP": 3,
+        "EMIT": 6, "EMITV": 7, "SETF": 2,
+    },
+    lib_cycles=_K11_LIB_CYCLES,
+    lib_sizes=_K11_LIB_SIZES,
+)
+
+
+_K32_LIB_CYCLES = _with_ite(
+    {
+        "MUL": 5, "DIV": 35, "MOD": 38, "ADD": 1, "SUB": 1,
+        "LT": 2, "LE": 2, "GT": 2, "GE": 2, "EQ": 2, "NE": 2,
+        "AND": 2, "OR": 2, "BAND": 1, "BOR": 1,
+        "SHR": 1, "SHL": 1, "MIN": 3, "MAX": 3, "NEG": 1, "NOT": 1,
+    }
+)
+_K32_LIB_SIZES = _with_ite(
+    {
+        "MUL": 8, "DIV": 8, "MOD": 8, "ADD": 8, "SUB": 8,
+        "LT": 8, "LE": 8, "GT": 8, "GE": 8, "EQ": 8, "NE": 8,
+        "AND": 8, "OR": 8, "BAND": 8, "BOR": 8,
+        "SHR": 8, "SHL": 8, "MIN": 8, "MAX": 8, "NEG": 4, "NOT": 4,
+    }
+)
+
+K32 = ISAProfile(
+    name="K32",
+    pointer_size=4,
+    int_size=4,
+    near_range=32767,
+    cycles={
+        "FRAME": 4, "RET": 4,
+        "LD": 2, "LDI": 2, "ST": 2,
+        "DETECT": 12,
+        "BNZ_taken": 3, "BNZ_not": 1, "BZ_taken": 3, "BZ_not": 1,
+        "TSTBIT": 2, "JTAB": 6, "JMP": 2,
+        "EMIT": 8, "EMITV": 9, "SETF": 1,
+    },
+    sizes={
+        "FRAME": 8, "RET": 4,
+        "LD": 4, "LDI": 4, "ST": 4,
+        "DETECT": 8,
+        "BNZ": 4, "BZ": 4,
+        "TSTBIT": 8, "JTAB": 12, "JMP": 4,
+        "EMIT": 8, "EMITV": 8, "SETF": 4,
+    },
+    lib_cycles=_K32_LIB_CYCLES,
+    lib_sizes=_K32_LIB_SIZES,
+)
+
+
+PROFILES: Dict[str, ISAProfile] = {"K11": K11, "K32": K32}

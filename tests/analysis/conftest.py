@@ -1,0 +1,93 @@
+"""Shared fixtures for the lint-subsystem tests: clean and seeded-defect
+designs at every layer (RSL sources, tampered s-graphs, C snippets)."""
+
+import pytest
+
+from repro.frontend import compile_source
+
+CLEAN_PRODUCER = """
+module producer:
+  input tick;
+  output ping;
+  loop
+    await tick;
+    emit ping;
+  end
+end
+"""
+
+CLEAN_CONSUMER = """
+module consumer:
+  input ping;
+  output pong;
+  loop
+    await ping;
+    emit pong;
+  end
+end
+"""
+
+# Second writer of ``ping`` -> net-buffer-race.
+RACING_PRODUCER = """
+module producer2:
+  input tick;
+  output ping;
+  loop
+    await tick;
+    emit ping;
+  end
+end
+"""
+
+# Declares ``ping`` valued where the others declare it pure
+# -> net-type-mismatch.
+MISMATCHED_PRODUCER = """
+module producer3:
+  input tick;
+  output ping : int(4);
+  loop
+    await tick;
+    emit ping(1);
+  end
+end
+"""
+
+# ``s == 3`` can never hold: s only ever toggles between 0 and 1
+# -> net-dead-transition (and values 2, 3 -> net-unreachable-state).
+DEAD_TRANSITION = """
+module deadly:
+  input go;
+  output out;
+  var s : 0..3 = 0;
+  loop
+    await go;
+    if s == 3 then
+      emit out; s := 0;
+    elif s == 0 then
+      s := 1;
+    else
+      s := 0;
+    end
+  end
+end
+"""
+
+
+@pytest.fixture
+def clean_pair():
+    return [compile_source(CLEAN_PRODUCER), compile_source(CLEAN_CONSUMER)]
+
+
+@pytest.fixture
+def racing_design(clean_pair):
+    return clean_pair + [compile_source(RACING_PRODUCER)]
+
+
+@pytest.fixture
+def mismatched_design(clean_pair):
+    return clean_pair + [compile_source(MISMATCHED_PRODUCER)]
+
+
+@pytest.fixture
+def dead_transition_machine():
+    return compile_source(DEAD_TRANSITION)

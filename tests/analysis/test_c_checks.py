@@ -1,0 +1,162 @@
+"""Codegen layer: scanner CFG + checks over generated and hand-written C."""
+
+from repro.analysis import CSourceContext, lint_c_source, run_checks
+from repro.codegen import generate_c
+from repro.frontend import compile_source
+from repro.sgraph import synthesize
+
+SOURCE = """
+module widget:
+  input go;
+  input stop;
+  output done;
+  var s : 0..1 = 0;
+  loop
+    await go or stop;
+    if present go then
+      if s == 0 then
+        s := 1;
+      end
+    elif present stop then
+      if s == 1 then
+        s := 0; emit done;
+      end
+    end
+  end
+end
+"""
+
+
+def _run(source, only=None):
+    return run_checks("codegen", "t", CSourceContext(source), only=only)
+
+
+class TestGeneratedCodeIsClean:
+    def test_no_findings_on_generated_c(self):
+        result = synthesize(compile_source(SOURCE), check=False)
+        assert _run(generate_c(result)) == []
+
+    def test_scanner_sees_the_react_function(self):
+        result = synthesize(compile_source(SOURCE), check=False)
+        context = CSourceContext(generate_c(result))
+        assert [f.name for f in context.functions] == ["widget_react"]
+        function = context.functions[0]
+        assert function.labels  # labels parsed
+        assert function.reachable()  # entry reaches something
+
+
+class TestGotoTarget:
+    def test_broken_goto(self):
+        report = lint_c_source(
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    goto _NOWHERE_;\n"
+            "_END_:\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        messages = [d for d in report.diagnostics if d.check == "c-goto-target"]
+        assert len(messages) == 1
+        assert "_NOWHERE_" in messages[0].message
+
+    def test_switch_goto_targets_checked(self):
+        source = (
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    switch (s) {\n"
+            "    case 0:\n"
+            "        goto _MISSING_;\n"
+            "    default: goto _END_;\n"
+            "    }\n"
+            "_END_:\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        diagnostics = _run(source, only=["c-goto-target"])
+        assert len(diagnostics) == 1
+        assert "_MISSING_" in diagnostics[0].message
+
+
+class TestUnreachableLabel:
+    def test_dead_label(self):
+        source = (
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    goto _END_;\n"
+            "_DEAD_:\n"
+            "    fired = 1;\n"
+            "_END_:\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        diagnostics = _run(source, only=["c-unreachable-label"])
+        assert len(diagnostics) == 1
+        assert "_DEAD_" in diagnostics[0].message
+
+    def test_label_reached_by_goto_only_is_fine(self):
+        source = (
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    goto _LAST_;\n"
+            "_LAST_:\n"
+            "    fired = 1;\n"
+            "_END_:\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        assert _run(source, only=["c-unreachable-label"]) == []
+
+
+class TestReadBeforeAssign:
+    def test_one_path_skips_the_write(self):
+        source = (
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    rt_int tmp;\n"
+            "    if (DETECT_go()) goto _W_;\n"
+            "    goto _R_;\n"
+            "_W_:\n"
+            "    tmp = 1;\n"
+            "_R_:\n"
+            "    fired = tmp;\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        diagnostics = _run(source, only=["c-read-before-assign"])
+        assert len(diagnostics) == 1
+        assert "'tmp'" in diagnostics[0].message
+
+    def test_all_paths_write_before_read(self):
+        source = (
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    rt_int tmp;\n"
+            "    if (DETECT_go()) goto _A_;\n"
+            "    tmp = 2;\n"
+            "    goto _R_;\n"
+            "_A_:\n"
+            "    tmp = 1;\n"
+            "_R_:\n"
+            "    fired = tmp;\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        assert _run(source, only=["c-read-before-assign"]) == []
+
+    def test_initialized_declarations_are_not_tracked(self):
+        source = (
+            "int f_react(void)\n"
+            "{\n"
+            "    int fired = 0;\n"
+            "    rt_int copy = x;\n"
+            "    fired = copy;\n"
+            "    return fired;\n"
+            "}\n"
+        )
+        assert _run(source, only=["c-read-before-assign"]) == []

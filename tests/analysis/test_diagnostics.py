@@ -1,0 +1,142 @@
+"""Diagnostics core: severities, reports, exit codes, and the registry."""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Finding,
+    Report,
+    Severity,
+    all_checks,
+    get_check,
+    run_checks,
+)
+from repro.analysis.registry import LAYERS, check
+
+
+def _diag(severity, check_id="x-check", message="m"):
+    return Diagnostic(
+        check=check_id,
+        severity=severity,
+        layer="network",
+        artifact="a",
+        location="",
+        message=message,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_parse_roundtrip(self):
+        for severity in Severity:
+            assert Severity.parse(str(severity)) is severity
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+
+class TestReport:
+    def test_empty_report_is_clean(self):
+        report = Report()
+        assert report.worst() is None
+        assert not report.has_errors()
+        assert report.exit_code() == 0
+        assert report.counts() == {"error": 0, "warning": 0, "info": 0}
+
+    def test_exit_code_thresholds(self):
+        report = Report(diagnostics=[_diag(Severity.WARNING)])
+        assert report.exit_code("error") == 0
+        assert report.exit_code("warning") == 1
+        assert report.exit_code("info") == 1
+        assert report.exit_code("never") == 0
+
+    def test_sorted_puts_errors_first(self):
+        report = Report(
+            diagnostics=[
+                _diag(Severity.INFO),
+                _diag(Severity.ERROR),
+                _diag(Severity.WARNING),
+            ]
+        )
+        severities = [d.severity for d in report.sorted()]
+        assert severities == [Severity.ERROR, Severity.WARNING, Severity.INFO]
+
+    def test_render_includes_check_id_and_severity(self):
+        text = _diag(Severity.ERROR, check_id="net-x").render()
+        assert "error" in text
+        assert "[net-x]" in text
+
+
+class TestRegistry:
+    def test_all_checks_cover_every_layer(self):
+        layers = {c.layer for c in all_checks()}
+        assert layers == set(LAYERS)
+
+    def test_check_ids_are_unique_and_stable(self):
+        ids = [c.id for c in all_checks()]
+        assert len(ids) == len(set(ids))
+        # The documented core set must stay present under these names.
+        for check_id in (
+            "net-buffer-race",
+            "net-type-mismatch",
+            "net-dead-transition",
+            "sg-multi-assign-path",
+            "sg-not-dag",
+            "c-goto-target",
+            "c-read-before-assign",
+        ):
+            assert get_check(check_id).id == check_id
+
+    def test_duplicate_registration_rejected(self):
+        existing = all_checks()[0]
+        with pytest.raises(ValueError):
+            check(existing.id, existing.layer, Severity.INFO, "dup")(lambda c: iter(()))
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            check("tmp-bad-layer", "bytecode", Severity.INFO, "x")(lambda c: iter(()))
+
+    def test_crashing_check_becomes_error_diagnostic(self, monkeypatch):
+        import dataclasses
+
+        from repro.analysis.registry import _REGISTRY
+
+        registered = get_check("net-buffer-race")
+
+        def explode(ctx):
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        monkeypatch.setitem(
+            _REGISTRY,
+            "net-buffer-race",
+            dataclasses.replace(registered, fn=explode),
+        )
+        diagnostics = run_checks("network", "art", None, only=["net-buffer-race"])
+        assert len(diagnostics) == 1
+        assert diagnostics[0].severity is Severity.ERROR
+        assert "boom" in diagnostics[0].message
+
+    def test_only_filter(self):
+        diagnostics = run_checks("network", "art", None, only=[])
+        assert diagnostics == []
+
+    def test_finding_severity_override(self):
+        @check("tmp-override", "network", Severity.ERROR, "tmp")
+        def tmp_check(ctx):
+            yield Finding(message="soft", severity=Severity.INFO)
+            yield Finding(message="hard")
+
+        try:
+            diagnostics = run_checks("network", "art", None, only=["tmp-override"])
+            assert [d.severity for d in diagnostics] == [
+                Severity.INFO,
+                Severity.ERROR,
+            ]
+        finally:
+            from repro.analysis.registry import _REGISTRY
+
+            _REGISTRY.pop("tmp-override")

@@ -1,0 +1,92 @@
+"""Network-layer checks: one clean and one violating design per check id."""
+
+from repro.analysis import NetworkContext, run_checks
+
+
+def _ids(diagnostics):
+    return {d.check for d in diagnostics}
+
+
+def _run(machines, only=None):
+    return run_checks("network", "t", NetworkContext(machines), only=only)
+
+
+class TestTypeMismatch:
+    def test_clean(self, clean_pair):
+        assert _run(clean_pair, only=["net-type-mismatch"]) == []
+
+    def test_violation(self, mismatched_design):
+        diagnostics = _run(mismatched_design, only=["net-type-mismatch"])
+        assert len(diagnostics) == 1
+        assert "ping" in diagnostics[0].message
+        assert "int4" in diagnostics[0].message
+        assert "pure" in diagnostics[0].message
+
+
+class TestBufferRace:
+    def test_clean(self, clean_pair):
+        assert _run(clean_pair, only=["net-buffer-race"]) == []
+
+    def test_violation(self, racing_design):
+        diagnostics = _run(racing_design, only=["net-buffer-race"])
+        assert len(diagnostics) == 1
+        assert "2 writers" in diagnostics[0].message
+        assert diagnostics[0].location == "ping"
+
+
+class TestDanglingEvents:
+    def test_environment_boundary_is_info(self, clean_pair):
+        diagnostics = _run(
+            clean_pair, only=["net-undriven-event", "net-unconsumed-event"]
+        )
+        # tick is undriven (environment input), pong unconsumed (output).
+        assert _ids(diagnostics) == {"net-undriven-event", "net-unconsumed-event"}
+        assert all(str(d.severity) == "info" for d in diagnostics)
+        locations = {d.location for d in diagnostics}
+        assert "tick" in locations
+        assert "pong" in locations
+        # ping is produced AND consumed: never reported.
+        assert "ping" not in locations
+
+
+class TestUnreachableState:
+    def test_clean(self, clean_pair):
+        assert _run(clean_pair, only=["net-unreachable-state"]) == []
+
+    def test_violation(self, dead_transition_machine):
+        diagnostics = _run(
+            [dead_transition_machine], only=["net-unreachable-state"]
+        )
+        values = {d.message.split("value ")[1].split(" ")[0] for d in diagnostics}
+        assert values == {"2", "3"}
+
+
+class TestDeadTransition:
+    def test_clean(self, clean_pair):
+        assert _run(clean_pair, only=["net-dead-transition"]) == []
+
+    def test_sequentially_dead(self, dead_transition_machine):
+        diagnostics = _run(
+            [dead_transition_machine], only=["net-dead-transition"]
+        )
+        assert len(diagnostics) >= 1
+        assert all("never fires" in d.message for d in diagnostics)
+        assert all(str(d.severity) == "warning" for d in diagnostics)
+
+    def test_structurally_dead(self):
+        from repro.cfsm import BinOp, CfsmBuilder, Const, Var
+
+        b = CfsmBuilder("contradict")
+        go = b.pure_input("go")
+        out = b.pure_output("out")
+        s = b.state("s", num_values=2)
+        eq0 = BinOp("==", Var("s"), Const(0))
+        eq1 = BinOp("==", Var("s"), Const(1))
+        # guard requires s == 0 AND s == 1: unsatisfiable conjunction
+        b.transition(
+            when=[b.present(go), b.expr_test(eq0), b.expr_test(eq1)],
+            do=[b.emit(out)],
+        )
+        b.transition(when=[b.present(go)], do=[b.assign(s, Const(1))])
+        diagnostics = _run([b.build()], only=["net-dead-transition"])
+        assert any("contradictory guard" in d.message for d in diagnostics)

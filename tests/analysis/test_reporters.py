@@ -1,0 +1,70 @@
+"""Text/JSON reporters: schema stability, determinism, severity filtering."""
+
+import json
+
+from repro.analysis import (
+    JSON_SCHEMA_ID,
+    lint_design,
+    render_json,
+    render_text,
+)
+
+EXPECTED_DIAGNOSTIC_KEYS = [
+    "check",
+    "severity",
+    "layer",
+    "artifact",
+    "location",
+    "message",
+]
+
+
+class TestJsonReport:
+    def test_schema_golden(self, mismatched_design):
+        report = lint_design(mismatched_design, design="golden")
+        document = json.loads(render_json(report))
+        assert document["schema"] == JSON_SCHEMA_ID
+        assert document["design"] == "golden"
+        assert sorted(document["summary"]) == [
+            "errors",
+            "exit_code",
+            "infos",
+            "warnings",
+        ]
+        assert document["summary"]["errors"] >= 1  # the type mismatch
+        assert document["summary"]["exit_code"] == 1
+        for diagnostic in document["diagnostics"]:
+            assert list(diagnostic) == EXPECTED_DIAGNOSTIC_KEYS
+            assert diagnostic["severity"] in ("error", "warning", "info")
+            assert diagnostic["layer"] in ("network", "sgraph", "codegen")
+        checks = {d["check"] for d in document["diagnostics"]}
+        assert "net-type-mismatch" in checks
+
+    def test_json_is_deterministic(self, mismatched_design):
+        report = lint_design(mismatched_design, design="golden")
+        assert render_json(report) == render_json(report)
+
+    def test_fail_on_controls_exit_code_field(self, clean_pair):
+        report = lint_design(clean_pair, design="d")
+        # Clean design still has INFO boundary events.
+        assert json.loads(render_json(report))["summary"]["exit_code"] == 0
+        assert (
+            json.loads(render_json(report, fail_on="info"))["summary"]["exit_code"]
+            == 1
+        )
+
+
+class TestTextReport:
+    def test_info_hidden_by_default(self, clean_pair):
+        report = lint_design(clean_pair, design="d")
+        terse = render_text(report)
+        verbose = render_text(report, verbose=True)
+        assert "net-undriven-event" not in terse
+        assert "info hidden" in terse
+        assert "net-undriven-event" in verbose
+
+    def test_summary_line_counts(self, mismatched_design):
+        report = lint_design(mismatched_design, design="d")
+        last = render_text(report).splitlines()[-1]
+        assert last.startswith("d: ")
+        assert "error(s)" in last

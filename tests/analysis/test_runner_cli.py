@@ -1,0 +1,198 @@
+"""End-to-end: the lint runner, the CLI subcommand, and the flow gate."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import Report, lint_design
+from repro.cfsm import Network
+from repro.cli import main
+from repro.flow import build_system
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples" / "rsl"
+
+CLEAN = """
+module solo:
+  input go;
+  output done;
+  var s : 0..1 = 0;
+  loop
+    await go;
+    if s == 0 then
+      s := 1;
+    else
+      s := 0; emit done;
+    end
+  end
+end
+"""
+
+MISMATCH_A = """
+module mm_a:
+  input tick;
+  output ev;
+  loop
+    await tick;
+    emit ev;
+  end
+end
+"""
+
+MISMATCH_B = """
+module mm_b:
+  input ev : int(4);
+  output other;
+  loop
+    await ev;
+    emit other;
+  end
+end
+"""
+
+
+@pytest.fixture
+def clean_rsl(tmp_path):
+    path = tmp_path / "solo.rsl"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def mismatch_rsl(tmp_path):
+    path_a = tmp_path / "mm_a.rsl"
+    path_b = tmp_path / "mm_b.rsl"
+    path_a.write_text(MISMATCH_A)
+    path_b.write_text(MISMATCH_B)
+    return [str(path_a), str(path_b)]
+
+
+class TestRunner:
+    def test_all_layers_run_per_machine(self, clean_pair):
+        report = lint_design(clean_pair, design="d")
+        assert isinstance(report, Report)
+        # Clean design: only the INFO environment-boundary findings.
+        assert report.exit_code() == 0
+        assert report.counts()["error"] == 0
+        assert report.counts()["warning"] == 0
+
+    def test_example_modules_lint_clean(self):
+        from repro.frontend import compile_source
+
+        machines = [
+            compile_source((EXAMPLES / name).read_text())
+            for name in ("belt_alarm.rsl", "odometer.rsl", "speedo.rsl")
+        ]
+        report = lint_design(machines, design="examples-subset")
+        assert report.exit_code() == 0
+
+    def test_broken_machine_degrades_to_synthesis_error(self, clean_pair):
+        class Broken:
+            name = "broken"
+            inputs = ()
+            outputs = ()
+            state_vars = ()
+            transitions = ()
+
+        report = lint_design(list(clean_pair) + [Broken()], design="d")
+        assert any(d.check == "synthesis-error" for d in report.diagnostics)
+        assert report.exit_code() == 1
+
+
+class TestCli:
+    def test_clean_module_exits_zero(self, clean_rsl, capsys):
+        assert main(["lint", clean_rsl]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_mismatch_exits_one(self, mismatch_rsl, capsys):
+        assert main(["lint", *mismatch_rsl]) == 1
+        assert "net-type-mismatch" in capsys.readouterr().out
+
+    def test_fail_on_never(self, mismatch_rsl):
+        assert main(["lint", "--fail-on", "never", *mismatch_rsl]) == 0
+
+    def test_fail_on_info_flags_clean_design(self, clean_rsl):
+        # solo consumes 'go' from the environment -> INFO finding.
+        assert main(["lint", "--fail-on", "info", clean_rsl]) == 1
+
+    def test_json_output(self, clean_rsl, capsys):
+        assert main(["lint", "--json", "--name", "cli", clean_rsl]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["design"] == "cli"
+        assert document["summary"]["exit_code"] == 0
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.rsl")]) == 2
+
+    def test_syntax_error_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.rsl"
+        bad.write_text("module oops:\n  loop\n")
+        assert main(["lint", str(bad)]) == 2
+
+    def test_no_modules_is_usage_error(self):
+        assert main(["lint"]) == 2
+
+    def test_list_checks(self, capsys):
+        assert main(["lint", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "net-buffer-race" in out
+        assert "sg-multi-assign-path" in out
+        assert "c-read-before-assign" in out
+
+    def test_check_filter(self, mismatch_rsl, capsys):
+        assert main(["lint", "--check", "net-buffer-race", *mismatch_rsl]) == 0
+        assert "net-type-mismatch" not in capsys.readouterr().out
+
+    def test_unknown_check_is_usage_error(self, clean_rsl, capsys):
+        assert main(["lint", "--check", "net-type-mismtach", clean_rsl]) == 2
+        err = capsys.readouterr().err
+        assert "unknown check 'net-type-mismtach'" in err
+        assert "--list-checks" in err
+
+    def test_output_file(self, clean_rsl, tmp_path):
+        out = tmp_path / "report.json"
+        assert main(["lint", "--json", "-o", str(out), clean_rsl]) == 0
+        assert json.loads(out.read_text())["summary"]["exit_code"] == 0
+
+
+class TestFlowGate:
+    def test_lint_gate_passes_clean_network(self, clean_pair):
+        network = Network("clean", clean_pair)
+        build = build_system(network, lint=True)
+        assert set(build.modules) == {m.name for m in clean_pair}
+
+    def test_lint_gate_raises_on_errors(self, clean_pair, monkeypatch):
+        import repro.analysis
+
+        def fake_lint(machines, design="d", scheme="sift"):
+            from repro.analysis import Diagnostic, Severity
+
+            report = Report(design=design)
+            report.diagnostics.append(
+                Diagnostic(
+                    check="net-type-mismatch",
+                    severity=Severity.ERROR,
+                    layer="network",
+                    artifact=design,
+                    location="",
+                    message="seeded",
+                )
+            )
+            return report
+
+        monkeypatch.setattr(repro.analysis, "lint_design", fake_lint)
+        network = Network("gated", clean_pair)
+        with pytest.raises(ValueError, match="lint found errors"):
+            build_system(network, lint=True)
+
+    def test_lint_off_by_default(self, clean_pair, monkeypatch):
+        import repro.analysis
+
+        def explode(*args, **kwargs):
+            raise AssertionError("lint ran without opt-in")
+
+        monkeypatch.setattr(repro.analysis, "lint_design", explode)
+        network = Network("nogate", clean_pair)
+        build = build_system(network)  # must not call lint_design
+        assert build.modules

@@ -1,0 +1,185 @@
+"""S-graph layer: Theorem-1 well-formedness on clean and tampered graphs."""
+
+import pytest
+
+from repro.analysis import SGraphContext, run_checks
+from repro.frontend import compile_source
+from repro.sgraph import ASSIGN, TEST, SGraph, Vertex, synthesize
+
+SOURCE = """
+module gadget:
+  input a;
+  input b;
+  output x;
+  output y;
+  var m : 0..2 = 0;
+  loop
+    await a or b;
+    if present a then
+      if m == 0 then
+        m := 1; emit x;
+      end
+    elif present b then
+      if m == 1 then
+        m := 2; emit y;
+      end
+    elif m == 2 then
+      m := 0;
+    end
+  end
+end
+"""
+
+
+@pytest.fixture
+def synthesized():
+    return synthesize(compile_source(SOURCE), check=False)
+
+
+def _run(result, only=None):
+    context = SGraphContext(result.sgraph, result.reactive.encoding)
+    return run_checks("sgraph", "t", context, only=only)
+
+
+def _first_live_assign(sg):
+    reachable = sg.reachable()
+    for vertex in sg.vertices():
+        if (
+            vertex.kind == ASSIGN
+            and vertex.vid in reachable
+            and not (vertex.label is not None and vertex.label.is_false)
+        ):
+            return vertex
+    raise AssertionError("no live ASSIGN vertex")
+
+
+def _first_binary_test(sg):
+    reachable = sg.reachable()
+    for vid in sg.topo_order():
+        vertex = sg.vertex(vid)
+        if (
+            vertex.kind == TEST
+            and vid in reachable
+            and not vertex.is_switch
+            and getattr(vertex, "collapsed_predicates", None) is None
+        ):
+            return vertex
+    raise AssertionError("no binary TEST vertex")
+
+
+class TestCleanGraph:
+    def test_synthesized_graph_is_silent(self, synthesized):
+        assert _run(synthesized) == []
+
+    def test_every_example_scheme_is_silent(self):
+        machine = compile_source(SOURCE)
+        for scheme in ("naive", "sift", "outputs-first", "mixed"):
+            result = synthesize(machine, scheme=scheme, check=False)
+            assert _run(result) == [], scheme
+
+
+class TestTampered:
+    def test_multi_assign_path(self, synthesized):
+        sg = synthesized.sgraph
+        vertex = _first_live_assign(sg)
+        duplicate = sg._add(
+            Vertex(
+                vid=-1,
+                kind=ASSIGN,
+                var=vertex.var,
+                label=vertex.label,
+                children=list(vertex.children),
+            )
+        ).vid
+        vertex.children = [duplicate]
+        diagnostics = _run(synthesized, only=["sg-multi-assign-path"])
+        assert len(diagnostics) >= 1
+        assert "assigned twice" in diagnostics[0].message
+
+    def test_cycle_detected(self, synthesized):
+        sg = synthesized.sgraph
+        vertex = _first_live_assign(sg)
+        vertex.children = [vertex.vid]  # self-loop
+        diagnostics = _run(synthesized, only=["sg-not-dag"])
+        assert len(diagnostics) == 1
+        assert "cycle" in diagnostics[0].message
+
+    def test_dangling_vertex(self, synthesized):
+        sg = synthesized.sgraph
+        vertex = _first_live_assign(sg)
+        dangling = sg._add(
+            Vertex(vid=-1, kind=ASSIGN, var=vertex.var, label=vertex.label)
+        ).vid
+        vertex.children = [dangling]
+        diagnostics = _run(synthesized, only=["sg-begin-end"])
+        assert any("no successor" in d.message for d in diagnostics)
+
+    def test_retest_detected(self, synthesized):
+        sg = synthesized.sgraph
+        vertex = _first_binary_test(sg)
+        repeat = sg.add_test(vertex.var, list(vertex.children))
+        vertex.children = [repeat, vertex.children[1]]
+        diagnostics = _run(synthesized, only=["sg-retest"])
+        assert len(diagnostics) >= 1
+        assert "tested again" in diagnostics[0].message
+
+    def test_test_order_violation(self, synthesized):
+        sg = synthesized.sgraph
+        manager = synthesized.reactive.encoding.manager
+        # Find a reachable binary TEST whose var is NOT top of the order,
+        # then wedge a TEST of a strictly higher-ordered var below it.
+        reachable = sg.reachable()
+        chosen = None
+        for vid in sg.topo_order():
+            vertex = sg.vertex(vid)
+            if (
+                vertex.kind == TEST
+                and vid in reachable
+                and not vertex.is_switch
+                and getattr(vertex, "collapsed_predicates", None) is None
+                and manager.level_of(vertex.var) > 0
+            ):
+                chosen = vertex
+                break
+        assert chosen is not None
+        higher = manager.var_at(manager.level_of(chosen.var) - 1)
+        wedge = sg.add_test(higher, list(chosen.children))
+        chosen.children = [wedge, chosen.children[1]]
+        diagnostics = _run(synthesized, only=["sg-test-order"])
+        assert len(diagnostics) >= 1
+        assert "BDD variable order" in diagnostics[0].message
+
+    def test_infeasible_flag_contradicting_care(self, synthesized):
+        sg = synthesized.sgraph
+        vertex = _first_binary_test(sg)
+        vertex.infeasible = [True, False]
+        diagnostics = _run(synthesized, only=["sg-infeasible-care"])
+        assert len(diagnostics) == 1
+        assert "marked infeasible but is satisfiable" in diagnostics[0].message
+
+    def test_unreachable_vertex(self, synthesized):
+        sg = synthesized.sgraph
+        vertex = _first_live_assign(sg)
+        sg._add(
+            Vertex(
+                vid=-1,
+                kind=ASSIGN,
+                var=vertex.var,
+                label=vertex.label,
+                children=[sg.end],
+            )
+        )
+        diagnostics = _run(synthesized, only=["sg-unreachable-vertex"])
+        assert len(diagnostics) == 1
+        assert "unreachable" in diagnostics[0].message
+
+
+class TestHandBuiltGraph:
+    def test_missing_begin_reported(self):
+        sg = SGraph(input_vars=[0], output_vars=[1], name="broken")
+        diagnostics = run_checks("sgraph", "t", SGraphContext(sg))
+        assert any(
+            "BEGIN vertex is unset" in d.message
+            for d in diagnostics
+            if d.check == "sg-begin-end"
+        )

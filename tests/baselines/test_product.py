@@ -9,7 +9,6 @@ from repro.cfsm import (
     BinOp,
     CfsmBuilder,
     Const,
-    EventValue,
     Network,
     NetworkSimulator,
     Var,

@@ -8,7 +8,6 @@ from repro.cfsm import (
     CfsmConflictError,
     Const,
     EventValue,
-    Var,
     react,
 )
 

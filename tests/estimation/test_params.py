@@ -6,7 +6,6 @@ import pytest
 
 from repro.cfsm.expr import BINARY_OPS, UNARY_OPS
 from repro.estimation import (
-    CostParams,
     SizeParams,
     SystemParams,
     TimingParams,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cfsm import AssignState, Emit, react
+from repro.cfsm import react
 from repro.frontend import CompileError, compile_source
 
 

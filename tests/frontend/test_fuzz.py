@@ -5,7 +5,7 @@ import string
 from hypothesis import given, settings, strategies as st
 
 from repro.cfsm import react
-from repro.frontend import CompileError, RslSyntaxError, compile_source, parse_module
+from repro.frontend import RslSyntaxError, compile_source, parse_module
 
 
 @settings(max_examples=120, deadline=None)

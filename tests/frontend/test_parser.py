@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cfsm.expr import BinOp, Const, EventValue, UnOp, Var
+from repro.cfsm.expr import BinOp, EventValue, UnOp
 from repro.frontend import RslSyntaxError, parse_module
-from repro.frontend.rsl import Assign, Await, EmitStmt, If, PresenceExpr
+from repro.frontend.rsl import Await, EmitStmt, If, PresenceExpr
 
 
 MINIMAL = """

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.cfsm import AssignState, Emit, react
+from repro.cfsm import Emit, react
 from repro.rtos import RtosConfig, RtosRuntime, Stimulus
 from repro.sgraph import synthesize
 from repro.target import K11, compile_sgraph, run_reaction

@@ -5,7 +5,6 @@ import pytest
 from repro.cfsm import BinOp, CfsmBuilder, Const, Network, Var
 from repro.estimation import partition
 from repro.rtos import (
-    RtosConfig,
     RtosRuntime,
     SchedulingPolicy,
     Stimulus,

@@ -5,7 +5,6 @@ import subprocess
 
 import pytest
 
-from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Network, Var
 from repro.rtos import RtosConfig, SchedulingPolicy, generate_rtos_c
 from repro.rtos.footprint import generated_rtos_rom, system_footprint
 from repro.sgraph import synthesize

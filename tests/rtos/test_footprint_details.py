@@ -1,6 +1,5 @@
 """Detail tests for the footprint model and RTOS configuration."""
 
-import pytest
 
 from repro.cfsm import CfsmBuilder, Network
 from repro.rtos import RtosConfig, SchedulingPolicy

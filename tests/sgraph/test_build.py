@@ -6,15 +6,11 @@ from repro.cfsm import AssignState, Emit, react
 from repro.sgraph import (
     ASSIGN,
     TEST,
-    SGraph,
     build_sgraph,
-    default_order,
-    outputs_first_order,
     reduce_sgraph,
     synthesize,
 )
 from repro.synthesis import synthesize_reactive
-from repro.synthesis.encoding import FireFlag
 
 from ..conftest import all_snapshots, make_counter_cfsm, make_modal_cfsm, make_simple_cfsm
 

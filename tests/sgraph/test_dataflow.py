@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Var, react
+from repro.cfsm import BinOp, CfsmBuilder, Const, Var, react
 from repro.sgraph import synthesize, vars_needing_copy
 from repro.target import K11, compile_sgraph, run_reaction
 

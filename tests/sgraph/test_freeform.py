@@ -4,7 +4,6 @@ import pytest
 
 from repro.cfsm import AssignState, Emit, react
 from repro.sgraph import TEST, free_synthesize, synthesize
-from repro.sgraph.freeform import build_free_sgraph
 from repro.synthesis import synthesize_reactive
 
 from ..conftest import (

@@ -6,16 +6,13 @@ from repro.cfsm import react
 from repro.sgraph import (
     ASSIGN,
     TEST,
-    build_sgraph,
     collapse_tests,
     merge_multiway,
     prune_zero_assigns,
     reduce_sgraph,
     synthesize,
 )
-from repro.synthesis import synthesize_reactive
 
-from ..conftest import all_snapshots, make_modal_cfsm
 from .test_build import check_equivalence
 
 

@@ -12,7 +12,6 @@ from repro.cfsm import (
     react,
 )
 from repro.sgraph import synthesize
-from repro.synthesis import ConsistencyError
 
 from ..conftest import all_snapshots
 

@@ -1,6 +1,5 @@
 """Tests for the reactive-function encoding."""
 
-import pytest
 
 from repro.cfsm import BinOp, CfsmBuilder, Const, EventValue, Var
 from repro.synthesis import ReactiveEncoding
