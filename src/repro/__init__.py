@@ -33,6 +33,7 @@ from .codegen import generate_c
 from .estimation import calibrate, estimate
 from .flow import SystemBuild, build_system
 from .frontend import compile_source, parse_module
+from .pipeline import ArtifactCache, BuildTrace, PassManager
 from .rtos import RtosConfig, RtosRuntime, SchedulingPolicy, Stimulus
 from .sgraph import SynthesisResult, synthesize
 from .synthesis import synthesize_reactive
@@ -53,6 +54,9 @@ __all__ = [
     "estimate",
     "SystemBuild",
     "build_system",
+    "ArtifactCache",
+    "BuildTrace",
+    "PassManager",
     "compile_source",
     "parse_module",
     "RtosConfig",

@@ -53,25 +53,77 @@ def _write(path: Optional[str], text: str) -> None:
         handle.write(text)
 
 
-def _synthesize_from_args(args) -> "tuple":
-    cfsm = compile_source(_read(args.module))
-    result = synthesize(
-        cfsm,
-        scheme=args.scheme,
-        multiway=not args.no_switch,
-        copy_elimination=args.copy_elimination,
-        reachability_dontcares=args.reachability_dontcares,
-    )
-    return cfsm, result
+def _make_cache(args):
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir", None):
+        return None
+    from .pipeline import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
+def _finish_trace(args, trace) -> None:
+    if getattr(args, "trace", None):
+        trace.write(args.trace)
+    sys.stderr.write(trace.summary() + "\n")
 
 
 def _cmd_synth(args) -> int:
-    cfsm, result = _synthesize_from_args(args)
+    from .pipeline import (
+        BuildTrace,
+        build_module_artifacts,
+        module_cache_key,
+        synthesis_options,
+    )
+
+    cfsm = compile_source(_read(args.module))
     profile = PROFILES[args.target]
+    trace = BuildTrace()
+    cache = _make_cache(args)
+
+    # The cache can serve everything the serialized artifacts carry: the C
+    # source (sans harness), the target assembly, and both estimate and
+    # measurement.  DOT / s-graph dumps need the live BDD objects.
+    cacheable = args.emit in ("c", "asm") and not (
+        args.emit == "c" and args.harness
+    )
+    artifacts = result = None
+    if cache is not None and cacheable:
+        params = calibrate(profile)
+        options = synthesis_options(
+            scheme=args.scheme,
+            multiway=not args.no_switch,
+            copy_elimination=args.copy_elimination,
+            reachability_dontcares=args.reachability_dontcares,
+            params=params,
+        )
+        key = module_cache_key(cfsm, options, profile)
+        artifacts = cache.get(key)
+        trace.record_cache(cfsm.name, "hit" if artifacts else "miss", key)
+        if artifacts is None:
+            artifacts, result = build_module_artifacts(
+                cfsm, options, profile, params, trace=trace
+            )
+            cache.put(key, artifacts)
+    if artifacts is None:
+        result = synthesize(
+            cfsm,
+            scheme=args.scheme,
+            multiway=not args.no_switch,
+            copy_elimination=args.copy_elimination,
+            reachability_dontcares=args.reachability_dontcares,
+            trace=trace,
+        )
+
     if args.emit == "c":
-        _write(args.output, generate_c(result, include_harness=args.harness))
+        if artifacts is not None:
+            _write(args.output, artifacts.c_source)
+        else:
+            _write(args.output, generate_c(result, include_harness=args.harness))
     elif args.emit == "asm":
-        program = compile_sgraph(result, profile)
+        program = (
+            artifacts.program if artifacts is not None
+            else compile_sgraph(result, profile)
+        )
         _write(args.output, program.listing())
     elif args.emit == "dot":
         _write(
@@ -84,20 +136,25 @@ def _cmd_synth(args) -> int:
             result.sgraph.dump(describe=result.reactive.manager.var_name),
         )
     if args.estimate:
-        params = calibrate(profile)
-        est = estimate(
-            result.sgraph,
-            result.reactive.encoding,
-            params,
-            copy_vars=result.copy_vars,
-        )
-        program = compile_sgraph(result, profile)
-        meas = analyze_program(program, profile)
+        if artifacts is not None:
+            est, meas = artifacts.estimate, artifacts.measured
+        else:
+            params = calibrate(profile)
+            est = estimate(
+                result.sgraph,
+                result.reactive.encoding,
+                params,
+                copy_vars=result.copy_vars,
+            )
+            program = compile_sgraph(result, profile)
+            meas = analyze_program(program, profile)
         sys.stderr.write(
             f"[{cfsm.name}] estimated {est}; "
             f"measured size={meas.code_size}B "
             f"cycles=[{meas.min_cycles},{meas.max_cycles}] ({args.target})\n"
         )
+    if args.trace:
+        trace.write(args.trace)
     return 0
 
 
@@ -128,6 +185,7 @@ def _cmd_rtos(args) -> int:
 def _cmd_build(args) -> int:
     from .cfsm import Network
     from .flow import build_system
+    from .pipeline import BuildTrace
     from .target import PROFILES as _PROFILES
 
     machines = [compile_source(_read(path)) for path in args.modules]
@@ -140,13 +198,21 @@ def _cmd_build(args) -> int:
             if not value:
                 raise SystemExit(f"--rate expects NAME=CYCLES, got {item!r}")
             env_rates[name] = int(value)
+    cache = _make_cache(args)
+    trace = BuildTrace()
     build = build_system(
         network,
         profile=_PROFILES[args.target],
         env_rates=env_rates,
+        jobs=args.jobs,
+        cache=cache,
+        trace=trace,
     )
     paths = build.write_to(args.output)
     sys.stderr.write(f"wrote {len(paths)} files to {args.output}\n")
+    if cache is not None:
+        sys.stderr.write(cache.stats() + "\n")
+    _finish_trace(args, trace)
     print(build.report())
     if build.schedule is not None and not build.schedule.schedulable:
         return 1
@@ -266,6 +332,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--reachability-dontcares", action="store_true",
                        help="use unreachable states as don't-cares")
 
+    def add_pipeline_options(p):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="build modules on an N-worker process pool "
+                            "(1 = in-process serial)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed artifact cache directory "
+                            "(unchanged modules skip synthesis entirely)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore --cache-dir for this run")
+        p.add_argument("--trace", default=None, metavar="OUT.json",
+                       help="write the structured build trace "
+                            "(repro-build-trace/v1) to this file")
+
     p = sub.add_parser("synth", help="synthesize one RSL module")
     p.add_argument("module", help="RSL source file ('-' for stdin)")
     p.add_argument("--emit", default="c",
@@ -277,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="include a main() harness in the C output")
     p.add_argument("-o", "--output", default=None)
     add_synth_options(p)
+    add_pipeline_options(p)
     p.set_defaults(func=_cmd_synth)
 
     p = sub.add_parser("rtos", help="generate the RTOS for a network")
@@ -304,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="environment event rate NAME=CYCLES (repeatable; "
                         "enables automatic scheduling validation)")
     p.add_argument("-o", "--output", default="build")
+    add_pipeline_options(p)
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("check", help="reachability / invariant checking")

@@ -8,13 +8,14 @@
   Dijkstra minimum path, PERT longest path, size summation.
 """
 
-from .calibrate import calibrate
+from .calibrate import calibrate, calibrate_cache_clear
 from .estimate import Estimate, estimate, expr_size, expr_time
 from .partition import PartitionResult, partition
 from .params import CostParams, SizeParams, SystemParams, TimingParams
 
 __all__ = [
     "calibrate",
+    "calibrate_cache_clear",
     "PartitionResult",
     "partition",
     "Estimate",

@@ -25,7 +25,7 @@ from ..target.machine import run_program
 from ..target.profiles import ISAProfile
 from .params import CostParams, SizeParams, SystemParams, TimingParams
 
-__all__ = ["calibrate"]
+__all__ = ["calibrate", "calibrate_cache_clear"]
 
 
 def _measure(
@@ -45,8 +45,47 @@ def _measure(
     return result.cycles, size
 
 
+# Calibration replays every benchmark sequence on the simulated machine —
+# hundreds of runs — yet is a pure function of the profile's tables, so the
+# result is memoized per profile content.  Callers get a deep copy: the
+# historical contract lets experiments mutate their CostParams freely.
+_CALIBRATION_MEMO: Dict[Tuple, CostParams] = {}
+
+
+def _profile_memo_key(profile: ISAProfile) -> Tuple:
+    return (
+        profile.name,
+        profile.pointer_size,
+        profile.int_size,
+        profile.near_range,
+        tuple(sorted(profile.cycles.items())),
+        tuple(sorted(profile.sizes.items())),
+        tuple(sorted(profile.lib_cycles.items())),
+        tuple(sorted(profile.lib_sizes.items())),
+    )
+
+
 def calibrate(profile: ISAProfile) -> CostParams:
-    """Derive a full :class:`CostParams` set for ``profile`` by measurement."""
+    """Derive a full :class:`CostParams` set for ``profile`` by measurement.
+
+    Memoized on the profile's content (the bundled K11/K32 profiles hit the
+    memo after their first calibration); every call returns a private copy.
+    """
+    import copy
+
+    key = _profile_memo_key(profile)
+    cached = _CALIBRATION_MEMO.get(key)
+    if cached is None:
+        _CALIBRATION_MEMO[key] = cached = _calibrate_uncached(profile)
+    return copy.deepcopy(cached)
+
+
+def calibrate_cache_clear() -> None:
+    """Drop every memoized calibration (for tests and benchmarks)."""
+    _CALIBRATION_MEMO.clear()
+
+
+def _calibrate_uncached(profile: ISAProfile) -> CostParams:
     t = TimingParams()
     s = SizeParams()
 

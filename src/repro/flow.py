@@ -9,6 +9,15 @@
    selection and schedulability validation from environment event rates);
 5. target compilation — here onto the bundled ISA profile for measurement.
 
+Since the pass-pipeline refactor, ``build_system`` is a *scheduler*: each
+software CFSM's synthesis runs as a declared pass pipeline
+(:mod:`repro.sgraph.passes`) through a pluggable executor
+(``jobs > 1`` → process pool, :mod:`repro.pipeline.parallel`), with a
+content-addressed artifact cache in front (``cache=``,
+:mod:`repro.pipeline.cache`) and per-pass instrumentation flowing into a
+structured build trace (``trace=``, :mod:`repro.pipeline.trace`).  Serial,
+parallel, and warm-cache builds produce byte-identical artifacts.
+
 The result bundles every artifact a system integrator needs, and
 :meth:`SystemBuild.write_to` lays them out as a ready-to-compile C project.
 """
@@ -16,31 +25,48 @@ The result bundles every artifact a system integrator needs, and
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .cfsm.network import Network
-from .codegen import generate_c
-from .estimation import CostParams, Estimate, calibrate, estimate
+from .estimation import CostParams, Estimate, calibrate
+from .pipeline import (
+    ArtifactCache,
+    BuildTrace,
+    ModuleArtifacts,
+    ModuleBuildTask,
+    make_executor,
+    module_cache_key,
+    synthesis_options,
+)
 from .rtos import RtosConfig, generate_rtos_c, select_policy
 from .rtos.autoconfig import AutoConfigResult
 from .rtos.footprint import Footprint, system_footprint
-from .sgraph import SynthesisResult, synthesize
-from .target import ISAProfile, K11, PathAnalysis, Program, analyze_program, compile_sgraph
+from .sgraph import SynthesisResult
+from .target import ISAProfile, K11, PathAnalysis, Program
 
-__all__ = ["SystemBuild", "build_system"]
+__all__ = ["ModuleBuild", "SystemBuild", "build_system"]
 
 
 @dataclass
 class ModuleBuild:
-    """Artifacts of one CFSM."""
+    """Artifacts of one CFSM.
+
+    ``result`` holds the live synthesis result (s-graph, reactive function,
+    BDDs) for modules synthesized in-process; it is ``None`` when the
+    module came out of the artifact cache or a worker process — the
+    serialized artifacts carry everything downstream stages consume.
+    """
 
     name: str
-    result: SynthesisResult
     c_source: str
     program: Program
     estimate: Estimate
     measured: PathAnalysis
+    result: Optional[SynthesisResult] = None
+    copied_state_vars: List[str] = field(default_factory=list)
+    from_cache: bool = False
 
 
 @dataclass
@@ -55,6 +81,7 @@ class SystemBuild:
     rtos_source: str = ""
     footprint: Optional[Footprint] = None
     schedule: Optional[AutoConfigResult] = None
+    trace: Optional[BuildTrace] = None
 
     @property
     def programs(self) -> Dict[str, Program]:
@@ -105,6 +132,23 @@ class SystemBuild:
         return written
 
 
+def _module_build(
+    artifacts: ModuleArtifacts,
+    result: Optional[SynthesisResult],
+    from_cache: bool,
+) -> ModuleBuild:
+    return ModuleBuild(
+        name=artifacts.name,
+        c_source=artifacts.c_source,
+        program=artifacts.program,
+        estimate=artifacts.estimate,
+        measured=artifacts.measured,
+        result=result,
+        copied_state_vars=list(artifacts.copied_state_vars),
+        from_cache=from_cache,
+    )
+
+
 def build_system(
     network: Network,
     profile: ISAProfile = K11,
@@ -114,6 +158,9 @@ def build_system(
     copy_elimination: bool = True,
     params: Optional[CostParams] = None,
     lint: bool = False,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    trace: Optional[BuildTrace] = None,
 ) -> SystemBuild:
     """Run the complete flow over ``network``.
 
@@ -122,23 +169,46 @@ def build_system(
     provided/default ``config`` is used as-is.  With ``lint=True`` the
     static-analysis subsystem runs first and any ERROR diagnostic aborts
     the build with a ``ValueError``.
+
+    ``jobs > 1`` builds the software CFSMs on a process pool; ``cache``
+    short-circuits synthesis for modules whose content address (CFSM
+    fingerprint, options, profile, code version) is already stored;
+    ``trace`` collects per-pass/per-stage timing, cache hit/miss events,
+    and size metrics.  All three are orthogonal and none changes a single
+    artifact byte.
     """
+
+    def staged(stage: str, fn):
+        start = time.perf_counter()
+        value = fn()
+        if trace is not None:
+            trace.record_stage(
+                network.name, stage, (time.perf_counter() - start) * 1000.0
+            )
+        return value
+
     if lint:
         from .analysis import lint_design, render_text
 
-        lint_report = lint_design(
-            network.machines, design=network.name, scheme=scheme
+        lint_report = staged(
+            "lint",
+            lambda: lint_design(
+                network.machines, design=network.name, scheme=scheme
+            ),
         )
         if lint_report.has_errors():
             raise ValueError(
                 "lint found errors in the design:\n"
                 + render_text(lint_report)
             )
-    params = params or calibrate(profile)
+    params = params if params is not None else staged(
+        "calibrate", lambda: calibrate(profile)
+    )
     schedule: Optional[AutoConfigResult] = None
     if env_rates is not None:
-        schedule = select_policy(
-            network, env_rates, params, base_config=config
+        schedule = staged(
+            "schedule",
+            lambda: select_policy(network, env_rates, params, base_config=config),
         )
         if schedule.schedulable:
             config = schedule.config
@@ -146,32 +216,70 @@ def build_system(
 
     build = SystemBuild(
         network=network, profile=profile, params=params, config=config,
-        schedule=schedule,
+        schedule=schedule, trace=trace,
     )
-    copied_counts: Dict[str, int] = {}
-    for machine in network.machines:
-        if machine.name in config.hw_machines:
-            continue
-        result = synthesize(
-            machine, scheme=scheme, copy_elimination=copy_elimination
-        )
-        program = compile_sgraph(result, profile)
-        build.modules[machine.name] = ModuleBuild(
-            name=machine.name,
-            result=result,
-            c_source=generate_c(result),
-            program=program,
-            estimate=estimate(
-                result.sgraph,
-                result.reactive.encoding,
-                params,
-                copy_vars=result.copy_vars,
-            ),
-            measured=analyze_program(program, profile),
-        )
-        copied_counts[machine.name] = len(result.copied_state_vars())
-    build.rtos_source = generate_rtos_c(network, config)
-    build.footprint = system_footprint(
-        network, config, profile, build.programs, copied_counts=copied_counts
+
+    options = synthesis_options(
+        scheme=scheme, copy_elimination=copy_elimination, params=params
+    )
+    software = [
+        machine for machine in network.machines
+        if machine.name not in config.hw_machines
+    ]
+
+    # Cache lookups first, so the executor only sees real work.
+    pending: List[Tuple] = []  # (machine, key or None)
+    for machine in software:
+        key = None
+        if cache is not None:
+            key = module_cache_key(machine, options, profile)
+            artifacts = cache.get(key)
+            if artifacts is not None:
+                if trace is not None:
+                    trace.record_cache(machine.name, "hit", key)
+                build.modules[machine.name] = _module_build(
+                    artifacts, result=None, from_cache=True
+                )
+                continue
+            if trace is not None:
+                trace.record_cache(machine.name, "miss", key)
+        pending.append((machine, key))
+
+    if pending:
+        executor = make_executor(jobs)
+        tasks = [
+            ModuleBuildTask(
+                machine=machine, options=options, profile=profile, params=params
+            )
+            for machine, _ in pending
+        ]
+        outcomes = executor.run(tasks)
+        for (machine, key), outcome in zip(pending, outcomes):
+            if trace is not None:
+                trace.extend(outcome.events)
+            if cache is not None and key is not None:
+                cache.put(key, outcome.artifacts)
+            build.modules[machine.name] = _module_build(
+                outcome.artifacts, result=outcome.result, from_cache=False
+            )
+
+    # Modules land in network declaration order whatever path built them.
+    build.modules = {
+        machine.name: build.modules[machine.name] for machine in software
+    }
+
+    copied_counts = {
+        name: len(module.copied_state_vars)
+        for name, module in build.modules.items()
+    }
+    build.rtos_source = staged(
+        "rtos", lambda: generate_rtos_c(network, config)
+    )
+    build.footprint = staged(
+        "footprint",
+        lambda: system_footprint(
+            network, config, profile, build.programs,
+            copied_counts=copied_counts,
+        ),
     )
     return build

@@ -1,0 +1,132 @@
+"""The serializable per-CFSM artifact bundle and the routine that builds it.
+
+:class:`ModuleArtifacts` is everything the system flow needs from one
+software CFSM *after* synthesis — the generated C, the compiled target
+program, the s-graph estimate, the measured path analysis, and the copied
+state variables — with no live BDD objects attached, so the bundle can be
+pickled into the artifact cache or shipped back from a worker process.
+
+:func:`build_module_artifacts` is the one code path that produces the
+bundle; the serial flow, the process-pool workers, and cache misses all go
+through it, which is what guarantees byte-identical artifacts regardless
+of executor or cache temperature.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .trace import BuildTrace
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoid cycles)
+    from ..estimation import CostParams, Estimate
+    from ..sgraph import SynthesisResult
+    from ..target import ISAProfile, PathAnalysis, Program
+
+__all__ = ["ModuleArtifacts", "build_module_artifacts", "synthesis_options"]
+
+
+@dataclass
+class ModuleArtifacts:
+    """Cacheable, picklable build products of one software CFSM."""
+
+    name: str
+    scheme: str
+    c_source: str
+    program: "Program"
+    estimate: "Estimate"
+    measured: "PathAnalysis"
+    copied_state_vars: List[str] = field(default_factory=list)
+
+
+def synthesis_options(
+    scheme: str = "sift",
+    copy_elimination: bool = False,
+    multiway: bool = True,
+    multiway_threshold: int = 2,
+    prune: bool = True,
+    reachability_dontcares: bool = False,
+    mixed_seed: int = 0,
+    params: Optional["CostParams"] = None,
+) -> Dict[str, Any]:
+    """The canonical option dict: one source for cache keys *and* synthesis.
+
+    ``params`` enters as its ``repr`` — any change to the calibrated cost
+    model changes the estimate artifact, so it must change the key.
+    """
+    return {
+        "scheme": scheme,
+        "copy_elimination": bool(copy_elimination),
+        "multiway": bool(multiway),
+        "multiway_threshold": int(multiway_threshold),
+        "prune": bool(prune),
+        "reachability_dontcares": bool(reachability_dontcares),
+        "mixed_seed": int(mixed_seed),
+        "params": "default" if params is None else repr(params),
+    }
+
+
+def build_module_artifacts(
+    machine,
+    options: Dict[str, Any],
+    profile: "ISAProfile",
+    params: "CostParams",
+    trace: Optional[BuildTrace] = None,
+) -> Tuple[ModuleArtifacts, "SynthesisResult"]:
+    """Synthesize one CFSM end to end and bundle its artifacts.
+
+    ``options`` is a :func:`synthesis_options` dict.  Returns the bundle
+    plus the live :class:`SynthesisResult` for callers that want the
+    s-graph and reactive function (serial in-process builds).
+    """
+    from ..codegen import generate_c
+    from ..estimation import estimate as estimate_sgraph
+    from ..sgraph import synthesize
+    from ..target import analyze_program, compile_sgraph
+
+    name = machine.name
+    result = synthesize(
+        machine,
+        scheme=options["scheme"],
+        multiway=options["multiway"],
+        multiway_threshold=options["multiway_threshold"],
+        prune=options["prune"],
+        copy_elimination=options["copy_elimination"],
+        reachability_dontcares=options["reachability_dontcares"],
+        mixed_seed=options["mixed_seed"],
+        trace=trace,
+    )
+
+    def staged(stage, fn):
+        start = time.perf_counter()
+        value = fn()
+        if trace is not None:
+            trace.record_stage(
+                name, stage, (time.perf_counter() - start) * 1000.0
+            )
+        return value
+
+    program = staged("compile", lambda: compile_sgraph(result, profile))
+    c_source = staged("codegen", lambda: generate_c(result))
+    est = staged(
+        "estimate",
+        lambda: estimate_sgraph(
+            result.sgraph,
+            result.reactive.encoding,
+            params,
+            copy_vars=result.copy_vars,
+        ),
+    )
+    measured = staged("measure", lambda: analyze_program(program, profile))
+    artifacts = ModuleArtifacts(
+        name=name,
+        scheme=options["scheme"],
+        c_source=c_source,
+        program=program,
+        estimate=est,
+        measured=measured,
+        copied_state_vars=result.copied_state_vars(),
+    )
+    return artifacts, result

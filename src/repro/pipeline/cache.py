@@ -1,0 +1,218 @@
+"""Content-addressed on-disk cache of per-CFSM build artifacts.
+
+Per-CFSM synthesis in a GALS network is deterministic and independent of
+the rest of the network, which makes one CFSM the natural caching unit.
+An entry is addressed by the SHA-256 of three fingerprints:
+
+* the **CFSM fingerprint** — a canonical rendering of the machine's
+  events, state variables, and transitions (guard test keys, action keys,
+  source tags), so any semantic edit changes the key;
+* the **options fingerprint** — the synthesis scheme and every pipeline
+  option that can change an artifact (multiway, prune, copy elimination,
+  seeds), plus the target profile's full cycle/size tables and the
+  calibrated cost parameters;
+* the **code version** — a hash over the source of every ``repro``
+  subpackage that participates in producing artifacts, so upgrading the
+  compiler invalidates the cache automatically.
+
+Entries live under ``<root>/objects/<k[:2]>/<k>.pkl`` and are written
+atomically (temp file + rename), so concurrent builds sharing a cache
+directory are safe: the worst race outcome is the same bytes written
+twice.  A corrupt or unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ArtifactCache",
+    "cfsm_fingerprint",
+    "options_fingerprint",
+    "profile_fingerprint",
+    "code_version",
+    "module_cache_key",
+    "CACHE_FORMAT_VERSION",
+]
+
+#: Bump when the pickled entry layout changes incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+#: Subpackages whose source participates in artifact bytes.  ``pipeline``
+#: itself is included so a cache-format change rolls the version too.
+_VERSIONED_SUBPACKAGES = (
+    "bdd",
+    "cfsm",
+    "codegen",
+    "estimation",
+    "pipeline",
+    "sgraph",
+    "synthesis",
+    "target",
+    "verify",
+)
+
+_code_version: Optional[str] = None
+
+
+def _hash_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def code_version() -> str:
+    """Hash of the artifact-producing source tree (memoized per process)."""
+    global _code_version
+    if _code_version is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for sub in _VERSIONED_SUBPACKAGES:
+            base = os.path.join(root, sub)
+            for dirpath, dirnames, filenames in os.walk(base):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for name in sorted(filenames):
+                    if not name.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    digest.update(os.path.relpath(path, root).encode("utf-8"))
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+def cfsm_fingerprint(cfsm) -> str:
+    """Canonical content hash of one CFSM's definition."""
+    shape = (
+        "cfsm/v1",
+        cfsm.name,
+        tuple(e.key() for e in cfsm.inputs),
+        tuple(e.key() for e in cfsm.outputs),
+        tuple((v.name, v.num_values, v.init) for v in cfsm.state_vars),
+        tuple(
+            (
+                tuple((lit.test.key(), lit.value) for lit in t.guard),
+                tuple(a.key() for a in t.actions),
+                t.source,
+            )
+            for t in cfsm.transitions
+        ),
+    )
+    return _hash_text(repr(shape))
+
+
+def options_fingerprint(options: Dict[str, Any]) -> str:
+    """Hash of the pipeline options that can change an artifact."""
+    return _hash_text(repr(tuple(sorted(options.items()))))
+
+
+def profile_fingerprint(profile) -> str:
+    """Hash of an ISA profile's full cycle/size tables."""
+    shape = (
+        "profile/v1",
+        profile.name,
+        profile.pointer_size,
+        profile.int_size,
+        profile.near_range,
+        tuple(sorted(profile.cycles.items())),
+        tuple(sorted(profile.sizes.items())),
+        tuple(sorted(profile.lib_cycles.items())),
+        tuple(sorted(profile.lib_sizes.items())),
+    )
+    return _hash_text(repr(shape))
+
+
+def module_cache_key(cfsm, options: Dict[str, Any], profile) -> str:
+    """The content address of one module's build artifacts."""
+    return _hash_text(
+        "|".join(
+            (
+                "key/v1",
+                cfsm_fingerprint(cfsm),
+                options_fingerprint(options),
+                profile_fingerprint(profile),
+                code_version(),
+            )
+        )
+    )
+
+
+class ArtifactCache:
+    """A content-addressed object store under one root directory."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("format") != CACHE_FORMAT_VERSION
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {"format": CACHE_FORMAT_VERSION, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        count = 0
+        objects = os.path.join(self.root, "objects")
+        for _, _, filenames in os.walk(objects):
+            count += sum(1 for f in filenames if f.endswith(".pkl"))
+        return count
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        objects = os.path.join(self.root, "objects")
+        for dirpath, _, filenames in os.walk(objects):
+            for name in filenames:
+                if name.endswith(".pkl"):
+                    os.unlink(os.path.join(dirpath, name))
+                    removed += 1
+        return removed
+
+    def stats(self) -> str:
+        return f"cache {self.root}: {self.hits} hits, {self.misses} misses"
+
+    def __repr__(self) -> str:
+        return f"<ArtifactCache {self.root!r}>"

@@ -1,0 +1,118 @@
+"""Pluggable serial / process-pool execution of per-CFSM build tasks.
+
+Per-CFSM synthesis is embarrassingly parallel: each module's pipeline
+reads only its own CFSM, the shared options, and the (immutable) profile
+and cost parameters.  The executors here exploit that while keeping one
+invariant: **results come back in task order with byte-identical
+artifacts**, whichever executor ran them.
+
+Workers cannot return live :class:`~repro.sgraph.SynthesisResult` objects
+(BDD managers hold weakrefs and are deliberately unpicklable), so a
+process-pool build returns :class:`~repro.pipeline.artifacts.ModuleArtifacts`
+with ``result=None`` — exactly what a cache hit returns.  The serial
+executor additionally hands back the live result for API parity with the
+historical in-process flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .artifacts import ModuleArtifacts, build_module_artifacts
+from .trace import BuildTrace, TraceEvent
+
+__all__ = [
+    "ModuleBuildTask",
+    "ModuleBuildOutcome",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+
+@dataclass
+class ModuleBuildTask:
+    """One schedulable unit: build every artifact of one software CFSM."""
+
+    machine: Any  # Cfsm — picklable by construction
+    options: Dict[str, Any]
+    profile: Any  # ISAProfile
+    params: Any  # CostParams
+
+
+@dataclass
+class ModuleBuildOutcome:
+    """What an executor hands back for one task, in task order."""
+
+    artifacts: ModuleArtifacts
+    result: Optional[Any] = None  # SynthesisResult when built in-process
+    events: List[TraceEvent] = field(default_factory=list)
+
+
+def _run_task(task: ModuleBuildTask, keep_result: bool) -> ModuleBuildOutcome:
+    trace = BuildTrace()
+    artifacts, result = build_module_artifacts(
+        task.machine, task.options, task.profile, task.params, trace=trace
+    )
+    return ModuleBuildOutcome(
+        artifacts=artifacts,
+        result=result if keep_result else None,
+        events=trace.events,
+    )
+
+
+def _worker(task: ModuleBuildTask) -> ModuleBuildOutcome:
+    """Top-level entry point for pool workers (must be picklable by name)."""
+    return _run_task(task, keep_result=False)
+
+
+class Executor:
+    """Runs a batch of module-build tasks; subclasses pick the strategy."""
+
+    jobs: int = 1
+
+    def run(self, tasks: List[ModuleBuildTask]) -> List[ModuleBuildOutcome]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process execution; keeps the live synthesis results."""
+
+    jobs = 1
+
+    def run(self, tasks: List[ModuleBuildTask]) -> List[ModuleBuildOutcome]:
+        return [_run_task(task, keep_result=True) for task in tasks]
+
+
+class ProcessExecutor(Executor):
+    """A ``concurrent.futures`` process pool over the build tasks.
+
+    Results are collected with ``Executor.map``, which preserves task
+    order regardless of completion order.  With one task (or one job) the
+    pool is skipped entirely — no point paying interpreter start-up.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 2:
+            raise ValueError("ProcessExecutor needs jobs >= 2")
+        self.jobs = int(jobs)
+
+    def run(self, tasks: List[ModuleBuildTask]) -> List[ModuleBuildOutcome]:
+        if len(tasks) <= 1:
+            return [_run_task(task, keep_result=False) for task in tasks]
+        import concurrent.futures
+
+        workers = min(self.jobs, len(tasks))
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            return list(pool.map(_worker, tasks))
+
+
+def make_executor(jobs: int = 1) -> Executor:
+    """``jobs <= 1`` → serial in-process; otherwise a process pool."""
+    if jobs <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs)

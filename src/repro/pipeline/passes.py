@@ -1,0 +1,90 @@
+"""The pass protocol and pass manager of the synthesis pipeline.
+
+The paper's flow (Sec. I-H) is five explicit stages; this module gives each
+stage — and each sub-step inside a stage — a uniform shape so stages can be
+declared, reordered, skipped, instrumented, and cached instead of living as
+a hard-wired call sequence.  A :class:`Pass` transforms a mutable *state*
+object; a :class:`PassManager` runs a declared sequence of passes, timing
+each one and appending per-pass metrics to a build trace.
+
+The machinery is deliberately generic: it knows nothing about s-graphs or
+CFSMs.  The synthesis passes themselves are declared next to the code they
+wrap (:mod:`repro.sgraph.passes`), and :func:`repro.flow.build_system`
+schedules one pipeline per software CFSM through an executor
+(:mod:`repro.pipeline.parallel`) with the artifact cache
+(:mod:`repro.pipeline.cache`) in front.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .trace import BuildTrace
+
+__all__ = ["Pass", "PassContext", "PassManager"]
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may consult besides the state it transforms.
+
+    ``module`` names the unit being built (one CFSM, usually) so trace
+    events from concurrent pipelines stay attributable; ``options`` carries
+    read-only pipeline options a pass may consult.
+    """
+
+    module: str = "?"
+    trace: Optional[BuildTrace] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+
+class Pass:
+    """One step of a pipeline: transform ``state``, report metrics.
+
+    Subclasses set ``name`` (stable, kebab-case — it appears in traces and
+    cache diagnostics) and implement :meth:`run`, mutating ``state`` in
+    place and returning an optional metrics dict for the build trace.
+    """
+
+    name: str = "pass"
+
+    def run(self, state: Any, ctx: PassContext) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PassManager:
+    """Run a declared sequence of passes over one state object.
+
+    The manager is the single choke point for instrumentation: every pass
+    is wall-timed and its metrics recorded into ``ctx.trace`` (when given),
+    so callers never sprinkle timing code through the stages themselves.
+    """
+
+    def __init__(self, passes: Sequence[Pass]):
+        self.passes: List[Pass] = list(passes)
+
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, state: Any, ctx: Optional[PassContext] = None) -> Any:
+        ctx = ctx or PassContext()
+        for p in self.passes:
+            start = time.perf_counter()
+            metrics = p.run(state, ctx)
+            wall_ms = (time.perf_counter() - start) * 1000.0
+            if ctx.trace is not None:
+                ctx.trace.record_pass(
+                    ctx.module, p.name, wall_ms, metrics or {}
+                )
+        return state
+
+    def __len__(self) -> int:
+        return len(self.passes)
+
+    def __repr__(self) -> str:
+        return f"<PassManager [{', '.join(self.names())}]>"

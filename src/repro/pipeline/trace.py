@@ -1,0 +1,163 @@
+"""Structured build traces: per-pass instrumentation of the synthesis flow.
+
+Every pass executed by a :class:`repro.pipeline.passes.PassManager`, every
+cache lookup of a :class:`repro.pipeline.cache.ArtifactCache`, and every
+coarse stage of :func:`repro.flow.build_system` (calibration, RTOS
+generation, footprint accounting, per-module compilation) appends one
+:class:`TraceEvent`.  The trace answers the questions a scaling effort
+needs answered — where did the wall time go, how big were the BDDs and
+s-graphs, which modules were rebuilt and which came from the cache — and
+serializes to a stable JSON document (``repro-build-trace/v1``) for
+external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["TraceEvent", "BuildTrace", "TRACE_FORMAT"]
+
+TRACE_FORMAT = "repro-build-trace/v1"
+
+#: ``kind`` values.  A ``pass`` event is one synthesis pass run by a
+#: PassManager; a ``cache`` event is one artifact-cache lookup (status
+#: ``hit``/``miss``); a ``stage`` event is a coarse flow stage (compile,
+#: estimate, rtos, ...).
+PASS = "pass"
+CACHE = "cache"
+STAGE = "stage"
+
+
+@dataclass
+class TraceEvent:
+    """One instrumented step of a build."""
+
+    module: str
+    name: str
+    kind: str = PASS
+    wall_ms: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    status: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "module": self.module,
+            "name": self.name,
+            "kind": self.kind,
+            "wall_ms": round(self.wall_ms, 3),
+        }
+        if self.metrics:
+            out["metrics"] = self.metrics
+        if self.status is not None:
+            out["status"] = self.status
+        return out
+
+
+class BuildTrace:
+    """An append-only event log for one build (or one module's build)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, event: TraceEvent) -> TraceEvent:
+        self.events.append(event)
+        return event
+
+    def record_pass(
+        self,
+        module: str,
+        name: str,
+        wall_ms: float,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> TraceEvent:
+        return self.record(
+            TraceEvent(module=module, name=name, kind=PASS,
+                       wall_ms=wall_ms, metrics=dict(metrics or {}))
+        )
+
+    def record_cache(
+        self, module: str, status: str, key: Optional[str] = None
+    ) -> TraceEvent:
+        metrics = {"key": key} if key is not None else {}
+        return self.record(
+            TraceEvent(module=module, name="cache.lookup", kind=CACHE,
+                       status=status, metrics=metrics)
+        )
+
+    def record_stage(
+        self,
+        module: str,
+        name: str,
+        wall_ms: float,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> TraceEvent:
+        return self.record(
+            TraceEvent(module=module, name=name, kind=STAGE,
+                       wall_ms=wall_ms, metrics=dict(metrics or {}))
+        )
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Merge events produced elsewhere (e.g. in a worker process)."""
+        for event in events:
+            self.record(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def passes(self, module: Optional[str] = None) -> List[TraceEvent]:
+        return [
+            e for e in self.events
+            if e.kind == PASS and (module is None or e.module == module)
+        ]
+
+    @property
+    def synthesis_pass_count(self) -> int:
+        """Number of synthesis passes actually executed (0 on a fully warm build)."""
+        return len(self.passes())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for e in self.events if e.kind == CACHE and e.status == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for e in self.events if e.kind == CACHE and e.status == "miss")
+
+    def total_wall_ms(self) -> float:
+        return sum(e.wall_ms for e in self.events)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "events": [e.to_dict() for e in self.events],
+            "summary": {
+                "events": len(self.events),
+                "synthesis_passes": self.synthesis_pass_count,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "wall_ms": round(self.total_wall_ms(), 3),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    def summary(self) -> str:
+        """One human-readable line, suitable for stderr."""
+        return (
+            f"trace: {self.synthesis_pass_count} synthesis passes, "
+            f"{self.cache_hits} cache hits, {self.cache_misses} misses, "
+            f"{self.total_wall_ms():.1f}ms instrumented"
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -24,6 +24,8 @@ from typing import List, Optional
 
 from ..bdd import BddManager
 from ..cfsm.machine import Cfsm
+from ..pipeline.passes import PassContext, PassManager
+from ..pipeline.trace import BuildTrace
 from ..synthesis.reactive import ReactiveFunction, synthesize_reactive
 from .build import build_sgraph, default_order, reduce_sgraph
 from .dataflow import vars_needing_copy
@@ -36,6 +38,7 @@ from .orderings import (
     outputs_first_order,
     sifted_order,
 )
+from .passes import SynthesisState, synthesis_passes
 
 __all__ = [
     "SGraph",
@@ -59,6 +62,8 @@ __all__ = [
     "outputs_first_order",
     "mixed_order",
     "SynthesisResult",
+    "SynthesisState",
+    "synthesis_passes",
     "synthesize",
 ]
 
@@ -100,6 +105,7 @@ def synthesize(
     copy_elimination: bool = False,
     reachability_dontcares: bool = False,
     mixed_seed: int = 0,
+    trace: Optional[BuildTrace] = None,
 ) -> SynthesisResult:
     """Full pipeline: CFSM -> reactive function -> ordered, optimized s-graph.
 
@@ -135,6 +141,7 @@ def synthesize(
         prune=prune,
         copy_elimination=copy_elimination,
         mixed_seed=mixed_seed,
+        trace=trace,
     )
 
 
@@ -146,33 +153,34 @@ def synthesize_from_reactive(
     prune: bool = True,
     copy_elimination: bool = False,
     mixed_seed: int = 0,
+    trace: Optional[BuildTrace] = None,
 ) -> SynthesisResult:
-    """Pipeline tail starting from an existing reactive function."""
-    if scheme == "naive":
-        order = naive_order(rf)
-    elif scheme == "sift":
-        order = sifted_order(rf, strict=False)
-    elif scheme == "sift-strict":
-        order = sifted_order(rf, strict=True)
-    elif scheme == "outputs-first":
-        order = outputs_first_order(rf)
-    elif scheme == "mixed":
-        order = mixed_order(rf, seed=mixed_seed)
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    sg = build_sgraph(rf, order)
-    reduce_sgraph(sg)
-    if prune:
-        prune_zero_assigns(sg)
-        reduce_sgraph(sg)
-    if multiway and scheme != "outputs-first":
-        if merge_multiway(sg, rf.encoding, min_targets=multiway_threshold):
-            reduce_sgraph(sg)
-    copy_vars = None
-    if copy_elimination:
-        from .dataflow import vars_needing_copy
+    """Pipeline tail starting from an existing reactive function.
 
-        copy_vars = vars_needing_copy(sg, rf.encoding)
+    The stages run as the declared pass sequence of
+    :func:`repro.sgraph.passes.synthesis_passes` (order → build → reduce →
+    prune → multiway → copy-elim); a :class:`BuildTrace` passed via
+    ``trace`` receives one timed, metric-carrying event per pass.
+    """
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}; pick one of {SCHEMES}")
+    manager = PassManager(
+        synthesis_passes(
+            scheme,
+            multiway=multiway,
+            multiway_threshold=multiway_threshold,
+            prune=prune,
+            copy_elimination=copy_elimination,
+        )
+    )
+    state = SynthesisState(rf=rf, scheme=scheme, mixed_seed=mixed_seed)
+    ctx = PassContext(module=rf.cfsm.name, trace=trace)
+    manager.run(state, ctx)
+    assert state.sgraph is not None
     return SynthesisResult(
-        reactive=rf, sgraph=sg, order=order, scheme=scheme, copy_vars=copy_vars
+        reactive=rf,
+        sgraph=state.sgraph,
+        order=state.order,
+        scheme=scheme,
+        copy_vars=state.copy_vars,
     )

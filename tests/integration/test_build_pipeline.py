@@ -1,0 +1,131 @@
+"""Acceptance: parallel and warm-cache builds are byte-identical to serial.
+
+The ISSUE 2 criteria, verified end to end on the dashboard and protocol
+examples: a ``jobs=4`` build and a warm-cache rebuild must produce the
+same C, RTOS source, programs, and estimates as a serial uncached build,
+and the warm rebuild must execute zero synthesis passes (everything served
+from the cache, visible in the build trace).
+"""
+
+import pytest
+
+from repro.apps import abp_network, dashboard_network
+from repro.flow import build_system
+from repro.pipeline import ArtifactCache, BuildTrace
+
+
+def _assert_same_artifacts(base, other):
+    assert set(other.modules) == set(base.modules)
+    assert list(other.modules) == list(base.modules)  # declaration order
+    for name, module in base.modules.items():
+        got = other.modules[name]
+        assert got.c_source == module.c_source
+        assert got.program.listing() == module.program.listing()
+        assert got.estimate == module.estimate
+        assert got.measured == module.measured
+        assert got.copied_state_vars == module.copied_state_vars
+    assert other.rtos_source == base.rtos_source
+    assert other.footprint == base.footprint
+    assert other.report() == base.report()
+
+
+@pytest.fixture(scope="module", params=["dashboard", "abp"])
+def network(request):
+    return {"dashboard": dashboard_network, "abp": abp_network}[request.param]()
+
+
+@pytest.fixture(scope="module")
+def serial_build(network, k11_params):
+    return build_system(network, params=k11_params)
+
+
+class TestParallelBuild:
+    def test_jobs4_byte_identical(self, network, k11_params, serial_build):
+        parallel = build_system(network, params=k11_params, jobs=4)
+        _assert_same_artifacts(serial_build, parallel)
+
+    def test_parallel_modules_have_no_live_results(self, network, k11_params):
+        parallel = build_system(network, params=k11_params, jobs=2)
+        assert all(m.result is None for m in parallel.modules.values())
+
+    def test_serial_modules_keep_live_results(self, serial_build):
+        assert all(m.result is not None for m in serial_build.modules.values())
+
+
+class TestWarmCacheBuild:
+    def test_cold_then_warm_byte_identical_and_synthesis_free(
+        self, network, k11_params, serial_build, tmp_path
+    ):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        cold_trace = BuildTrace()
+        cold = build_system(
+            network, params=k11_params, cache=cache, trace=cold_trace
+        )
+        _assert_same_artifacts(serial_build, cold)
+        assert cold_trace.cache_misses == len(cold.modules)
+        assert cold_trace.synthesis_pass_count > 0
+
+        warm_trace = BuildTrace()
+        warm = build_system(
+            network, params=k11_params, cache=cache, trace=warm_trace
+        )
+        _assert_same_artifacts(serial_build, warm)
+        # The whole point: a warm rebuild runs zero synthesis passes.
+        assert warm_trace.synthesis_pass_count == 0
+        assert warm_trace.cache_hits == len(warm.modules)
+        assert warm_trace.cache_misses == 0
+        assert all(m.from_cache for m in warm.modules.values())
+
+    def test_write_to_identical_across_paths(
+        self, network, k11_params, serial_build, tmp_path
+    ):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        build_system(network, params=k11_params, cache=cache)
+        warm = build_system(network, params=k11_params, cache=cache)
+        base_dir, warm_dir = tmp_path / "base", tmp_path / "warm"
+        serial_build.write_to(str(base_dir))
+        warm.write_to(str(warm_dir))
+        base_files = sorted(p.name for p in base_dir.iterdir())
+        assert sorted(p.name for p in warm_dir.iterdir()) == base_files
+        for name in base_files:
+            assert (warm_dir / name).read_bytes() == (
+                base_dir / name
+            ).read_bytes()
+
+    def test_scheme_change_misses_cache(self, network, k11_params, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        build_system(network, params=k11_params, cache=cache)
+        trace = BuildTrace()
+        build_system(
+            network, params=k11_params, cache=cache, trace=trace,
+            scheme="naive",
+        )
+        assert trace.cache_hits == 0
+        assert trace.cache_misses == len(network.machines)
+
+
+class TestTraceShape:
+    def test_trace_covers_stages_and_modules(self, network, k11_params):
+        trace = BuildTrace()
+        build = build_system(network, params=k11_params, trace=trace)
+        stage_names = {e.name for e in trace.events if e.kind == "stage"}
+        assert {"rtos", "footprint", "compile", "codegen",
+                "estimate", "measure"} <= stage_names
+        for name in build.modules:
+            assert [e.name for e in trace.passes(name)][:3] == [
+                "order", "build", "reduce"
+            ]
+        assert build.trace is trace
+
+    def test_hw_machines_not_scheduled(self, k11_params):
+        from repro.rtos import RtosConfig
+
+        network = dashboard_network()
+        hw = network.machines[0].name
+        trace = BuildTrace()
+        build = build_system(
+            network, params=k11_params,
+            config=RtosConfig(hw_machines={hw}), trace=trace,
+        )
+        assert hw not in build.modules
+        assert not trace.passes(hw)

@@ -1,0 +1,169 @@
+"""CLI pipeline flags: --jobs, --cache-dir, --no-cache, --trace."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PRODUCER = """
+module producer:
+  input go;
+  output tickt;
+  loop
+    await go;
+    emit tickt;
+  end
+end
+"""
+
+CONSUMER = """
+module consumer:
+  input tickt;
+  output donee;
+  loop
+    await tickt;
+    emit donee;
+  end
+end
+"""
+
+
+@pytest.fixture
+def modules(tmp_path):
+    paths = []
+    for name, text in (("producer", PRODUCER), ("consumer", CONSUMER)):
+        path = tmp_path / f"{name}.rsl"
+        path.write_text(text)
+        paths.append(str(path))
+    return paths
+
+
+def _read_all(directory):
+    return {p.name: p.read_bytes() for p in directory.iterdir()}
+
+
+class TestBuildFlags:
+    def test_jobs_parallel_build_matches_serial(self, modules, tmp_path):
+        assert main(["build", *modules, "-o", str(tmp_path / "serial")]) == 0
+        assert main(
+            ["build", *modules, "--jobs", "2", "-o", str(tmp_path / "par")]
+        ) == 0
+        assert _read_all(tmp_path / "par") == _read_all(tmp_path / "serial")
+
+    def test_cold_then_warm_cache_build(self, modules, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["build", *modules, "--cache-dir", cache_dir]
+        assert main(
+            [*args, "--trace", str(tmp_path / "cold.json"),
+             "-o", str(tmp_path / "b1")]
+        ) == 0
+        assert main(
+            [*args, "--trace", str(tmp_path / "warm.json"),
+             "-o", str(tmp_path / "b2")]
+        ) == 0
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert cold["summary"]["cache_misses"] == 2
+        assert cold["summary"]["synthesis_passes"] > 0
+        assert warm["summary"]["cache_hits"] == 2
+        assert warm["summary"]["synthesis_passes"] == 0
+        assert _read_all(tmp_path / "b2") == _read_all(tmp_path / "b1")
+
+    def test_no_cache_disables_cache_dir(self, modules, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["build", *modules, "--cache-dir", str(cache_dir), "--no-cache",
+             "-o", str(tmp_path / "out")]
+        ) == 0
+        assert not cache_dir.exists()
+
+    def test_trace_document_format(self, modules, tmp_path):
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["build", *modules, "--trace", str(trace_path),
+             "-o", str(tmp_path / "out")]
+        ) == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["format"] == "repro-build-trace/v1"
+        kinds = {e["kind"] for e in doc["events"]}
+        assert {"pass", "stage"} <= kinds
+
+
+class TestSynthFlags:
+    def test_synth_cache_serves_identical_c(self, modules, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        out1, out2 = tmp_path / "a.c", tmp_path / "b.c"
+        base = tmp_path / "base.c"
+        assert main(["synth", modules[0], "-o", str(base)]) == 0
+        for out in (out1, out2):
+            assert main(
+                ["synth", modules[0], "--cache-dir", cache_dir,
+                 "-o", str(out)]
+            ) == 0
+        assert out1.read_bytes() == base.read_bytes() == out2.read_bytes()
+
+    def test_synth_warm_cache_runs_no_passes(self, modules, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["synth", modules[0], "--cache-dir", cache_dir,
+             "-o", str(tmp_path / "a.c")]
+        ) == 0
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["synth", modules[0], "--cache-dir", cache_dir,
+             "--trace", str(trace_path), "-o", str(tmp_path / "b.c")]
+        ) == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["summary"]["synthesis_passes"] == 0
+        assert doc["summary"]["cache_hits"] == 1
+
+    def test_synth_asm_served_from_cache(self, modules, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        base, cached = tmp_path / "a.s", tmp_path / "b.s"
+        assert main(
+            ["synth", modules[0], "--emit", "asm", "-o", str(base)]
+        ) == 0
+        assert main(
+            ["synth", modules[0], "--emit", "asm", "--cache-dir", cache_dir,
+             "-o", str(tmp_path / "warmup.s")]
+        ) == 0
+        assert main(
+            ["synth", modules[0], "--emit", "asm", "--cache-dir", cache_dir,
+             "-o", str(cached)]
+        ) == 0
+        assert cached.read_bytes() == base.read_bytes()
+
+    def test_synth_harness_bypasses_cache(self, modules, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        out = tmp_path / "h.c"
+        assert main(
+            ["synth", modules[0], "--harness", "--cache-dir", cache_dir,
+             "-o", str(out)]
+        ) == 0
+        assert "main(" in out.read_text()
+        assert not (tmp_path / "cache").exists()
+
+    def test_synth_dot_still_works_with_cache_flags(self, modules, tmp_path):
+        out = tmp_path / "g.dot"
+        assert main(
+            ["synth", modules[0], "--emit", "dot",
+             "--cache-dir", str(tmp_path / "cache"), "-o", str(out)]
+        ) == 0
+        assert out.read_text().startswith("digraph")
+
+    def test_synth_estimate_identical_from_cache(
+        self, modules, tmp_path, capsys
+    ):
+        assert main(
+            ["synth", modules[0], "--estimate", "-o", str(tmp_path / "a.c")]
+        ) == 0
+        live = capsys.readouterr().err
+        cache_dir = str(tmp_path / "cache")
+        for _ in range(2):
+            assert main(
+                ["synth", modules[0], "--estimate", "--cache-dir", cache_dir,
+                 "-o", str(tmp_path / "b.c")]
+            ) == 0
+        cached = capsys.readouterr().err
+        assert live.splitlines()[-1] in cached

@@ -1,0 +1,114 @@
+"""SystemBuild.write_to / SystemBuild.report: file layout and contents."""
+
+import os
+
+from repro.flow import build_system
+from repro.rtos import RtosConfig
+
+
+class TestWriteTo:
+    def test_file_layout(self, dashboard_net, k11_params, tmp_path):
+        build = build_system(dashboard_net, params=k11_params)
+        out = tmp_path / "proj"
+        written = build.write_to(str(out))
+        names = sorted(os.path.basename(p) for p in written)
+        expected = sorted(
+            [f"{m.name}.c" for m in dashboard_net.machines]
+            + ["rtos.c", "BUILD_REPORT.txt"]
+        )
+        assert names == expected
+        # One path per artifact, every path exists and is non-empty.
+        assert len(written) == len(build.modules) + 2
+        for path in written:
+            assert os.path.dirname(path) == str(out)
+            assert os.path.getsize(path) > 0
+
+    def test_module_files_hold_their_c_source(
+        self, dashboard_net, k11_params, tmp_path
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        build.write_to(str(tmp_path))
+        for name, module in build.modules.items():
+            assert (tmp_path / f"{name}.c").read_text() == module.c_source
+
+    def test_rtos_file_holds_the_rtos_source(
+        self, dashboard_net, k11_params, tmp_path
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        build.write_to(str(tmp_path))
+        text = (tmp_path / "rtos.c").read_text()
+        assert text == build.rtos_source
+        assert "rtos_run_task" in text
+
+    def test_build_report_file_is_report_plus_newline(
+        self, dashboard_net, k11_params, tmp_path
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        build.write_to(str(tmp_path))
+        text = (tmp_path / "BUILD_REPORT.txt").read_text()
+        assert text == build.report() + "\n"
+
+    def test_creates_nested_directories(
+        self, dashboard_net, k11_params, tmp_path
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        nested = tmp_path / "a" / "b" / "c"
+        build.write_to(str(nested))
+        assert (nested / "rtos.c").exists()
+
+    def test_hw_machines_emit_no_c_file(self, shock_net, k11_params, tmp_path):
+        config = RtosConfig(hw_machines={"accel_filter"})
+        build = build_system(shock_net, config=config, params=k11_params)
+        written = build.write_to(str(tmp_path))
+        names = {os.path.basename(p) for p in written}
+        assert "accel_filter.c" not in names
+
+
+class TestReport:
+    def test_header_names_system_count_and_target(
+        self, dashboard_net, k11_params
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        first = build.report().splitlines()[0]
+        assert f"system {dashboard_net.name}:" in first
+        assert f"{len(build.modules)} software CFSMs" in first
+        assert "target K11" in first
+
+    def test_one_row_per_module_with_figures(self, dashboard_net, k11_params):
+        build = build_system(dashboard_net, params=k11_params)
+        lines = build.report().splitlines()
+        for name, module in build.modules.items():
+            row = next(line for line in lines if line.startswith(f"{name} "))
+            fields = row.split()
+            assert int(fields[1]) == module.estimate.code_size
+            assert int(fields[2]) == module.measured.code_size
+            assert int(fields[3]) == module.estimate.max_cycles
+            assert int(fields[4]) == module.measured.max_cycles
+
+    def test_rows_sorted_by_module_name(self, dashboard_net, k11_params):
+        build = build_system(dashboard_net, params=k11_params)
+        lines = build.report().splitlines()[2:]
+        rows = [line.split()[0] for line in lines
+                if line.split() and line.split()[0] in build.modules]
+        assert rows == sorted(build.modules)
+
+    def test_footprint_line_present(self, dashboard_net, k11_params):
+        build = build_system(dashboard_net, params=k11_params)
+        assert "footprint incl. generated RTOS:" in build.report()
+
+    def test_schedule_report_included_when_rates_given(
+        self, shock_net, k11_params
+    ):
+        rates = {
+            "asample": 6_000, "mtick": 8_000, "sec": 2_000_000,
+            "fault": 50_000, "speed": 20_000, "sel": 1_000_000,
+        }
+        build = build_system(shock_net, env_rates=rates, params=k11_params)
+        assert build.schedule is not None
+        assert build.schedule.report() in build.report()
+
+    def test_no_schedule_section_without_rates(
+        self, dashboard_net, k11_params
+    ):
+        build = build_system(dashboard_net, params=k11_params)
+        assert build.schedule is None

@@ -1,0 +1,147 @@
+"""Content addressing and the on-disk artifact cache."""
+
+import pickle
+
+import pytest
+
+from repro.estimation import calibrate
+from repro.pipeline import (
+    ArtifactCache,
+    build_module_artifacts,
+    cfsm_fingerprint,
+    code_version,
+    module_cache_key,
+    options_fingerprint,
+    profile_fingerprint,
+    synthesis_options,
+)
+from repro.target import K11, K32
+
+from ..conftest import make_counter_cfsm, make_modal_cfsm
+
+
+class TestFingerprints:
+    def test_cfsm_fingerprint_is_stable(self):
+        assert cfsm_fingerprint(make_counter_cfsm()) == cfsm_fingerprint(
+            make_counter_cfsm()
+        )
+
+    def test_cfsm_fingerprint_tracks_content(self):
+        assert cfsm_fingerprint(make_counter_cfsm()) != cfsm_fingerprint(
+            make_modal_cfsm()
+        )
+
+    def test_semantic_edit_changes_fingerprint(self):
+        a = make_counter_cfsm()
+        b = make_counter_cfsm()
+        b.state_vars[0].init = 3
+        assert cfsm_fingerprint(a) != cfsm_fingerprint(b)
+
+    def test_options_fingerprint_ignores_dict_order(self):
+        assert options_fingerprint({"a": 1, "b": 2}) == options_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_profile_fingerprint_differs_between_targets(self):
+        assert profile_fingerprint(K11) != profile_fingerprint(K32)
+
+    def test_code_version_is_memoized_hex(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 64
+
+    def test_key_depends_on_every_component(self):
+        cfsm = make_counter_cfsm()
+        params = calibrate(K11)
+        base_opts = synthesis_options(scheme="sift", params=params)
+        base = module_cache_key(cfsm, base_opts, K11)
+        assert module_cache_key(cfsm, base_opts, K11) == base
+        other_scheme = synthesis_options(scheme="naive", params=params)
+        assert module_cache_key(cfsm, other_scheme, K11) != base
+        assert module_cache_key(cfsm, base_opts, K32) != base
+        assert module_cache_key(make_modal_cfsm(), base_opts, K11) != base
+
+
+class TestArtifactCache:
+    def _artifacts(self, cfsm, profile=K11):
+        params = calibrate(profile)
+        options = synthesis_options(scheme="sift", params=params)
+        artifacts, _ = build_module_artifacts(cfsm, options, profile, params)
+        return module_cache_key(cfsm, options, profile), artifacts
+
+    def test_roundtrip(self, tmp_path):
+        cfsm = make_counter_cfsm()
+        key, artifacts = self._artifacts(cfsm)
+        cache = ArtifactCache(str(tmp_path))
+        assert cache.get(key) is None and cache.misses == 1
+        cache.put(key, artifacts)
+        assert key in cache and len(cache) == 1
+        loaded = cache.get(key)
+        assert cache.hits == 1
+        assert loaded.c_source == artifacts.c_source
+        assert loaded.estimate == artifacts.estimate
+        assert loaded.measured == artifacts.measured
+        assert loaded.program.listing() == artifacts.program.listing()
+        assert loaded.copied_state_vars == artifacts.copied_state_vars
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cfsm = make_counter_cfsm()
+        key, artifacts = self._artifacts(cfsm)
+        cache = ArtifactCache(str(tmp_path))
+        cache.put(key, artifacts)
+        cache._path(key)
+        with open(cache._path(key), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = "ab" * 32
+        path = cache._path(key)
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            pickle.dump({"format": -1, "payload": None}, handle)
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cfsm = make_counter_cfsm()
+        key, artifacts = self._artifacts(cfsm)
+        cache = ArtifactCache(str(tmp_path))
+        cache.put(key, artifacts)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_stats_line(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        cache.get("00" * 32)
+        assert "0 hits, 1 misses" in cache.stats()
+
+
+class TestParamsInKey:
+    def test_different_cost_params_change_the_key(self):
+        cfsm = make_counter_cfsm()
+        k11 = synthesis_options(scheme="sift", params=calibrate(K11))
+        k32 = synthesis_options(scheme="sift", params=calibrate(K32))
+        assert module_cache_key(cfsm, k11, K11) != module_cache_key(
+            cfsm, k32, K11
+        )
+
+    def test_default_params_sentinel(self):
+        options = synthesis_options(scheme="sift")
+        assert options["params"] == "default"
+
+
+@pytest.mark.parametrize("scheme", ["naive", "sift", "outputs-first"])
+def test_cached_artifacts_are_byte_identical_per_scheme(tmp_path, scheme):
+    cfsm = make_modal_cfsm()
+    params = calibrate(K11)
+    options = synthesis_options(scheme=scheme, params=params)
+    fresh, _ = build_module_artifacts(cfsm, options, K11, params)
+    cache = ArtifactCache(str(tmp_path))
+    key = module_cache_key(cfsm, options, K11)
+    cache.put(key, fresh)
+    again, _ = build_module_artifacts(cfsm, options, K11, params)
+    cached = cache.get(key)
+    assert cached.c_source == again.c_source == fresh.c_source
+    assert cached.program.listing() == again.program.listing()

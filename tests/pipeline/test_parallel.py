@@ -1,0 +1,78 @@
+"""Serial vs process-pool executors: same tasks, same bytes, task order."""
+
+import pytest
+
+from repro.pipeline import (
+    ModuleBuildTask,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    synthesis_options,
+)
+from repro.target import K11
+
+
+def _tasks(network, params):
+    options = synthesis_options(
+        scheme="sift", copy_elimination=True, params=params
+    )
+    return [
+        ModuleBuildTask(
+            machine=machine, options=options, profile=K11, params=params
+        )
+        for machine in network.machines
+    ]
+
+
+class TestMakeExecutor:
+    def test_jobs_one_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(0), SerialExecutor)
+
+    def test_jobs_many_is_process_pool(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.jobs == 3
+
+    def test_process_executor_rejects_single_job(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(1)
+
+
+class TestExecutionEquivalence:
+    def test_serial_keeps_live_results(self, dashboard_net, k11_params):
+        tasks = _tasks(dashboard_net, k11_params)[:2]
+        outcomes = SerialExecutor().run(tasks)
+        assert all(o.result is not None for o in outcomes)
+        assert all(o.events for o in outcomes)
+
+    def test_single_task_skips_the_pool(self, dashboard_net, k11_params):
+        tasks = _tasks(dashboard_net, k11_params)[:1]
+        outcomes = ProcessExecutor(4).run(tasks)
+        assert len(outcomes) == 1
+        assert outcomes[0].artifacts.name == tasks[0].machine.name
+
+    def test_pool_matches_serial_bytes_in_task_order(
+        self, dashboard_net, k11_params
+    ):
+        tasks = _tasks(dashboard_net, k11_params)
+        serial = SerialExecutor().run(tasks)
+        pooled = ProcessExecutor(4).run(tasks)
+        assert [o.artifacts.name for o in pooled] == [
+            o.artifacts.name for o in serial
+        ]
+        for s, p in zip(serial, pooled):
+            assert p.result is None  # live BDDs never cross processes
+            assert p.artifacts.c_source == s.artifacts.c_source
+            assert p.artifacts.estimate == s.artifacts.estimate
+            assert p.artifacts.measured == s.artifacts.measured
+            assert p.artifacts.program.listing() == s.artifacts.program.listing()
+            assert p.artifacts.copied_state_vars == s.artifacts.copied_state_vars
+
+    def test_worker_trace_events_come_back(self, dashboard_net, k11_params):
+        tasks = _tasks(dashboard_net, k11_params)[:2]
+        pooled = ProcessExecutor(2).run(tasks)
+        for task, outcome in zip(tasks, pooled):
+            names = [e.name for e in outcome.events if e.kind == "pass"]
+            assert names[:3] == ["order", "build", "reduce"]
+            assert all(e.module == task.machine.name for e in outcome.events)

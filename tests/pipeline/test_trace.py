@@ -1,0 +1,62 @@
+"""BuildTrace: recording, counters, and the v1 JSON document."""
+
+import json
+
+from repro.pipeline import BuildTrace, TraceEvent
+from repro.pipeline.trace import TRACE_FORMAT
+
+
+class TestBuildTrace:
+    def test_counters(self):
+        trace = BuildTrace()
+        trace.record_pass("m1", "order", 1.0, {"chi_nodes": 5})
+        trace.record_pass("m2", "build", 2.0)
+        trace.record_cache("m1", "hit", "abc")
+        trace.record_cache("m2", "miss", "def")
+        trace.record_stage("sys", "rtos", 3.0)
+        assert trace.synthesis_pass_count == 2
+        assert trace.cache_hits == 1 and trace.cache_misses == 1
+        assert trace.total_wall_ms() == 6.0
+        assert len(trace) == 5
+
+    def test_passes_filter_by_module(self):
+        trace = BuildTrace()
+        trace.record_pass("m1", "order", 1.0)
+        trace.record_pass("m2", "order", 1.0)
+        assert [e.module for e in trace.passes("m1")] == ["m1"]
+
+    def test_extend_merges_worker_events(self):
+        worker = BuildTrace()
+        worker.record_pass("m1", "order", 1.0)
+        parent = BuildTrace()
+        parent.record_cache("m0", "hit")
+        parent.extend(worker.events)
+        assert parent.synthesis_pass_count == 1
+        assert parent.cache_hits == 1
+
+    def test_json_document_shape(self, tmp_path):
+        trace = BuildTrace()
+        trace.record_pass("m1", "order", 1.234, {"chi_nodes": 5})
+        trace.record_cache("m1", "miss", "ff" * 32)
+        path = tmp_path / "trace.json"
+        trace.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["format"] == TRACE_FORMAT
+        assert doc["summary"]["synthesis_passes"] == 1
+        assert doc["summary"]["cache_misses"] == 1
+        event = doc["events"][0]
+        assert event == {
+            "module": "m1", "name": "order", "kind": "pass",
+            "wall_ms": 1.234, "metrics": {"chi_nodes": 5},
+        }
+
+    def test_summary_line(self):
+        trace = BuildTrace()
+        trace.record_cache("m", "hit")
+        assert "1 cache hits" in trace.summary()
+
+    def test_event_status_serialized_only_when_set(self):
+        plain = TraceEvent(module="m", name="x").to_dict()
+        assert "status" not in plain
+        hit = TraceEvent(module="m", name="x", status="hit").to_dict()
+        assert hit["status"] == "hit"
