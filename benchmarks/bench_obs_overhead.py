@@ -1,0 +1,123 @@
+"""Observability overhead: instrumentation must be ~free when disabled.
+
+The runtime, the BDD engine, and the estimator carry permanent hooks for
+the observability layer (run traces, metrics, spans).  Every hook hides
+behind a single ``is not None`` / ``enabled`` check, so a plain run —
+no sinks attached — must stay within a few percent of an uninstrumented
+build.  This benchmark runs the shock-absorber cosimulation bare and with
+every sink attached, checks the attached run still returns *identical*
+simulation results (observability never changes behavior), and records
+the wall-clock ratio.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``): shorter scenario, fewer repeats.
+"""
+
+import os
+import time
+
+from repro.obs import MetricsRegistry, RunTrace
+from repro.rtos import RtosConfig, RtosRuntime, Stimulus
+from repro.sgraph import synthesize
+from repro.target import K11, compile_sgraph
+
+from conftest import write_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+PULSES = 400 if SMOKE else 2_000
+REPEATS = 3 if SMOKE else 7
+
+#: Observability-off may cost at most this factor over itself (noise gate);
+#: the attached run may cost at most this factor over the bare run.  Wide
+#: enough to never flake on shared CI, tight enough to catch an
+#: unconditional allocation sneaking into the hot path.
+MAX_ATTACHED_RATIO = 3.0
+
+
+def _scenario():
+    stimuli = []
+    t = 0
+    for i in range(PULSES):
+        t += 2_000
+        rough = (i // 40) % 2 == 0
+        sample = (255 if i % 2 else 0) if rough else 128
+        stimuli.append(Stimulus(t, "asample", sample))
+        if i % 4 == 3:
+            stimuli.append(Stimulus(t + 900, "mtick"))
+    return stimuli, t + 50_000
+
+
+def _simulate(shock_net, programs, run_trace=None, metrics=None):
+    rt = RtosRuntime(
+        shock_net, RtosConfig(), profile=K11, programs=programs,
+        run_trace=run_trace, metrics=metrics,
+    )
+    stimuli, until = _scenario()
+    rt.schedule_stimuli(stimuli)
+    return rt.run(until=until)
+
+
+def _median_wall(fn, repeats=REPEATS):
+    walls = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    walls.sort()
+    return walls[len(walls) // 2]
+
+
+def _programs(shock_net):
+    return {
+        m.name: compile_sgraph(synthesize(m), K11) for m in shock_net.machines
+    }
+
+
+def test_observability_is_inert_and_cheap(shock_net):
+    programs = _programs(shock_net)
+
+    bare_stats = _simulate(shock_net, programs)
+    trace = RunTrace()
+    registry = MetricsRegistry()
+    traced_stats = _simulate(
+        shock_net, programs, run_trace=trace, metrics=registry
+    )
+
+    # Attaching sinks must not change a single simulation outcome.
+    assert traced_stats.to_dict() == bare_stats.to_dict()
+    assert len(trace.events) > 0
+    assert len(registry) > 0
+
+    bare_wall = _median_wall(lambda: _simulate(shock_net, programs))
+    traced_wall = _median_wall(
+        lambda: _simulate(
+            shock_net, programs, run_trace=RunTrace(), metrics=MetricsRegistry()
+        )
+    )
+    ratio = traced_wall / bare_wall if bare_wall else 1.0
+
+    lines = [
+        "Observability overhead — shock absorber cosimulation",
+        "",
+        f"{'configuration':28s} {'median wall (ms)':>17s}",
+        f"{'hooks present, no sinks':28s} {bare_wall * 1000:17.2f}",
+        f"{'run trace + metrics attached':28s} {traced_wall * 1000:17.2f}",
+        "",
+        f"attached/bare ratio: {ratio:.2f}x "
+        f"(events={len(trace.events)}, metrics={len(registry)})",
+    ]
+    write_report("obs_overhead", lines)
+
+    assert ratio < MAX_ATTACHED_RATIO
+
+
+def test_disabled_tracer_span_is_nearly_free():
+    """The module tracer defaults to disabled; its span() must not allocate."""
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    assert not tracer.enabled
+    first = tracer.span("x")
+    second = tracer.span("y", a=1)
+    # Disabled spans are one shared object: no per-call allocation.
+    assert first is second
+    assert len(tracer.spans) == 0

@@ -8,7 +8,17 @@ under a cycle-accurate cosimulation: acceleration from standstill, cruise,
 braking — with the driver forgetting the seat belt.
 
 Run:  python examples/dashboard.py
+
+Observability (all optional, none changes the simulation):
+
+    python examples/dashboard.py --run-trace run.json \
+        --chrome-trace chrome.json --metrics
+
+``run.json`` is a ``repro-run-trace/v1`` document (``repro report`` it);
+``chrome.json`` opens directly in Perfetto / ``chrome://tracing``.
 """
+
+import argparse
 
 from repro import K11, RtosConfig, RtosRuntime, Stimulus, compile_sgraph, synthesize
 from repro.apps import dashboard_network
@@ -60,7 +70,19 @@ def drive_scenario():
     return stimuli, t
 
 
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run-trace", default=None, metavar="OUT.json",
+                        help="write the repro-run-trace/v1 document")
+    parser.add_argument("--chrome-trace", default=None, metavar="OUT.json",
+                        help="write a Chrome trace-event file (Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry after the run")
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     network = dashboard_network()
     print("=== Per-module synthesis " + "=" * 45)
     programs = synthesize_all(network)
@@ -71,8 +93,20 @@ def main() -> None:
     print(f"... ({len(rtos_code.splitlines())} lines total)")
 
     print("\n=== Drive-scenario cosimulation " + "=" * 38)
+    run_trace = metrics = None
+    if args.run_trace or args.chrome_trace:
+        from repro.obs import RunTrace
+
+        run_trace = RunTrace()
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     config = RtosConfig()
-    runtime = RtosRuntime(network, config, profile=K11, programs=programs)
+    runtime = RtosRuntime(
+        network, config, profile=K11, programs=programs,
+        run_trace=run_trace, metrics=metrics,
+    )
     speed_probe = runtime.add_probe("speed", "sduty")
     stimuli, end = drive_scenario()
     runtime.schedule_stimuli(stimuli)
@@ -92,6 +126,18 @@ def main() -> None:
         )
     belt = [e for e in runtime.env_log if e[1] in ("alarm_start", "alarm_stop")]
     print(f"belt alarm events: {[(t, n) for t, n, _ in belt]}")
+
+    if run_trace is not None and args.run_trace:
+        run_trace.write(args.run_trace)
+        print(f"wrote run trace to {args.run_trace} ({run_trace.summary()})")
+    if run_trace is not None and args.chrome_trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(run_trace, args.chrome_trace)
+        print(f"wrote Chrome trace to {args.chrome_trace}")
+    if metrics is not None:
+        print("\n=== Metrics " + "=" * 58)
+        print(metrics.render())
 
 
 if __name__ == "__main__":

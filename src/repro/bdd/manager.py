@@ -182,6 +182,10 @@ class BddManager:
         self._false = Function(self, FALSE_ID)
         self._true = Function(self, TRUE_ID)
 
+        # Profiling counters (read by repro.obs.SiftProfile and friends).
+        self.swap_count = 0  # adjacent-level swaps performed
+        self.peak_nodes = 0  # high-water mark of allocated non-terminals
+
     # ------------------------------------------------------------------
     # Variables
     # ------------------------------------------------------------------
@@ -279,6 +283,9 @@ class BddManager:
             nid = self._alloc(var, lo, hi)
             self._unique[key] = nid
             self._nodes_of_var[var].add(nid)
+            allocated = len(self._unique)
+            if allocated > self.peak_nodes:
+                self.peak_nodes = allocated
         return nid
 
     # ------------------------------------------------------------------
@@ -599,6 +606,7 @@ class BddManager:
         """
         if not 0 <= level < self.num_vars - 1:
             raise ValueError(f"cannot swap level {level}")
+        self.swap_count += 1
         x = self._var_at_level[level]
         y = self._var_at_level[level + 1]
         affected = [

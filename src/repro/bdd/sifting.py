@@ -135,6 +135,7 @@ def sift(
     groups: Optional[Sequence[Sequence[int]]] = None,
     max_growth: float = 2.0,
     metric=None,
+    profile=None,
 ) -> int:
     """One sifting pass over all variables (or groups); returns final size.
 
@@ -142,6 +143,9 @@ def sift(
     moved through its admissible range of positions and frozen where the
     total live-node count is minimal.  The search for one block aborts early
     once the table grows past ``max_growth`` times the best size seen.
+
+    ``profile`` (a :class:`repro.obs.SiftProfile`) receives one sample per
+    block placement — the reorder-over-time trajectory.
     """
     manager.collect()
     if metric is None:
@@ -199,6 +203,8 @@ def sift(
             move(+1)
         while current > best_pos:
             move(-1)
+        if profile is not None:
+            profile.sample("block", metric(), manager.swap_count)
 
     manager.collect()
     if constraints is not None:
@@ -212,17 +218,30 @@ def sift_to_convergence(
     groups: Optional[Sequence[Sequence[int]]] = None,
     max_passes: int = 8,
     metric=None,
+    profile=None,
 ) -> int:
-    """Repeat sifting passes until the size metric stops improving."""
+    """Repeat sifting passes until the size metric stops improving.
+
+    ``profile`` collects the start/per-pass/end size-and-swap trajectory.
+    """
     manager.collect()
     if metric is None:
         metric = manager.live_node_count
     size = metric()
-    for _ in range(max_passes):
-        new_size = sift(
-            manager, constraints=constraints, groups=groups, metric=metric
-        )
-        if new_size >= size:
-            return new_size
-        size = new_size
-    return size
+    if profile is not None:
+        profile.start(size, manager.swap_count)
+    try:
+        for _ in range(max_passes):
+            new_size = sift(
+                manager, constraints=constraints, groups=groups,
+                metric=metric, profile=profile,
+            )
+            if profile is not None:
+                profile.sample("pass", new_size, manager.swap_count)
+            if new_size >= size:
+                return new_size
+            size = new_size
+        return size
+    finally:
+        if profile is not None:
+            profile.sample("end", metric(), manager.swap_count)

@@ -16,6 +16,12 @@ Subcommands:
   hazards, s-graph well-formedness, and generated-C sanity checks, with
   text or JSON output and stable exit codes (0 clean, 1 findings at or
   above ``--fail-on``, 2 usage error);
+* ``simulate`` — build a network and run it on the RTOS simulator under a
+  stimulus scenario, with optional run-trace (``repro-run-trace/v1``),
+  Chrome trace-event export, metrics dump, and latency probes;
+* ``report``   — summarize any repro trace JSON file (build or run trace)
+  as a human-readable report: slowest passes, cache hit rate, per-task
+  CPU share, lost events, latency histograms;
 * ``info``     — summarize a module: events, state variables, transitions,
   reactive-function statistics.
 """
@@ -219,6 +225,133 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _parse_stim(spec: str):
+    """Parse one ``EVENT@TIME[=VALUE]`` stimulus spec."""
+    from .rtos.runtime import Stimulus
+
+    event, sep, rest = spec.partition("@")
+    if not sep or not event:
+        raise SystemExit(f"--stim expects EVENT@TIME[=VALUE], got {spec!r}")
+    time_text, _, value_text = rest.partition("=")
+    try:
+        time = int(time_text)
+        value = int(value_text) if value_text else None
+    except ValueError:
+        raise SystemExit(f"--stim expects EVENT@TIME[=VALUE], got {spec!r}")
+    return Stimulus(time=time, event=event, value=value)
+
+
+def _load_stim_file(path: str):
+    """Load stimuli from JSON: a list (or ``{"stimuli": [...]}``) of
+    ``{"time": T, "event": NAME[, "value": V]}`` objects."""
+    import json
+
+    from .rtos.runtime import Stimulus
+
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    items = doc.get("stimuli", []) if isinstance(doc, dict) else doc
+    stimuli = []
+    for item in items:
+        stimuli.append(
+            Stimulus(
+                time=int(item["time"]),
+                event=str(item["event"]),
+                value=item.get("value"),
+            )
+        )
+    return stimuli
+
+
+def _cmd_simulate(args) -> int:
+    from .cfsm import Network
+    from .flow import build_system
+    from .obs import MetricsRegistry, RunTrace, write_chrome_trace
+    from .target import PROFILES as _PROFILES
+
+    machines = [compile_source(_read(path)) for path in args.modules]
+    network = Network(args.name, machines)
+    priorities = {}
+    for item in args.priority or []:
+        name, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"--priority expects NAME=P, got {item!r}")
+        priorities[name] = int(value)
+    config = RtosConfig(
+        policy=args.policy,
+        priorities=priorities,
+        polled_events=set(args.polled or []),
+        chains=[chain.split(",") for chain in (args.chain or [])],
+    )
+    build = build_system(
+        network,
+        profile=_PROFILES[args.target],
+        config=config,
+        scheme=args.scheme,
+    )
+
+    stimuli = [_parse_stim(spec) for spec in (args.stim or [])]
+    if args.stim_file:
+        stimuli.extend(_load_stim_file(args.stim_file))
+    if not stimuli:
+        sys.stderr.write("repro simulate: no stimuli given "
+                         "(use --stim or --stim-file)\n")
+        return 2
+    probes = []
+    for spec in args.probe or []:
+        source, sep, sink = spec.partition(":")
+        if not sep or not source or not sink:
+            raise SystemExit(f"--probe expects SOURCE:SINK, got {spec!r}")
+        probes.append((source, sink))
+
+    run_trace = RunTrace() if (args.run_trace or args.chrome_trace) else None
+    metrics = MetricsRegistry() if args.metrics else None
+    runtime = build.simulate(
+        stimuli,
+        until=args.until,
+        probes=probes,
+        run_trace=run_trace,
+        metrics=metrics,
+    )
+
+    stats = runtime.stats
+    print(
+        f"{network.name}: ran {args.until} cycles under {config.policy}: "
+        f"{stats.dispatches} dispatches, {stats.preemptions} preemptions, "
+        f"{stats.reactions} reactions, {stats.lost_events} lost events, "
+        f"utilization {stats.utilization():.1%}"
+    )
+    for probe in runtime.probes:
+        worst = probe.worst
+        if worst is None:
+            print(f"probe {probe.source}->{probe.sink}: no samples")
+        else:
+            print(
+                f"probe {probe.source}->{probe.sink}: {len(probe.samples)} "
+                f"samples, worst {worst}, p90 {probe.percentile(90)}"
+            )
+    if run_trace is not None and args.run_trace:
+        run_trace.write(args.run_trace)
+        sys.stderr.write(f"wrote run trace to {args.run_trace}\n")
+    if run_trace is not None and args.chrome_trace:
+        write_chrome_trace(run_trace, args.chrome_trace)
+        sys.stderr.write(f"wrote Chrome trace to {args.chrome_trace}\n")
+    if metrics is not None:
+        print(metrics.render())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .obs import report_file
+
+    try:
+        print(report_file(args.trace, top=args.top, validate=not args.no_validate))
+    except ValueError as exc:
+        sys.stderr.write(f"repro report: {exc}\n")
+        return 1
+    return 0
+
+
 def _cmd_check(args) -> int:
     from .verify import ReachabilityAnalysis
 
@@ -386,6 +519,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="build")
     add_pipeline_options(p)
     p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser(
+        "simulate",
+        help="build a network and run it on the RTOS simulator",
+    )
+    p.add_argument("modules", nargs="+", help="RSL source files")
+    p.add_argument("--name", default="system")
+    p.add_argument("--target", default="K11", choices=sorted(PROFILES))
+    p.add_argument("--scheme", default="sift",
+                   choices=["naive", "sift", "sift-strict",
+                            "outputs-first", "mixed"])
+    p.add_argument("--policy", default=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+                   choices=list(SchedulingPolicy.ALL))
+    p.add_argument("--priority", action="append", metavar="NAME=P",
+                   help="static priority for a machine (lower = higher; "
+                        "repeatable)")
+    p.add_argument("--polled", action="append",
+                   help="deliver this event by polling (repeatable)")
+    p.add_argument("--chain", action="append",
+                   help="comma-separated machine names fused into one task")
+    p.add_argument("--until", type=int, default=100_000, metavar="CYCLES",
+                   help="simulated horizon in cycles")
+    p.add_argument("--stim", action="append", metavar="EVENT@TIME[=VALUE]",
+                   help="inject an environment event (repeatable)")
+    p.add_argument("--stim-file", default=None, metavar="SCENARIO.json",
+                   help="JSON stimulus scenario: a list of "
+                        "{time, event[, value]} objects")
+    p.add_argument("--probe", action="append", metavar="SOURCE:SINK",
+                   help="measure source->sink event latency (repeatable)")
+    p.add_argument("--run-trace", default=None, metavar="OUT.json",
+                   help="write the structured run trace "
+                        "(repro-run-trace/v1) to this file")
+    p.add_argument("--chrome-trace", default=None, metavar="OUT.json",
+                   help="write a Chrome trace-event file "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics registry after the run")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "report", help="summarize a repro trace JSON file (build or run)"
+    )
+    p.add_argument("trace", help="trace JSON file (build or run trace)")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per top-N table")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip schema validation before reporting")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("check", help="reachability / invariant checking")
     p.add_argument("module")

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..bdd import Function
 from ..cfsm.expr import Expr
 from ..cfsm.machine import AssignState, Emit, ExprTest, PresenceTest
+from ..obs import get_tracer
 from ..sgraph import ASSIGN, BEGIN, END, SGraph, TEST
 from ..synthesis.encoding import FireFlag, ReactiveEncoding
 from .params import CostParams
@@ -167,6 +168,25 @@ def estimate(
     variable names (the data-flow extension); ``None`` prices a copy for
     every state variable, the conservative default.
     """
+    with get_tracer().span(
+        "estimation.estimate", module=encoding.cfsm.name
+    ) as span:
+        result = _estimate(sg, encoding, params, exclude_infeasible, copy_vars)
+        span.set(
+            code_size=result.code_size,
+            min_cycles=result.min_cycles,
+            max_cycles=result.max_cycles,
+        )
+    return result
+
+
+def _estimate(
+    sg: SGraph,
+    encoding: ReactiveEncoding,
+    params: CostParams,
+    exclude_infeasible: bool,
+    copy_vars: Optional[Set[str]],
+) -> Estimate:
     n_copies = (
         len(encoding.cfsm.state_vars)
         if copy_vars is None

@@ -112,6 +112,40 @@ class SystemBuild:
             lines.append(self.schedule.report())
         return "\n".join(lines)
 
+    def simulate(
+        self,
+        stimuli,
+        until: int,
+        probes: Optional[List[Tuple[str, str]]] = None,
+        run_trace=None,
+        metrics=None,
+        fallback_reaction_cycles: int = 100,
+    ):
+        """Run the built system on the RTOS simulator; returns the runtime.
+
+        ``stimuli`` is a sequence of :class:`repro.rtos.runtime.Stimulus`;
+        ``probes`` lists ``(source_event, sink_event)`` latency probes.
+        ``run_trace`` (a :class:`repro.obs.RunTrace`) and ``metrics`` (a
+        :class:`repro.obs.MetricsRegistry`) attach observability sinks —
+        both optional and overhead-free when omitted.
+        """
+        from .rtos.runtime import RtosRuntime
+
+        runtime = RtosRuntime(
+            self.network,
+            self.config,
+            profile=self.profile,
+            programs=self.programs,
+            fallback_reaction_cycles=fallback_reaction_cycles,
+            run_trace=run_trace,
+            metrics=metrics,
+        )
+        for source, sink in probes or []:
+            runtime.add_probe(source, sink)
+        runtime.schedule_stimuli(list(stimuli))
+        runtime.run(until)
+        return runtime
+
     def write_to(self, directory: str) -> List[str]:
         """Write every C file (modules + RTOS) and the report; returns paths."""
         os.makedirs(directory, exist_ok=True)

@@ -1,0 +1,79 @@
+"""Unified observability: run traces, metrics, spans, profiling, reports.
+
+This package is the shared core the rest of the system instruments
+against (the tentpole of the observability PR):
+
+* :mod:`repro.obs.core` — the low-overhead :class:`Tracer` (spans) and
+  :class:`MetricsRegistry` (counters/gauges/histograms), plus the
+  :class:`TraceDocument` base both trace formats serialize through;
+* :mod:`repro.obs.runtrace` — the ``repro-run-trace/v1`` document emitted
+  by an instrumented :class:`repro.rtos.runtime.RtosRuntime`;
+* :mod:`repro.obs.chrometrace` — export of a run trace to Chrome
+  trace-event JSON (opens in Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.profile` — the :class:`SiftProfile` collector for the
+  BDD reordering loop;
+* :mod:`repro.obs.schema` — structural validators for both documents;
+* :mod:`repro.obs.report` — the shared reporter behind ``repro report``.
+
+Nothing here imports the rest of ``repro``, so any layer can depend on it.
+"""
+
+from .chrometrace import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from .core import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    TraceDocument,
+    Tracer,
+    get_tracer,
+    read_trace_file,
+    set_tracer,
+)
+from .profile import SiftProfile, SiftSample
+from .report import (
+    render_build_report,
+    render_report,
+    render_run_report,
+    report_file,
+)
+from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT, RunEvent, RunTrace
+from .schema import (
+    BUILD_TRACE_FORMAT,
+    assert_valid_trace,
+    validate_build_trace,
+    validate_run_trace,
+    validate_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceDocument",
+    "read_trace_file",
+    "RunTrace",
+    "RunEvent",
+    "RUN_TRACE_FORMAT",
+    "RUN_EVENT_KINDS",
+    "BUILD_TRACE_FORMAT",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "SiftProfile",
+    "SiftSample",
+    "validate_build_trace",
+    "validate_run_trace",
+    "validate_trace",
+    "assert_valid_trace",
+    "render_build_report",
+    "render_run_report",
+    "render_report",
+    "report_file",
+]

@@ -1,0 +1,100 @@
+"""Profiling collectors for the synthesis-side hot loops.
+
+:class:`SiftProfile` samples the dynamic-reordering loop over time —
+live BDD node count, cumulative adjacent-level swaps, and wall clock at
+every block placement and every convergence pass — turning the sifting
+trajectories the paper discusses (Sec. III-B3) into data instead of
+prints.  The collector is passed down ``sift_to_convergence`` → ``sift``
+and its summary lands in the build trace's ``order`` pass metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+__all__ = ["SiftSample", "SiftProfile"]
+
+
+@dataclass
+class SiftSample:
+    """One observation of the reordering loop."""
+
+    phase: str     # "start" | "block" | "pass" | "end"
+    wall_ms: float  # since profiling started
+    size: int       # metric value (chi BDD size or live nodes)
+    swaps: int      # cumulative adjacent-level swaps
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "wall_ms": round(self.wall_ms, 3),
+            "size": self.size,
+            "swaps": self.swaps,
+        }
+
+
+class SiftProfile:
+    """Time-series collector threaded through the sifting loop."""
+
+    def __init__(self) -> None:
+        self.samples: List[SiftSample] = []
+        self._t0 = time.perf_counter()
+        self._swap_base: int = 0
+
+    def start(self, size: int, swaps: int) -> None:
+        """Mark the beginning; later swap counts are relative to this."""
+        self._t0 = time.perf_counter()
+        self._swap_base = swaps
+        self.samples.append(SiftSample("start", 0.0, size, 0))
+
+    def sample(self, phase: str, size: int, swaps: int) -> None:
+        self.samples.append(
+            SiftSample(
+                phase,
+                (time.perf_counter() - self._t0) * 1000.0,
+                size,
+                swaps - self._swap_base,
+            )
+        )
+
+    # -- derived figures ---------------------------------------------------
+
+    @property
+    def total_swaps(self) -> int:
+        return self.samples[-1].swaps if self.samples else 0
+
+    @property
+    def wall_ms(self) -> float:
+        return self.samples[-1].wall_ms if self.samples else 0.0
+
+    @property
+    def passes(self) -> int:
+        return sum(1 for s in self.samples if s.phase == "pass")
+
+    @property
+    def initial_size(self) -> int:
+        return self.samples[0].size if self.samples else 0
+
+    @property
+    def final_size(self) -> int:
+        return self.samples[-1].size if self.samples else 0
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact figures for a build-trace pass-metrics entry."""
+        return {
+            "sift_passes": self.passes,
+            "sift_swaps": self.total_swaps,
+            "sift_wall_ms": round(self.wall_ms, 3),
+            "sift_size_initial": self.initial_size,
+            "sift_size_final": self.final_size,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = self.summary()
+        out["samples"] = [s.to_dict() for s in self.samples]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,207 @@
+"""One reporter for both trace formats (the ``repro report`` backend).
+
+Given any trace document — a build trace from ``repro build --trace`` or a
+run trace from ``repro simulate --run-trace`` — render the summary tables
+the paper reports ad hoc: where the synthesis wall time went and how warm
+the cache was (build), and how the CPU was shared, which events were lost,
+and what the observed latencies were (run).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .core import Histogram, read_trace_file
+from .runtrace import RunTrace
+from .schema import BUILD_TRACE_FORMAT, validate_trace
+
+__all__ = ["render_build_report", "render_run_report", "render_report",
+           "report_file"]
+
+
+def _rule(title: str) -> str:
+    return f"== {title} " + "=" * max(0, 58 - len(title))
+
+
+# ----------------------------------------------------------------------
+# Build traces
+# ----------------------------------------------------------------------
+
+
+def render_build_report(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-build-trace/v1`` document."""
+    events = doc.get("events", [])
+    summary = doc.get("summary", {})
+    lines = [_rule("build trace")]
+    lines.append(
+        f"{summary.get('events', len(events))} events, "
+        f"{summary.get('synthesis_passes', 0)} synthesis passes, "
+        f"{summary.get('wall_ms', 0.0):.1f} ms instrumented"
+    )
+
+    hits = summary.get("cache_hits", 0)
+    misses = summary.get("cache_misses", 0)
+    if hits + misses:
+        rate = 100.0 * hits / (hits + misses)
+        lines.append(
+            f"cache: {hits} hits / {misses} misses ({rate:.0f}% hit rate)"
+        )
+    else:
+        lines.append("cache: not used")
+
+    passes = [e for e in events if e.get("kind") == "pass"]
+    stages = [e for e in events if e.get("kind") == "stage"]
+
+    if passes:
+        lines.append("")
+        lines.append(f"top {min(top, len(passes))} slowest passes:")
+        lines.append(f"  {'module':16s} {'pass':12s} {'wall ms':>9s}  metrics")
+        slowest = sorted(passes, key=lambda e: -e.get("wall_ms", 0.0))[:top]
+        for e in slowest:
+            metrics = e.get("metrics", {})
+            shown = ", ".join(
+                f"{k}={v}" for k, v in metrics.items()
+                if not isinstance(v, (dict, list))
+            )
+            lines.append(
+                f"  {e.get('module', '?'):16s} {e.get('name', '?'):12s} "
+                f"{e.get('wall_ms', 0.0):9.2f}  {shown}"
+            )
+
+    if stages:
+        by_stage: Dict[str, float] = {}
+        for e in stages:
+            by_stage[e.get("name", "?")] = (
+                by_stage.get(e.get("name", "?"), 0.0) + e.get("wall_ms", 0.0)
+            )
+        lines.append("")
+        lines.append("wall time by stage:")
+        for name, wall in sorted(by_stage.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:16s} {wall:9.2f} ms")
+
+    by_module: Dict[str, float] = {}
+    for e in passes + stages:
+        by_module[e.get("module", "?")] = (
+            by_module.get(e.get("module", "?"), 0.0) + e.get("wall_ms", 0.0)
+        )
+    if by_module:
+        lines.append("")
+        lines.append("wall time by module:")
+        for name, wall in sorted(by_module.items(), key=lambda kv: -kv[1])[:top]:
+            lines.append(f"  {name:16s} {wall:9.2f} ms")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Run traces
+# ----------------------------------------------------------------------
+
+
+def render_run_report(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-run-trace/v1`` document."""
+    run = RunTrace.from_dict(doc)
+    stats = run.stats
+    counts = run.counts()
+    span = max(run.span, stats.get("span", 0), 1)
+
+    lines = [_rule(f"run trace: {run.system} ({run.policy})")]
+    lines.append(
+        f"{len(run.events)} events over {span:,} cycles; "
+        f"{counts.get('dispatch', 0)} dispatches, "
+        f"{counts.get('preempt', 0)} preemptions, "
+        f"{counts.get('isr', 0)} interrupts, "
+        f"{counts.get('poll', 0)} polls"
+    )
+    if "utilization" in stats:
+        lines.append(f"CPU utilization: {stats['utilization']:.2%}")
+
+    share = run.cpu_share()
+    if share:
+        dispatches: Dict[str, int] = {}
+        preempted: Dict[str, int] = {}
+        for e in run.events:
+            if e.kind in ("dispatch", "isr_dispatch"):
+                dispatches[e["task"]] = dispatches.get(e["task"], 0) + 1
+            elif e.kind == "preempt":
+                preempted[e["task"]] = preempted.get(e["task"], 0) + 1
+        busy = sum(share.values())
+        lines.append("")
+        lines.append("per-task CPU share:")
+        lines.append(
+            f"  {'task':20s} {'cycles':>10s} {'of busy':>8s} {'of span':>8s} "
+            f"{'runs':>5s} {'preempted':>9s}"
+        )
+        for task, cycles in sorted(share.items(), key=lambda kv: -kv[1]):
+            lines.append(
+                f"  {task:20s} {cycles:10,d} {cycles / busy:8.1%} "
+                f"{cycles / span:8.1%} {dispatches.get(task, 0):5d} "
+                f"{preempted.get(task, 0):9d}"
+            )
+
+    lost = run.lost_event_table()
+    lines.append("")
+    if lost:
+        lines.append(f"lost events ({counts.get('lost', 0)} overwrites):")
+        lines.append(f"  {'event':16s} {'task':20s} {'lost':>5s}")
+        for event, task, n in lost[:top]:
+            lines.append(f"  {event:16s} {task:20s} {n:5d}")
+    else:
+        lines.append("lost events: none")
+
+    emissions: Dict[str, int] = {}
+    for e in run.by_kind("emit"):
+        emissions[e["event"]] = emissions.get(e["event"], 0) + 1
+    if emissions:
+        lines.append("")
+        lines.append("emissions:")
+        for event, n in sorted(emissions.items(), key=lambda kv: (-kv[1], kv[0]))[:top]:
+            lines.append(f"  {event:16s} {n:5d}")
+
+    if run.probes:
+        lines.append("")
+        lines.append("latency probes:")
+        for probe in run.probes:
+            hist = Histogram()
+            for sample in probe.get("samples", []):
+                hist.observe(sample)
+            label = f"{probe.get('source')} -> {probe.get('sink')}"
+            if not hist.count:
+                lines.append(f"  {label}: no samples")
+                continue
+            lines.append(
+                f"  {label}: n={hist.count} min={hist.minimum:g} "
+                f"avg={hist.average:.0f} p50={hist.percentile(50):g} "
+                f"p90={hist.percentile(90):g} p99={hist.percentile(99):g} "
+                f"max={hist.maximum:g} cycles"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+
+def render_report(doc: Dict[str, Any], top: int = 10) -> str:
+    """Render the right report for any trace document."""
+    fmt = doc.get("format") if isinstance(doc, dict) else None
+    if fmt == BUILD_TRACE_FORMAT:
+        return render_build_report(doc, top=top)
+    if fmt == RunTrace.FORMAT:
+        return render_run_report(doc, top=top)
+    raise ValueError(f"unknown trace format {fmt!r}")
+
+
+def report_file(path: str, top: int = 10, validate: bool = True) -> str:
+    """Load ``path``, optionally validate it, and render its report."""
+    _, doc = read_trace_file(path)
+    lines: List[str] = []
+    if validate:
+        errors = validate_trace(doc)
+        if errors:
+            raise ValueError(
+                f"{path}: invalid trace document:\n"
+                + "\n".join(f"  - {e}" for e in errors)
+            )
+    lines.append(render_report(doc, top=top))
+    return "\n".join(lines)

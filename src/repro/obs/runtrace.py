@@ -1,0 +1,197 @@
+"""The structured run trace of one RTOS cosimulation.
+
+``repro-run-trace/v1`` is the runtime sibling of the build trace: a
+timestamped event log of everything the generated RTOS did during one
+:class:`repro.rtos.runtime.RtosRuntime` run — task dispatches, preemptions,
+ISR entries, individual CFSM reactions (with the event snapshot each one
+consumed), event emissions, polling sweeps, and — central to the paper's
+single-place-buffer semantics (Sec. II) — every **event-overwrite (loss)**
+occurrence, with the task and buffer phase it happened in.
+
+Timestamps are simulated target cycles, not wall time: the trace describes
+the modeled system, so two runs of the same scenario produce identical
+documents.  The document also carries the final :class:`RunStats` counters
+and every latency probe's raw samples, which is what lets ``repro report``
+print latency histograms without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .core import TraceDocument
+
+__all__ = ["RunEvent", "RunTrace", "RUN_TRACE_FORMAT", "RUN_EVENT_KINDS"]
+
+RUN_TRACE_FORMAT = "repro-run-trace/v1"
+
+#: Every ``kind`` a run-trace event may carry.
+RUN_EVENT_KINDS = (
+    "stimulus",      # environment event injected               {event, value?}
+    "dispatch",      # task activation starts on the CPU        {task}
+    "preempt",       # running task suspended                   {task, by}
+    "resume",        # suspended task back on the CPU           {task}
+    "complete",      # activation finished; emissions visible   {task, cycles}
+    "isr",           # interrupt service routine entry          {event, cost}
+    "isr_dispatch",  # critical task executed inside the ISR    {task, cycles}
+    "react",         # one CFSM reaction                        {machine, task, fired, consumed}
+    "emit",          # event emission became visible            {event, by, value?}
+    "lost",          # single-place buffer overwritten          {event, task, where}
+    "poll",          # polling sweep delivered latched events   {events, cost}
+)
+
+
+@dataclass
+class RunEvent:
+    """One timestamped occurrence; ``t`` is in simulated cycles."""
+
+    t: int
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"t": self.t, "kind": self.kind}
+        out.update(self.data)
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RunEvent":
+        data = {k: v for k, v in doc.items() if k not in ("t", "kind")}
+        return cls(t=int(doc["t"]), kind=doc["kind"], data=data)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class RunTrace(TraceDocument):
+    """Append-only event log of one cosimulation run."""
+
+    FORMAT = RUN_TRACE_FORMAT
+
+    def __init__(self, system: str = "?", policy: str = "?") -> None:
+        self.system = system
+        self.policy = policy
+        self.events: List[RunEvent] = []
+        self.stats: Dict[str, Any] = {}
+        self.probes: List[Dict[str, Any]] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, t: int, kind: str, **data: Any) -> RunEvent:
+        event = RunEvent(t=t, kind=kind, data=data)
+        self.events.append(event)
+        return event
+
+    def finalize(
+        self,
+        stats: Dict[str, Any],
+        probes: Optional[List[Dict[str, Any]]] = None,
+    ) -> None:
+        """Attach the run's final counters and probe samples."""
+        self.stats = dict(stats)
+        self.probes = list(probes or [])
+
+    # -- queries -----------------------------------------------------------
+
+    def by_kind(self, kind: str) -> List[RunEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    @property
+    def span(self) -> int:
+        return max((e.t for e in self.events), default=0)
+
+    def task_slices(self) -> List[Tuple[str, int, int]]:
+        """CPU occupancy slices ``(task, start, end)`` reconstructed from
+        dispatch/preempt/resume/complete events.
+
+        ISR-chained executions (``isr_dispatch``) run logically *inside*
+        the interrupt at one simulated instant while delaying the
+        preempted frame, so they contribute a slice of their own duration
+        starting at the ISR time.
+        """
+        slices: List[Tuple[str, int, int]] = []
+        open_at: Dict[str, int] = {}
+        for e in self.events:
+            if e.kind in ("dispatch", "resume"):
+                open_at[e["task"]] = e.t
+            elif e.kind in ("preempt", "complete"):
+                start = open_at.pop(e["task"], None)
+                if start is not None:
+                    slices.append((e["task"], start, e.t))
+            elif e.kind == "isr_dispatch":
+                slices.append((e["task"], e.t, e.t + int(e.get("cycles", 0))))
+        span = self.span
+        for task, start in open_at.items():  # still running at end of trace
+            slices.append((task, start, span))
+        return slices
+
+    def cpu_share(self) -> Dict[str, int]:
+        """Cycles each task occupied the CPU for, from :meth:`task_slices`."""
+        share: Dict[str, int] = {}
+        for task, start, end in self.task_slices():
+            share[task] = share.get(task, 0) + max(0, end - start)
+        return share
+
+    def lost_event_table(self) -> List[Tuple[str, str, int]]:
+        """``(event, task, count)`` rows for every overwrite, most lost first."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for e in self.by_kind("lost"):
+            key = (e["event"], e["task"])
+            counts[key] = counts.get(key, 0) + 1
+        return sorted(
+            [(ev, task, n) for (ev, task), n in counts.items()],
+            key=lambda row: (-row[2], row[0], row[1]),
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        counts = self.counts()
+        return {
+            "format": self.FORMAT,
+            "system": self.system,
+            "policy": self.policy,
+            "events": [e.to_dict() for e in self.events],
+            "stats": self.stats,
+            "probes": self.probes,
+            "summary": {
+                "events": len(self.events),
+                "span": self.span,
+                "dispatches": counts.get("dispatch", 0),
+                "preemptions": counts.get("preempt", 0),
+                "reactions": counts.get("react", 0),
+                "emissions": counts.get("emit", 0),
+                "lost_events": counts.get("lost", 0),
+                "interrupts": counts.get("isr", 0),
+            },
+        }
+
+    def populate_from(self, doc: Dict[str, Any]) -> None:
+        self.system = doc.get("system", "?")
+        self.policy = doc.get("policy", "?")
+        self.events = [RunEvent.from_dict(e) for e in doc.get("events", [])]
+        self.stats = dict(doc.get("stats", {}))
+        self.probes = list(doc.get("probes", []))
+
+    def summary(self) -> str:
+        """One human-readable line, suitable for stderr."""
+        counts = self.counts()
+        return (
+            f"run-trace: {len(self.events)} events over {self.span} cycles, "
+            f"{counts.get('dispatch', 0)} dispatches, "
+            f"{counts.get('preempt', 0)} preemptions, "
+            f"{counts.get('lost', 0)} lost events"
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,166 @@
+"""Hand-rolled schema validation for the trace document formats.
+
+The container ships no JSON-Schema dependency, so the two document
+formats — ``repro-build-trace/v1`` and ``repro-run-trace/v1`` — are
+checked by plain structural validators.  Each returns a list of error
+strings (empty means valid) so CI can print every problem at once;
+:func:`assert_valid_trace` wraps either in a raising form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT
+
+__all__ = [
+    "validate_build_trace",
+    "validate_run_trace",
+    "validate_trace",
+    "assert_valid_trace",
+]
+
+BUILD_TRACE_FORMAT = "repro-build-trace/v1"
+_BUILD_EVENT_KINDS = ("pass", "cache", "stage")
+
+#: Per-kind required data fields of a run-trace event.
+_RUN_REQUIRED_FIELDS = {
+    "stimulus": ("event",),
+    "dispatch": ("task",),
+    "preempt": ("task", "by"),
+    "resume": ("task",),
+    "complete": ("task", "cycles"),
+    "isr": ("event",),
+    "isr_dispatch": ("task", "cycles"),
+    "react": ("machine", "task", "fired", "consumed"),
+    "emit": ("event", "by"),
+    "lost": ("event", "task", "where"),
+    "poll": ("events",),
+}
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_build_trace(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-build-trace/v1`` document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != BUILD_TRACE_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {BUILD_TRACE_FORMAT!r}")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        errors.append("'events' missing or not a list")
+        events = []
+    for i, event in enumerate(events):
+        where = f"events[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("module", "name", "kind"):
+            if not isinstance(event.get(key), str):
+                errors.append(f"{where}: missing string field {key!r}")
+        kind = event.get("kind")
+        if kind not in _BUILD_EVENT_KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+        if not isinstance(event.get("wall_ms", 0.0), (int, float)):
+            errors.append(f"{where}: wall_ms is not a number")
+        if kind == "cache" and event.get("status") not in ("hit", "miss"):
+            errors.append(f"{where}: cache event status "
+                          f"{event.get('status')!r} not hit/miss")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("'summary' missing or not an object")
+    elif isinstance(events, list) and summary.get("events") != len(events):
+        errors.append(
+            f"summary.events={summary.get('events')} but "
+            f"{len(events)} events present"
+        )
+    return errors
+
+
+def validate_run_trace(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-run-trace/v1`` document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != RUN_TRACE_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {RUN_TRACE_FORMAT!r}")
+    for key in ("system", "policy"):
+        if not isinstance(doc.get(key), str):
+            errors.append(f"'{key}' missing or not a string")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        errors.append("'events' missing or not a list")
+        events = []
+    last_t = 0
+    for i, event in enumerate(events):
+        where = f"events[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        t = event.get("t")
+        if not _is_int(t) or t < 0:
+            errors.append(f"{where}: 't' must be a non-negative integer")
+        else:
+            if t < last_t:
+                errors.append(
+                    f"{where}: timestamp {t} goes backwards (previous {last_t})"
+                )
+            last_t = t
+        kind = event.get("kind")
+        if kind not in RUN_EVENT_KINDS:
+            errors.append(f"{where}: unknown kind {kind!r}")
+            continue
+        for field in _RUN_REQUIRED_FIELDS[kind]:
+            if field not in event:
+                errors.append(f"{where}: {kind} event missing {field!r}")
+        if kind == "lost" and event.get("where") not in ("flags", "pending"):
+            errors.append(f"{where}: lost event 'where' must be "
+                          f"flags/pending, got {event.get('where')!r}")
+    if not isinstance(doc.get("stats"), dict):
+        errors.append("'stats' missing or not an object")
+    probes = doc.get("probes")
+    if not isinstance(probes, list):
+        errors.append("'probes' missing or not a list")
+    else:
+        for i, probe in enumerate(probes):
+            if not isinstance(probe, dict):
+                errors.append(f"probes[{i}]: not an object")
+                continue
+            for key in ("source", "sink", "samples"):
+                if key not in probe:
+                    errors.append(f"probes[{i}]: missing {key!r}")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("'summary' missing or not an object")
+    elif isinstance(events, list) and summary.get("events") != len(events):
+        errors.append(
+            f"summary.events={summary.get('events')} but "
+            f"{len(events)} events present"
+        )
+    return errors
+
+
+def validate_trace(doc: Dict[str, Any]) -> List[str]:
+    """Dispatch on the document's ``format`` field."""
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    fmt = doc.get("format")
+    if fmt == BUILD_TRACE_FORMAT:
+        return validate_build_trace(doc)
+    if fmt == RUN_TRACE_FORMAT:
+        return validate_run_trace(doc)
+    return [f"unknown trace format {fmt!r}"]
+
+
+def assert_valid_trace(doc: Dict[str, Any]) -> None:
+    errors = validate_trace(doc)
+    if errors:
+        raise ValueError(
+            "invalid trace document:\n" + "\n".join(f"  - {e}" for e in errors)
+        )

@@ -49,6 +49,7 @@ _VERSIONED_SUBPACKAGES = (
     "cfsm",
     "codegen",
     "estimation",
+    "obs",
     "pipeline",
     "sgraph",
     "synthesis",

@@ -9,13 +9,19 @@ needs answered — where did the wall time go, how big were the BDDs and
 s-graphs, which modules were rebuilt and which came from the cache — and
 serializes to a stable JSON document (``repro-build-trace/v1``) for
 external tooling.
+
+:class:`BuildTrace` extends :class:`repro.obs.TraceDocument`, the same
+base the runtime's :class:`repro.obs.RunTrace` uses, so build and run
+traces share one serialization surface (``to_json``/``write`` and
+``from_dict``/``load``) and one reporter (``repro report``).
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
+
+from ..obs import TraceDocument
 
 __all__ = ["TraceEvent", "BuildTrace", "TRACE_FORMAT"]
 
@@ -54,9 +60,22 @@ class TraceEvent:
             out["status"] = self.status
         return out
 
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            module=doc.get("module", "?"),
+            name=doc.get("name", "?"),
+            kind=doc.get("kind", PASS),
+            wall_ms=float(doc.get("wall_ms", 0.0)),
+            metrics=dict(doc.get("metrics", {})),
+            status=doc.get("status"),
+        )
 
-class BuildTrace:
+
+class BuildTrace(TraceDocument):
     """An append-only event log for one build (or one module's build)."""
+
+    FORMAT = TRACE_FORMAT
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
@@ -144,12 +163,8 @@ class BuildTrace:
             },
         }
 
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
-
-    def write(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
+    def populate_from(self, doc: Dict[str, Any]) -> None:
+        self.events = [TraceEvent.from_dict(e) for e in doc.get("events", [])]
 
     def summary(self) -> str:
         """One human-readable line, suitable for stderr."""

@@ -18,17 +18,26 @@ The runtime enforces the RTOS semantics of Sec. IV:
 * with the preemptive policy, a higher-priority task arriving mid-reaction
   suspends the running one; a reaction's emissions become visible only when
   it completes.
+
+The runtime is observable: pass ``run_trace=RunTrace()`` to log every
+dispatch, preemption, ISR entry, reaction, emission, poll, and
+single-place-buffer overwrite (lost event) into a structured
+``repro-run-trace/v1`` document (:mod:`repro.obs.runtrace`), and/or
+``metrics=MetricsRegistry()`` to mirror the counters and latency/cycle
+histograms.  Both default to ``None`` and every hook is guarded, so an
+uninstrumented run pays only an attribute check per hook.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfsm.machine import Cfsm
 from ..cfsm.network import Network
 from ..cfsm.semantics import react
+from ..obs import MetricsRegistry, RunTrace
 from ..target.isa import Program
 from ..target.machine import run_program
 from ..target.profiles import ISAProfile
@@ -77,6 +86,32 @@ class LatencyProbe:
     def average(self) -> Optional[float]:
         return sum(self.samples) / len(self.samples) if self.samples else None
 
+    def percentile(self, p: float) -> Optional[int]:
+        """Nearest-rank percentile of the raw samples; ``p`` in [0, 100]."""
+        if not self.samples:
+            return None
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        if p == 0:
+            return ordered[0]
+        rank = max(1, -(-len(ordered) * p // 100))
+        return ordered[int(rank) - 1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable form; raw samples included so reports can re-bin."""
+        return {
+            "source": self.source,
+            "sink": self.sink,
+            "samples": list(self.samples),
+            "count": len(self.samples),
+            "worst": self.worst,
+            "average": self.average,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
 
 @dataclass
 class RunStats:
@@ -92,7 +127,26 @@ class RunStats:
     emissions: Dict[str, int] = field(default_factory=dict)
 
     def utilization(self) -> float:
-        return self.busy_cycles / self.span if self.span else 0.0
+        # Guarded: a run(until=0) with no events leaves span at 0, and
+        # the busy fraction of an empty span is 0 by convention.
+        if self.span <= 0:
+            return 0.0
+        return self.busy_cycles / self.span
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reactions": self.reactions,
+            "null_reactions": self.null_reactions,
+            "lost_events": self.lost_events,
+            "dispatches": self.dispatches,
+            "preemptions": self.preemptions,
+            "interrupts": self.interrupts,
+            "polls": self.polls,
+            "busy_cycles": self.busy_cycles,
+            "span": self.span,
+            "utilization": self.utilization(),
+            "emissions": dict(self.emissions),
+        }
 
 
 class _Task:
@@ -130,6 +184,7 @@ class _Frame:
     emissions: List[Tuple[str, Optional[int]]]
     started_at: int
     generation: int
+    cost: int = 0  # total CPU cycles of this activation (incl. extensions)
 
 
 class RtosRuntime:
@@ -142,12 +197,22 @@ class RtosRuntime:
         profile: Optional[ISAProfile] = None,
         programs: Optional[Dict[str, Program]] = None,
         fallback_reaction_cycles: int = 100,
+        run_trace: Optional[RunTrace] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.network = network
         self.config = config
         self.profile = profile
         self.programs = programs or {}
         self.fallback_reaction_cycles = fallback_reaction_cycles
+
+        # Observability sinks.  Both are optional; every hook below is
+        # guarded by one `is not None` check so a plain run pays nothing.
+        self.run_trace = run_trace
+        if run_trace is not None:
+            run_trace.system = network.name
+            run_trace.policy = config.policy
+        self.metrics = metrics
 
         self.time = 0
         self.stats = RunStats()
@@ -215,6 +280,19 @@ class RtosRuntime:
         heapq.heappush(self._queue, (time, self._seq, kind, payload))
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _rec(self, kind: str, **data) -> None:
+        """Append one run-trace event at the current simulated time."""
+        if self.run_trace is not None:
+            self.run_trace.record(self.time, kind, **data)
+
+    def _count(self, name: str, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()
+
+    # ------------------------------------------------------------------
     # Emission / delivery
     # ------------------------------------------------------------------
 
@@ -224,10 +302,17 @@ class RtosRuntime:
         value: Optional[int],
         from_hw: bool,
         exclude_task: Optional[_Task] = None,
+        source: str = "env",
     ) -> None:
         for probe in self.probes:
             probe.note(event, self.time)
         self.stats.emissions[event] = self.stats.emissions.get(event, 0) + 1
+        if self.run_trace is not None:
+            if value is None:
+                self._rec("emit", event=event, by=source)
+            else:
+                self._rec("emit", event=event, by=source, value=value)
+        self._count("rtos.emissions", event=event)
         if value is not None:
             self.values[event] = value
 
@@ -251,6 +336,8 @@ class RtosRuntime:
             return
         if from_hw:
             self.stats.interrupts += 1
+            self._rec("isr", event=event, cost=self.config.isr_overhead)
+            self._count("rtos.interrupts")
             self._consume_cpu(self.config.isr_overhead)
         for machine in sw_consumers:
             task = self._task_of_machine[machine.name]
@@ -266,14 +353,20 @@ class RtosRuntime:
         if task.active:
             # Snapshot freezing (Sec. IV-D): remembered for the next run.
             if event in task.pending:
-                self.stats.lost_events += 1
+                self._lost(event, task, "pending")
             task.pending.add(event)
         else:
             if event in task.flags:
-                self.stats.lost_events += 1
+                self._lost(event, task, "flags")
             task.flags.add(event)
             task.runnable = True  # the occurrence enables the task
         self._maybe_preempt(task)
+
+    def _lost(self, event: str, task: _Task, where: str) -> None:
+        """One single-place-buffer overwrite (Sec. II event loss)."""
+        self.stats.lost_events += 1
+        self._rec("lost", event=event, task=task.name, where=where)
+        self._count("rtos.lost_events", event=event)
 
     # ------------------------------------------------------------------
     # CPU model
@@ -287,6 +380,7 @@ class RtosRuntime:
             # Credit the time the frame has already run before extending.
             elapsed = self.time - top.started_at
             top.remaining = max(0, top.remaining - elapsed) + cycles
+            top.cost += cycles
             self._reschedule_top()
 
     def _reschedule_top(self) -> None:
@@ -298,6 +392,8 @@ class RtosRuntime:
 
     def _start_task(self, task: _Task) -> None:
         self.stats.dispatches += 1
+        self._rec("dispatch", task=task.name)
+        self._count("rtos.dispatches", task=task.name)
         duration, emissions = self._execute_task(task)
         duration += self.config.dispatch_overhead
         self.stats.busy_cycles += duration
@@ -307,6 +403,7 @@ class RtosRuntime:
             emissions=emissions,
             started_at=self.time,
             generation=0,
+            cost=duration,
         )
         self._stack.append(frame)
         self.trace.append((self.time, "run", task.name))
@@ -326,6 +423,8 @@ class RtosRuntime:
         self._generation += 1  # invalidate the queued completion
         self.stats.preemptions += 1
         self.trace.append((self.time, "preempt", top.task.name))
+        self._rec("preempt", task=top.task.name, by=task.name)
+        self._count("rtos.preemptions", task=top.task.name)
         self._start_task(task)
 
     def _run_in_isr(self, task: _Task) -> None:
@@ -333,6 +432,8 @@ class RtosRuntime:
         if not task.enabled:
             return
         duration, emissions = self._execute_task(task)
+        self._rec("isr_dispatch", task=task.name, cycles=duration)
+        self._count("rtos.isr_dispatches", task=task.name)
         self.stats.busy_cycles += duration
         self._consume_cpu(0)  # resync any suspended frame's clock
         if self._stack:
@@ -341,7 +442,10 @@ class RtosRuntime:
         chain_consumed = getattr(task, "chain_consumed", set())
         for name, value in emissions:
             exclude = task if name in chain_consumed else None
-            self._deliver(name, value, from_hw=False, exclude_task=exclude)
+            self._deliver(
+                name, value, from_hw=False, exclude_task=exclude,
+                source=task.name,
+            )
         if task.pending:
             task.flags |= task.pending
             task.pending = set()
@@ -415,6 +519,18 @@ class RtosRuntime:
             )
             duration += cycles
             self.stats.reactions += 1
+            self._rec(
+                "react",
+                machine=machine.name,
+                task=task.name,
+                fired=fired,
+                consumed=sorted(machine_snapshot),
+            )
+            self._count("rtos.reactions", machine=machine.name)
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "rtos.reaction_cycles", machine=machine.name
+                ).observe(cycles)
             if fired:
                 task.state[machine.name] = new_state
                 consumed |= machine_snapshot & snapshot
@@ -440,12 +556,20 @@ class RtosRuntime:
     def _complete_frame(self) -> None:
         frame = self._stack.pop()
         task = frame.task
+        self._rec("complete", task=task.name, cycles=frame.cost)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "rtos.activation_cycles", task=task.name
+            ).observe(frame.cost)
         # Visible effects happen at completion.  Events already consumed
         # inside the chained task are not re-delivered to it.
         chain_consumed = getattr(task, "chain_consumed", set())
         for name, value in frame.emissions:
             exclude = task if name in chain_consumed else None
-            self._deliver(name, value, from_hw=False, exclude_task=exclude)
+            self._deliver(
+                name, value, from_hw=False, exclude_task=exclude,
+                source=task.name,
+            )
         if task.pending:
             # Arrivals during execution are fresh occurrences: re-enable.
             task.flags |= task.pending
@@ -453,6 +577,7 @@ class RtosRuntime:
             task.runnable = True
         task.active = False
         if self._stack:
+            self._rec("resume", task=self._stack[-1].task.name)
             self._reschedule_top()
 
     # ------------------------------------------------------------------
@@ -470,6 +595,11 @@ class RtosRuntime:
             if kind == "env":
                 event, value = payload
                 self.env_log.append((self.time, f"<-{event}", value))
+                if self.run_trace is not None:
+                    if value is None:
+                        self._rec("stimulus", event=event)
+                    else:
+                        self._rec("stimulus", event=event, value=value)
                 self._deliver(event, value, from_hw=True)
             elif kind == "hw_react":
                 name, trigger = payload
@@ -481,9 +611,15 @@ class RtosRuntime:
                 if res.fired:
                     self._hw_state[name] = res.new_state
                     for event, value in res.emissions:
-                        self._deliver(event.name, value, from_hw=True)
+                        self._deliver(event.name, value, from_hw=True, source=name)
             elif kind == "poll":
                 self.stats.polls += 1
+                self._rec(
+                    "poll",
+                    events=sorted(self._poll_latch),
+                    cost=self.config.polling_routine_cost,
+                )
+                self._count("rtos.polls")
                 self._consume_cpu(self.config.polling_routine_cost)
                 for event in sorted(self._poll_latch):
                     for machine in self.network.consumers(event):
@@ -499,5 +635,13 @@ class RtosRuntime:
                 raise ValueError(f"unknown simulation event {kind}")
             self._dispatch()
         self.time = max(self.time, until)
-        self.stats.span = max(self.time, 1)
+        self.stats.span = self.time
+        if self.metrics is not None:
+            self.metrics.gauge("rtos.utilization").set(self.stats.utilization())
+            self.metrics.gauge("rtos.span_cycles").set(self.stats.span)
+        if self.run_trace is not None:
+            self.run_trace.finalize(
+                self.stats.to_dict(),
+                [probe.to_dict() for probe in self.probes],
+            )
         return self.stats

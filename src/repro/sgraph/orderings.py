@@ -40,16 +40,16 @@ def naive_order(rf: ReactiveFunction) -> List[int]:
     return order
 
 
-def sifted_order(rf: ReactiveFunction, strict: bool = False) -> List[int]:
+def sifted_order(rf: ReactiveFunction, strict: bool = False, profile=None) -> List[int]:
     """Dynamic reordering by sifting (scheme (i)).
 
     ``strict=True`` keeps all outputs after all inputs; ``strict=False``
     relaxes to each output after its own support, "forcing each output to
     appear only after its own support" — the second Table II variant, which
-    shares subgraphs better.
+    shares subgraphs better.  ``profile`` records the sift trajectory.
     """
     naive_order(rf)  # deterministic starting point
-    rf.sift(strict=strict)
+    rf.sift(strict=strict, profile=profile)
     return default_order(rf)
 
 

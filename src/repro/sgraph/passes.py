@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
+from ..obs import SiftProfile
 from ..pipeline.passes import Pass, PassContext, PassManager
 from ..synthesis.reactive import ReactiveFunction
 from .build import build_sgraph, reduce_sgraph
@@ -64,19 +65,27 @@ class OrderPass(Pass):
 
     def run(self, state: SynthesisState, ctx: PassContext) -> Dict[str, Any]:
         rf, scheme = state.rf, state.scheme
+        # Profile the reordering loop when a build trace is being recorded;
+        # its summary rides along in this pass's metrics.
+        profile = None
+        if ctx.trace is not None and scheme in ("sift", "sift-strict"):
+            profile = SiftProfile()
         if scheme == "naive":
             state.order = naive_order(rf)
         elif scheme == "sift":
-            state.order = sifted_order(rf, strict=False)
+            state.order = sifted_order(rf, strict=False, profile=profile)
         elif scheme == "sift-strict":
-            state.order = sifted_order(rf, strict=True)
+            state.order = sifted_order(rf, strict=True, profile=profile)
         elif scheme == "outputs-first":
             state.order = outputs_first_order(rf)
         elif scheme == "mixed":
             state.order = mixed_order(rf, seed=state.mixed_seed)
         else:
             raise ValueError(f"unknown scheme {scheme!r}")
-        return {"scheme": scheme, "chi_nodes": rf.chi.size()}
+        metrics: Dict[str, Any] = {"scheme": scheme, "chi_nodes": rf.chi.size()}
+        if profile is not None:
+            metrics.update(profile.summary())
+        return metrics
 
 
 class BuildPass(Pass):

@@ -108,12 +108,13 @@ class ReactiveFunction:
             pc.add_output_support(out, self.input_vars)
         return pc
 
-    def sift(self, strict: bool = False, max_passes: int = 8) -> int:
+    def sift(self, strict: bool = False, max_passes: int = 8, profile=None) -> int:
         """Dynamically reorder to minimize the characteristic-function BDD.
 
         "We heuristically optimize the size of this BDD by dynamic variable
         reordering, using the sift algorithm" — the metric is the size of
-        chi itself, which the s-graph mirrors.
+        chi itself, which the s-graph mirrors.  ``profile`` (a
+        :class:`repro.obs.SiftProfile`) records the reorder trajectory.
         """
         constraints = self.strict_constraints() if strict else self.support_constraints()
         return sift_to_convergence(
@@ -122,6 +123,7 @@ class ReactiveFunction:
             groups=self.encoding.sifting_groups(),
             max_passes=max_passes,
             metric=lambda: self.chi.size(),
+            profile=profile,
         )
 
     # -- consistency -------------------------------------------------------------

@@ -1,0 +1,118 @@
+"""End-to-end tests for ``repro simulate`` and ``repro report``."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+RSL_DIR = Path(__file__).resolve().parents[2] / "examples" / "rsl"
+MODULES = [str(RSL_DIR / "wheel_filter.rsl"), str(RSL_DIR / "speedo.rsl")]
+
+SIM_ARGS = MODULES + [
+    "--name", "minidash",
+    "--policy", "static-priority",
+    "--priority", "speedo=1",
+    "--priority", "wheel_filter=2",
+    "--stim", "wpulse@1000",
+    "--stim", "wpulse@2000",
+    "--stim", "wpulse@3000",
+    "--stim", "wpulse@4000",
+    "--stim", "stimer@5000",
+    "--until", "20000",
+]
+
+
+class TestSimulate:
+    def test_summary_probe_and_metrics(self, capsys):
+        assert main(["simulate"] + SIM_ARGS + [
+            "--probe", "wpulse:speed", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "minidash: ran 20000 cycles under static-priority" in out
+        assert "0 lost events" in out
+        assert "probe wpulse->speed: 1 samples" in out
+        assert "rtos.dispatches{task=wheel_filter} 4" in out
+        assert "rtos.reaction_cycles{machine=speedo}" in out
+
+    def test_run_trace_and_chrome_trace_files(self, tmp_path, capsys):
+        run_path = tmp_path / "run.json"
+        chrome_path = tmp_path / "run.chrome.json"
+        assert main(["simulate"] + SIM_ARGS + [
+            "--run-trace", str(run_path),
+            "--chrome-trace", str(chrome_path),
+        ]) == 0
+
+        from repro.obs import validate_run_trace
+
+        doc = json.loads(run_path.read_text())
+        assert doc["format"] == "repro-run-trace/v1"
+        assert validate_run_trace(doc) == []
+        assert doc["summary"]["dispatches"] == 6
+
+        chrome = json.loads(chrome_path.read_text())
+        names = {
+            e["args"]["name"]
+            for e in chrome["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "task wheel_filter" in names and "task speedo" in names
+
+    def test_stim_file(self, tmp_path, capsys):
+        stim_file = tmp_path / "drive.json"
+        stim_file.write_text(json.dumps({
+            "stimuli": [
+                {"time": 1000, "event": "wpulse"},
+                {"time": 5000, "event": "stimer"},
+            ],
+        }))
+        assert main(
+            ["simulate"] + MODULES + ["--stim-file", str(stim_file),
+                                      "--until", "10000"]
+        ) == 0
+        assert "ran 10000 cycles" in capsys.readouterr().out
+
+    def test_no_stimuli_is_an_error(self, capsys):
+        assert main(["simulate"] + MODULES + ["--until", "1000"]) == 2
+        assert "no stimuli" in capsys.readouterr().err
+
+    def test_malformed_stim_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate"] + MODULES + ["--stim", "wpulse/1000"])
+
+
+class TestReport:
+    @pytest.fixture
+    def traces(self, tmp_path):
+        run_path = tmp_path / "run.json"
+        assert main(["simulate"] + SIM_ARGS + [
+            "--run-trace", str(run_path),
+        ]) == 0
+        build_path = tmp_path / "build.json"
+        assert main(
+            ["build"] + MODULES + ["--trace", str(build_path),
+                                   "-o", str(tmp_path / "out")]
+        ) == 0
+        return str(run_path), str(build_path)
+
+    def test_report_renders_both_formats(self, traces, capsys):
+        run_path, build_path = traces
+        capsys.readouterr()
+
+        assert main(["report", run_path]) == 0
+        out = capsys.readouterr().out
+        assert "run trace: minidash (static-priority)" in out
+        assert "per-task CPU share:" in out
+        assert "lost events: none" in out
+
+        assert main(["report", build_path]) == 0
+        out = capsys.readouterr().out
+        assert "build trace" in out
+        assert "slowest passes" in out
+
+    def test_report_rejects_invalid_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "mystery"}))
+        assert main(["report", str(bad)]) == 1
+        assert "mystery" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""SiftProfile and the profiling counters in the BDD engine."""
+
+from repro.bdd import BddManager, sift_to_convergence
+from repro.obs import SiftProfile
+
+
+def build_chain_manager(n: int = 8):
+    """A conjunction of crossing-variable XORs — sifting has work to do.
+
+    Returns ``(manager, function)``; keep the function alive, liveness is
+    tracked through the handle.
+    """
+    m = BddManager()
+    vs = [m.new_var() for _ in range(n)]
+    f = m.true
+    for i in range(0, n - 1, 2):
+        f = f & (m.var(vs[i]) ^ m.var(vs[n - 1 - i]))
+    return m, f
+
+
+class TestManagerCounters:
+    def test_swap_count_increments(self):
+        m, _f = build_chain_manager()
+        assert m.swap_count == 0
+        m.swap_levels(0)
+        m.swap_levels(0)
+        assert m.swap_count == 2
+
+    def test_peak_nodes_high_water_mark(self):
+        m, _f = build_chain_manager()
+        assert m.peak_nodes > 0
+        peak_before = m.peak_nodes
+        m.collect()
+        # Collection may shrink the table but never the recorded peak.
+        assert m.peak_nodes >= peak_before
+
+
+class TestSiftProfile:
+    def test_threaded_through_convergence_loop(self):
+        m, _f = build_chain_manager()
+        profile = SiftProfile()
+        final = sift_to_convergence(m, profile=profile)
+        phases = [s.phase for s in profile.samples]
+        assert phases[0] == "start"
+        assert phases[-1] == "end"
+        assert "pass" in phases and "block" in phases
+        assert profile.passes >= 1
+        assert profile.final_size == final
+        assert profile.total_swaps == m.swap_count  # started from zero
+        # Swap counts are cumulative within the profile.
+        swaps = [s.swaps for s in profile.samples]
+        assert swaps == sorted(swaps)
+
+    def test_summary_and_to_dict(self):
+        m, _f = build_chain_manager()
+        profile = SiftProfile()
+        sift_to_convergence(m, profile=profile)
+        summary = profile.summary()
+        assert set(summary) == {
+            "sift_passes", "sift_swaps", "sift_wall_ms",
+            "sift_size_initial", "sift_size_final",
+        }
+        assert summary["sift_size_final"] <= summary["sift_size_initial"]
+        doc = profile.to_dict()
+        assert len(doc["samples"]) == len(profile)
+
+    def test_swap_base_makes_counts_relative(self):
+        m, _f = build_chain_manager()
+        m.swap_levels(0)  # pre-existing swaps before profiling starts
+        base = m.swap_count
+        profile = SiftProfile()
+        sift_to_convergence(m, profile=profile)
+        assert profile.total_swaps == m.swap_count - base
+
+
+class TestOrderPassMetrics:
+    def test_order_pass_reports_sift_figures_when_traced(self, simple_cfsm):
+        from repro.pipeline import BuildTrace
+        from repro.sgraph import synthesize
+
+        trace = BuildTrace()
+        synthesize(simple_cfsm, scheme="sift", trace=trace)
+        order_events = [e for e in trace.passes() if e.name == "order"]
+        assert len(order_events) == 1
+        metrics = order_events[0].metrics
+        assert "sift_swaps" in metrics and "sift_passes" in metrics
+        assert metrics["sift_size_final"] <= metrics["sift_size_initial"]
+
+    def test_no_profile_without_trace_or_for_naive(self, simple_cfsm):
+        from repro.pipeline import BuildTrace
+        from repro.sgraph import synthesize
+
+        trace = BuildTrace()
+        synthesize(simple_cfsm, scheme="naive", trace=trace)
+        order_events = [e for e in trace.passes() if e.name == "order"]
+        assert "sift_swaps" not in order_events[0].metrics

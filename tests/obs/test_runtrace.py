@@ -1,0 +1,138 @@
+"""RunTrace: the repro-run-trace/v1 document and its derived views."""
+
+from repro.obs import RunTrace, chrome_trace_events, to_chrome_trace
+
+
+def make_trace() -> RunTrace:
+    """A small hand-built run: dispatch, preemption, loss, ISR chain."""
+    run = RunTrace(system="demo", policy="preemptive-priority")
+    run.record(100, "stimulus", event="go")
+    run.record(100, "isr", event="go", cost=60)
+    run.record(100, "dispatch", task="low")
+    run.record(140, "stimulus", event="hi")
+    run.record(140, "preempt", task="low", by="high")
+    run.record(140, "dispatch", task="high")
+    run.record(150, "stimulus", event="go")
+    run.record(150, "lost", event="go", task="low", where="pending")
+    run.record(240, "react", machine="high", task="high",
+               fired=True, consumed=["hi"])
+    run.record(240, "complete", task="high", cycles=100)
+    run.record(240, "emit", event="out", by="high")
+    run.record(240, "resume", task="low")
+    run.record(300, "complete", task="low", cycles=200)
+    run.record(400, "isr_dispatch", task="critical", cycles=50)
+    run.finalize(
+        {"reactions": 1, "lost_events": 1, "span": 450},
+        [{"source": "go", "sink": "out", "samples": [140], "count": 1}],
+    )
+    return run
+
+
+class TestQueries:
+    def test_counts_and_by_kind(self):
+        run = make_trace()
+        counts = run.counts()
+        assert counts["stimulus"] == 3
+        assert counts["lost"] == 1
+        assert [e["task"] for e in run.by_kind("dispatch")] == ["low", "high"]
+        assert run.span == 400
+        assert len(run) == 14
+
+    def test_task_slices_reconstruct_preemption(self):
+        run = make_trace()
+        slices = run.task_slices()
+        assert ("low", 100, 140) in slices      # until preempted
+        assert ("high", 140, 240) in slices     # the preempting activation
+        assert ("low", 240, 300) in slices      # resumed tail
+        assert ("critical", 400, 450) in slices  # ISR-chained execution
+
+    def test_cpu_share_sums_slices(self):
+        share = make_trace().cpu_share()
+        assert share == {"low": 100, "high": 100, "critical": 50}
+
+    def test_unclosed_slice_ends_at_span(self):
+        run = RunTrace()
+        run.record(10, "dispatch", task="t")
+        run.record(99, "stimulus", event="e")
+        assert run.task_slices() == [("t", 10, 99)]
+
+    def test_lost_event_table_sorted_most_lost_first(self):
+        run = RunTrace()
+        for _ in range(3):
+            run.record(1, "lost", event="b", task="t2", where="flags")
+        run.record(2, "lost", event="a", task="t1", where="pending")
+        assert run.lost_event_table() == [("b", "t2", 3), ("a", "t1", 1)]
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        run = make_trace()
+        doc = run.to_dict()
+        back = RunTrace.from_dict(doc)
+        assert back.to_dict() == doc
+        assert back.system == "demo"
+        assert back.policy == "preemptive-priority"
+        assert back.stats["lost_events"] == 1
+        assert back.probes[0]["source"] == "go"
+
+    def test_write_and_load(self, tmp_path):
+        run = make_trace()
+        path = tmp_path / "run.json"
+        run.write(str(path))
+        assert RunTrace.load(str(path)).to_dict() == run.to_dict()
+
+    def test_summary_fields(self):
+        doc = make_trace().to_dict()
+        assert doc["summary"] == {
+            "events": 14,
+            "span": 400,
+            "dispatches": 2,
+            "preemptions": 1,
+            "reactions": 1,
+            "emissions": 1,
+            "lost_events": 1,
+            "interrupts": 1,
+        }
+
+    def test_summary_line(self):
+        line = make_trace().summary()
+        assert "14 events" in line and "1 lost events" in line
+
+
+class TestChromeExport:
+    def test_slices_instants_and_counter(self):
+        run = make_trace()
+        events = chrome_trace_events(run)
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        # One metadata row per task plus the environment track.
+        names = {e["args"]["name"] for e in by_ph["M"]}
+        assert names == {
+            "environment/RTOS", "task low", "task high", "task critical",
+        }
+        # Every task slice became a complete event with positive duration.
+        slices = {(e["name"], e["ts"], e["dur"]) for e in by_ph["X"]}
+        assert ("high", 140, 100) in slices
+        assert all(e["dur"] >= 1 for e in by_ph["X"])
+        # The loss shows as an instant and bumps the counter track.
+        instants = {e["name"] for e in by_ph["i"]}
+        assert "LOST go" in instants
+        assert "preempted by high" in instants
+        assert by_ph["C"][-1]["args"]["lost"] == 1
+
+    def test_document_wrapper(self):
+        doc = to_chrome_trace(make_trace())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["system"] == "demo"
+        assert doc["otherData"]["source"] == "repro-run-trace/v1"
+
+    def test_tasks_get_distinct_tids(self):
+        events = chrome_trace_events(make_trace())
+        task_tids = {
+            e["args"]["name"]: e["tid"]
+            for e in events
+            if e["ph"] == "M" and e["args"]["name"].startswith("task ")
+        }
+        assert len(set(task_tids.values())) == len(task_tids)
+        assert 0 not in task_tids.values()  # tid 0 is the environment

@@ -1,0 +1,103 @@
+"""Structural validators for both trace document formats."""
+
+import pytest
+
+from repro.obs import (
+    RunTrace,
+    assert_valid_trace,
+    validate_build_trace,
+    validate_run_trace,
+    validate_trace,
+)
+from repro.pipeline import BuildTrace
+
+
+def valid_run_doc():
+    run = RunTrace(system="s", policy="round-robin")
+    run.record(10, "stimulus", event="go")
+    run.record(10, "dispatch", task="t")
+    run.record(50, "complete", task="t", cycles=40)
+    run.finalize({"reactions": 1}, [])
+    return run.to_dict()
+
+
+def valid_build_doc():
+    trace = BuildTrace()
+    trace.record_pass("m1", "order", 1.0, {"chi_nodes": 3})
+    trace.record_cache("m1", "hit", "ff")
+    return trace.to_dict()
+
+
+class TestRunTraceValidation:
+    def test_valid_document_has_no_errors(self):
+        assert validate_run_trace(valid_run_doc()) == []
+
+    def test_wrong_format(self):
+        doc = valid_run_doc()
+        doc["format"] = "nope"
+        assert any("format" in e for e in validate_run_trace(doc))
+
+    def test_negative_and_backward_timestamps(self):
+        doc = valid_run_doc()
+        doc["events"][0]["t"] = -5
+        errors = validate_run_trace(doc)
+        assert any("non-negative" in e for e in errors)
+        doc = valid_run_doc()
+        doc["events"][2]["t"] = 1  # before the dispatch at t=10
+        assert any("backwards" in e for e in validate_run_trace(doc))
+
+    def test_unknown_kind_and_missing_fields(self):
+        doc = valid_run_doc()
+        doc["events"][0]["kind"] = "teleport"
+        assert any("unknown kind" in e for e in validate_run_trace(doc))
+        doc = valid_run_doc()
+        del doc["events"][1]["task"]
+        assert any("missing 'task'" in e for e in validate_run_trace(doc))
+
+    def test_lost_where_is_constrained(self):
+        run = RunTrace(system="s", policy="p")
+        run.record(1, "lost", event="e", task="t", where="elsewhere")
+        run.finalize({})
+        assert any("flags/pending" in e for e in validate_run_trace(run.to_dict()))
+
+    def test_summary_event_count_must_match(self):
+        doc = valid_run_doc()
+        doc["summary"]["events"] = 99
+        assert any("summary.events" in e for e in validate_run_trace(doc))
+
+    def test_missing_stats_and_probes(self):
+        doc = valid_run_doc()
+        del doc["stats"]
+        del doc["probes"]
+        errors = validate_run_trace(doc)
+        assert any("stats" in e for e in errors)
+        assert any("probes" in e for e in errors)
+
+
+class TestBuildTraceValidation:
+    def test_valid_document_has_no_errors(self):
+        assert validate_build_trace(valid_build_doc()) == []
+
+    def test_cache_status_constrained(self):
+        doc = valid_build_doc()
+        doc["events"][1]["status"] = "warm"
+        assert any("hit/miss" in e for e in validate_build_trace(doc))
+
+    def test_summary_event_count_must_match(self):
+        doc = valid_build_doc()
+        doc["summary"]["events"] = 0
+        assert any("summary.events" in e for e in validate_build_trace(doc))
+
+
+class TestDispatch:
+    def test_validate_trace_routes_by_format(self):
+        assert validate_trace(valid_run_doc()) == []
+        assert validate_trace(valid_build_doc()) == []
+        assert validate_trace({"format": "mystery"}) == [
+            "unknown trace format 'mystery'"
+        ]
+
+    def test_assert_valid_trace(self):
+        assert_valid_trace(valid_run_doc())  # no raise
+        with pytest.raises(ValueError, match="invalid trace"):
+            assert_valid_trace({"format": "mystery"})

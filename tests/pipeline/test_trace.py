@@ -60,3 +60,40 @@ class TestBuildTrace:
         assert "status" not in plain
         hit = TraceEvent(module="m", name="x", status="hit").to_dict()
         assert hit["status"] == "hit"
+
+
+class TestRoundTrip:
+    """from_dict/load restore a trace that serializes identically."""
+
+    def make_trace(self):
+        trace = BuildTrace()
+        trace.record_pass("m1", "order", 1.5, {"chi_nodes": 5})
+        trace.record_pass("m2", "estimate", 0.25, {"code_size": 40})
+        trace.record_cache("m1", "miss", "ab" * 32)
+        trace.record_cache("m2", "hit", "cd" * 32)
+        trace.record_stage("sys", "rtos", 2.0)
+        return trace
+
+    def test_from_dict_round_trip(self):
+        trace = self.make_trace()
+        back = BuildTrace.from_dict(trace.to_dict())
+        assert back.to_dict() == trace.to_dict()
+        # Restored events are real TraceEvent objects with counters intact.
+        assert all(isinstance(e, TraceEvent) for e in back.events)
+        assert back.synthesis_pass_count == 2
+        assert back.cache_hits == 1 and back.cache_misses == 1
+        assert back.total_wall_ms() == trace.total_wall_ms()
+
+    def test_from_dict_rejects_foreign_format(self):
+        import pytest
+
+        with pytest.raises(ValueError, match=TRACE_FORMAT):
+            BuildTrace.from_dict({"format": "repro-run-trace/v1", "events": []})
+
+    def test_load_round_trip(self, tmp_path):
+        trace = self.make_trace()
+        path = tmp_path / "trace.json"
+        trace.write(str(path))
+        loaded = BuildTrace.load(str(path))
+        assert loaded.to_dict() == trace.to_dict()
+        assert [e.name for e in loaded.passes()] == ["order", "estimate"]

@@ -1,0 +1,188 @@
+"""Observability of the RTOS runtime: run traces, metrics, and probes.
+
+Covers the unified observability layer's runtime side: losses recorded in
+both the metrics registry and the structured run trace, the utilization
+guard for zero-length runs, and the latency-probe percentile/serialization
+API.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, RunTrace, validate_run_trace
+from repro.rtos import (
+    LatencyProbe,
+    RtosConfig,
+    RtosRuntime,
+    SchedulingPolicy,
+    Stimulus,
+)
+from repro.sgraph import synthesize
+from repro.target import K11, compile_sgraph
+
+from .test_runtime import build_pipeline
+
+
+@pytest.fixture(scope="module")
+def pipe_net():
+    return build_pipeline()
+
+
+@pytest.fixture(scope="module")
+def pipe_programs(pipe_net):
+    return {m.name: compile_sgraph(synthesize(m), K11) for m in pipe_net.machines}
+
+
+def preemptive_config():
+    return RtosConfig(
+        policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+        priorities={"A": 1, "B": 2},
+    )
+
+
+def run_observed(pipe_net, pipe_programs, stimuli, until=50_000):
+    run = RunTrace()
+    metrics = MetricsRegistry()
+    rt = RtosRuntime(
+        pipe_net,
+        preemptive_config(),
+        profile=K11,
+        programs=pipe_programs,
+        run_trace=run,
+        metrics=metrics,
+    )
+    rt.schedule_stimuli(stimuli)
+    stats = rt.run(until=until)
+    return rt, stats, run, metrics
+
+
+class TestLossUnderPreemption:
+    """A single-place buffer overwritten while its consumer is preempted.
+
+    With A high priority and B low, ``go`` at t=300 lands while B executes:
+    A preempts B.  Two further ``go`` arrivals during A's activation fill
+    the pending slot and then overwrite it (pending loss).  After B
+    resumes and finishes, a back-to-back pair of A activations overwrites
+    B's ``mid`` flag before B is dispatched (flags loss).
+    """
+
+    STIMULI = [
+        Stimulus(100, "go", 7),
+        Stimulus(300, "go", 7),
+        Stimulus(320, "go", 7),
+        Stimulus(340, "go", 7),
+    ]
+
+    def test_losses_counted_in_metrics_and_present_in_trace(
+        self, pipe_net, pipe_programs
+    ):
+        _, stats, run, metrics = run_observed(
+            pipe_net, pipe_programs, self.STIMULI
+        )
+
+        # The scenario actually exercised preemption.
+        preempts = run.by_kind("preempt")
+        assert len(preempts) == 1
+        assert preempts[0]["task"] == "B" and preempts[0]["by"] == "A"
+        (resume,) = run.by_kind("resume")
+        assert resume.t == 522 and resume["task"] == "B"
+
+        # Both overwrite sites are hit, and stats agree with the trace.
+        assert stats.lost_events == 2
+        lost = run.by_kind("lost")
+        assert {(e["event"], e["where"]) for e in lost} == {
+            ("go", "pending"),
+            ("mid", "flags"),
+        }
+        # The pending overwrite happens during the preempting activation.
+        pending = next(e for e in lost if e["where"] == "pending")
+        assert preempts[0].t <= pending.t <= 522
+
+        # ... and the metrics registry mirrors the same counts per event.
+        counters = metrics.to_dict()["counters"]
+        assert counters["rtos.lost_events{event=go}"] == 1
+        assert counters["rtos.lost_events{event=mid}"] == 1
+        assert counters["rtos.preemptions{task=B}"] == 1
+
+        # The whole document validates against repro-run-trace/v1.
+        assert validate_run_trace(run.to_dict()) == []
+
+    def test_instrumentation_is_inert(self, pipe_net, pipe_programs):
+        """Attaching trace + metrics must not change simulation results."""
+        bare = RtosRuntime(
+            pipe_net, preemptive_config(), profile=K11, programs=pipe_programs
+        )
+        bare.schedule_stimuli(self.STIMULI)
+        bare_stats = bare.run(until=50_000)
+        _, stats, _, _ = run_observed(pipe_net, pipe_programs, self.STIMULI)
+        assert stats.to_dict() == bare_stats.to_dict()
+
+    def test_finalize_carries_stats_and_probes(self, pipe_net, pipe_programs):
+        run = RunTrace()
+        rt = RtosRuntime(
+            pipe_net,
+            preemptive_config(),
+            profile=K11,
+            programs=pipe_programs,
+            run_trace=run,
+        )
+        rt.add_probe("go", "outp")
+        rt.schedule_stimuli(self.STIMULI)
+        stats = rt.run(until=50_000)
+        assert run.stats == stats.to_dict()
+        assert len(run.probes) == 1
+        assert run.probes[0]["source"] == "go"
+        assert run.probes[0]["count"] == len(run.probes[0]["samples"])
+
+
+class TestZeroLengthRun:
+    def test_utilization_guard(self, pipe_net, pipe_programs):
+        """run(until=0) used to divide by zero in RunStats.utilization."""
+        rt = RtosRuntime(pipe_net, RtosConfig(), profile=K11, programs=pipe_programs)
+        stats = rt.run(until=0)
+        assert stats.span == 0
+        assert stats.utilization() == 0.0
+        assert stats.to_dict()["utilization"] == 0.0
+
+
+class TestLatencyProbe:
+    def probe(self, samples):
+        p = LatencyProbe("a", "b")
+        p.samples = list(samples)
+        return p
+
+    def test_percentile_nearest_rank(self):
+        p = self.probe([40, 10, 30, 20])
+        assert p.percentile(0) == 10
+        assert p.percentile(50) == 20
+        assert p.percentile(90) == 40
+        assert p.percentile(100) == 40
+
+    def test_percentile_rejects_out_of_range(self):
+        p = self.probe([1])
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            p.percentile(101)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            p.percentile(-1)
+
+    def test_percentile_empty_is_none(self):
+        assert self.probe([]).percentile(50) is None
+
+    def test_to_dict(self):
+        p = self.probe([10, 20, 30, 40])
+        doc = p.to_dict()
+        assert doc == {
+            "source": "a",
+            "sink": "b",
+            "samples": [10, 20, 30, 40],
+            "count": 4,
+            "worst": 40,
+            "average": 25.0,
+            "p50": 20,
+            "p90": 40,
+            "p99": 40,
+        }
+
+    def test_to_dict_empty(self):
+        doc = self.probe([]).to_dict()
+        assert doc["count"] == 0
+        assert doc["worst"] is None and doc["p99"] is None
