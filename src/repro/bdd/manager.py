@@ -5,22 +5,53 @@ represents each CFSM's reactive function as a BDD (Sec. II-B), optimizes it by
 dynamic variable reordering (Rudell's sifting, Sec. III-B3), and derives the
 s-graph directly from the BDD structure (Theorem 1).
 
-The implementation is a classical unique-table ROBDD package:
+The implementation is a reference-counted unique-table ROBDD package in the
+style of CUDD:
 
-* nodes are rows in parallel arrays (``_var``, ``_lo``, ``_hi``) indexed by an
-  integer node id; ids ``0`` and ``1`` are the FALSE and TRUE terminals;
+* nodes are rows in parallel arrays (``_var``, ``_lo``, ``_hi``, ``_ref``)
+  indexed by an integer node id; ids ``0`` and ``1`` are the FALSE and TRUE
+  terminals;
 * the unique table is keyed by ``(var, lo, hi)`` so that nodes keep their ids
   when variable *levels* move during reordering;
-* external references are :class:`Function` handles tracked through weak
-  references; garbage collection is mark-and-sweep from the live handles;
+* **liveness is reference-counted**: ``_ref[n]`` counts parent edges from
+  live nodes plus live external :class:`Function` handles.  When a count
+  drops to zero the node is flagged *dead* (its child references are
+  released) but stays allocated until :meth:`BddManager.collect` sweeps it —
+  and a dead node found again through the unique table or an operation
+  cache is *resurrected* instead of being rebuilt.  Because BDDs are DAGs,
+  reference counting is exact; there is no mark-and-sweep;
+* live/dead totals (and per-variable breakdowns) are maintained
+  incrementally by every operation **including adjacent-level swaps**, so
+  :meth:`live_node_count` is O(1) and the sifting loop never has to collect
+  just to read a size;
+* the operation caches (ITE / restrict / quantification / support) are keyed
+  by node ids.  Node ids denote *functions*, and in-place level swaps
+  relabel nodes without changing the function each id denotes — so cached
+  results stay valid across reordering and are only purged of entries that
+  mention freed ids when :meth:`collect` actually frees nodes.  Caches are
+  bounded and count hits/misses (see :meth:`counters` /
+  :meth:`export_metrics`);
 * dynamic reordering is implemented with the standard in-place adjacent-level
-  swap, on top of which :mod:`repro.bdd.sifting` builds constrained sifting.
+  swap (with an interaction-matrix fast path for non-interacting variable
+  pairs), on top of which :mod:`repro.bdd.sifting` builds constrained
+  sifting.
 """
 
 from __future__ import annotations
 
+import bisect
 import weakref
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 __all__ = ["BddManager", "Function", "FALSE_ID", "TRUE_ID"]
 
@@ -31,6 +62,11 @@ TRUE_ID = 1
 # variable id and always compares as the deepest possible level.
 _TERMINAL_VAR = -1
 
+# Default bound on each operation cache.  When an insert would grow a cache
+# past the bound the cache is cleared wholesale (deterministic, O(1) amortized)
+# and ``cache_resets`` is incremented.
+_DEFAULT_CACHE_LIMIT = 1 << 20
+
 
 class Function:
     """A handle to a Boolean function stored in a :class:`BddManager`.
@@ -39,6 +75,9 @@ class Function:
     ``>>`` for implication) plus the structural operations used by the
     synthesis flow (cofactors, quantification, composition).  Two handles
     compare equal iff they denote the same function, by ROBDD canonicity.
+
+    Each live handle holds one reference on its root node; the reference is
+    released (via a weakref callback) when the handle is garbage-collected.
     """
 
     __slots__ = ("manager", "id", "__weakref__")
@@ -138,8 +177,14 @@ class Function:
     def exists(self, variables: Iterable[int]) -> "Function":
         return self.manager.exists(self, variables)
 
+    def exists_cube(self, cube: "Function") -> "Function":
+        return self.manager.exists_cube(self, cube)
+
     def forall(self, variables: Iterable[int]) -> "Function":
         return self.manager.forall(self, variables)
+
+    def and_exists(self, other: "Function", variables: Iterable[int]) -> "Function":
+        return self.manager.and_exists(self, other, variables)
 
     def compose(self, var: int, g: "Function") -> "Function":
         return self.manager.compose(self, var, g)
@@ -159,22 +204,55 @@ class Function:
 class BddManager:
     """Owner of the node store, unique table, and variable order."""
 
-    def __init__(self) -> None:
+    def __init__(self, cache_limit: int = _DEFAULT_CACHE_LIMIT) -> None:
         # Node store.  Slot 0 = FALSE, slot 1 = TRUE.
         self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
         self._lo: List[int] = [FALSE_ID, TRUE_ID]
         self._hi: List[int] = [FALSE_ID, TRUE_ID]
+        # Reference counts: parent edges from live nodes + live handles.
+        # Terminals are permanent; their counts are never consulted.
+        self._ref: List[int] = [1, 1]
+        # Dead flag: ref hit zero and the node's child references were
+        # released.  (ref == 0 without the flag is a newborn whose child
+        # references are still held — an intermediate result in flight.)
+        self._is_dead: List[bool] = [False, False]
+        # The dead ids, mirrored as a set so swap_levels can sweep them in
+        # O(dead): dead nodes never survive a structural swap, which keeps
+        # resurrection sound (a resurrected node's structure is guaranteed
+        # untouched since it died).
+        self._dead_set: Set[int] = set()
         self._free: List[int] = []
+        # Slots freed eagerly (by swap_levels) whose ids may still appear in
+        # operation caches: quarantined here — detectably stale via
+        # ``_var[nid] == _TERMINAL_VAR`` — and only recycled into ``_free``
+        # after collect() has purged the caches of them.
+        self._pending_free: List[int] = []
+        # Handle-death decrefs land here (weakref callbacks can fire at
+        # arbitrary allocation points, e.g. mid-swap) and are drained at
+        # deterministic safe points: collect(), structural swaps, check().
+        self._handle_deaths: List[int] = []
 
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._nodes_of_var: Dict[int, Set[int]] = {}
+        self._dead_of_var: Dict[int, int] = {}
+
+        # Operation caches.  Entries survive reordering (ids denote
+        # functions; swaps preserve what every id denotes) and are purged
+        # of freed ids by collect().
+        self.cache_limit = cache_limit
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
-        self._op_cache: Dict[Tuple, int] = {}
+        self._restrict_cache: Dict[Tuple[int, int], int] = {}
+        self._quant_cache: Dict[Tuple[int, int, int], int] = {}
+        self._support_cache: Dict[int, FrozenSet[int]] = {}
 
         # Variable order bookkeeping.
         self._level_of_var: List[int] = []
         self._var_at_level: List[int] = []
         self._var_names: List[str] = []
+
+        # Incremental liveness accounting (allocated = live + dead).
+        self._live_count = 0
+        self._dead_count = 0
 
         # Live external handles, keyed by object identity (NOT equality —
         # two equal Functions must both keep their nodes alive).
@@ -182,9 +260,20 @@ class BddManager:
         self._false = Function(self, FALSE_ID)
         self._true = Function(self, TRUE_ID)
 
-        # Profiling counters (read by repro.obs.SiftProfile and friends).
-        self.swap_count = 0  # adjacent-level swaps performed
-        self.peak_nodes = 0  # high-water mark of allocated non-terminals
+        # Profiling counters (read by repro.obs.SiftProfile, exported to a
+        # MetricsRegistry by export_metrics, dumped by the engine bench).
+        self.swap_count = 0    # adjacent-level swaps performed
+        self.swap_skips = 0    # swaps satisfied by the interaction fast path
+        self.peak_nodes = 0    # high-water mark of allocated non-terminals
+        self.collect_count = 0  # collect() invocations
+        self.nodes_freed = 0    # total nodes reclaimed by collect()
+        self.ite_hits = 0
+        self.ite_misses = 0
+        self.restrict_hits = 0
+        self.restrict_misses = 0
+        self.quant_hits = 0
+        self.quant_misses = 0
+        self.cache_resets = 0   # bounded-cache overflows
 
     # ------------------------------------------------------------------
     # Variables
@@ -197,6 +286,7 @@ class BddManager:
         self._var_at_level.append(var)
         self._var_names.append(name if name is not None else f"v{var}")
         self._nodes_of_var[var] = set()
+        self._dead_of_var[var] = 0
         return var
 
     @property
@@ -217,14 +307,129 @@ class BddManager:
         return list(self._var_at_level)
 
     # ------------------------------------------------------------------
+    # Reference counting
+    # ------------------------------------------------------------------
+
+    def _mark_dead(self, nid: int) -> None:
+        """``nid`` (ref == 0, child references held) leaves the live set."""
+        is_dead = self._is_dead
+        ref = self._ref
+        lo, hi = self._lo, self._hi
+        var = self._var
+        dead_of_var = self._dead_of_var
+        dead_set = self._dead_set
+        stack = [nid]
+        is_dead[nid] = True
+        dead_set.add(nid)
+        dead_of_var[var[nid]] += 1
+        self._dead_count += 1
+        self._live_count -= 1
+        while stack:
+            n = stack.pop()
+            for c in (lo[n], hi[n]):
+                if c > TRUE_ID:
+                    r = ref[c] - 1
+                    ref[c] = r
+                    if r == 0:
+                        is_dead[c] = True
+                        dead_set.add(c)
+                        dead_of_var[var[c]] += 1
+                        self._dead_count += 1
+                        self._live_count -= 1
+                        stack.append(c)
+
+    def _decref(self, nid: int) -> None:
+        """Release one reference on ``nid`` (recursively kills orphans)."""
+        if nid <= TRUE_ID:
+            return
+        r = self._ref[nid] - 1
+        self._ref[nid] = r
+        if r == 0:
+            self._mark_dead(nid)
+
+    def _resurrect(self, nid: int) -> None:
+        """Bring the dead node ``nid`` back: re-acquire its child references.
+
+        Dead descendants reached through restored edges are resurrected too
+        (CUDD's *reclaim*): a cache or unique-table hit on a dead result is
+        a win, not a rebuild.
+        """
+        is_dead = self._is_dead
+        ref = self._ref
+        lo, hi = self._lo, self._hi
+        var = self._var
+        dead_of_var = self._dead_of_var
+        dead_set = self._dead_set
+        is_dead[nid] = False
+        dead_set.discard(nid)
+        dead_of_var[var[nid]] -= 1
+        self._dead_count -= 1
+        self._live_count += 1
+        stack = [nid]
+        while stack:
+            n = stack.pop()
+            for c in (lo[n], hi[n]):
+                if c > TRUE_ID:
+                    if ref[c] == 0 and is_dead[c]:
+                        is_dead[c] = False
+                        dead_set.discard(c)
+                        dead_of_var[var[c]] -= 1
+                        self._dead_count -= 1
+                        self._live_count += 1
+                        stack.append(c)
+                    ref[c] += 1
+
+    def _incref(self, nid: int) -> None:
+        """Acquire one reference on ``nid`` (resurrecting it if dead)."""
+        if nid <= TRUE_ID:
+            return
+        if self._ref[nid] == 0 and self._is_dead[nid]:
+            self._resurrect(nid)
+        self._ref[nid] += 1
+
+    def _is_stale(self, nid: int) -> bool:
+        """True for an id freed by a swap but not yet recycled by collect."""
+        return nid > TRUE_ID and self._var[nid] == _TERMINAL_VAR
+
+    def _free_dead_node(self, nid: int) -> None:
+        """Release a dead node's slot eagerly (during a level swap).
+
+        Dead nodes hold no child references, so freeing is pure
+        bookkeeping; the id is quarantined in ``_pending_free`` until the
+        next collect() purges the operation caches of it.
+        """
+        var = self._var[nid]
+        del self._unique[(var, self._lo[nid], self._hi[nid])]
+        self._nodes_of_var[var].discard(nid)
+        self._dead_of_var[var] -= 1
+        self._dead_count -= 1
+        self._is_dead[nid] = False
+        self._dead_set.discard(nid)
+        self._var[nid] = _TERMINAL_VAR
+        self._pending_free.append(nid)
+        self.nodes_freed += 1
+
+    # ------------------------------------------------------------------
     # Handles & constants
     # ------------------------------------------------------------------
 
     def _register_handle(self, handle: Function) -> None:
         key = id(handle)
+        nid = handle.id
+        self._incref(nid)
         self._handles[key] = weakref.ref(
-            handle, lambda _ref, key=key, h=self._handles: h.pop(key, None)
+            handle, lambda _ref, key=key, nid=nid: self._drop_handle(key, nid)
         )
+
+    def _drop_handle(self, key: int, nid: int) -> None:
+        if self._handles.pop(key, None) is not None:
+            self._handle_deaths.append(nid)
+
+    def _drain_handle_deaths(self) -> None:
+        """Apply queued handle-death decrefs (at a safe point)."""
+        deaths = self._handle_deaths
+        while deaths:
+            self._decref(deaths.pop())
 
     def _wrap(self, node_id: int) -> Function:
         return Function(self, node_id)
@@ -249,40 +454,62 @@ class BddManager:
         return self._wrap(self._mk(var, TRUE_ID, FALSE_ID))
 
     def cube(self, literals: Dict[int, bool]) -> Function:
-        """Conjunction of literals, e.g. ``{a: True, b: False}`` -> a & ~b."""
-        result = self.true
-        for var in sorted(literals, key=self.level_of, reverse=True):
-            lit = self.var(var) if literals[var] else self.nvar(var)
-            result = result & lit
-        return result
+        """Conjunction of literals, e.g. ``{a: True, b: False}`` -> a & ~b.
+
+        Built bottom-up with direct ``_mk`` calls (one node per literal) —
+        no ITE recursion, no cache churn.
+        """
+        nid = TRUE_ID
+        level_of = self._level_of_var
+        for var in sorted(literals, key=level_of.__getitem__, reverse=True):
+            if literals[var]:
+                nid = self._mk(var, FALSE_ID, nid)
+            else:
+                nid = self._mk(var, nid, FALSE_ID)
+        return self._wrap(nid)
+
+    def _positive_cube_id(self, variables: Iterable[int]) -> int:
+        """Node id of the positive cube over ``variables`` (bottom-up)."""
+        nid = TRUE_ID
+        level_of = self._level_of_var
+        for var in sorted(set(variables), key=level_of.__getitem__, reverse=True):
+            nid = self._mk(var, FALSE_ID, nid)
+        return nid
 
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
 
-    def _alloc(self, var: int, lo: int, hi: int) -> int:
-        if self._free:
-            nid = self._free.pop()
-            self._var[nid] = var
-            self._lo[nid] = lo
-            self._hi[nid] = hi
-        else:
-            nid = len(self._var)
-            self._var.append(var)
-            self._lo.append(lo)
-            self._hi.append(hi)
-        return nid
-
     def _mk(self, var: int, lo: int, hi: int) -> int:
-        """Find-or-create the reduced node ``(var, lo, hi)``."""
+        """Find-or-create the reduced node ``(var, lo, hi)``.
+
+        The returned node may be dead (resurrection is the caller's
+        concern via ``_incref``); a *created* node is a newborn with
+        ref == 0 that already holds references on its children.
+        """
         if lo == hi:
             return lo
         key = (var, lo, hi)
         nid = self._unique.get(key)
         if nid is None:
-            nid = self._alloc(var, lo, hi)
+            if self._free:
+                nid = self._free.pop()
+                self._var[nid] = var
+                self._lo[nid] = lo
+                self._hi[nid] = hi
+                self._ref[nid] = 0
+            else:
+                nid = len(self._var)
+                self._var.append(var)
+                self._lo.append(lo)
+                self._hi.append(hi)
+                self._ref.append(0)
+                self._is_dead.append(False)
+            self._incref(lo)
+            self._incref(hi)
             self._unique[key] = nid
             self._nodes_of_var[var].add(nid)
+            self._live_count += 1
             allocated = len(self._unique)
             if allocated > self.peak_nodes:
                 self.peak_nodes = allocated
@@ -298,36 +525,113 @@ class BddManager:
             return len(self._level_of_var)
         return self._level_of_var[v]
 
-    def _cofactor_step(self, nid: int, level: int) -> Tuple[int, int, int]:
-        """Split ``nid`` against ``level``: (top var, lo-cof, hi-cof)."""
-        if self._top_level(nid) == level:
-            return self._var[nid], self._lo[nid], self._hi[nid]
-        return self._var_at_level[level], nid, nid
-
     def _ite(self, f: int, g: int, h: int) -> int:
-        # Terminal cases.
-        if f == TRUE_ID:
-            return g
-        if f == FALSE_ID:
-            return h
-        if g == h:
-            return g
-        if g == TRUE_ID and h == FALSE_ID:
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._top_level(f), self._top_level(g), self._top_level(h))
-        var = self._var_at_level[level]
-        _, f0, f1 = self._cofactor_step(f, level)
-        _, g0, g1 = self._cofactor_step(g, level)
-        _, h0, h1 = self._cofactor_step(h, level)
-        lo = self._ite(f0, g0, h0)
-        hi = self._ite(f1, g1, h1)
-        result = self._mk(var, lo, hi)
-        self._ite_cache[key] = result
-        return result
+        """Iterative ITE with standard-triple normalization.
+
+        An explicit work stack replaces Python recursion (one frame tuple
+        per pending reduction instead of a full interpreter frame), and
+        triples are normalized to complement-free canonical form before
+        the cache lookup:
+
+        * ``ITE(f, f, h) = ITE(f, 1, h)`` and ``ITE(f, g, f) = ITE(f, g, 0)``;
+        * ``ITE(f, 1, h)`` (OR) and ``ITE(f, g, 0)`` (AND) are commutative —
+          operands are ordered by ``(level, id)`` so both argument orders
+          share one cache entry.
+        """
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        level_of = self._level_of_var
+        var_at = self._var_at_level
+        cache = self._ite_cache
+        nvars = len(level_of)
+        mk = self._mk
+
+        results: List[int] = []
+        # Frames: (0, f, g, h) = evaluate triple; (1, var, key) = reduce.
+        tasks: List[Tuple[int, ...]] = [(0, f, g, h)]
+        pop = tasks.pop
+        push = tasks.append
+        while tasks:
+            frame = pop()
+            if frame[0]:
+                _, var, key = frame
+                hi_r = results.pop()
+                lo_r = results.pop()
+                r = mk(var, lo_r, hi_r)
+                cache[key] = r
+                results.append(r)
+                continue
+            _, f, g, h = frame
+            # Terminal rules.
+            if f == TRUE_ID:
+                results.append(g)
+                continue
+            if f == FALSE_ID:
+                results.append(h)
+                continue
+            if g == h:
+                results.append(g)
+                continue
+            # Equal-operand reductions (complement-free standard triples).
+            if g == f:
+                g = TRUE_ID
+            elif h == f:
+                h = FALSE_ID
+            if g == TRUE_ID and h == FALSE_ID:
+                results.append(f)
+                continue
+            fl = level_of[var_arr[f]]
+            if g == TRUE_ID:
+                # OR(f, h): commutative, h is non-terminal here.
+                hl = level_of[var_arr[h]]
+                if hl < fl or (hl == fl and h < f):
+                    f, h = h, f
+                    fl = hl
+            elif h == FALSE_ID:
+                # AND(f, g): commutative, g is non-terminal here.
+                gl = level_of[var_arr[g]]
+                if gl < fl or (gl == fl and g < f):
+                    f, g = g, f
+                    fl = gl
+            key = (f, g, h)
+            r = cache.get(key)
+            # A cached result whose slot was freed by a swap (and not yet
+            # recycled) is detectably stale: its var is the terminal marker
+            # but it is not a terminal.  Treat as a miss and overwrite.
+            if r is not None and (r <= TRUE_ID or var_arr[r] != _TERMINAL_VAR):
+                self.ite_hits += 1
+                results.append(r)
+                continue
+            self.ite_misses += 1
+            gv = var_arr[g]
+            gl = nvars if gv < 0 else level_of[gv]
+            hv = var_arr[h]
+            hl = nvars if hv < 0 else level_of[hv]
+            level = fl
+            if gl < level:
+                level = gl
+            if hl < level:
+                level = hl
+            if fl == level:
+                f0, f1 = lo_arr[f], hi_arr[f]
+            else:
+                f0 = f1 = f
+            if gl == level:
+                g0, g1 = lo_arr[g], hi_arr[g]
+            else:
+                g0 = g1 = g
+            if hl == level:
+                h0, h1 = lo_arr[h], hi_arr[h]
+            else:
+                h0 = h1 = h
+            push((1, var_at[level], key))
+            push((0, f1, g1, h1))
+            push((0, f0, g0, h0))
+        if len(cache) > self.cache_limit:
+            cache.clear()
+            self.cache_resets += 1
+        return results[-1]
 
     def ite(self, f: Function, g: Function, h: Function) -> Function:
         return self._wrap(self._ite(f.id, g.id, h.id))
@@ -345,60 +649,209 @@ class BddManager:
         return self._wrap(self._ite(f.id, self._ite(g.id, FALSE_ID, TRUE_ID), g.id))
 
     def conjoin(self, functions: Iterable[Function]) -> Function:
-        result = self.true
-        for f in functions:
-            result = result & f
-        return result
+        """AND of ``functions``, combined as a balanced tree.
+
+        Pairwise rounds keep intermediate BDDs small compared to a left
+        fold (the classic array-reduction trick); the result is canonical
+        either way.
+        """
+        ids = [f.id for f in functions]
+        if not ids:
+            return self.true
+        ite = self._ite
+        while len(ids) > 1:
+            nxt = [
+                ite(ids[i], ids[i + 1], FALSE_ID)
+                for i in range(0, len(ids) - 1, 2)
+            ]
+            if len(ids) % 2:
+                nxt.append(ids[-1])
+            ids = nxt
+        return self._wrap(ids[0])
 
     def disjoin(self, functions: Iterable[Function]) -> Function:
-        result = self.false
-        for f in functions:
-            result = result | f
-        return result
+        """OR of ``functions``, combined as a balanced tree."""
+        ids = [f.id for f in functions]
+        if not ids:
+            return self.false
+        ite = self._ite
+        while len(ids) > 1:
+            nxt = [
+                ite(ids[i], TRUE_ID, ids[i + 1])
+                for i in range(0, len(ids) - 1, 2)
+            ]
+            if len(ids) % 2:
+                nxt.append(ids[-1])
+            ids = nxt
+        return self._wrap(ids[0])
 
     # ------------------------------------------------------------------
     # Cofactors, quantification, composition
     # ------------------------------------------------------------------
 
     def _restrict(self, nid: int, var: int, value: bool) -> int:
-        target_level = self._level_of_var[var]
-        cache_key = ("restrict", nid, var, value)
-        cached = self._op_cache.get(cache_key)
-        if cached is not None:
-            return cached
         level = self._top_level(nid)
+        target_level = self._level_of_var[var]
         if level > target_level:
-            result = nid
-        elif level == target_level:
-            result = self._hi[nid] if value else self._lo[nid]
-        else:
-            lo = self._restrict(self._lo[nid], var, value)
-            hi = self._restrict(self._hi[nid], var, value)
-            result = self._mk(self._var[nid], lo, hi)
-        self._op_cache[cache_key] = result
+            return nid
+        if level == target_level:
+            return self._hi[nid] if value else self._lo[nid]
+        # Dedicated int-keyed cache: (node, var*2 + value).
+        cache_key = (nid, (var << 1) | value)
+        cached = self._restrict_cache.get(cache_key)
+        if cached is not None and not self._is_stale(cached):
+            self.restrict_hits += 1
+            return cached
+        self.restrict_misses += 1
+        lo = self._restrict(self._lo[nid], var, value)
+        hi = self._restrict(self._hi[nid], var, value)
+        result = self._mk(self._var[nid], lo, hi)
+        cache = self._restrict_cache
+        cache[cache_key] = result
+        if len(cache) > self.cache_limit:
+            cache.clear()
+            self.cache_resets += 1
         return result
 
     def restrict(self, f: Function, var: int, value: bool) -> Function:
         return self._wrap(self._restrict(f.id, var, value))
 
-    def _exists_one(self, nid: int, var: int) -> int:
-        lo = self._restrict(nid, var, False)
-        hi = self._restrict(nid, var, True)
-        return self._ite(lo, TRUE_ID, hi)
+    def _exists_cube(self, nid: int, cube: int) -> int:
+        """Existentially quantify the positive-cube ``cube`` out of ``nid``.
+
+        One traversal for the whole variable set (instead of one
+        restrict+OR pass per variable), with early termination on TRUE
+        and its own cache (``_quant_cache``).
+        """
+        if nid <= TRUE_ID or cube == TRUE_ID:
+            return nid
+        var_arr = self._var
+        level_of = self._level_of_var
+        nl = level_of[var_arr[nid]]
+        # Drop cube variables above the node: vacuously quantified.
+        hi_arr = self._hi
+        while cube > TRUE_ID and level_of[var_arr[cube]] < nl:
+            cube = hi_arr[cube]
+        if cube <= TRUE_ID:
+            return nid
+        key = (nid, cube, -1)
+        cached = self._quant_cache.get(key)
+        if cached is not None and not self._is_stale(cached):
+            self.quant_hits += 1
+            return cached
+        self.quant_misses += 1
+        lo_arr = self._lo
+        if level_of[var_arr[cube]] == nl:
+            # Quantified variable: OR of the cofactor results.
+            rest = hi_arr[cube]
+            r0 = self._exists_cube(lo_arr[nid], rest)
+            if r0 == TRUE_ID:
+                result = TRUE_ID
+            else:
+                r1 = self._exists_cube(hi_arr[nid], rest)
+                result = self._ite(r0, TRUE_ID, r1)
+        else:
+            r0 = self._exists_cube(lo_arr[nid], cube)
+            r1 = self._exists_cube(hi_arr[nid], cube)
+            result = self._mk(var_arr[nid], r0, r1)
+        cache = self._quant_cache
+        cache[key] = result
+        if len(cache) > self.cache_limit:
+            cache.clear()
+            self.cache_resets += 1
+        return result
+
+    @staticmethod
+    def _check_positive_cube(manager: "BddManager", nid: int) -> None:
+        while nid > TRUE_ID:
+            if manager._lo[nid] != FALSE_ID:
+                raise ValueError("cube must be a conjunction of positive literals")
+            nid = manager._hi[nid]
+        if nid != TRUE_ID:
+            raise ValueError("cube must be a conjunction of positive literals")
 
     def exists(self, f: Function, variables: Iterable[int]) -> Function:
-        nid = f.id
-        for var in sorted(variables, key=self.level_of):
-            nid = self._exists_one(nid, var)
-        return self._wrap(nid)
+        return self._wrap(
+            self._exists_cube(f.id, self._positive_cube_id(variables))
+        )
+
+    def exists_cube(self, f: Function, cube: Function) -> Function:
+        """Like :meth:`exists` but over a prebuilt positive cube.
+
+        Callers quantifying the same variable set repeatedly (e.g. the
+        s-graph builder's per-level smoothing) build the cube once and
+        reuse it, keeping the quantification cache hot.
+        """
+        self._check_positive_cube(self, cube.id)
+        return self._wrap(self._exists_cube(f.id, cube.id))
 
     def forall(self, f: Function, variables: Iterable[int]) -> Function:
-        nid = f.id
-        for var in sorted(variables, key=self.level_of):
-            lo = self._restrict(nid, var, False)
-            hi = self._restrict(nid, var, True)
-            nid = self._ite(lo, hi, FALSE_ID)
-        return self._wrap(nid)
+        # By duality over the canonical store: forall x.f == ~exists x.~f.
+        neg = self._ite(f.id, FALSE_ID, TRUE_ID)
+        ex = self._exists_cube(neg, self._positive_cube_id(variables))
+        return self._wrap(self._ite(ex, FALSE_ID, TRUE_ID))
+
+    def _and_exists(self, f: int, g: int, cube: int) -> int:
+        """Relational product: exists cube . (f & g), in one traversal."""
+        if f == FALSE_ID or g == FALSE_ID:
+            return FALSE_ID
+        if f == TRUE_ID:
+            return self._exists_cube(g, cube)
+        if g == TRUE_ID or f == g:
+            return self._exists_cube(f, cube)
+        if g < f:  # AND is commutative: canonical operand order
+            f, g = g, f
+        var_arr = self._var
+        level_of = self._level_of_var
+        fl = level_of[var_arr[f]]
+        gl = level_of[var_arr[g]]
+        top = fl if fl < gl else gl
+        hi_arr = self._hi
+        while cube > TRUE_ID and level_of[var_arr[cube]] < top:
+            cube = hi_arr[cube]
+        if cube <= TRUE_ID:
+            return self._ite(f, g, FALSE_ID)
+        key = (f, g, cube)
+        cached = self._quant_cache.get(key)
+        if cached is not None and not self._is_stale(cached):
+            self.quant_hits += 1
+            return cached
+        self.quant_misses += 1
+        lo_arr = self._lo
+        if fl == top:
+            f0, f1 = lo_arr[f], hi_arr[f]
+        else:
+            f0 = f1 = f
+        if gl == top:
+            g0, g1 = lo_arr[g], hi_arr[g]
+        else:
+            g0 = g1 = g
+        if level_of[var_arr[cube]] == top:
+            rest = hi_arr[cube]
+            r0 = self._and_exists(f0, g0, rest)
+            if r0 == TRUE_ID:
+                result = TRUE_ID
+            else:
+                r1 = self._and_exists(f1, g1, rest)
+                result = self._ite(r0, TRUE_ID, r1)
+        else:
+            r0 = self._and_exists(f0, g0, cube)
+            r1 = self._and_exists(f1, g1, cube)
+            result = self._mk(self._var_at_level[top], r0, r1)
+        cache = self._quant_cache
+        cache[key] = result
+        if len(cache) > self.cache_limit:
+            cache.clear()
+            self.cache_resets += 1
+        return result
+
+    def and_exists(
+        self, f: Function, g: Function, variables: Iterable[int]
+    ) -> Function:
+        """``exists variables . (f & g)`` without building ``f & g``."""
+        return self._wrap(
+            self._and_exists(f.id, g.id, self._positive_cube_id(variables))
+        )
 
     def compose(self, f: Function, var: int, g: Function) -> Function:
         """Substitute ``g`` for ``var`` in ``f``."""
@@ -437,20 +890,66 @@ class BddManager:
                 stack.append(self._hi[nid])
         return len(seen)
 
-    def support(self, f: Function) -> Set[int]:
-        seen: Set[int] = set()
-        result: Set[int] = set()
-        stack = [f.id]
+    def _support_ids(self, nid: int) -> FrozenSet[int]:
+        """Support of ``nid``, memoized per node (purged on collect).
+
+        Supports are order-independent, so entries survive reordering like
+        the other caches.
+        """
+        cache = self._support_cache
+        cached = cache.get(nid)
+        if cached is not None:
+            return cached
+        empty: FrozenSet[int] = frozenset()
+        if nid <= TRUE_ID:
+            return empty
+        lo_arr, hi_arr, var_arr = self._lo, self._hi, self._var
+        stack = [nid]
         while stack:
-            nid = stack.pop()
-            if nid in seen:
+            n = stack[-1]
+            if n <= TRUE_ID or n in cache:
+                stack.pop()
                 continue
-            seen.add(nid)
-            if self._var[nid] != _TERMINAL_VAR:
-                result.add(self._var[nid])
-                stack.append(self._lo[nid])
-                stack.append(self._hi[nid])
-        return result
+            lo, hi = lo_arr[n], hi_arr[n]
+            ready = True
+            if lo > TRUE_ID and lo not in cache:
+                stack.append(lo)
+                ready = False
+            if hi > TRUE_ID and hi not in cache:
+                stack.append(hi)
+                ready = False
+            if ready:
+                stack.pop()
+                lo_sup = cache.get(lo, empty)
+                hi_sup = cache.get(hi, empty)
+                cache[n] = frozenset({var_arr[n]}) | lo_sup | hi_sup
+        return cache[nid]
+
+    def support(self, f: Function) -> Set[int]:
+        return set(self._support_ids(f.id))
+
+    def interaction_pairs(self) -> Set[Tuple[int, int]]:
+        """Pairs ``(a, b)``, ``a < b``, co-occurring in some live root's support.
+
+        Two variables that never interact can swap levels without touching
+        a single node — the sifting loop uses this to skip the subtable
+        scan entirely (see :meth:`swap_levels`).  The matrix is computed
+        from the current live handles; it stays valid for the duration of
+        one sifting pass because reordering never changes the function any
+        root denotes.
+        """
+        pairs: Set[Tuple[int, int]] = set()
+        seen_roots: Set[int] = set()
+        for ref in list(self._handles.values()):
+            handle = ref()
+            if handle is None or handle.id in seen_roots:
+                continue
+            seen_roots.add(handle.id)
+            sup = sorted(self._support_ids(handle.id))
+            for i, a in enumerate(sup):
+                for b in sup[i + 1:]:
+                    pairs.add((a, b))
+        return pairs
 
     def evaluate(self, f: Function, assignment: Dict[int, bool]) -> bool:
         nid = f.id
@@ -477,8 +976,6 @@ class BddManager:
 
         def rank(level: int) -> int:
             """Number of counted levels strictly above ``level``."""
-            import bisect
-
             return bisect.bisect_left(levels, level)
 
         memo: Dict[int, int] = {}
@@ -563,83 +1060,217 @@ class BddManager:
                 roots.add(handle.id)
         return roots
 
+    def live_node_count(self) -> int:
+        """Non-terminal nodes holding references, in O(1).
+
+        Maintained incrementally by every operation including
+        :meth:`swap_levels` — the sifting loop reads this between swaps
+        without collecting.
+        """
+        return self._live_count
+
+    def live_nodes_at_level(self, level: int) -> int:
+        """Live node count of one level, in O(1)."""
+        var = self._var_at_level[level]
+        return len(self._nodes_of_var[var]) - self._dead_of_var[var]
+
     def collect(self) -> int:
-        """Mark-and-sweep from live handles; returns nodes freed."""
-        marked: Set[int] = {FALSE_ID, TRUE_ID}
-        stack = list(self.live_roots())
-        while stack:
-            nid = stack.pop()
-            if nid in marked:
-                continue
-            marked.add(nid)
-            stack.append(self._lo[nid])
-            stack.append(self._hi[nid])
-        freed = 0
-        for var, nodes in self._nodes_of_var.items():
-            dead = [nid for nid in nodes if nid not in marked]
-            for nid in dead:
-                nodes.discard(nid)
-                key = (self._var[nid], self._lo[nid], self._hi[nid])
-                if self._unique.get(key) == nid:
-                    del self._unique[key]
-                self._var[nid] = _TERMINAL_VAR
-                self._free.append(nid)
-                freed += 1
-        if freed:
-            self._ite_cache.clear()
-            self._op_cache.clear()
+        """Reclaim unreferenced nodes; returns nodes freed.
+
+        Reference counts are exact on a DAG, so collection is a sweep of
+        the dead set (plus any in-flight intermediate roots that were
+        never referenced), not a mark-and-sweep.  Operation caches are
+        *purged of entries mentioning freed ids* rather than cleared —
+        everything else they hold is still valid — after which the
+        quarantined ids (both this sweep's and any freed eagerly by swaps
+        since the last collect) are recycled into the allocation freelist.
+        """
+        self.collect_count += 1
+        self._drain_handle_deaths()
+        ref = self._ref
+        is_dead = self._is_dead
+        # Unreferenced newborns (intermediate results nobody wrapped) are
+        # garbage too: release their child references so they join the
+        # dead set, then sweep everything flagged.
+        for nodes in self._nodes_of_var.values():
+            for nid in nodes:
+                if ref[nid] == 0 and not is_dead[nid]:
+                    self._mark_dead(nid)
+        freed = len(self._dead_set)
+        while self._dead_set:
+            self._free_dead_node(next(iter(self._dead_set)))
+        if self._pending_free:
+            self._purge_caches(set(self._pending_free))
+            self._free.extend(self._pending_free)
+            self._pending_free.clear()
         return freed
 
-    def live_node_count(self) -> int:
-        """Total non-terminal nodes currently allocated (post-collect size)."""
-        return sum(len(nodes) for nodes in self._nodes_of_var.values())
+    def _purge_caches(self, freed: Set[int]) -> None:
+        """Drop cache entries that mention any freed node id.
+
+        Freed ids are recycled by ``_mk`` and would otherwise alias new,
+        unrelated functions; every entry that never touched a freed id
+        remains valid and stays.
+        """
+        self._ite_cache = {
+            k: v
+            for k, v in self._ite_cache.items()
+            if v not in freed
+            and k[0] not in freed
+            and k[1] not in freed
+            and k[2] not in freed
+        }
+        self._restrict_cache = {
+            k: v
+            for k, v in self._restrict_cache.items()
+            if k[0] not in freed and v not in freed
+        }
+        self._quant_cache = {
+            k: v
+            for k, v in self._quant_cache.items()
+            if v not in freed
+            and k[0] not in freed
+            and k[1] not in freed
+            and k[2] not in freed
+        }
+        self._support_cache = {
+            k: v for k, v in self._support_cache.items() if k not in freed
+        }
 
     # ------------------------------------------------------------------
     # Dynamic reordering primitive: adjacent level swap
     # ------------------------------------------------------------------
 
-    def swap_levels(self, level: int) -> None:
+    def swap_levels(
+        self, level: int, interaction: Optional[Set[Tuple[int, int]]] = None
+    ) -> None:
         """Swap the variables at ``level`` and ``level + 1`` in place.
 
         Every live :class:`Function` handle keeps denoting the same Boolean
         function; node ids are stable, only labels/children are rewritten.
+        Reference counts and per-level live totals are maintained
+        incrementally, and the operation caches are left intact (node ids
+        keep denoting the same functions across a swap, so every cached
+        entry stays valid).
+
+        ``interaction`` (from :meth:`interaction_pairs`) enables the fast
+        path: when the two variables co-occur in no live root's support, no
+        node can have the lower variable in its cofactor structure, so the
+        swap reduces to exchanging the two level map entries.
         """
         if not 0 <= level < self.num_vars - 1:
             raise ValueError(f"cannot swap level {level}")
         self.swap_count += 1
         x = self._var_at_level[level]
         y = self._var_at_level[level + 1]
+        if interaction is not None:
+            pair = (x, y) if x < y else (y, x)
+            if pair not in interaction:
+                self.swap_skips += 1
+                self._var_at_level[level], self._var_at_level[level + 1] = y, x
+                self._level_of_var[x] = level + 1
+                self._level_of_var[y] = level
+                return
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        is_dead = self._is_dead
+        nodes_x = self._nodes_of_var[x]
+        nodes_y = self._nodes_of_var[y]
+        unique = self._unique
+        self._drain_handle_deaths()
+        # Sweep ALL dead nodes into the quarantine pool before touching
+        # structure.  Relabeling a corpse would manufacture two fresh dead
+        # children per swap (compounding swap over swap with collection
+        # deferred to once per pass), and any dead node left behind while
+        # the levels move could later be resurrected with structure that no
+        # longer means what it did when the node died.  Freeing instead is
+        # safe: dead nodes hold no child references, and the ids stay
+        # un-recycled until collect() purges the caches of them (stale
+        # cache hits are screened out by _is_stale).  The sweep is O(dead)
+        # via _dead_set and each node is freed at most once, so the
+        # amortized cost per swap is bounded by the swap's own work.
+        while self._dead_set:
+            self._free_dead_node(next(iter(self._dead_set)))
         affected = [
             nid
-            for nid in self._nodes_of_var[x]
-            if self._var[self._lo[nid]] == y or self._var[self._hi[nid]] == y
+            for nid in nodes_x
+            if var_arr[lo_arr[nid]] == y or var_arr[hi_arr[nid]] == y
         ]
         for nid in affected:
-            f0, f1 = self._lo[nid], self._hi[nid]
-            if self._var[f0] == y:
-                f00, f01 = self._lo[f0], self._hi[f0]
+            f0, f1 = lo_arr[nid], hi_arr[nid]
+            if var_arr[f0] == y:
+                f00, f01 = lo_arr[f0], hi_arr[f0]
             else:
                 f00 = f01 = f0
-            if self._var[f1] == y:
-                f10, f11 = self._lo[f1], self._hi[f1]
+            if var_arr[f1] == y:
+                f10, f11 = lo_arr[f1], hi_arr[f1]
             else:
                 f10 = f11 = f1
             g0 = self._mk(x, f00, f10)
+            self._incref(g0)
             g1 = self._mk(x, f01, f11)
+            self._incref(g1)
             # Relabel nid from an x-node into a y-node.
-            del self._unique[(x, f0, f1)]
-            self._nodes_of_var[x].discard(nid)
-            self._var[nid] = y
-            self._lo[nid] = g0
-            self._hi[nid] = g1
-            assert (y, g0, g1) not in self._unique, "canonicity violated in swap"
-            self._unique[(y, g0, g1)] = nid
-            self._nodes_of_var[y].add(nid)
+            del unique[(x, f0, f1)]
+            nodes_x.discard(nid)
+            var_arr[nid] = y
+            lo_arr[nid] = g0
+            hi_arr[nid] = g1
+            clash = unique.get((y, g0, g1))
+            if clash is not None:
+                # Only a node killed earlier in this very swap (by a child
+                # decref) can occupy the slot: free the corpse and take it.
+                # A *live* occupant would mean canonicity is broken.
+                assert is_dead[clash], "canonicity violated in swap"
+                self._free_dead_node(clash)
+            unique[(y, g0, g1)] = nid
+            nodes_y.add(nid)
+            self._decref(f0)
+            self._decref(f1)
         self._var_at_level[level], self._var_at_level[level + 1] = y, x
         self._level_of_var[x] = level + 1
         self._level_of_var[y] = level
-        self._ite_cache.clear()
-        self._op_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Counters & metrics export
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of the engine's performance counters."""
+        return {
+            "swaps": self.swap_count,
+            "swap_skips": self.swap_skips,
+            "collects": self.collect_count,
+            "nodes_freed": self.nodes_freed,
+            "peak_nodes": self.peak_nodes,
+            "live_nodes": self._live_count,
+            "dead_nodes": self._dead_count,
+            "ite_cache_hits": self.ite_hits,
+            "ite_cache_misses": self.ite_misses,
+            "restrict_cache_hits": self.restrict_hits,
+            "restrict_cache_misses": self.restrict_misses,
+            "quant_cache_hits": self.quant_hits,
+            "quant_cache_misses": self.quant_misses,
+            "cache_resets": self.cache_resets,
+        }
+
+    def export_metrics(self, registry, prefix: str = "bdd") -> None:
+        """Publish counters into a :class:`repro.obs.MetricsRegistry`.
+
+        Counter metrics are brought up to the current snapshot (delta
+        export, so repeated calls never double-count); node totals land in
+        gauges.
+        """
+        snapshot = self.counters()
+        live = snapshot.pop("live_nodes")
+        peak = snapshot.pop("peak_nodes")
+        registry.gauge(f"{prefix}_live_nodes").set(live)
+        registry.gauge(f"{prefix}_peak_nodes").set(peak)
+        for name, value in snapshot.items():
+            counter = registry.counter(f"{prefix}_{name}")
+            if value > counter.value:
+                counter.inc(value - counter.value)
 
     # ------------------------------------------------------------------
     # Debug invariants
@@ -647,6 +1278,7 @@ class BddManager:
 
     def check(self) -> None:
         """Validate manager invariants (used by the test-suite)."""
+        self._drain_handle_deaths()
         assert sorted(self._var_at_level) == list(range(self.num_vars))
         for var, level in enumerate(self._level_of_var):
             assert self._var_at_level[level] == var
@@ -658,6 +1290,48 @@ class BddManager:
                     assert (
                         self._level_of_var[self._var[child]] > self._level_of_var[var]
                     ), "ordering violated"
+        allocated: Set[int] = set()
         for var, nodes in self._nodes_of_var.items():
             for nid in nodes:
                 assert self._var[nid] == var
+                allocated.add(nid)
+            dead_here = sum(1 for nid in nodes if self._is_dead[nid])
+            assert dead_here == self._dead_of_var[var], (
+                f"dead count of var {var}: {dead_here} != {self._dead_of_var[var]}"
+            )
+        assert self._dead_count == sum(self._dead_of_var.values())
+        assert self._live_count == len(allocated) - self._dead_count
+        assert self._dead_set == {n for n in allocated if self._is_dead[n]}
+        for nid in self._pending_free:
+            assert self._var[nid] == _TERMINAL_VAR and nid not in allocated
+        # Reference counts must equal edges-from-live-nodes plus handles.
+        expected: Dict[int, int] = {nid: 0 for nid in allocated}
+        for nid in allocated:
+            if self._is_dead[nid]:
+                assert self._ref[nid] == 0, f"dead node {nid} has references"
+                continue
+            for child in (self._lo[nid], self._hi[nid]):
+                if child > TRUE_ID:
+                    expected[child] += 1
+        for root in (h.id for h in map(lambda r: r(), self._handles.values()) if h):
+            if root > TRUE_ID:
+                expected[root] += 1
+        for nid in allocated:
+            if not self._is_dead[nid]:
+                assert self._ref[nid] == expected[nid], (
+                    f"refcount of {nid}: {self._ref[nid]} != {expected[nid]}"
+                )
+        # Caches may mention allocated/terminal ids, or quarantined ids
+        # (freed by a swap, screened out on lookup by _is_stale, recycled
+        # only after the next collect purges them).
+        valid = allocated | {FALSE_ID, TRUE_ID} | set(self._pending_free)
+        for (f, g, h), r in self._ite_cache.items():
+            assert {f, g, h, r} <= valid, "ite cache references a recycled id"
+        for (nid, _), r in self._restrict_cache.items():
+            assert nid in valid and r in valid, (
+                "restrict cache references a recycled id"
+            )
+        for (f, g, c), r in self._quant_cache.items():
+            assert {f, g if g >= 0 else TRUE_ID, c if c >= 0 else TRUE_ID, r} <= valid
+        for nid in self._support_cache:
+            assert nid in valid, "support cache references a recycled id"

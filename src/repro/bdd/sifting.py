@@ -14,6 +14,18 @@ Two extensions needed by the synthesis flow are provided here:
 * **group sifting** — variables may be tied into contiguous blocks that move
   as a unit (used for the binary encodings of multi-valued variables, see
   :mod:`repro.bdd.mdd`).
+
+A pass is engineered around the manager's incremental bookkeeping:
+
+* it garbage-collects **exactly once, up front** — afterwards every size
+  probe is the manager's O(1) :meth:`~repro.bdd.BddManager.live_node_count`
+  (or the caller's metric), never a collection;
+* the *interaction matrix* (variable pairs co-occurring in some live root's
+  support) is computed once per pass and threaded into every
+  ``swap_levels`` call, turning swaps of non-interacting pairs into pure
+  level-map updates;
+* the block layout and the ``var -> block index`` map are built once per
+  pass and maintained across moves instead of being recomputed per block.
 """
 
 from __future__ import annotations
@@ -95,25 +107,36 @@ def _block_list(
     return blocks
 
 
-def _swap_adjacent_blocks(manager: BddManager, top: List[int], bottom: List[int]) -> None:
+def _swap_adjacent_blocks(
+    manager: BddManager,
+    top: List[int],
+    bottom: List[int],
+    interaction: Optional[Set[Tuple[int, int]]] = None,
+) -> None:
     """Exchange two adjacent contiguous blocks via elementary swaps."""
     # Move each variable of `top` below all of `bottom`, bottom-most first.
     for var in sorted(top, key=manager.level_of, reverse=True):
         for _ in range(len(bottom)):
-            manager.swap_levels(manager.level_of(var))
+            manager.swap_levels(manager.level_of(var), interaction=interaction)
 
 
 def _block_index_bounds(
     blocks: List[List[int]],
     index: int,
     constraints: Optional[PrecedenceConstraints],
+    where: Optional[Dict[int, int]] = None,
 ) -> Tuple[int, int]:
-    """Allowed inclusive (min_index, max_index) positions for blocks[index]."""
+    """Allowed inclusive (min_index, max_index) positions for blocks[index].
+
+    ``where`` (var -> block index) may be passed in by a caller that already
+    maintains it; otherwise it is derived from ``blocks``.
+    """
     if constraints is None:
         return 0, len(blocks) - 1
     block_set = set(blocks[index])
     lo_idx, hi_idx = 0, len(blocks) - 1
-    where = {var: j for j, block in enumerate(blocks) for var in block}
+    if where is None:
+        where = {var: j for j, block in enumerate(blocks) for var in block}
     for var in block_set:
         for above in constraints.must_stay_above(var):
             if above in block_set:
@@ -144,24 +167,34 @@ def sift(
     total live-node count is minimal.  The search for one block aborts early
     once the table grows past ``max_growth`` times the best size seen.
 
+    The pass performs exactly one :meth:`~repro.bdd.BddManager.collect`
+    (here, up front); every subsequent size probe rides on the manager's
+    incrementally-maintained counts.
+
     ``profile`` (a :class:`repro.obs.SiftProfile`) receives one sample per
     block placement — the reorder-over-time trajectory.
     """
     manager.collect()
     if metric is None:
         metric = manager.live_node_count
-    schedule: List[FrozenSet[int]] = [
-        frozenset(block) for block in _block_list(manager, groups)
-    ]
+    # One interaction matrix per pass: swaps between variables that co-occur
+    # in no live root's support reduce to O(1) level-map updates.
+    interaction = manager.interaction_pairs()
+    # One block layout per pass, maintained across moves (the old
+    # implementation re-derived blocks and the where-map for every block).
+    blocks = _block_list(manager, groups)
+    where: Dict[int, int] = {
+        var: j for j, block in enumerate(blocks) for var in block
+    }
+    schedule: List[FrozenSet[int]] = [frozenset(block) for block in blocks]
     schedule.sort(
         key=lambda block: -sum(len(manager._nodes_of_var[v]) for v in block)
     )
 
     for block_vars in schedule:
-        blocks = _block_list(manager, groups)
-        index = next(i for i, b in enumerate(blocks) if frozenset(b) == block_vars)
+        index = where[next(iter(block_vars))]
         block = blocks[index]
-        lo_idx, hi_idx = _block_index_bounds(blocks, index, constraints)
+        lo_idx, hi_idx = _block_index_bounds(blocks, index, constraints, where)
         if lo_idx == hi_idx == index:
             continue
 
@@ -172,15 +205,18 @@ def sift(
             nonlocal current
             neighbor = blocks[current + direction]
             if direction > 0:
-                _swap_adjacent_blocks(manager, block, neighbor)
+                _swap_adjacent_blocks(manager, block, neighbor, interaction)
             else:
-                _swap_adjacent_blocks(manager, neighbor, block)
+                _swap_adjacent_blocks(manager, neighbor, block, interaction)
             blocks[current], blocks[current + direction] = (
                 blocks[current + direction],
                 blocks[current],
             )
+            for var in blocks[current]:
+                where[var] = current
+            for var in blocks[current + direction]:
+                where[var] = current + direction
             current += direction
-            manager.collect()
 
         # Phase 1: sift down towards hi_idx.
         while current < hi_idx:
@@ -206,7 +242,6 @@ def sift(
         if profile is not None:
             profile.sample("block", metric(), manager.swap_count)
 
-    manager.collect()
     if constraints is not None:
         assert constraints.is_satisfied(manager), "sifting violated constraints"
     return metric()

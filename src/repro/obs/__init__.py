@@ -12,7 +12,8 @@ against (the tentpole of the observability PR):
   trace-event JSON (opens in Perfetto / ``chrome://tracing``);
 * :mod:`repro.obs.profile` — the :class:`SiftProfile` collector for the
   BDD reordering loop;
-* :mod:`repro.obs.schema` — structural validators for both documents;
+* :mod:`repro.obs.schema` — structural validators for the trace documents
+  and the ``repro-bdd-bench/v1`` engine-benchmark report;
 * :mod:`repro.obs.report` — the shared reporter behind ``repro report``.
 
 Nothing here imports the rest of ``repro``, so any layer can depend on it.
@@ -40,8 +41,10 @@ from .report import (
 )
 from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT, RunEvent, RunTrace
 from .schema import (
+    BDD_BENCH_FORMAT,
     BUILD_TRACE_FORMAT,
     assert_valid_trace,
+    validate_bdd_bench,
     validate_build_trace,
     validate_run_trace,
     validate_trace,
@@ -63,6 +66,7 @@ __all__ = [
     "RUN_TRACE_FORMAT",
     "RUN_EVENT_KINDS",
     "BUILD_TRACE_FORMAT",
+    "BDD_BENCH_FORMAT",
     "chrome_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
@@ -70,6 +74,7 @@ __all__ = [
     "SiftSample",
     "validate_build_trace",
     "validate_run_trace",
+    "validate_bdd_bench",
     "validate_trace",
     "assert_valid_trace",
     "render_build_report",

@@ -1,10 +1,11 @@
 """Hand-rolled schema validation for the trace document formats.
 
-The container ships no JSON-Schema dependency, so the two document
-formats — ``repro-build-trace/v1`` and ``repro-run-trace/v1`` — are
-checked by plain structural validators.  Each returns a list of error
-strings (empty means valid) so CI can print every problem at once;
-:func:`assert_valid_trace` wraps either in a raising form.
+The container ships no JSON-Schema dependency, so the document formats —
+``repro-build-trace/v1``, ``repro-run-trace/v1``, and the engine-benchmark
+report ``repro-bdd-bench/v1`` — are checked by plain structural
+validators.  Each returns a list of error strings (empty means valid) so
+CI can print every problem at once; :func:`assert_valid_trace` wraps them
+in a raising form.
 """
 
 from __future__ import annotations
@@ -16,12 +17,20 @@ from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT
 __all__ = [
     "validate_build_trace",
     "validate_run_trace",
+    "validate_bdd_bench",
     "validate_trace",
     "assert_valid_trace",
+    "BUILD_TRACE_FORMAT",
+    "BDD_BENCH_FORMAT",
 ]
 
 BUILD_TRACE_FORMAT = "repro-build-trace/v1"
 _BUILD_EVENT_KINDS = ("pass", "cache", "stage")
+
+BDD_BENCH_FORMAT = "repro-bdd-bench/v1"
+#: Deterministic per-scenario sift fields (counted, not timed — these must
+#: reproduce exactly and are what the CI regression gate compares).
+_BENCH_SIFT_COUNTERS = ("swaps", "collects", "final_size")
 
 #: Per-kind required data fields of a run-trace event.
 _RUN_REQUIRED_FIELDS = {
@@ -146,6 +155,64 @@ def validate_run_trace(doc: Dict[str, Any]) -> List[str]:
     return errors
 
 
+def validate_bdd_bench(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-bdd-bench/v1`` report (BENCH_bdd.json)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != BDD_BENCH_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {BDD_BENCH_FORMAT!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("'smoke' missing or not a boolean")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict):
+        errors.append("'workloads' missing or not an object")
+        workloads = {}
+    for name, wl in workloads.items():
+        where = f"workloads[{name!r}]"
+        if not isinstance(wl, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(wl.get("wall_s"), (int, float)) or wl["wall_s"] < 0:
+            errors.append(f"{where}: wall_s must be a non-negative number")
+        if not _is_int(wl.get("ops")) or wl["ops"] <= 0:
+            errors.append(f"{where}: ops must be a positive integer")
+        if not isinstance(wl.get("ops_per_sec"), (int, float)):
+            errors.append(f"{where}: ops_per_sec must be a number")
+    sift = doc.get("sift")
+    if not isinstance(sift, dict) or not sift:
+        errors.append("'sift' missing, not an object, or empty")
+        sift = {}
+    for name, sc in sift.items():
+        where = f"sift[{name!r}]"
+        if not isinstance(sc, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(sc.get("wall_s"), (int, float)) or sc["wall_s"] < 0:
+            errors.append(f"{where}: wall_s must be a non-negative number")
+        for field in _BENCH_SIFT_COUNTERS:
+            if not _is_int(sc.get(field)) or sc[field] < 0:
+                errors.append(f"{where}: {field} must be a non-negative integer")
+        baseline = sc.get("baseline")
+        if baseline is not None:
+            if not isinstance(baseline, dict):
+                errors.append(f"{where}: baseline is not an object")
+            else:
+                if not isinstance(baseline.get("wall_s"), (int, float)):
+                    errors.append(f"{where}: baseline.wall_s must be a number")
+                if not isinstance(sc.get("speedup"), (int, float)):
+                    errors.append(f"{where}: baseline present but no speedup")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("'counters' missing or not an object")
+    else:
+        for key, value in counters.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"counters[{key!r}]: not a number")
+    return errors
+
+
 def validate_trace(doc: Dict[str, Any]) -> List[str]:
     """Dispatch on the document's ``format`` field."""
     if not isinstance(doc, dict):
@@ -155,6 +222,8 @@ def validate_trace(doc: Dict[str, Any]) -> List[str]:
         return validate_build_trace(doc)
     if fmt == RUN_TRACE_FORMAT:
         return validate_run_trace(doc)
+    if fmt == BDD_BENCH_FORMAT:
+        return validate_bdd_bench(doc)
     return [f"unknown trace format {fmt!r}"]
 
 

@@ -65,6 +65,15 @@ def build_sgraph(
         if var in outputs:
             seen_later.append(var)
     later_outputs.reverse()
+    # One smoothing cube per output position, built once and reused across
+    # every vertex at that depth: the quantification below is the hot loop
+    # of the whole construction (it runs twice per ASSIGN vertex), and a
+    # shared cube keeps the manager's quantification cache keyed on the
+    # same (node, cube) pairs throughout.
+    smooth_cubes: Dict[int, Function] = {}
+    for k, var in enumerate(order):
+        if var in outputs and later_outputs[k]:
+            smooth_cubes[k] = manager.cube({v: True for v in later_outputs[k]})
 
     def rec(chi: Function, k: int) -> int:
         if chi.is_false:
@@ -85,9 +94,9 @@ def build_sgraph(
             # not yet assigned (the paper's boxed condition).  Don't-cares
             # (both assignments completable) resolve to 0, "the cheapest
             # option of no assignment".
-            rest = later_outputs[k]
-            can0 = c0.exists(rest) if rest else c0
-            can1 = c1.exists(rest) if rest else c1
+            cube = smooth_cubes.get(k)
+            can0 = c0.exists_cube(cube) if cube is not None else c0
+            can1 = c1.exists_cube(cube) if cube is not None else c1
             label = can1 & ~can0
             # Don't-care simplification: inputs with no valid completion
             # never reach this vertex, so the label only has to be right on

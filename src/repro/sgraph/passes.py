@@ -85,6 +85,15 @@ class OrderPass(Pass):
         metrics: Dict[str, Any] = {"scheme": scheme, "chi_nodes": rf.chi.size()}
         if profile is not None:
             metrics.update(profile.summary())
+            # Kernel-level view of the same reordering run: swap fast-path
+            # hits, collection count, and cache effectiveness ride along in
+            # the build trace next to the sift trajectory.
+            kc = rf.manager.counters()
+            metrics["bdd_swaps"] = kc["swaps"]
+            metrics["bdd_swap_skips"] = kc["swap_skips"]
+            metrics["bdd_collects"] = kc["collects"]
+            metrics["bdd_ite_cache_hits"] = kc["ite_cache_hits"]
+            metrics["bdd_ite_cache_misses"] = kc["ite_cache_misses"]
         return metrics
 
 

@@ -93,12 +93,19 @@ class ReactiveFunction:
     # -- ordering constraints --------------------------------------------------
 
     def support_constraints(self) -> PrecedenceConstraints:
-        """Each output must stay below its own support (Sec. III-B3b)."""
+        """Each output must stay below its own support (Sec. III-B3b).
+
+        Condition BDDs share most of their structure, so the per-action
+        support queries here lean on the manager's per-node support memo:
+        each shared subgraph is traversed once across the whole loop, not
+        once per action.
+        """
         pc = PrecedenceConstraints()
+        outputs = set(self.output_vars)
         for action in self.encoding.actions:
             out = self.encoding.action_vars[action.key()]
             support = self.manager.support(self.conditions[action.key()])
-            pc.add_output_support(out, support - set(self.output_vars))
+            pc.add_output_support(out, support - outputs)
         return pc
 
     def strict_constraints(self) -> PrecedenceConstraints:

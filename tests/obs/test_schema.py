@@ -1,15 +1,24 @@
-"""Structural validators for both trace document formats."""
+"""Structural validators for the trace and benchmark document formats."""
+
+import json
+import os
 
 import pytest
 
 from repro.obs import (
+    BDD_BENCH_FORMAT,
     RunTrace,
     assert_valid_trace,
+    validate_bdd_bench,
     validate_build_trace,
     validate_run_trace,
     validate_trace,
 )
 from repro.pipeline import BuildTrace
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
 
 
 def valid_run_doc():
@@ -89,10 +98,85 @@ class TestBuildTraceValidation:
         assert any("summary.events" in e for e in validate_build_trace(doc))
 
 
+def valid_bench_doc():
+    return {
+        "format": BDD_BENCH_FORMAT,
+        "smoke": True,
+        "workloads": {
+            "construction": {"ops": 3, "wall_s": 0.25, "ops_per_sec": 12.0},
+        },
+        "sift": {
+            "stress": {
+                "wall_s": 1.2,
+                "swaps": 3041,
+                "swap_skips": 0,
+                "collects": 5,
+                "final_size": 1487,
+                "baseline": {"wall_s": 4.26, "swaps": 3041, "final_size": 1487},
+                "speedup": 3.46,
+            },
+        },
+        "counters": {"ite_cache_hits": 10, "ite_cache_misses": 4},
+    }
+
+
+class TestBddBenchValidation:
+    def test_valid_document_has_no_errors(self):
+        assert validate_bdd_bench(valid_bench_doc()) == []
+
+    def test_wrong_format_and_missing_sections(self):
+        doc = valid_bench_doc()
+        doc["format"] = "nope"
+        assert any("format" in e for e in validate_bdd_bench(doc))
+        doc = valid_bench_doc()
+        del doc["sift"]
+        assert any("sift" in e for e in validate_bdd_bench(doc))
+
+    def test_sift_counters_must_be_non_negative_ints(self):
+        doc = valid_bench_doc()
+        doc["sift"]["stress"]["swaps"] = -1
+        assert any("swaps" in e for e in validate_bdd_bench(doc))
+        doc = valid_bench_doc()
+        doc["sift"]["stress"]["collects"] = 2.5
+        assert any("collects" in e for e in validate_bdd_bench(doc))
+
+    def test_baseline_requires_speedup(self):
+        doc = valid_bench_doc()
+        del doc["sift"]["stress"]["speedup"]
+        assert any("speedup" in e for e in validate_bdd_bench(doc))
+
+    def test_workload_fields(self):
+        doc = valid_bench_doc()
+        doc["workloads"]["construction"]["ops"] = 0
+        assert any("ops" in e for e in validate_bdd_bench(doc))
+
+    def test_committed_bench_document_is_valid(self):
+        """BENCH_bdd.json at the repo root must always pass the schema."""
+        path = os.path.join(REPO_ROOT, "BENCH_bdd.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert validate_bdd_bench(doc) == []
+        # The perf-trajectory contract: the stress scenario records the
+        # pre-overhaul baseline next to the measured run.
+        stress = doc["sift"]["stress"]
+        assert "baseline" in stress and "speedup" in stress
+
+    def test_committed_reference_counters_are_valid(self):
+        path = os.path.join(
+            REPO_ROOT, "benchmarks", "results", "bdd_engine_reference.json"
+        )
+        with open(path) as fh:
+            ref = json.load(fh)
+        for name, scenario in ref["sift"].items():
+            for field in ("swaps", "collects", "final_size"):
+                assert isinstance(scenario[field], int), (name, field)
+
+
 class TestDispatch:
     def test_validate_trace_routes_by_format(self):
         assert validate_trace(valid_run_doc()) == []
         assert validate_trace(valid_build_doc()) == []
+        assert validate_trace(valid_bench_doc()) == []
         assert validate_trace({"format": "mystery"}) == [
             "unknown trace format 'mystery'"
         ]
