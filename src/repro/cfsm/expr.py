@@ -49,26 +49,31 @@ def _safe_mod(a: int, b: int) -> int:
 
 
 # op symbol -> (library name, precedence, evaluator)
+# Precedence values mirror C's binding order exactly: the rendered text is
+# parsed by real C compilers (and the difftest C interpreter), so any
+# divergence silently reassociates the emitted expression.  E.g. with + and
+# << on one level, `(a << b) + c` rendered as `a << b + c` means
+# `a << (b + c)` to a C compiler.
 BINARY_OPS: Dict[str, Tuple[str, int, Callable[[int, int], int]]] = {
-    "*": ("MUL", 7, lambda a, b: a * b),
-    "/": ("DIV", 7, _safe_div),
-    "%": ("MOD", 7, _safe_mod),
-    "+": ("ADD", 6, lambda a, b: a + b),
-    "-": ("SUB", 6, lambda a, b: a - b),
-    "<": ("LT", 5, lambda a, b: int(a < b)),
-    "<=": ("LE", 5, lambda a, b: int(a <= b)),
-    ">": ("GT", 5, lambda a, b: int(a > b)),
-    ">=": ("GE", 5, lambda a, b: int(a >= b)),
-    "==": ("EQ", 4, lambda a, b: int(a == b)),
-    "!=": ("NE", 4, lambda a, b: int(a != b)),
-    "&&": ("AND", 3, lambda a, b: int(bool(a) and bool(b))),
-    "||": ("OR", 2, lambda a, b: int(bool(a) or bool(b))),
-    "&": ("BAND", 3, lambda a, b: a & b),
-    "|": ("BOR", 2, lambda a, b: a | b),
-    ">>": ("SHR", 6, lambda a, b: a >> b if b >= 0 else a),
-    "<<": ("SHL", 6, lambda a, b: a << b if 0 <= b < 64 else a),
-    "min": ("MIN", 8, min),
-    "max": ("MAX", 8, max),
+    "*": ("MUL", 12, lambda a, b: a * b),
+    "/": ("DIV", 12, _safe_div),
+    "%": ("MOD", 12, _safe_mod),
+    "+": ("ADD", 11, lambda a, b: a + b),
+    "-": ("SUB", 11, lambda a, b: a - b),
+    "<<": ("SHL", 10, lambda a, b: a << b if 0 <= b < 64 else a),
+    ">>": ("SHR", 10, lambda a, b: a >> b if b >= 0 else a),
+    "<": ("LT", 9, lambda a, b: int(a < b)),
+    "<=": ("LE", 9, lambda a, b: int(a <= b)),
+    ">": ("GT", 9, lambda a, b: int(a > b)),
+    ">=": ("GE", 9, lambda a, b: int(a >= b)),
+    "==": ("EQ", 8, lambda a, b: int(a == b)),
+    "!=": ("NE", 8, lambda a, b: int(a != b)),
+    "&": ("BAND", 7, lambda a, b: a & b),
+    "|": ("BOR", 5, lambda a, b: a | b),
+    "&&": ("AND", 4, lambda a, b: int(bool(a) and bool(b))),
+    "||": ("OR", 3, lambda a, b: int(bool(a) or bool(b))),
+    "min": ("MIN", 13, min),
+    "max": ("MAX", 13, max),
 }
 
 UNARY_OPS: Dict[str, Tuple[str, Callable[[int], int]]] = {
@@ -89,7 +94,7 @@ class Expr:
         raise NotImplementedError
 
     def _precedence(self) -> int:
-        return 10
+        return 100  # leaves and calls never need parentheses
 
     def variables(self) -> Iterator[str]:
         """Names read by this expression (state vars and ``?event`` values)."""
@@ -241,7 +246,7 @@ class UnOp(Expr):
         return fn(self.operand.evaluate(env))
 
     def _precedence(self) -> int:
-        return 9
+        return 13  # C unary operators bind above every binary operator
 
     def render_c(self) -> str:
         inner = self.operand.render_c()

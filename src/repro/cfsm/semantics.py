@@ -86,14 +86,17 @@ def react(
         for action in transition.actions:
             if isinstance(action, AssignState):
                 value = action.value.evaluate(env)
+                if not 0 <= value < action.var.num_values:
+                    value %= action.var.num_values
+                # Compare post-wrap: the observable state effect decides
+                # whether two writes conflict, so the same action enabled
+                # through two transitions never conflicts with itself.
                 prior = state_writers.get(action.var.name)
                 if prior is not None and prior[1] != value:
                     raise CfsmConflictError(
                         f"{cfsm.name}: conflicting writes to {action.var.name}: "
                         f"{prior[1]} vs {value}"
                     )
-                if not 0 <= value < action.var.num_values:
-                    value %= action.var.num_values
                 state_writers[action.var.name] = (action.label(), value)
                 new_state[action.var.name] = value
             elif isinstance(action, Emit):

@@ -22,6 +22,12 @@ Subcommands:
 * ``report``   — summarize any repro trace JSON file (build or run trace)
   as a human-readable report: slowest passes, cache hit rate, per-task
   CPU share, lost events, latency histograms;
+* ``fuzz``     — differential conformance fuzzing: random CFSMs are run
+  through all five executable layers (reference semantics, BDD
+  characteristic function, s-graph, generated C, target ISA) and every
+  reaction is cross-checked bit for bit, with measured cycles held to the
+  estimator's [min, max] bounds; failures are shrunk to minimal replayable
+  repros (``--replay`` re-checks one);
 * ``info``     — summarize a module: events, state variables, transitions,
   reactive-function statistics.
 """
@@ -423,6 +429,71 @@ def _cmd_lint(args) -> int:
     return report.exit_code(args.fail_on)
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from .difftest import (
+        DEFAULT_SCHEMES,
+        FuzzConfig,
+        load_repro_file,
+        replay_file,
+        run_fuzz,
+    )
+    from .obs import render_difftest_report, render_difftest_repro
+
+    if args.replay:
+        failures = 0
+        for path in args.replay:
+            _, _, doc = load_repro_file(path)
+            report = replay_file(path)
+            if report.ok:
+                print(f"PASS  {path}")
+            else:
+                failures += 1
+                print(f"FAIL  {path}")
+                print(render_difftest_repro(doc))
+                for mismatch in report.mismatches[: args.top]:
+                    print(
+                        f"  {mismatch.layer}/{mismatch.kind} "
+                        f"@ snapshot {mismatch.snapshot}: {mismatch.detail}"
+                    )
+        return 1 if failures else 0
+
+    schemes = tuple(args.scheme) if args.scheme else DEFAULT_SCHEMES
+    config = FuzzConfig(
+        seed=args.seed,
+        cases=args.cases,
+        jobs=args.jobs,
+        reactions=args.reactions,
+        schemes=schemes,
+        profile=args.target,
+        est_tolerance=args.est_tol,
+        inject=args.inject or "",
+        shrink=not args.no_shrink,
+        smoke=args.smoke,
+    )
+    doc = run_fuzz(config)
+    print(render_difftest_report(doc, top=args.top))
+    if args.out:
+        _write(args.out, json.dumps(doc, indent=2, sort_keys=True))
+        sys.stderr.write(f"wrote campaign report to {args.out}\n")
+    if args.save_failures:
+        import os
+
+        os.makedirs(args.save_failures, exist_ok=True)
+        for failure in doc["failures"]:
+            if not failure.get("repro"):
+                continue
+            path = os.path.join(
+                args.save_failures,
+                f"repro-seed{doc['seed']}-case{failure['index']}.json",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(failure["repro"], handle, indent=2, sort_keys=True)
+            sys.stderr.write(f"wrote shrunk repro to {path}\n")
+    return 1 if doc["summary"]["failures"] else 0
+
+
 def _cmd_info(args) -> int:
     cfsm = compile_source(_read(args.module))
     result = synthesize(cfsm, scheme=args.scheme)
@@ -598,6 +669,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list the registered checks and exit")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing across the five layers",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (case i derives its own stream)")
+    p.add_argument("--cases", type=int, default=100,
+                   help="number of random machines to generate and check")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="check cases on an N-worker process pool")
+    p.add_argument("--reactions", type=int, default=24,
+                   help="input snapshots cross-checked per machine")
+    p.add_argument("--target", default="K11", choices=sorted(PROFILES))
+    p.add_argument("--scheme", action="append",
+                   choices=["naive", "sift", "sift-strict",
+                            "outputs-first", "mixed"],
+                   help="restrict the scheme rotation (repeatable; "
+                        "default rotates through all five)")
+    p.add_argument("--est-tol", type=float, default=0.5,
+                   help="relative tolerance for the estimator bound check")
+    p.add_argument("--inject", default=None,
+                   choices=["cgen-negate-presence", "cgen-drop-wrap",
+                            "isa-stale-detect", "est-halve-max"],
+                   help="inject a named fault (gate self-test: the "
+                        "campaign must catch it)")
+    p.add_argument("--smoke", action="store_true",
+                   help="cheaper checks: fewer reactions per case, no "
+                        "chi-uniqueness sweep")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip shrinking failing cases")
+    p.add_argument("--out", default=None, metavar="OUT.json",
+                   help="write the repro-difftest/v1 campaign document")
+    p.add_argument("--save-failures", default=None, metavar="DIR",
+                   help="write each shrunk repro-difftest-repro/v1 file "
+                        "into this directory")
+    p.add_argument("--replay", action="append", metavar="REPRO.json",
+                   help="re-check a shrunk repro file against the current "
+                        "toolchain (repeatable); skips campaign mode")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per report table")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("info", help="summarize a module")
     p.add_argument("module")

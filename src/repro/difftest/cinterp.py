@@ -1,0 +1,546 @@
+"""A mini-interpreter for the emitted portable C (the fifth layer).
+
+:mod:`repro.codegen.cgen` emits "portable assembly": a flat label/goto
+reaction function whose statements map 1:1 onto s-graph vertices.  The
+other four layers (reference interpreter, BDD, s-graph, ISA simulator)
+all execute *in-memory* structures; none of them would notice if the C
+**text** were wrong — a mis-parenthesized expression, a goto to the wrong
+label, a dropped wrap-around.  This module closes that gap: it parses the
+generated source exactly as a C compiler would (true C operator
+precedence, C truncating ``%``/``/`` semantics, short-circuit ``&&``/
+``||``) and executes one reaction from an input snapshot.
+
+The parser is deliberately *rejecting*: it understands precisely the
+statement shapes ``cgen`` is specified to emit and raises
+:class:`CInterpError` on anything else, so a codegen change that widens
+the emitted grammar fails the conformance gate loudly instead of being
+silently skipped.
+
+Arithmetic note: generated programs compute in ``rt_int`` (int32_t), but
+fuzzed machines keep values far below 2**31 (state domains <= a few bits,
+event widths <= 8), so unbounded Python integers agree with the C
+semantics everywhere the oracle drives this interpreter.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = ["CInterpError", "CReaction", "parse_reaction"]
+
+_STEP_LIMIT = 100_000
+
+
+class CInterpError(Exception):
+    """Unparseable construct or runaway execution in generated C."""
+
+
+# ----------------------------------------------------------------------
+# C expression parsing (true C precedence)
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><<|>>|<=|>=|==|!=|&&|\|\||[-+*/%<>&|^!(),~])"
+    r")"
+)
+
+# C precedence for the binary operators cgen can emit (same scale as
+# repro.cfsm.expr.BINARY_OPS so the two tables can be eyeballed together).
+_BIN_PREC = {
+    "*": 12, "/": 12, "%": 12,
+    "+": 11, "-": 11,
+    "<<": 10, ">>": 10,
+    "<": 9, "<=": 9, ">": 9, ">=": 9,
+    "==": 8, "!=": 8,
+    "&": 7, "^": 6, "|": 5,
+    "&&": 4, "||": 3,
+}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise CInterpError(f"unexpected character {text[pos]!r} in {text!r}")
+        pos = match.end()
+        tokens.append(match.group(match.lastgroup))
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser producing a small AST of tuples.
+
+    Nodes: ("num", n) | ("var", name) | ("call", name, [args]) |
+    ("un", op, operand) | ("bin", op, left, right).
+    """
+
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        self.text = text
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise CInterpError(f"unexpected end of expression in {self.text!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise CInterpError(
+                f"expected {token!r}, got {got!r} in {self.text!r}"
+            )
+
+    def parse(self) -> Any:
+        node = self.parse_binary(0)
+        if self.peek() is not None:
+            raise CInterpError(
+                f"trailing tokens {self.tokens[self.pos:]} in {self.text!r}"
+            )
+        return node
+
+    def parse_binary(self, min_prec: int) -> Any:
+        left = self.parse_unary()
+        while True:
+            op = self.peek()
+            if op is None or op not in _BIN_PREC or _BIN_PREC[op] < min_prec:
+                return left
+            self.take()
+            # All these operators are left-associative in C.
+            right = self.parse_binary(_BIN_PREC[op] + 1)
+            left = ("bin", op, left, right)
+
+    def parse_unary(self) -> Any:
+        token = self.peek()
+        if token in ("!", "-", "+", "~"):
+            self.take()
+            return ("un", token, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Any:
+        token = self.take()
+        if token == "(":
+            node = self.parse_binary(0)
+            self.expect(")")
+            return node
+        if token.isdigit():
+            return ("num", int(token))
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            raise CInterpError(f"unexpected token {token!r} in {self.text!r}")
+        if self.peek() == "(":
+            self.take()
+            args: List[Any] = []
+            if self.peek() != ")":
+                args.append(self.parse_binary(0))
+                while self.peek() == ",":
+                    self.take()
+                    args.append(self.parse_binary(0))
+            self.expect(")")
+            return ("call", token, args)
+        return ("var", token)
+
+
+def _parse_expr(text: str) -> Any:
+    return _ExprParser(text).parse()
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise CInterpError("division by zero outside SAFE_DIV")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise CInterpError("modulo by zero outside SAFE_MOD")
+    return a - _c_div(a, b) * b
+
+
+def _eval(node: Any, env: Dict[str, int], present: Set[str]) -> int:
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "var":
+        name = node[1]
+        if name not in env:
+            raise CInterpError(f"read of undeclared identifier {name!r}")
+        return env[name]
+    if kind == "un":
+        value = _eval(node[2], env, present)
+        op = node[1]
+        if op == "!":
+            return int(value == 0)
+        if op == "-":
+            return -value
+        if op == "+":
+            return value
+        raise CInterpError(f"unsupported unary operator {op!r}")
+    if kind == "bin":
+        op = node[1]
+        if op == "&&":
+            return int(
+                _eval(node[2], env, present) != 0
+                and _eval(node[3], env, present) != 0
+            )
+        if op == "||":
+            return int(
+                _eval(node[2], env, present) != 0
+                or _eval(node[3], env, present) != 0
+            )
+        a = _eval(node[2], env, present)
+        b = _eval(node[3], env, present)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return _c_div(a, b)
+        if op == "%":
+            return _c_mod(a, b)
+        if op == "<<":
+            if not 0 <= b < 32:
+                raise CInterpError(f"shift amount {b} is undefined behaviour")
+            return a << b
+        if op == ">>":
+            if not 0 <= b < 32:
+                raise CInterpError(f"shift amount {b} is undefined behaviour")
+            return a >> b
+        if op == "<":
+            return int(a < b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">":
+            return int(a > b)
+        if op == ">=":
+            return int(a >= b)
+        if op == "==":
+            return int(a == b)
+        if op == "!=":
+            return int(a != b)
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        raise CInterpError(f"unsupported binary operator {op!r}")
+    if kind == "call":
+        name, args = node[1], node[2]
+        if name.startswith("DETECT_") and not args:
+            return int(name[len("DETECT_"):] in present)
+        values = [_eval(arg, env, present) for arg in args]
+        if name == "ITE" and len(values) == 3:
+            return values[1] if values[0] != 0 else values[2]
+        if name == "SAFE_DIV" and len(values) == 2:
+            return 0 if values[1] == 0 else _c_div(values[0], values[1])
+        if name == "SAFE_MOD" and len(values) == 2:
+            return 0 if values[1] == 0 else _c_mod(values[0], values[1])
+        if name == "MIN" and len(values) == 2:
+            return min(values)
+        if name == "MAX" and len(values) == 2:
+            return max(values)
+        raise CInterpError(f"unknown function {name}({len(values)} args)")
+    raise CInterpError(f"bad AST node {node!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Statement parsing
+# ----------------------------------------------------------------------
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/")
+_LABEL_RE = re.compile(r"^(_L\d+_|_END_):$")
+_DECL_RE = re.compile(r"^(?:int|rt_int)\s+([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(.+);$")
+_ASSIGN_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(.+);$")
+_GOTO_RE = re.compile(r"^goto\s+([A-Za-z_][A-Za-z0-9_]*);$")
+_EMIT_RE = re.compile(r"^EMIT_([A-Za-z_][A-Za-z0-9_]*)\((.*)\);$")
+_CASE_RE = re.compile(r"^case\s+(\d+):$")
+_DEFAULT_RE = re.compile(r"^default:\s*goto\s+([A-Za-z_][A-Za-z0-9_]*);$")
+_SWITCH_RE = re.compile(r"^switch\s*\((.+)\)\s*\{$")
+
+
+def _split_if(stmt: str) -> Tuple[str, str]:
+    """Split ``if (COND) rest`` at the matching close paren."""
+    if not stmt.startswith("if"):
+        raise CInterpError(f"not an if statement: {stmt!r}")
+    start = stmt.index("(")
+    depth = 0
+    for i in range(start, len(stmt)):
+        if stmt[i] == "(":
+            depth += 1
+        elif stmt[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return stmt[start + 1 : i], stmt[i + 1 :].strip()
+    raise CInterpError(f"unbalanced parentheses in {stmt!r}")
+
+
+class CReaction:
+    """One parsed ``<name>_react`` function, executable per snapshot.
+
+    Instructions (flat list, executed by program counter):
+
+    * ``("assign", name, ast)``   — locals, state writes, ``fired = 1``
+    * ``("emit", event, ast|None)``
+    * ``("goto", target_index)``
+    * ``("ifgoto", ast, target_index)``
+    * ``("ifnot_skip", ast, target_index)`` — compiled guard blocks
+    * ``("switch", ast, {code: index}, default_index)``
+    * ``("return",)``
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instructions: List[Tuple],
+        state_names: List[str],
+        value_names: List[str],
+    ):
+        self.name = name
+        self.instructions = instructions
+        self.state_names = state_names
+        self.value_names = value_names
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def parse(cls, source: str, cfsm: Any) -> "CReaction":
+        body = cls._function_body(source, cfsm.name)
+        raw: List[Tuple] = []  # instructions with label targets unresolved
+        labels: Dict[str, int] = {}
+
+        lines = body.splitlines()
+        i = 0
+        while i < len(lines):
+            line = lines[i]
+            i += 1
+            stmt = _COMMENT_RE.sub("", line).strip()
+            if not stmt:
+                continue
+            label_match = _LABEL_RE.match(stmt)
+            if label_match:
+                labels[label_match.group(1)] = len(raw)
+                continue
+            if stmt == "return fired;":
+                raw.append(("return",))
+                continue
+            if stmt == ";":
+                continue
+            goto_match = _GOTO_RE.match(stmt)
+            if goto_match:
+                raw.append(("goto", goto_match.group(1)))
+                continue
+            decl_match = _DECL_RE.match(stmt)
+            if decl_match:
+                raw.append(
+                    ("assign", decl_match.group(1), _parse_expr(decl_match.group(2)))
+                )
+                continue
+            emit_match = _EMIT_RE.match(stmt)
+            if emit_match:
+                arg = emit_match.group(2).strip()
+                raw.append(
+                    ("emit", emit_match.group(1), _parse_expr(arg) if arg else None)
+                )
+                continue
+            if stmt.startswith("if"):
+                cond, rest = _split_if(stmt)
+                cond_ast = _parse_expr(cond)
+                inner_goto = _GOTO_RE.match(rest)
+                if inner_goto:
+                    raw.append(("ifgoto", cond_ast, inner_goto.group(1)))
+                    continue
+                if rest == "{":
+                    # Guarded action block: runs to the matching "}" line.
+                    placeholder = len(raw)
+                    raw.append(None)  # patched to ifnot_skip below
+                    while i < len(lines):
+                        inner = _COMMENT_RE.sub("", lines[i]).strip()
+                        i += 1
+                        if inner == "}":
+                            break
+                        raw.append(cls._parse_block_stmt(inner))
+                    else:
+                        raise CInterpError("unterminated guard block")
+                    raw[placeholder] = ("ifnot_skip", cond_ast, len(raw))
+                    continue
+                raise CInterpError(f"unsupported if statement: {stmt!r}")
+            switch_match = _SWITCH_RE.match(stmt)
+            if switch_match:
+                ref_ast = _parse_expr(switch_match.group(1))
+                cases: Dict[int, str] = {}
+                default: Optional[str] = None
+                pending_codes: List[int] = []
+                while i < len(lines):
+                    inner = _COMMENT_RE.sub("", lines[i]).strip()
+                    i += 1
+                    if inner == "}":
+                        break
+                    case_match = _CASE_RE.match(inner)
+                    if case_match:
+                        pending_codes.append(int(case_match.group(1)))
+                        continue
+                    default_match = _DEFAULT_RE.match(inner)
+                    if default_match:
+                        default = default_match.group(1)
+                        continue
+                    inner_goto = _GOTO_RE.match(inner)
+                    if inner_goto:
+                        for code in pending_codes:
+                            cases[code] = inner_goto.group(1)
+                        pending_codes = []
+                        continue
+                    raise CInterpError(f"unsupported switch line: {inner!r}")
+                else:
+                    raise CInterpError("unterminated switch")
+                if default is None:
+                    raise CInterpError("switch without default")
+                raw.append(("switch", ref_ast, cases, default))
+                continue
+            assign_match = _ASSIGN_RE.match(stmt)
+            if assign_match:
+                raw.append(
+                    ("assign", assign_match.group(1), _parse_expr(assign_match.group(2)))
+                )
+                continue
+            raise CInterpError(f"unsupported statement: {line!r}")
+
+        instructions = cls._resolve_labels(raw, labels)
+        state_names = [var.name for var in cfsm.state_vars]
+        value_names = [e.name for e in cfsm.inputs if e.is_valued]
+        return cls(cfsm.name, instructions, state_names, value_names)
+
+    @staticmethod
+    def _parse_block_stmt(stmt: str) -> Tuple:
+        """A statement allowed inside a guarded action block."""
+        if not stmt:
+            raise CInterpError("empty statement in guard block")
+        emit_match = _EMIT_RE.match(stmt)
+        if emit_match:
+            arg = emit_match.group(2).strip()
+            return ("emit", emit_match.group(1), _parse_expr(arg) if arg else None)
+        assign_match = _ASSIGN_RE.match(stmt)
+        if assign_match:
+            return ("assign", assign_match.group(1), _parse_expr(assign_match.group(2)))
+        raise CInterpError(f"unsupported guarded statement: {stmt!r}")
+
+    @staticmethod
+    def _function_body(source: str, name: str) -> str:
+        header = f"int {name}_react(void)"
+        start = source.find(header)
+        if start < 0:
+            raise CInterpError(f"no reaction function for {name!r} in source")
+        open_brace = source.index("{", start)
+        close_brace = source.index("\n}", open_brace)
+        return source[open_brace + 1 : close_brace]
+
+    @staticmethod
+    def _resolve_labels(raw: List[Tuple], labels: Dict[str, int]) -> List[Tuple]:
+        def target(label: str) -> int:
+            if label not in labels:
+                raise CInterpError(f"goto to undefined label {label!r}")
+            return labels[label]
+
+        resolved: List[Tuple] = []
+        for instr in raw:
+            if instr[0] == "goto":
+                resolved.append(("goto", target(instr[1])))
+            elif instr[0] == "ifgoto":
+                resolved.append(("ifgoto", instr[1], target(instr[2])))
+            elif instr[0] == "switch":
+                resolved.append(
+                    (
+                        "switch",
+                        instr[1],
+                        {code: target(lbl) for code, lbl in instr[2].items()},
+                        target(instr[3]),
+                    )
+                )
+            else:
+                resolved.append(instr)
+        return resolved
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        state: Dict[str, int],
+        present: Set[str],
+        values: Dict[str, int],
+    ) -> Tuple[int, Dict[str, int], Dict[str, Optional[int]]]:
+        """Execute one reaction; returns (fired, new_state, emissions).
+
+        ``emissions`` maps event name to carried value (None for pure
+        events), mirroring the ``emitted_*``/``emit_value_*`` buffers a
+        real run would leave behind.
+        """
+        env: Dict[str, int] = {name: int(v) for name, v in state.items()}
+        for name in self.state_names:
+            env.setdefault(name, 0)
+        for name, value in values.items():
+            env[f"value_{name}"] = int(value)
+        for name in self.value_names:
+            # A never-written 1-place buffer is the zero-initialized static.
+            env.setdefault(f"value_{name}", 0)
+        emissions: Dict[str, Optional[int]] = {}
+        pc = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > _STEP_LIMIT:
+                raise CInterpError(f"step limit exceeded in {self.name}_react")
+            if pc >= len(self.instructions):
+                raise CInterpError("fell off the end of the reaction function")
+            instr = self.instructions[pc]
+            op = instr[0]
+            if op == "return":
+                fired = env.get("fired", 0)
+                new_state = {name: env[name] for name in self.state_names}
+                return fired, new_state, emissions
+            if op == "assign":
+                def lookup(node: Any) -> int:
+                    return _eval(node, env, present)
+
+                name = instr[1]
+                if name.startswith("value_"):
+                    raise CInterpError(f"reaction writes input buffer {name}")
+                env[name] = lookup(instr[2])
+                pc += 1
+            elif op == "emit":
+                event = instr[1]
+                value = (
+                    None if instr[2] is None else _eval(instr[2], env, present)
+                )
+                emissions[event] = value
+                pc += 1
+            elif op == "goto":
+                pc = instr[1]
+            elif op == "ifgoto":
+                pc = instr[2] if _eval(instr[1], env, present) != 0 else pc + 1
+            elif op == "ifnot_skip":
+                pc = pc + 1 if _eval(instr[1], env, present) != 0 else instr[2]
+            elif op == "switch":
+                code = _eval(instr[1], env, present)
+                pc = instr[2].get(code, instr[3])
+            else:  # pragma: no cover - defensive
+                raise CInterpError(f"bad instruction {instr!r}")
+
+
+def parse_reaction(source: str, cfsm: Any) -> CReaction:
+    """Parse the generated C for ``cfsm`` into an executable reaction."""
+    return CReaction.parse(source, cfsm)

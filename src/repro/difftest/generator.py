@@ -1,0 +1,296 @@
+"""Seeded random CFSMs and input snapshots for conformance fuzzing.
+
+Machines are generated *consistent by construction* (so Theorem 1 applies:
+the synthesized relation must be a function on the care set) while still
+covering the corners where the five layers have historically disagreed:
+
+* **valued events** — value expressions over state and ``?event`` buffers,
+  emitted values, and comparisons mixing both;
+* **1-place buffer overwrites** — snapshots carry stale buffer contents
+  for *absent* valued events (the buffer persists after an overwrite or an
+  unconsumed emission), so layers that wrongly gate value reads on
+  presence diverge;
+* **don't-cares** — correlated state tests (``s == k`` families) make
+  whole input combinations infeasible, exercising the care-set plumbing
+  and the s-graph's infeasible edges;
+* **deep TEST chains** — occasional long conjunctive guards produce tall
+  decision DAGs, stressing label/goto emission and branch compilation.
+
+Consistency is structural: each assignment/emission *target* owns either a
+single shared action (identical keys never conflict) or a complementary
+pair split by a discriminator test literal that every using transition
+must carry, making the two conditions disjoint by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfsm.builder import CfsmBuilder
+from ..cfsm.expr import BinOp, Const, EventValue, Expr, UnOp, Var
+from ..cfsm.machine import Cfsm, ExprTest, PresenceTest, Test, TestLiteral
+
+__all__ = ["CaseConfig", "GeneratedCase", "generate_case", "random_snapshots"]
+
+Snapshot = Tuple[Dict[str, int], Set[str], Dict[str, int]]
+
+
+@dataclass
+class CaseConfig:
+    """Knobs of the random machine shape (defaults match `repro fuzz`)."""
+
+    max_state_vars: int = 2
+    max_num_values: int = 5
+    max_pure_inputs: int = 3
+    max_valued_inputs: int = 2
+    max_value_width: int = 6
+    max_pure_outputs: int = 2
+    max_valued_outputs: int = 1
+    max_transitions: int = 5
+    deep_chain_probability: float = 0.25
+    empty_action_probability: float = 0.15
+    snapshots: int = 24
+
+
+@dataclass
+class GeneratedCase:
+    """One fuzz case: a machine plus the reactions to cross-check."""
+
+    index: int
+    cfsm: Cfsm
+    snapshots: List[Snapshot] = field(default_factory=list)
+
+
+def _case_rng(seed: int, index: int) -> random.Random:
+    # String seeds hash via SHA-512 inside random.Random: stable across
+    # Python versions and processes (unlike hash()).
+    return random.Random(f"repro-difftest:{seed}:{index}")
+
+
+def _random_value_expr(
+    rng: random.Random, state_names: List[str], value_names: List[str]
+) -> Expr:
+    """A small arithmetic expression for assignment/emission values."""
+    leaves: List[Expr] = [Const(rng.randrange(0, 8))]
+    leaves += [Var(name) for name in state_names]
+    leaves += [EventValue(name) for name in value_names]
+
+    def leaf() -> Expr:
+        return rng.choice(leaves)
+
+    roll = rng.random()
+    if roll < 0.35:
+        return leaf()
+    op = rng.choice(["+", "-", "*", "&", "|", "<<", ">>", "min", "max"])
+    left, right = leaf(), leaf()
+    if op in ("<<", ">>"):
+        right = Const(rng.randrange(0, 3))
+    expr: Expr = BinOp(op, left, right)
+    if roll > 0.85:
+        # One more level: mixed-precedence nests are exactly where the C
+        # renderer and a real C parser can disagree.
+        op2 = rng.choice(["+", "-", "*", "&", "|", "<<"])
+        third = leaf() if rng.random() < 0.7 else Const(rng.randrange(0, 4))
+        if op2 == "<<":
+            # Shift amounts stay small constants on the right: a value
+            # expression there would be undefined behaviour in the
+            # generated (int32) C for amounts >= 32.
+            expr = BinOp(op2, expr, Const(rng.randrange(0, 3)))
+        else:
+            expr = BinOp(op2, expr, third) if rng.random() < 0.5 else BinOp(
+                op2, third, expr
+            )
+    if roll > 0.97:
+        expr = UnOp("-", expr)
+    return expr
+
+
+def _random_predicate(
+    rng: random.Random,
+    state_domains: Dict[str, int],
+    value_names: List[str],
+) -> Expr:
+    """A Boolean test expression (state-only, value-only, or mixed)."""
+    state_names = list(state_domains)
+    kind = rng.random()
+    rel = rng.choice(["==", "!=", "<", "<=", ">", ">="])
+    if state_names and (kind < 0.45 or not value_names):
+        # State-only: folded into the multi-valued state encoding, and the
+        # `s == k` family makes incompatible combinations (don't-cares).
+        name = rng.choice(state_names)
+        k = rng.randrange(0, state_domains[name])
+        return BinOp(rel, Var(name), Const(k))
+    if value_names and kind < 0.80:
+        name = rng.choice(value_names)
+        k = rng.randrange(0, 8)
+        return BinOp(rel, EventValue(name), Const(k))
+    if value_names and state_names:
+        return BinOp(rel, Var(rng.choice(state_names)),
+                     EventValue(rng.choice(value_names)))
+    if state_names:
+        name = rng.choice(state_names)
+        return BinOp(rel, Var(name), Const(rng.randrange(0, state_domains[name])))
+    name = rng.choice(value_names)
+    return BinOp(rel, EventValue(name), Const(rng.randrange(0, 8)))
+
+
+def generate_case(
+    seed: int, index: int, config: Optional[CaseConfig] = None
+) -> GeneratedCase:
+    """Deterministically generate fuzz case ``index`` of stream ``seed``."""
+    config = config or CaseConfig()
+    rng = _case_rng(seed, index)
+    b = CfsmBuilder(f"fuzz_{index}")
+
+    # ---- declarations --------------------------------------------------
+    n_pure_in = rng.randint(1, config.max_pure_inputs)
+    n_valued_in = rng.randint(0, config.max_valued_inputs)
+    pure_inputs = [b.pure_input(f"p{i}") for i in range(n_pure_in)]
+    valued_inputs = [
+        b.value_input(f"v{i}", width=rng.randint(3, config.max_value_width))
+        for i in range(n_valued_in)
+    ]
+    inputs = pure_inputs + valued_inputs
+    n_pure_out = rng.randint(1, config.max_pure_outputs)
+    n_valued_out = rng.randint(0, config.max_valued_outputs)
+    pure_outputs = [b.pure_output(f"y{i}") for i in range(n_pure_out)]
+    valued_outputs = [
+        b.value_output(f"w{i}", width=8) for i in range(n_valued_out)
+    ]
+    n_state = rng.randint(0, config.max_state_vars)
+    state_vars = []
+    state_domains: Dict[str, int] = {}
+    for i in range(n_state):
+        num_values = rng.randint(2, config.max_num_values)
+        state_vars.append(
+            b.state(f"s{i}", num_values, init=rng.randrange(num_values))
+        )
+        state_domains[f"s{i}"] = num_values
+    state_names = list(state_domains)
+    value_names = [e.name for e in valued_inputs]
+
+    # ---- test pool (deduped by key: guards reject repeated tests) ------
+    tests: List[Test] = [PresenceTest(e) for e in inputs]
+    seen_tests = {t.key() for t in tests}
+    n_predicates = rng.randint(1, 3 + n_state)
+    if state_names or value_names:  # else no data to predicate over
+        for _ in range(n_predicates):
+            test = ExprTest(_random_predicate(rng, state_domains, value_names))
+            if test.key() not in seen_tests:
+                seen_tests.add(test.key())
+                tests.append(test)
+
+    # ---- action pool: one owner (or a split pair) per target -----------
+    # action entries: (action, required_literal_or_None)
+    action_pool = []
+    for event in pure_outputs:
+        action_pool.append((b.emit(event), None))
+    for event in valued_outputs:
+        if rng.random() < 0.4 and tests:
+            # Complementary pair split by a discriminator test: the two
+            # emissions can never be co-enabled.
+            d = rng.choice(tests)
+            action_pool.append(
+                (b.emit(event, _random_value_expr(rng, state_names, value_names)),
+                 TestLiteral(d, True))
+            )
+            action_pool.append(
+                (b.emit(event, _random_value_expr(rng, state_names, value_names)),
+                 TestLiteral(d, False))
+            )
+        else:
+            action_pool.append(
+                (b.emit(event, _random_value_expr(rng, state_names, value_names)),
+                 None)
+            )
+    for var in state_vars:
+        if rng.random() < 0.5 and tests:
+            d = rng.choice(tests)
+            action_pool.append(
+                (b.assign(var, _random_value_expr(rng, state_names, value_names)),
+                 TestLiteral(d, True))
+            )
+            action_pool.append(
+                (b.assign(var, Const(rng.randrange(var.num_values))),
+                 TestLiteral(d, False))
+            )
+        else:
+            action_pool.append(
+                (b.assign(var, _random_value_expr(rng, state_names, value_names)),
+                 None)
+            )
+
+    # ---- transitions ---------------------------------------------------
+    n_transitions = rng.randint(1, config.max_transitions)
+    for t_index in range(n_transitions):
+        deep = rng.random() < config.deep_chain_probability
+        if deep and len(tests) >= 3:
+            n_literals = rng.randint(3, min(6, len(tests)))
+        else:
+            n_literals = rng.randint(1, min(3, len(tests)))
+        guard: List[TestLiteral] = []
+        used: Set[Tuple] = set()
+        for test in rng.sample(tests, n_literals):
+            guard.append(TestLiteral(test, rng.random() < 0.7))
+            used.add(test.key())
+
+        actions = []
+        if rng.random() >= config.empty_action_probability:
+            n_actions = rng.randint(1, min(3, len(action_pool)))
+            for action, required in rng.sample(action_pool, n_actions):
+                if required is not None:
+                    if required.test.key() in used:
+                        # Guard already constrains the discriminator: only
+                        # take the variant matching the existing polarity.
+                        existing = next(
+                            lit for lit in guard
+                            if lit.test.key() == required.test.key()
+                        )
+                        if existing.value != required.value:
+                            continue
+                    else:
+                        guard.append(required)
+                        used.add(required.test.key())
+                actions.append(action)
+        b.transition(when=guard, do=actions, source=f"fuzz:{index}:{t_index}")
+
+    cfsm = b.build()
+    snapshots = random_snapshots(cfsm, rng, count=config.snapshots)
+    return GeneratedCase(index=index, cfsm=cfsm, snapshots=snapshots)
+
+
+def random_snapshots(
+    cfsm: Cfsm, rng: random.Random, count: int = 24
+) -> List[Snapshot]:
+    """Input snapshots biased toward boundary values and stale buffers."""
+    valued = [e for e in cfsm.inputs if e.is_valued]
+    snapshots: List[Snapshot] = []
+    for _ in range(count):
+        state = {}
+        for var in cfsm.state_vars:
+            roll = rng.random()
+            if roll < 0.3:
+                state[var.name] = var.init
+            elif roll < 0.45:
+                state[var.name] = var.num_values - 1
+            else:
+                state[var.name] = rng.randrange(var.num_values)
+        present = {e.name for e in cfsm.inputs if rng.random() < 0.55}
+        values: Dict[str, int] = {}
+        for e in valued:
+            # The 1-place buffer persists whether or not the event is in
+            # the snapshot: absent-but-nonzero entries model a stale buffer
+            # left by an earlier overwrite, missing entries model a buffer
+            # never written (reads as 0).
+            if e.name in present or rng.random() < 0.5:
+                roll = rng.random()
+                if roll < 0.2:
+                    values[e.name] = 0
+                elif roll < 0.4:
+                    values[e.name] = (1 << e.width) - 1
+                else:
+                    values[e.name] = rng.randrange(1 << e.width)
+        snapshots.append((state, present, values))
+    return snapshots

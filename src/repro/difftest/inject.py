@@ -1,0 +1,141 @@
+"""Deliberate, named faults for validating the conformance gate.
+
+A differential fuzzer that has never caught anything is indistinguishable
+from one that cannot.  Each fault here patches exactly one layer in a
+realistic way (the kind of off-by-one a refactor could introduce), so the
+test-suite can assert end to end that the gate *catches* the divergence,
+*attributes* it to the right layer, and *shrinks* it to a small repro.
+
+Faults are applied with a context manager so they compose with the
+process-pool runner: :class:`repro.difftest.runner.FuzzCaseTask` enters
+the context inside ``run()``, i.e. inside the worker process, where
+monkeypatching actually takes effect.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator
+
+__all__ = ["FAULTS", "inject_fault"]
+
+
+@contextlib.contextmanager
+def _cgen_negate_presence() -> Iterator[None]:
+    """Generated C tests event *absence*: only the C layer diverges."""
+    from ..codegen.cgen import CodeGenerator
+
+    original = CodeGenerator._render_input_var
+
+    def patched(self, var):
+        text = original(self, var)
+        if text.startswith("DETECT_"):
+            return f"!{text}"
+        return text
+
+    CodeGenerator._render_input_var = patched
+    try:
+        yield
+    finally:
+        CodeGenerator._render_input_var = original
+
+
+@contextlib.contextmanager
+def _cgen_drop_wrap() -> Iterator[None]:
+    """State assignments skip the domain wrap: C layer overflows."""
+    from ..codegen import cgen as cgen_module
+
+    original_assign = cgen_module.CodeGenerator._emit_assign
+
+    def patched(self, vertex, out):
+        from ..cfsm.machine import AssignState
+
+        action = self.encoding.action_of_var(vertex.var)
+        if not isinstance(action, AssignState):
+            return original_assign(self, vertex, out)
+        label = vertex.label
+        guard_open = False
+        if label is not None and not label.is_constant:
+            out.append(f"    if ({self._render_label_fn(label)}) {{")
+            guard_open = True
+        elif label is not None and label.is_false:
+            out.append("    ; /* no action */")
+            return
+        indent = "        " if guard_open else "    "
+        out.append(f"{indent}{action.var.name} = {self._render_expr(action.value)};")
+        out.append(f"{indent}fired = 1;")
+        if guard_open:
+            out.append("    }")
+
+    cgen_module.CodeGenerator._emit_assign = patched
+    try:
+        yield
+    finally:
+        cgen_module.CodeGenerator._emit_assign = original_assign
+
+
+@contextlib.contextmanager
+def _isa_stale_detect() -> Iterator[None]:
+    """ISA reactions see an extra phantom event: only layer 5 diverges."""
+    from .. import target as target_module
+    from ..target import machine as machine_module
+
+    original = machine_module.run_reaction
+
+    def patched(program, profile, cfsm, state, present, values=None):
+        present = set(present)
+        if cfsm.inputs:
+            present.add(cfsm.inputs[0].name)
+        return original(program, profile, cfsm, state, present, values)
+
+    machine_module.run_reaction = patched
+    target_module.run_reaction = patched
+    try:
+        yield
+    finally:
+        machine_module.run_reaction = original
+        target_module.run_reaction = original
+
+
+@contextlib.contextmanager
+def _est_halve_max() -> Iterator[None]:
+    """Estimator underestimates worst-case cycles: bound checks trip."""
+    from .. import estimation as estimation_module
+
+    original = estimation_module.estimate
+
+    def patched(*args, **kwargs):
+        result = original(*args, **kwargs)
+        result.max_cycles = max(1, result.max_cycles // 4)
+        result.min_cycles = min(result.min_cycles, result.max_cycles)
+        return result
+
+    # The oracle calls through the package attribute, so patching the
+    # package is sufficient (and keeps the submodule untouched).
+    estimation_module.estimate = patched
+    try:
+        yield
+    finally:
+        estimation_module.estimate = original
+
+
+FAULTS: Dict[str, Callable] = {
+    "cgen-negate-presence": _cgen_negate_presence,
+    "cgen-drop-wrap": _cgen_drop_wrap,
+    "isa-stale-detect": _isa_stale_detect,
+    "est-halve-max": _est_halve_max,
+}
+
+
+@contextlib.contextmanager
+def inject_fault(name: str) -> Iterator[None]:
+    """Apply the named fault for the duration of the context ('' = none)."""
+    if not name:
+        yield
+        return
+    if name not in FAULTS:
+        raise ValueError(
+            f"unknown fault {name!r}; known: {', '.join(sorted(FAULTS))}"
+        )
+    with FAULTS[name]():
+        yield

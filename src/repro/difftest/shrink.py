@@ -1,0 +1,269 @@
+"""Greedy minimization of a failing conformance case.
+
+A raw fuzz failure is noisy: dozens of snapshots, several transitions,
+wide state domains, deep expressions.  The shrinker repeatedly proposes
+structurally smaller variants — drop a snapshot, drop a transition, drop
+a guard literal or action, shrink a state domain, replace a subexpression
+with a constant or one of its children, drop unused declarations — and
+keeps any variant on which the oracle *still reports a mismatch* (not
+necessarily the same one: any persisting failure is a valid repro).
+
+Candidates are edits on the JSON spec (:mod:`repro.difftest.spec`), so
+every accepted shrink is by construction serializable as a replay file;
+variants that fail to rebuild or synthesize are simply discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .oracle import OracleOptions, check_case
+from .spec import cfsm_from_spec, cfsm_to_spec, snapshot_from_dict, snapshot_to_dict
+
+__all__ = ["shrink_case", "state_space"]
+
+Candidate = Tuple[Dict[str, Any], List[Dict[str, Any]]]  # (spec, snapshots)
+
+
+def state_space(spec: Dict[str, Any]) -> int:
+    """Number of distinct states of a spec (1 when stateless)."""
+    space = 1
+    for var in spec.get("state_vars", []):
+        space *= var["num_values"]
+    return space
+
+
+def _size(spec: Dict[str, Any], snapshots: List[Dict[str, Any]]) -> Tuple:
+    """Lexicographic size metric; shrinking must strictly decrease it."""
+    literals = sum(len(t.get("guard", [])) for t in spec["transitions"])
+    actions = sum(len(t.get("actions", [])) for t in spec["transitions"])
+    return (
+        len(snapshots),
+        len(spec["transitions"]),
+        state_space(spec),
+        literals + actions,
+        _expr_weight(spec),
+        len(spec.get("inputs", [])) + len(spec.get("outputs", [])),
+    )
+
+
+def _expr_weight(node: Any) -> int:
+    """Total expression-node count across the whole spec."""
+    if isinstance(node, dict):
+        weight = 1 if node.get("op") in ("const", "var", "event_value",
+                                         "bin", "un", "cond") else 0
+        return weight + sum(_expr_weight(v) for v in node.values())
+    if isinstance(node, list):
+        return sum(_expr_weight(v) for v in node)
+    return 0
+
+
+def _exprs_in_spec(spec: Dict[str, Any]) -> Iterator[Tuple[Dict[str, Any], str]]:
+    """(container, key) pairs whose value is an expression document."""
+    for t in spec["transitions"]:
+        for entry in t.get("guard", []):
+            if entry.get("test") == "expr":
+                yield entry, "expr"
+        for entry in t.get("actions", []):
+            if entry.get("value") is not None:
+                yield entry, "value"
+
+
+def _subexpr_replacements(expr: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Strictly smaller expressions: children, then small constants."""
+    op = expr.get("op")
+    if op == "bin":
+        yield expr["left"]
+        yield expr["right"]
+    elif op == "un":
+        yield expr["operand"]
+    elif op == "cond":
+        yield expr["then"]
+        yield expr["otherwise"]
+    if op != "const":
+        yield {"op": "const", "value": 0}
+        yield {"op": "const", "value": 1}
+
+
+def _names_in_expr(expr: Dict[str, Any]) -> Iterator[Tuple[str, str]]:
+    op = expr.get("op")
+    if op == "var":
+        yield ("var", expr["name"])
+    elif op == "event_value":
+        yield ("event", expr["event"])
+    elif op == "bin":
+        yield from _names_in_expr(expr["left"])
+        yield from _names_in_expr(expr["right"])
+    elif op == "un":
+        yield from _names_in_expr(expr["operand"])
+    elif op == "cond":
+        for key in ("cond", "then", "otherwise"):
+            yield from _names_in_expr(expr[key])
+
+
+def _referenced_names(spec: Dict[str, Any]) -> Tuple[set, set, set]:
+    """(input events, output events, state vars) actually referenced."""
+    inputs: set = set()
+    outputs: set = set()
+    state: set = set()
+    for t in spec["transitions"]:
+        for entry in t.get("guard", []):
+            if entry.get("test") == "presence":
+                inputs.add(entry["event"])
+            elif entry.get("test") == "expr":
+                for kind, name in _names_in_expr(entry["expr"]):
+                    (inputs if kind == "event" else state).add(name)
+        for entry in t.get("actions", []):
+            if entry.get("do") == "emit":
+                outputs.add(entry["event"])
+            elif entry.get("do") == "assign":
+                state.add(entry["var"])
+            if entry.get("value") is not None:
+                for kind, name in _names_in_expr(entry["value"]):
+                    (inputs if kind == "event" else state).add(name)
+    return inputs, outputs, state
+
+
+def _clip_snapshots(
+    spec: Dict[str, Any], snapshots: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Project snapshots onto the (possibly reduced) spec declarations."""
+    input_names = {e["name"] for e in spec.get("inputs", [])}
+    domains = {v["name"]: v["num_values"] for v in spec.get("state_vars", [])}
+    clipped = []
+    for snap in snapshots:
+        clipped.append(
+            {
+                "state": {
+                    name: value % domains[name]
+                    for name, value in snap.get("state", {}).items()
+                    if name in domains
+                },
+                "present": sorted(
+                    set(snap.get("present", [])) & input_names
+                ),
+                "values": {
+                    name: value
+                    for name, value in snap.get("values", {}).items()
+                    if name in input_names
+                },
+            }
+        )
+    return clipped
+
+
+def _candidates(
+    spec: Dict[str, Any], snapshots: List[Dict[str, Any]]
+) -> Iterator[Candidate]:
+    """Structurally smaller variants, most aggressive first."""
+    import copy
+
+    # 1. Fewer snapshots: single snapshots first, then halves.
+    if len(snapshots) > 1:
+        for i in range(len(snapshots)):
+            yield copy.deepcopy(spec), [copy.deepcopy(snapshots[i])]
+        half = len(snapshots) // 2
+        yield copy.deepcopy(spec), copy.deepcopy(snapshots[:half])
+        yield copy.deepcopy(spec), copy.deepcopy(snapshots[half:])
+
+    # 2. Fewer transitions.
+    for i in range(len(spec["transitions"])):
+        variant = copy.deepcopy(spec)
+        del variant["transitions"][i]
+        yield variant, copy.deepcopy(snapshots)
+
+    # 3. Smaller state domains (try 2 first — the acceptance bar).
+    for i, var in enumerate(spec.get("state_vars", [])):
+        for n in (2, 3, var["num_values"] - 1):
+            if 2 <= n < var["num_values"]:
+                variant = copy.deepcopy(spec)
+                variant["state_vars"][i]["num_values"] = n
+                variant["state_vars"][i]["init"] %= n
+                yield variant, _clip_snapshots(variant, snapshots)
+
+    # 4. Fewer guard literals / actions.
+    for ti, t in enumerate(spec["transitions"]):
+        for gi in range(len(t.get("guard", []))):
+            variant = copy.deepcopy(spec)
+            del variant["transitions"][ti]["guard"][gi]
+            yield variant, copy.deepcopy(snapshots)
+        for ai in range(len(t.get("actions", []))):
+            variant = copy.deepcopy(spec)
+            del variant["transitions"][ti]["actions"][ai]
+            yield variant, copy.deepcopy(snapshots)
+
+    # 5. Simpler expressions.
+    for index, (container, key) in enumerate(_exprs_in_spec(spec)):
+        for replacement in _subexpr_replacements(container[key]):
+            variant = copy.deepcopy(spec)
+            containers = list(_exprs_in_spec(variant))
+            v_container, v_key = containers[index]
+            v_container[v_key] = copy.deepcopy(replacement)
+            yield variant, copy.deepcopy(snapshots)
+
+    # 6. Drop unreferenced declarations (keeps the repro readable).
+    used_in, used_out, used_state = _referenced_names(spec)
+    variant = copy.deepcopy(spec)
+    variant["inputs"] = [e for e in variant["inputs"] if e["name"] in used_in]
+    variant["outputs"] = [
+        e for e in variant["outputs"] if e["name"] in used_out
+    ]
+    variant["state_vars"] = [
+        v for v in variant["state_vars"] if v["name"] in used_state
+    ]
+    if _size(variant, snapshots) < _size(spec, snapshots):
+        yield variant, _clip_snapshots(variant, snapshots)
+
+
+def _still_fails(
+    spec: Dict[str, Any],
+    snapshots: List[Dict[str, Any]],
+    options: OracleOptions,
+    checker: Optional[Callable] = None,
+) -> bool:
+    try:
+        cfsm = cfsm_from_spec(spec)
+        snaps = [snapshot_from_dict(s) for s in snapshots]
+        if checker is not None:
+            report = checker(cfsm, snaps, options)
+        else:
+            report = check_case(cfsm, snaps, options, stop_at_first=True)
+    except Exception:
+        # A variant the toolchain rejects outright is not a usable repro.
+        return False
+    return report.skipped is None and not report.ok
+
+
+def shrink_case(
+    cfsm: Any,
+    snapshots: List[Any],
+    options: Optional[OracleOptions] = None,
+    max_rounds: int = 40,
+    checker: Optional[Callable] = None,
+) -> Tuple[Any, List[Any]]:
+    """Minimize a failing (cfsm, snapshots) pair; returns the smaller pair.
+
+    ``checker`` overrides the oracle call — the fault-injection harness
+    passes a wrapper that re-applies the injected fault around each probe.
+    The input *must* fail under ``checker``/the oracle; if it does not,
+    it is returned unchanged.
+    """
+    options = options or OracleOptions()
+    spec = cfsm_to_spec(cfsm)
+    snaps = [snapshot_to_dict(s) for s in snapshots]
+    if not _still_fails(spec, snaps, options, checker):
+        return cfsm, snapshots
+
+    for _ in range(max_rounds):
+        current_size = _size(spec, snaps)
+        improved = False
+        for cand_spec, cand_snaps in _candidates(spec, snaps):
+            if _size(cand_spec, cand_snaps) >= current_size:
+                continue
+            if _still_fails(cand_spec, cand_snaps, options, checker):
+                spec, snaps = cand_spec, cand_snaps
+                improved = True
+                break
+        if not improved:
+            break
+    return cfsm_from_spec(spec), [snapshot_from_dict(s) for s in snaps]

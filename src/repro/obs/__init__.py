@@ -35,6 +35,8 @@ from .core import (
 from .profile import SiftProfile, SiftSample
 from .report import (
     render_build_report,
+    render_difftest_report,
+    render_difftest_repro,
     render_report,
     render_run_report,
     report_file,
@@ -43,9 +45,13 @@ from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT, RunEvent, RunTrace
 from .schema import (
     BDD_BENCH_FORMAT,
     BUILD_TRACE_FORMAT,
+    DIFFTEST_REPORT_FORMAT,
+    DIFFTEST_REPRO_FORMAT,
     assert_valid_trace,
     validate_bdd_bench,
     validate_build_trace,
+    validate_difftest_report,
+    validate_difftest_repro,
     validate_run_trace,
     validate_trace,
 )
@@ -67,6 +73,8 @@ __all__ = [
     "RUN_EVENT_KINDS",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
+    "DIFFTEST_REPORT_FORMAT",
+    "DIFFTEST_REPRO_FORMAT",
     "chrome_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
@@ -75,10 +83,14 @@ __all__ = [
     "validate_build_trace",
     "validate_run_trace",
     "validate_bdd_bench",
+    "validate_difftest_report",
+    "validate_difftest_repro",
     "validate_trace",
     "assert_valid_trace",
     "render_build_report",
     "render_run_report",
+    "render_difftest_report",
+    "render_difftest_repro",
     "render_report",
     "report_file",
 ]

@@ -13,10 +13,16 @@ from typing import Any, Dict, List
 
 from .core import Histogram, read_trace_file
 from .runtrace import RunTrace
-from .schema import BUILD_TRACE_FORMAT, validate_trace
+from .schema import (
+    BUILD_TRACE_FORMAT,
+    DIFFTEST_REPORT_FORMAT,
+    DIFFTEST_REPRO_FORMAT,
+    validate_trace,
+)
 
-__all__ = ["render_build_report", "render_run_report", "render_report",
-           "report_file"]
+__all__ = ["render_build_report", "render_run_report",
+           "render_difftest_report", "render_difftest_repro",
+           "render_report", "report_file"]
 
 
 def _rule(title: str) -> str:
@@ -178,6 +184,110 @@ def render_run_report(doc: Dict[str, Any], top: int = 10) -> str:
 
 
 # ----------------------------------------------------------------------
+# Difftest campaign reports and replay documents
+# ----------------------------------------------------------------------
+
+
+def render_difftest_report(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-difftest/v1`` conformance-fuzzing report."""
+    summary = doc.get("summary", {})
+    options = doc.get("options", {})
+    lines = [_rule(f"conformance fuzz: seed {doc.get('seed')}")]
+    lines.append(
+        f"{summary.get('cases', 0)} cases, "
+        f"{summary.get('reactions', 0)} reactions cross-checked over "
+        f"5 layers; {summary.get('failures', 0)} failures, "
+        f"{summary.get('skipped', 0)} skipped "
+        f"({summary.get('wall_ms', 0)} ms, jobs={doc.get('jobs', 1)})"
+    )
+    if options:
+        lines.append(
+            f"schemes: {', '.join(options.get('schemes', []))}; "
+            f"profile {options.get('profile', '?')}; "
+            f"est tolerance {options.get('est_tolerance', '?')}"
+            + (f"; injected fault: {options['inject']}"
+               if options.get("inject") else "")
+        )
+    ratios = summary.get("estimate_max_over_measured")
+    if ratios:
+        lines.append(
+            "estimator max-cycles / measured max-cycles: "
+            f"min {ratios.get('min')}, mean {ratios.get('mean')}, "
+            f"max {ratios.get('max')}"
+        )
+    by_layer = summary.get("mismatches_by_layer", {})
+    if by_layer:
+        lines.append("")
+        lines.append("mismatches by layer:")
+        for layer, count in sorted(by_layer.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {layer:12s} {count:5d}")
+    failures = doc.get("failures", [])
+    if failures:
+        lines.append("")
+        lines.append(f"first {min(top, len(failures))} failures:")
+        for failure in failures[:top]:
+            first = (failure.get("mismatches") or [{}])[0]
+            repro = failure.get("repro")
+            shrunk = ""
+            if repro:
+                spec = repro.get("cfsm", {})
+                space = 1
+                for var in spec.get("state_vars", []):
+                    space *= var.get("num_values", 1)
+                shrunk = (
+                    f" [shrunk: {len(spec.get('transitions', []))} transitions,"
+                    f" {space} states, {len(repro.get('snapshots', []))}"
+                    f" snapshots]"
+                )
+            lines.append(
+                f"  case {failure.get('index')}: {first.get('layer')}/"
+                f"{first.get('kind')} — {first.get('detail', '')[:80]}{shrunk}"
+            )
+    else:
+        lines.append("")
+        lines.append("all layers agree on every reaction.")
+    skipped = doc.get("skipped_cases", [])
+    if skipped:
+        lines.append("")
+        lines.append("skipped cases:")
+        for entry in skipped[:top]:
+            lines.append(
+                f"  case {entry.get('index')}: {entry.get('reason', '')[:80]}"
+            )
+    return "\n".join(lines)
+
+
+def render_difftest_repro(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-difftest-repro/v1`` replay document."""
+    spec = doc.get("cfsm", {})
+    failure = doc.get("failure", {})
+    origin = doc.get("origin", {})
+    space = 1
+    for var in spec.get("state_vars", []):
+        space *= var.get("num_values", 1)
+    lines = [_rule(f"difftest repro: {spec.get('name', '?')}")]
+    lines.append(
+        f"{len(spec.get('transitions', []))} transitions, "
+        f"{len(spec.get('state_vars', []))} state vars ({space} states), "
+        f"{len(spec.get('inputs', []))} inputs, "
+        f"{len(spec.get('outputs', []))} outputs, "
+        f"{len(doc.get('snapshots', []))} failing snapshots"
+    )
+    lines.append(
+        f"failure: {failure.get('layer')}/{failure.get('kind')} — "
+        f"{failure.get('detail', '')[:100]}"
+    )
+    lines.append(
+        f"origin: seed {origin.get('seed')}, case {origin.get('index')}, "
+        f"scheme {origin.get('scheme')}, profile {origin.get('profile')}"
+        + (f", injected fault {origin['inject']}"
+           if origin.get("inject") else "")
+    )
+    lines.append("replay with: repro fuzz --replay <this file>")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -189,6 +299,10 @@ def render_report(doc: Dict[str, Any], top: int = 10) -> str:
         return render_build_report(doc, top=top)
     if fmt == RunTrace.FORMAT:
         return render_run_report(doc, top=top)
+    if fmt == DIFFTEST_REPORT_FORMAT:
+        return render_difftest_report(doc, top=top)
+    if fmt == DIFFTEST_REPRO_FORMAT:
+        return render_difftest_repro(doc, top=top)
     raise ValueError(f"unknown trace format {fmt!r}")
 
 

@@ -18,14 +18,24 @@ __all__ = [
     "validate_build_trace",
     "validate_run_trace",
     "validate_bdd_bench",
+    "validate_difftest_report",
+    "validate_difftest_repro",
     "validate_trace",
     "assert_valid_trace",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
+    "DIFFTEST_REPORT_FORMAT",
+    "DIFFTEST_REPRO_FORMAT",
 ]
 
 BUILD_TRACE_FORMAT = "repro-build-trace/v1"
 _BUILD_EVENT_KINDS = ("pass", "cache", "stage")
+
+DIFFTEST_REPORT_FORMAT = "repro-difftest/v1"
+DIFFTEST_REPRO_FORMAT = "repro-difftest-repro/v1"
+_DIFFTEST_LAYERS = (
+    "reference", "bdd", "sgraph", "cgen", "isa", "analysis", "estimation",
+)
 
 BDD_BENCH_FORMAT = "repro-bdd-bench/v1"
 #: Deterministic per-scenario sift fields (counted, not timed — these must
@@ -213,6 +223,109 @@ def validate_bdd_bench(doc: Dict[str, Any]) -> List[str]:
     return errors
 
 
+def validate_difftest_report(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-difftest/v1`` fuzz-campaign report."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != DIFFTEST_REPORT_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {DIFFTEST_REPORT_FORMAT!r}")
+    if not _is_int(doc.get("seed")):
+        errors.append("'seed' missing or not an integer")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("'summary' missing or not an object")
+        summary = {}
+    for key in ("cases", "reactions", "failures", "skipped"):
+        if not _is_int(summary.get(key)) or summary.get(key, 0) < 0:
+            errors.append(f"summary.{key} must be a non-negative integer")
+    by_layer = summary.get("mismatches_by_layer", {})
+    if not isinstance(by_layer, dict):
+        errors.append("summary.mismatches_by_layer is not an object")
+    else:
+        for layer in by_layer:
+            if layer not in _DIFFTEST_LAYERS:
+                errors.append(f"summary.mismatches_by_layer: unknown layer "
+                              f"{layer!r}")
+    failures = doc.get("failures")
+    if not isinstance(failures, list):
+        errors.append("'failures' missing or not a list")
+        failures = []
+    if _is_int(summary.get("failures")) and summary["failures"] != len(failures):
+        errors.append(
+            f"summary.failures={summary['failures']} but "
+            f"{len(failures)} failure entries present"
+        )
+    for i, failure in enumerate(failures):
+        where = f"failures[{i}]"
+        if not isinstance(failure, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not _is_int(failure.get("index")):
+            errors.append(f"{where}: 'index' missing or not an integer")
+        mismatches = failure.get("mismatches")
+        if not isinstance(mismatches, list) or not mismatches:
+            errors.append(f"{where}: 'mismatches' missing, not a list, or empty")
+            mismatches = []
+        for j, mismatch in enumerate(mismatches):
+            if not isinstance(mismatch, dict):
+                errors.append(f"{where}.mismatches[{j}]: not an object")
+                continue
+            if mismatch.get("layer") not in _DIFFTEST_LAYERS:
+                errors.append(f"{where}.mismatches[{j}]: unknown layer "
+                              f"{mismatch.get('layer')!r}")
+            if not isinstance(mismatch.get("kind"), str):
+                errors.append(f"{where}.mismatches[{j}]: missing string 'kind'")
+        repro = failure.get("repro")
+        if repro is not None:
+            errors.extend(
+                f"{where}.repro: {e}" for e in validate_difftest_repro(repro)
+            )
+    return errors
+
+
+def validate_difftest_repro(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-difftest-repro/v1`` replay document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != DIFFTEST_REPRO_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {DIFFTEST_REPRO_FORMAT!r}")
+    cfsm = doc.get("cfsm")
+    if not isinstance(cfsm, dict):
+        errors.append("'cfsm' missing or not an object")
+        cfsm = {}
+    if not isinstance(cfsm.get("name"), str):
+        errors.append("cfsm.name missing or not a string")
+    for key in ("inputs", "outputs", "state_vars", "transitions"):
+        if not isinstance(cfsm.get(key), list):
+            errors.append(f"cfsm.{key} missing or not a list")
+    snapshots = doc.get("snapshots")
+    if not isinstance(snapshots, list) or not snapshots:
+        errors.append("'snapshots' missing, not a list, or empty")
+        snapshots = []
+    for i, snap in enumerate(snapshots):
+        if not isinstance(snap, dict):
+            errors.append(f"snapshots[{i}]: not an object")
+            continue
+        if not isinstance(snap.get("state"), dict):
+            errors.append(f"snapshots[{i}]: 'state' missing or not an object")
+        if not isinstance(snap.get("present"), list):
+            errors.append(f"snapshots[{i}]: 'present' missing or not a list")
+        if not isinstance(snap.get("values"), dict):
+            errors.append(f"snapshots[{i}]: 'values' missing or not an object")
+    failure = doc.get("failure")
+    if not isinstance(failure, dict):
+        errors.append("'failure' missing or not an object")
+    elif failure.get("layer") not in _DIFFTEST_LAYERS:
+        errors.append(f"failure.layer {failure.get('layer')!r} unknown")
+    if not isinstance(doc.get("origin"), dict):
+        errors.append("'origin' missing or not an object")
+    return errors
+
+
 def validate_trace(doc: Dict[str, Any]) -> List[str]:
     """Dispatch on the document's ``format`` field."""
     if not isinstance(doc, dict):
@@ -224,6 +337,10 @@ def validate_trace(doc: Dict[str, Any]) -> List[str]:
         return validate_run_trace(doc)
     if fmt == BDD_BENCH_FORMAT:
         return validate_bdd_bench(doc)
+    if fmt == DIFFTEST_REPORT_FORMAT:
+        return validate_difftest_report(doc)
+    if fmt == DIFFTEST_REPRO_FORMAT:
+        return validate_difftest_repro(doc)
     return [f"unknown trace format {fmt!r}"]
 
 

@@ -1,12 +1,17 @@
-"""Pluggable serial / process-pool execution of per-CFSM build tasks.
+"""Pluggable serial / process-pool execution of pipeline tasks.
 
-Per-CFSM synthesis is embarrassingly parallel: each module's pipeline
-reads only its own CFSM, the shared options, and the (immutable) profile
-and cost parameters.  The executors here exploit that while keeping one
-invariant: **results come back in task order with byte-identical
-artifacts**, whichever executor ran them.
+A *task* is any picklable object with a ``run(keep_result: bool)`` method
+returning a picklable outcome; the executors schedule batches of them
+while keeping one invariant: **results come back in task order with
+byte-identical artifacts**, whichever executor ran them.  The original
+client is per-CFSM synthesis (:class:`ModuleBuildTask`), which is
+embarrassingly parallel — each module's pipeline reads only its own CFSM,
+the shared options, and the (immutable) profile and cost parameters.  The
+differential conformance fuzzer (:mod:`repro.difftest`) schedules its
+cases through the same executors.
 
-Workers cannot return live :class:`~repro.sgraph.SynthesisResult` objects
+``keep_result`` distinguishes in-process from cross-process execution:
+workers cannot return live :class:`~repro.sgraph.SynthesisResult` objects
 (BDD managers hold weakrefs and are deliberately unpicklable), so a
 process-pool build returns :class:`~repro.pipeline.artifacts.ModuleArtifacts`
 with ``result=None`` — exactly what a cache hit returns.  The serial
@@ -41,6 +46,17 @@ class ModuleBuildTask:
     profile: Any  # ISAProfile
     params: Any  # CostParams
 
+    def run(self, keep_result: bool) -> "ModuleBuildOutcome":
+        trace = BuildTrace()
+        artifacts, result = build_module_artifacts(
+            self.machine, self.options, self.profile, self.params, trace=trace
+        )
+        return ModuleBuildOutcome(
+            artifacts=artifacts,
+            result=result if keep_result else None,
+            events=trace.events,
+        )
+
 
 @dataclass
 class ModuleBuildOutcome:
@@ -51,43 +67,34 @@ class ModuleBuildOutcome:
     events: List[TraceEvent] = field(default_factory=list)
 
 
-def _run_task(task: ModuleBuildTask, keep_result: bool) -> ModuleBuildOutcome:
-    trace = BuildTrace()
-    artifacts, result = build_module_artifacts(
-        task.machine, task.options, task.profile, task.params, trace=trace
-    )
-    return ModuleBuildOutcome(
-        artifacts=artifacts,
-        result=result if keep_result else None,
-        events=trace.events,
-    )
-
-
-def _worker(task: ModuleBuildTask) -> ModuleBuildOutcome:
+def _worker(task: Any) -> Any:
     """Top-level entry point for pool workers (must be picklable by name)."""
-    return _run_task(task, keep_result=False)
+    return task.run(keep_result=False)
 
 
 class Executor:
-    """Runs a batch of module-build tasks; subclasses pick the strategy."""
+    """Runs a batch of tasks; subclasses pick the strategy.
+
+    A task is any picklable object with ``run(keep_result) -> outcome``.
+    """
 
     jobs: int = 1
 
-    def run(self, tasks: List[ModuleBuildTask]) -> List[ModuleBuildOutcome]:
+    def run(self, tasks: List[Any]) -> List[Any]:
         raise NotImplementedError
 
 
 class SerialExecutor(Executor):
-    """In-process execution; keeps the live synthesis results."""
+    """In-process execution; keeps live (unpicklable) results."""
 
     jobs = 1
 
-    def run(self, tasks: List[ModuleBuildTask]) -> List[ModuleBuildOutcome]:
-        return [_run_task(task, keep_result=True) for task in tasks]
+    def run(self, tasks: List[Any]) -> List[Any]:
+        return [task.run(keep_result=True) for task in tasks]
 
 
 class ProcessExecutor(Executor):
-    """A ``concurrent.futures`` process pool over the build tasks.
+    """A ``concurrent.futures`` process pool over the tasks.
 
     Results are collected with ``Executor.map``, which preserves task
     order regardless of completion order.  With one task (or one job) the
@@ -99,9 +106,9 @@ class ProcessExecutor(Executor):
             raise ValueError("ProcessExecutor needs jobs >= 2")
         self.jobs = int(jobs)
 
-    def run(self, tasks: List[ModuleBuildTask]) -> List[ModuleBuildOutcome]:
+    def run(self, tasks: List[Any]) -> List[Any]:
         if len(tasks) <= 1:
-            return [_run_task(task, keep_result=False) for task in tasks]
+            return [task.run(keep_result=False) for task in tasks]
         import concurrent.futures
 
         workers = min(self.jobs, len(tasks))

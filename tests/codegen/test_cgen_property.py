@@ -1,0 +1,79 @@
+"""Property test: emitted C structurally matches its s-graph.
+
+For randomized machines (the difftest generator) under every synthesis
+scheme, the C text must mirror the s-graph exactly: one ``_L{vid}_``
+label per reachable TEST/ASSIGN vertex, defined exactly once, every
+``goto`` resolving to a defined label, and no label for a vertex the
+s-graph cannot reach (dead labels would hide unreachable generated code).
+"""
+
+import re
+
+import pytest
+
+from repro.difftest import generate_case
+from repro.codegen import generate_c
+from repro.sgraph import synthesize
+from repro.sgraph.graph import ASSIGN, BEGIN, END, TEST
+
+_LABEL_DEF_RE = re.compile(r"^(_L\d+_|_END_):$", re.MULTILINE)
+_GOTO_RE = re.compile(r"goto\s+(_L\d+_|_END_)\s*;")
+
+
+def _react_body(source, name):
+    start = source.index(f"int {name}_react(void)")
+    return source[start:]
+
+
+@pytest.mark.parametrize("scheme", ["sift", "naive", "outputs-first", "mixed"])
+def test_labels_match_sgraph_vertices(scheme):
+    for index in range(15):
+        case = generate_case(21, index)
+        result = synthesize(case.cfsm, scheme=scheme)
+        body = _react_body(generate_c(result), case.cfsm.name)
+
+        defined = _LABEL_DEF_RE.findall(body)
+        # Every label is defined exactly once (duplicate labels would not
+        # even compile; dead duplicates would shadow control flow).
+        assert len(defined) == len(set(defined)), (scheme, index)
+        assert "_END_" in defined
+
+        # One label per reachable TEST/ASSIGN vertex, and none else.
+        sgraph = result.sgraph
+        reachable = sgraph.reachable()
+        expected = {
+            f"_L{vid}_"
+            for vid in reachable
+            if sgraph.vertex(vid).kind in (TEST, ASSIGN)
+        }
+        assert set(defined) - {"_END_"} == expected, (scheme, index)
+
+        # Every goto lands on a defined label (no dangling control flow).
+        for target in _GOTO_RE.findall(body):
+            assert target in defined, (scheme, index, target)
+
+        # BEGIN/END never materialize as numbered labels.
+        for vid in reachable:
+            if sgraph.vertex(vid).kind in (BEGIN, END):
+                assert f"_L{vid}_:" not in body
+
+
+def test_every_reachable_assign_renders_an_action():
+    """Each reachable ASSIGN vertex contributes a statement under its
+    label: an assignment, an EMIT, or the explicit no-action comment."""
+    for index in range(10):
+        case = generate_case(34, index)
+        result = synthesize(case.cfsm)
+        body = _react_body(generate_c(result), case.cfsm.name)
+        sgraph = result.sgraph
+        blocks = re.split(r"^(?:_L\d+_|_END_):$", body, flags=re.MULTILINE)
+        labels = _LABEL_DEF_RE.findall(body)
+        by_label = dict(zip(labels, blocks[1:]))
+        for vid in sgraph.reachable():
+            vertex = sgraph.vertex(vid)
+            if vertex.kind != ASSIGN:
+                continue
+            block = by_label[f"_L{vid}_"]
+            assert (
+                "=" in block or "EMIT_" in block or "no action" in block
+            ), (index, vid, block)

@@ -1,0 +1,97 @@
+"""The mini C interpreter vs the CFSM reference semantics.
+
+The interpreter is layer 4 of the difftest oracle: it executes the
+*emitted portable C text* (not the s-graph it came from), so any
+rendering bug — precedence, truncating division, domain wraps, DETECT
+gating — shows up as a divergence from ``react``.
+"""
+
+import pytest
+
+from repro.cfsm.semantics import CfsmConflictError, react
+from repro.codegen import generate_c
+from repro.difftest import generate_case
+from repro.difftest.cinterp import CInterpError, CReaction, _eval, _parse_expr
+from repro.sgraph import synthesize
+
+from ..conftest import all_snapshots, make_counter_cfsm, make_simple_cfsm
+
+
+def _parse(cfsm, **synth_kwargs):
+    result = synthesize(cfsm, **synth_kwargs)
+    return CReaction.parse(generate_c(result), cfsm)
+
+
+@pytest.mark.parametrize("make", [make_simple_cfsm, make_counter_cfsm])
+@pytest.mark.parametrize("scheme", ["sift", "naive", "outputs-first"])
+def test_matches_reference_exhaustively(make, scheme):
+    cfsm = make()
+    reaction = _parse(cfsm, scheme=scheme)
+    for state, present, values in all_snapshots(cfsm, value_range=range(4)):
+        expected = react(cfsm, state, present, values)
+        fired, new_state, emissions = reaction.run(state, present, values)
+        assert fired == expected.fired, (state, present, values)
+        assert new_state == expected.new_state, (state, present, values)
+        expected_emissions = {e.name: v for e, v in expected.emissions}
+        assert emissions == expected_emissions, (state, present, values)
+
+
+def test_matches_reference_on_generated_machines():
+    checked = 0
+    for index in range(25):
+        case = generate_case(5, index)
+        reaction = _parse(case.cfsm, copy_elimination=True)
+        for state, present, values in case.snapshots:
+            try:
+                expected = react(case.cfsm, state, present, values)
+            except CfsmConflictError:
+                continue
+            fired, new_state, emissions = reaction.run(state, present, values)
+            assert fired == expected.fired
+            assert new_state == expected.new_state
+            assert emissions == {e.name: v for e, v in expected.emissions}
+            checked += 1
+    assert checked > 100
+
+
+def _eval_text(text):
+    return _eval(_parse_expr(text), {}, set())
+
+
+def test_c_expression_semantics():
+    # Truncating division / modulo follow C, not Python floor semantics.
+    assert _eval_text("(-7) / 2") == -3
+    assert _eval_text("(-7) % 2") == -1
+    assert _eval_text("7 / -2") == -3
+    # Precedence: shifts bind looser than +, & looser than ==.
+    assert _eval_text("1 << 1 + 1") == 4
+    assert _eval_text("3 & 1 == 1") == 1
+    # Short-circuit evaluation never touches the right operand.
+    assert _eval_text("0 && (1 / 0)") == 0
+    assert _eval_text("1 || (1 / 0)") == 1
+
+
+def test_undefined_shift_raises():
+    with pytest.raises(CInterpError):
+        _eval_text("1 << 63")
+    with pytest.raises(CInterpError):
+        _eval_text("1 >> -1")
+
+
+def test_rejects_unknown_statements():
+    cfsm = make_simple_cfsm()
+    with pytest.raises(CInterpError):
+        CReaction.parse(
+            "int simple_react(void)\n{\n    while (1) {}\n}\n", cfsm
+        )
+
+
+def test_runaway_loop_detected():
+    cfsm = make_simple_cfsm()
+    source = (
+        "int simple_react(void)\n{\n    int fired = 0;\n"
+        "_L1_:\n    goto _L1_;\n_END_:\n    return fired;\n}\n"
+    )
+    reaction = CReaction.parse(source, cfsm)
+    with pytest.raises(CInterpError):
+        reaction.run(cfsm.initial_state(), set(), {})

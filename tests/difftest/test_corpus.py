@@ -1,0 +1,42 @@
+"""Replay the committed regression corpus on every run.
+
+Each file under ``corpus/`` is a shrunk ``repro-difftest-repro/v1``
+document recorded from a (deliberately injected) historical divergence.
+Replaying asserts the *current* toolchain conforms on exactly the inputs
+that once exposed a bug — the cheapest possible regression gate, and the
+same files CI replays in the ``conformance`` job.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.difftest import load_repro_file, replay_file
+from repro.difftest.shrink import state_space
+from repro.obs import validate_trace
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS) >= 4
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_corpus_file_is_valid_and_small(path):
+    _, snapshots, doc = load_repro_file(path)
+    assert validate_trace(doc) == []
+    # Shrinking quality bar: at most 4 states and a handful of snapshots.
+    assert state_space(doc["cfsm"]) <= 4
+    assert 1 <= len(snapshots) <= 4
+    assert doc["origin"].get("inject"), "corpus entries record their fault"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+def test_corpus_replays_clean(path):
+    report = replay_file(path)
+    assert report.ok, [
+        (m.layer, m.kind, m.detail) for m in report.mismatches
+    ]

@@ -1,0 +1,82 @@
+"""Determinism and coverage-bias properties of the random CFSM source."""
+
+import random
+
+from repro.difftest import CaseConfig, cfsm_to_spec, generate_case, random_snapshots
+
+
+def test_generation_is_deterministic_per_seed_and_index():
+    for index in (0, 5, 17):
+        a = generate_case(42, index)
+        b = generate_case(42, index)
+        assert cfsm_to_spec(a.cfsm) == cfsm_to_spec(b.cfsm)
+        assert a.snapshots == b.snapshots
+
+
+def test_different_indexes_give_different_machines():
+    specs = {
+        str(cfsm_to_spec(generate_case(0, index).cfsm)) for index in range(10)
+    }
+    assert len(specs) > 1
+
+
+def test_different_seeds_give_different_streams():
+    a = cfsm_to_spec(generate_case(0, 4).cfsm)
+    b = cfsm_to_spec(generate_case(1, 4).cfsm)
+    assert a != b
+
+
+def test_machines_respect_config_bounds():
+    config = CaseConfig(max_transitions=3, max_state_vars=1, snapshots=5)
+    for index in range(20):
+        case = generate_case(9, index, config)
+        assert 1 <= len(case.cfsm.transitions) <= 3
+        assert len(case.cfsm.state_vars) <= 1
+        assert len(case.snapshots) == 5
+        for var in case.cfsm.state_vars:
+            assert 0 <= var.init < var.num_values
+        for state, present, values in case.snapshots:
+            for var in case.cfsm.state_vars:
+                assert 0 <= state[var.name] < var.num_values
+            assert present <= {e.name for e in case.cfsm.inputs}
+            for event in case.cfsm.inputs:
+                if event.is_valued and event.name in values:
+                    assert 0 <= values[event.name] < (1 << event.width)
+
+
+def test_guards_never_repeat_a_test():
+    for index in range(40):
+        case = generate_case(3, index)
+        for t in case.cfsm.transitions:
+            keys = [lit.test.key() for lit in t.guard]
+            assert len(keys) == len(set(keys))
+
+
+def test_snapshots_cover_stale_buffers():
+    """Some snapshot must carry a value for an *absent* valued event —
+    that is the 1-place-buffer-overwrite corner the paper's Sec. IV
+    semantics makes observable."""
+    stale = 0
+    for index in range(60):
+        case = generate_case(11, index)
+        for state, present, values in case.snapshots:
+            stale += sum(1 for name in values if name not in present)
+    assert stale > 0
+
+
+def test_random_snapshots_hits_boundary_values():
+    case = generate_case(2, 1)
+    if not any(e.is_valued for e in case.cfsm.inputs):
+        case = next(
+            generate_case(2, i)
+            for i in range(2, 40)
+            if any(e.is_valued for e in generate_case(2, i).cfsm.inputs)
+        )
+    rng = random.Random(99)
+    snaps = random_snapshots(case.cfsm, rng, count=200)
+    seen = set()
+    for _, _, values in snaps:
+        seen.update(values.values())
+    widths = {e.width for e in case.cfsm.inputs if e.is_valued}
+    assert 0 in seen
+    assert any((1 << w) - 1 in seen for w in widths)

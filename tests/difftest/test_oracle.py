@@ -1,0 +1,74 @@
+"""The five-layer oracle on known-good machines and generated cases."""
+
+import pytest
+
+from repro.difftest import OracleOptions, check_case, generate_case
+from repro.difftest.oracle import build_case_artifacts, check_reaction
+
+from ..conftest import (
+    all_snapshots,
+    make_counter_cfsm,
+    make_modal_cfsm,
+    make_simple_cfsm,
+)
+
+
+@pytest.mark.parametrize(
+    "make", [make_simple_cfsm, make_counter_cfsm, make_modal_cfsm]
+)
+def test_reference_machines_conform(make):
+    cfsm = make()
+    snapshots = list(all_snapshots(cfsm, value_range=range(4)))[:64]
+    report = check_case(cfsm, snapshots, OracleOptions())
+    assert report.ok, report.mismatches
+    assert report.reactions == len(snapshots)
+    assert report.estimate is not None
+    assert report.measured is not None
+
+
+@pytest.mark.parametrize(
+    "scheme", ["sift", "naive", "outputs-first", "mixed", "sift-strict"]
+)
+def test_all_schemes_conform_on_generated_machines(scheme):
+    tolerance = 2.0 if scheme == "outputs-first" else 0.5
+    options = OracleOptions(scheme=scheme, est_tolerance=tolerance)
+    for index in range(6):
+        case = generate_case(13, index)
+        report = check_case(case.cfsm, case.snapshots, options, index=index)
+        assert report.skipped or report.ok, (index, report.mismatches)
+
+
+def test_check_reaction_reports_per_snapshot():
+    cfsm = make_counter_cfsm()
+    artifacts = build_case_artifacts(cfsm, OracleOptions())
+    snapshot = (cfsm.initial_state(), {"up"}, {})
+    mismatches = check_reaction(artifacts, snapshot, 0)
+    assert mismatches == []
+
+
+def test_measured_cycles_within_exact_analysis_bounds():
+    """Layer agreement is necessary; Table I soundness also requires the
+    measured cycle count of every reaction to sit inside the *exact*
+    min/max path analysis of the compiled program."""
+    cfsm = make_modal_cfsm()
+    artifacts = build_case_artifacts(cfsm, OracleOptions())
+    assert artifacts.meas.min_cycles <= artifacts.meas.max_cycles
+    report = check_case(
+        cfsm, list(all_snapshots(cfsm))[:32], OracleOptions()
+    )
+    assert report.ok
+    assert artifacts.meas.min_cycles <= report.measured["min_cycles"]
+
+
+def test_report_dict_shape():
+    cfsm = make_simple_cfsm()
+    report = check_case(
+        cfsm, list(all_snapshots(cfsm, value_range=range(2)))[:8],
+        OracleOptions(), index=7,
+    )
+    doc = report.as_dict()
+    assert doc["index"] == 7
+    assert doc["name"] == "simple"
+    assert doc["reactions"] == 8
+    assert doc["mismatches"] == []
+    assert set(doc["estimate"]) >= {"min_cycles", "max_cycles"}

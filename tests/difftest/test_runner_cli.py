@@ -1,0 +1,104 @@
+"""Campaign runner, report document, and the ``repro fuzz`` CLI."""
+
+import json
+
+from repro.cli import main
+from repro.difftest import (
+    DEFAULT_SCHEMES,
+    DIFFTEST_FORMAT,
+    FuzzConfig,
+    load_repro_file,
+    replay_file,
+    run_fuzz,
+)
+from repro.obs import render_report, validate_trace
+
+
+def test_smoke_campaign_is_clean_and_validates():
+    doc = run_fuzz(FuzzConfig(seed=0, cases=8, smoke=True))
+    assert doc["format"] == DIFFTEST_FORMAT
+    assert doc["summary"]["failures"] == 0
+    assert doc["summary"]["cases"] == 8
+    assert doc["summary"]["reactions"] > 0
+    assert validate_trace(doc) == []
+    text = render_report(doc)
+    assert "conformance fuzz" in text
+    assert "all layers agree" in text
+
+
+def test_campaign_results_identical_serial_vs_pool():
+    serial = run_fuzz(FuzzConfig(seed=5, cases=6, smoke=True, jobs=1))
+    pooled = run_fuzz(FuzzConfig(seed=5, cases=6, smoke=True, jobs=2))
+    for doc in (serial, pooled):
+        doc["summary"].pop("wall_ms")
+        doc.pop("jobs")
+    assert serial == pooled
+
+
+def test_scheme_rotation_covers_all_schemes():
+    config = FuzzConfig(seed=0, cases=len(DEFAULT_SCHEMES))
+    seen = {config.oracle_options(i).scheme for i in range(config.cases)}
+    assert seen == set(DEFAULT_SCHEMES)
+
+
+def test_injected_fault_campaign_fails_with_repro(tmp_path):
+    doc = run_fuzz(
+        FuzzConfig(seed=0, cases=6, smoke=True, inject="cgen-negate-presence")
+    )
+    assert doc["summary"]["failures"] > 0
+    assert doc["summary"]["mismatches_by_layer"].get("cgen")
+    failure = next(f for f in doc["failures"] if f.get("repro"))
+    assert validate_trace(failure["repro"]) == []
+    # The repro file replays: current toolchain (no fault) conforms.
+    path = tmp_path / "repro.json"
+    path.write_text(json.dumps(failure["repro"]))
+    cfsm, snapshots, loaded = load_repro_file(str(path))
+    assert loaded["origin"]["inject"] == "cgen-negate-presence"
+    assert snapshots
+    report = replay_file(str(path))
+    assert report.ok, report.mismatches
+
+
+def test_cli_fuzz_exit_codes_and_output(tmp_path, capsys):
+    out = tmp_path / "campaign.json"
+    code = main(
+        [
+            "fuzz", "--seed", "0", "--cases", "4", "--smoke",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    assert "conformance fuzz" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["format"] == DIFFTEST_FORMAT
+    assert validate_trace(doc) == []
+
+
+def test_cli_fuzz_catches_fault_and_saves_repro(tmp_path, capsys):
+    repro_dir = tmp_path / "failures"
+    code = main(
+        [
+            "fuzz", "--seed", "0", "--cases", "4", "--smoke",
+            "--inject", "cgen-negate-presence",
+            "--save-failures", str(repro_dir),
+        ]
+    )
+    assert code == 1
+    saved = sorted(repro_dir.glob("repro-*.json"))
+    assert saved
+    capsys.readouterr()
+    # Replaying those files against the healthy toolchain passes.
+    replay_args = ["fuzz"]
+    for path in saved:
+        replay_args += ["--replay", str(path)]
+    assert main(replay_args) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_cli_report_renders_campaign_doc(tmp_path, capsys):
+    out = tmp_path / "campaign.json"
+    assert main(["fuzz", "--seed", "1", "--cases", "3", "--smoke",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(out)]) == 0
+    assert "conformance fuzz" in capsys.readouterr().out

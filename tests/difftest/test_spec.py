@@ -1,0 +1,82 @@
+"""Round-trip tests for the replayable CFSM spec serialization."""
+
+import pytest
+
+from repro.cfsm.semantics import build_env, react
+from repro.difftest import (
+    REPRO_FORMAT,
+    case_to_repro_doc,
+    cfsm_from_spec,
+    cfsm_to_spec,
+    generate_case,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.obs import validate_trace
+
+from ..conftest import make_counter_cfsm, make_modal_cfsm, make_simple_cfsm
+
+
+@pytest.mark.parametrize(
+    "make", [make_simple_cfsm, make_counter_cfsm, make_modal_cfsm]
+)
+def test_spec_roundtrip_preserves_reference_semantics(make):
+    cfsm = make()
+    restored = cfsm_from_spec(cfsm_to_spec(cfsm))
+    assert restored.name == cfsm.name
+    assert [e.name for e in restored.inputs] == [e.name for e in cfsm.inputs]
+    assert [e.name for e in restored.outputs] == [e.name for e in cfsm.outputs]
+    assert len(restored.transitions) == len(cfsm.transitions)
+    # Behavioural equality on a sample of snapshots beats structural
+    # equality: the spec only has to preserve the reaction function.
+    state = cfsm.initial_state()
+    for present in ({e.name for e in cfsm.inputs}, set(), {cfsm.inputs[0].name}):
+        values = {e.name: 3 for e in cfsm.inputs if e.is_valued}
+        a = react(cfsm, state, present, values)
+        b = react(restored, state, present, values)
+        assert a.fired == b.fired
+        assert a.new_state == b.new_state
+        assert [(e.name, v) for e, v in a.emissions] == [
+            (e.name, v) for e, v in b.emissions
+        ]
+
+
+def test_spec_roundtrip_on_generated_cases():
+    for index in range(12):
+        case = generate_case(7, index)
+        restored = cfsm_from_spec(cfsm_to_spec(case.cfsm))
+        for state, present, values in case.snapshots[:6]:
+            env = build_env(case.cfsm, state, values)
+            for t_a, t_b in zip(case.cfsm.transitions, restored.transitions):
+                assert t_a.enabled(env, present) == t_b.enabled(env, present)
+
+
+def test_snapshot_roundtrip():
+    snap = ({"s0": 2}, {"p0", "v0"}, {"v0": 13})
+    doc = snapshot_to_dict(snap)
+    assert doc == {"state": {"s0": 2}, "present": ["p0", "v0"], "values": {"v0": 13}}
+    state, present, values = snapshot_from_dict(doc)
+    assert (state, present, values) == snap
+
+
+def test_repro_doc_validates_against_obs_schema():
+    case = generate_case(0, 3)
+    doc = case_to_repro_doc(
+        case.cfsm,
+        case.snapshots[:2],
+        failure={"layer": "cgen", "kind": "fired", "detail": "boom"},
+        origin={"seed": 0, "index": 3, "scheme": "sift", "profile": "K11"},
+    )
+    assert doc["format"] == REPRO_FORMAT
+    assert validate_trace(doc) == []
+
+
+def test_repro_doc_validator_rejects_bad_layer():
+    case = generate_case(0, 3)
+    doc = case_to_repro_doc(
+        case.cfsm,
+        case.snapshots[:1],
+        failure={"layer": "not-a-layer", "kind": "fired", "detail": ""},
+        origin={"seed": 0, "index": 3},
+    )
+    assert any("layer" in e for e in validate_trace(doc))

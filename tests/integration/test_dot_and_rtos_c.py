@@ -41,18 +41,29 @@ class TestDotExport:
         assert '[label="1", shape=box]' in dot
         assert "style=dashed" in dot
 
-    @pytest.mark.skipif(
-        shutil.which("dot") is None, reason="graphviz not available"
-    )
     def test_graphviz_accepts_output(self, simple_cfsm, tmp_path):
+        """The DOT text itself is always validated (balanced braces, quoted
+        labels, no dangling edges); actually rendering it is gated on the
+        ``dot`` binary at runtime rather than skipping the whole test."""
         result = synthesize(simple_cfsm)
+        dot = result.sgraph.to_dot()
+        # Structural validation that does not need graphviz: brace balance,
+        # one digraph block, every edge endpoint declared, quotes paired.
+        assert dot.count("{") == dot.count("}")
+        assert dot.count('"') % 2 == 0
+        body = dot[dot.index("{") + 1:dot.rindex("}")]
+        edges = re.findall(r"(n\d+) -> (n\d+)", body)
+        declared = set(re.findall(r"(n\d+) \[", body))
+        assert edges, "s-graph DOT should have at least one edge"
+        assert {v for pair in edges for v in pair} <= declared
         dot_file = tmp_path / "g.dot"
-        dot_file.write_text(result.sgraph.to_dot())
-        run = subprocess.run(
-            ["dot", "-Tsvg", str(dot_file), "-o", str(tmp_path / "g.svg")],
-            capture_output=True,
-        )
-        assert run.returncode == 0
+        dot_file.write_text(dot)
+        if shutil.which("dot"):  # render only where graphviz exists
+            run = subprocess.run(
+                ["dot", "-Tsvg", str(dot_file), "-o", str(tmp_path / "g.svg")],
+                capture_output=True,
+            )
+            assert run.returncode == 0
 
 
 @pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
