@@ -1,50 +1,89 @@
-"""``repro lint``: static analysis over CFSM networks, s-graphs and C.
+"""Static analysis over CFSM networks, s-graphs, ISA code and C.
 
-Three check layers mirror the three representations the synthesis flow
-moves through (Sec. II-III of the paper):
+Two tiers share one check registry and one diagnostics core:
 
-* **network** — GALS topology hazards: racing writers on single-place
-  buffers, type-mismatched event declarations, undriven/unconsumed
-  events, unreachable states and dead transitions;
-* **sgraph**  — Theorem 1 / Definition 1 well-formedness of the
-  synthesized s-graph (DAG shape, unique BEGIN/END, at-most-once
-  assignment per path, BDD-consistent TEST order, infeasible flags that
-  agree with the care set);
-* **codegen** — sanity of the emitted portable-assembly C (goto targets,
-  unreachable labels, read-before-assign).
+* ``repro lint`` — cheap per-source checks over the three
+  representations the synthesis flow moves through (Sec. II-III of the
+  paper): **network** (GALS topology hazards), **sgraph** (Theorem 1 /
+  Definition 1 well-formedness) and **codegen** (sanity of the emitted
+  portable-assembly C);
+* ``repro verify`` — the whole-program static verifier: monotone
+  dataflow analyses (:mod:`repro.analysis.dataflow`, the generic
+  worklist framework) over fully built modules.  The **verify** layer
+  runs BDD path-condition propagation over the s-graph, value-range
+  and liveness analyses over the generated C, and an independent
+  min/max-cycle recomputation cross-checked against both
+  ``analyze_program`` and the Table-I estimator; **verify-network**
+  statically detects 1-place-buffer event loss under an RTOS
+  configuration.
 
 Checks are registered declaratively (``@check``) and produce
 :class:`Diagnostic` records collected into a :class:`Report` with stable
-exit codes.  See ``repro lint --help`` for the CLI.
+exit codes.  See ``repro lint --help`` / ``repro verify --help``.
 """
 
 from . import c_checks, network_checks, sgraph_checks  # noqa: F401  register checks
+from . import verify_c, verify_isa, verify_rtos, verify_sgraph  # noqa: F401
 from .c_checks import CSourceContext
 from .diagnostics import Diagnostic, Finding, Report, Severity
 from .network_checks import NetworkContext
-from .registry import Check, all_checks, check, checks_for, get_check, run_checks
-from .reporters import JSON_SCHEMA_ID, render_json, render_text
-from .runner import lint_c_source, lint_design, lint_sgraph
+from .registry import (
+    LAYERS,
+    LINT_LAYERS,
+    VERIFY_LAYERS,
+    Check,
+    all_checks,
+    check,
+    checks_for,
+    get_check,
+    run_checks,
+)
+from .reporters import (
+    JSON_SCHEMA_ID,
+    VERIFY_SCHEMA_ID,
+    render_json,
+    render_sarif,
+    render_text,
+    render_verify_json,
+)
+from .runner import (
+    VerifyReport,
+    lint_c_source,
+    lint_design,
+    lint_sgraph,
+    verify_design,
+)
 from .sgraph_checks import SGraphContext
+from .verify_common import ModuleVerifyContext, RtosVerifyContext
 
 __all__ = [
     "Severity",
     "Finding",
     "Diagnostic",
     "Report",
+    "VerifyReport",
     "Check",
     "check",
     "checks_for",
     "all_checks",
     "get_check",
     "run_checks",
+    "LAYERS",
+    "LINT_LAYERS",
+    "VERIFY_LAYERS",
     "NetworkContext",
     "SGraphContext",
     "CSourceContext",
+    "ModuleVerifyContext",
+    "RtosVerifyContext",
     "lint_design",
     "lint_sgraph",
     "lint_c_source",
+    "verify_design",
     "render_text",
     "render_json",
+    "render_verify_json",
+    "render_sarif",
     "JSON_SCHEMA_ID",
+    "VERIFY_SCHEMA_ID",
 ]

@@ -1,0 +1,69 @@
+"""Best/worst path-cost analysis as a dataflow problem.
+
+The lattice value at a node is the pair ``(min, max)`` of accumulated
+cost over all entry-to-node paths; the edge transfer adds the edge's
+cost to both components and the join takes the componentwise min/max.
+On a DAG this converges to the exact shortest/longest path costs — the
+same figures the estimator computes with Dijkstra + PERT and the target
+analyzer computes with a topological DP, but by an *independent*
+algorithm, which is what makes the verifier's cross-check meaningful.
+
+A control-flow cycle (positive costs) has no longest path; the
+framework's step budget then trips :class:`DataflowDivergence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence, Tuple, TypeVar
+
+from .framework import Dataflow
+
+__all__ = ["PathBounds", "path_bounds"]
+
+N = TypeVar("N", bound=Hashable)
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class PathBounds:
+    """Accumulated min/max path cost from the entry to one node."""
+
+    min_cost: float
+    max_cost: float
+
+
+def _join(a: Tuple[float, float], b: Tuple[float, float]) -> Tuple[float, float]:
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def path_bounds(
+    edges: Mapping[N, Sequence[Tuple[N, float]]],
+    entry: N,
+    exit_node: N,
+    entry_cost: float = 0.0,
+    exit_cost: float = 0.0,
+) -> PathBounds:
+    """Exact min/max cost over all ``entry`` → ``exit_node`` paths.
+
+    ``entry_cost``/``exit_cost`` are added once (prologue/epilogue).
+    Raises :class:`KeyError` if the exit is unreachable and
+    :class:`DataflowDivergence` if the graph has a (positive-cost) cycle.
+    """
+
+    def transfer(
+        node: N, succ: N, cost: float, value: Tuple[float, float]
+    ) -> Tuple[float, float]:
+        return (value[0] + cost, value[1] + cost)
+
+    analysis: Dataflow[N, float, Tuple[float, float]] = Dataflow(
+        bottom=lambda: (_INF, -_INF),
+        join=_join,
+        transfer=transfer,
+    )
+    solution = analysis.solve(edges, {entry: (entry_cost, entry_cost)})
+    if exit_node not in solution:
+        raise KeyError(f"exit node {exit_node!r} unreachable from entry")
+    best, worst = solution[exit_node]
+    return PathBounds(min_cost=best + exit_cost, max_cost=worst + exit_cost)

@@ -1,0 +1,114 @@
+"""Generic monotone dataflow framework (worklist fixpoint).
+
+The engine is the classic formulation: a join-semilattice of abstract
+values, a directed graph whose edges carry annotations, and a monotone
+transfer function applied per edge.  ``solve`` iterates a FIFO worklist
+until the least fixpoint is reached.  Backward problems are solved by
+running forward over :func:`reverse_edges`.
+
+This package is the repository's first ``mypy --strict`` typed island:
+it imports nothing outside the standard library, so every concrete
+analysis adapts repo objects (s-graphs, ISA programs, parsed C) into
+plain node/edge structures before calling in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+__all__ = ["DataflowDivergence", "Dataflow", "reverse_edges"]
+
+N = TypeVar("N", bound=Hashable)  # node identity
+E = TypeVar("E")  # edge annotation
+V = TypeVar("V")  # abstract lattice value
+
+#: Adjacency with annotated edges: node -> [(successor, annotation), ...].
+EdgeMap = Mapping[N, Sequence[Tuple[N, E]]]
+
+
+class DataflowDivergence(RuntimeError):
+    """The worklist exceeded its step budget (unbounded ascending chain)."""
+
+
+class Dataflow(Generic[N, E, V]):
+    """A monotone framework instance: lattice operations + edge transfer.
+
+    ``join`` must be commutative/associative/idempotent and ``transfer``
+    monotone in its value argument, or the fixpoint (and termination) is
+    forfeit.  ``bottom`` produces the lattice's least element for nodes
+    not yet reached.  ``equal`` defaults to ``==``.
+    """
+
+    def __init__(
+        self,
+        bottom: Callable[[], V],
+        join: Callable[[V, V], V],
+        transfer: Callable[[N, N, E, V], V],
+        equal: Optional[Callable[[V, V], bool]] = None,
+    ) -> None:
+        self.bottom = bottom
+        self.join = join
+        self.transfer = transfer
+        self.equal = equal if equal is not None else lambda a, b: bool(a == b)
+
+    def solve(
+        self,
+        edges: EdgeMap[N, E],
+        init: Mapping[N, V],
+        max_steps: Optional[int] = None,
+    ) -> Dict[N, V]:
+        """Least fixpoint of the dataflow equations seeded by ``init``.
+
+        Returns the value attached to every *reached* node; nodes the
+        seeds cannot flow into are absent (their value is bottom).  The
+        default step budget is generous for any finite-height lattice on
+        a DAG; exceeding it raises :class:`DataflowDivergence` rather
+        than spinning, so callers can degrade the analysis to a finding.
+        """
+        n_edges = sum(len(out) for out in edges.values())
+        if max_steps is None:
+            max_steps = 16 * (len(edges) + 1) * (n_edges + 1) + 1024
+        values: Dict[N, V] = dict(init)
+        work: deque[N] = deque(init)
+        queued = set(init)
+        steps = 0
+        while work:
+            steps += 1
+            if steps > max_steps:
+                raise DataflowDivergence(
+                    f"no fixpoint after {max_steps} worklist steps"
+                )
+            node = work.popleft()
+            queued.discard(node)
+            value = values[node]
+            for succ, annotation in edges.get(node, ()):
+                out = self.transfer(node, succ, annotation, value)
+                old = values.get(succ)
+                new = out if old is None else self.join(old, out)
+                if old is None or not self.equal(old, new):
+                    values[succ] = new
+                    if succ not in queued:
+                        queued.add(succ)
+                        work.append(succ)
+        return values
+
+
+def reverse_edges(edges: EdgeMap[N, E]) -> Dict[N, List[Tuple[N, E]]]:
+    """Flip every edge, preserving annotations (for backward problems)."""
+    out: Dict[N, List[Tuple[N, E]]] = {node: [] for node in edges}
+    for node, succs in edges.items():
+        for succ, annotation in succs:
+            out.setdefault(succ, []).append((node, annotation))
+    return out

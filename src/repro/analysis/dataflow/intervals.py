@@ -1,0 +1,220 @@
+"""Integer interval lattice with sound C-expression arithmetic.
+
+Values abstract unbounded Python integers (the ``cinterp`` execution
+model of the generated portable C): an :class:`Interval` is a closed
+range ``[lo, hi]`` whose endpoints may be ``-inf``/``+inf``.  Every
+operator here over-approximates the concrete operator — for all
+``a in x`` and ``b in y``, ``a op b in x.op(y)`` — which is the only
+property the verifier's soundness harness relies on.
+
+Division and modulo follow C semantics (truncation toward zero), as the
+generated code and its interpreter do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+__all__ = ["Interval", "TOP", "BOOL", "EMPTY", "join_all"]
+
+_INF = float("inf")
+
+
+def _is_finite(value: float) -> bool:
+    return value not in (_INF, -_INF)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer range; ``lo > hi`` encodes the empty interval."""
+
+    lo: float
+    hi: float
+
+    # ----- constructors -------------------------------------------------
+    @staticmethod
+    def const(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def range(lo: float, hi: float) -> "Interval":
+        return Interval(lo, hi)
+
+    @staticmethod
+    def top() -> "Interval":
+        return TOP
+
+    # ----- lattice ------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo == self.hi and _is_finite(self.lo)
+
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def within(self, lo: float, hi: float) -> bool:
+        """True when the whole interval sits inside ``[lo, hi]``."""
+        return self.is_empty or (lo <= self.lo and self.hi <= hi)
+
+    # ----- arithmetic (all sound over-approximations) -------------------
+    def add(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        products: List[float] = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if (a == 0 and not _is_finite(b)) or (
+                    b == 0 and not _is_finite(a)
+                ):
+                    products.append(0)
+                else:
+                    products.append(a * b)
+        return Interval(min(products), max(products))
+
+    def div_trunc(self, other: "Interval") -> "Interval":
+        """C ``/`` (truncation toward zero); divisor 0 never returns."""
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        bound = max(abs(self.lo), abs(self.hi))
+        # |a / b| <= |a| for |b| >= 1, and the sign can flip either way.
+        return Interval(-bound, bound)
+
+    def mod_trunc(self, other: "Interval") -> "Interval":
+        """C ``%``: ``a - trunc(a/b)*b``; result sign follows ``a``."""
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if not (_is_finite(other.lo) and _is_finite(other.hi)):
+            mag: float = _INF
+        else:
+            mag = max(abs(other.lo), abs(other.hi)) - 1
+            mag = max(mag, 0)
+        lo = 0 if self.lo >= 0 else -mag
+        hi = 0 if self.hi <= 0 else mag
+        # |a % b| <= |a| too: a constant small dividend stays small.
+        if _is_finite(self.lo) and _is_finite(self.hi):
+            amag = max(abs(self.lo), abs(self.hi))
+            lo = max(lo, -amag)
+            hi = min(hi, amag)
+        return Interval(lo, hi)
+
+    def bit_and(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if self.lo >= 0 and other.lo >= 0:
+            return Interval(0, min(self.hi, other.hi))
+        if self.lo >= 0:
+            return Interval(0, self.hi)
+        if other.lo >= 0:
+            return Interval(0, other.hi)
+        return TOP
+
+    def bit_or(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if self.lo >= 0 and other.lo >= 0:
+            return Interval(0, _next_pow2_mask(max(self.hi, other.hi)))
+        return TOP
+
+    def bit_xor(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if self.lo >= 0 and other.lo >= 0:
+            return Interval(0, _next_pow2_mask(max(self.hi, other.hi)))
+        return TOP
+
+    def shl(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if other.is_constant and _is_finite(self.lo) and _is_finite(self.hi):
+            amount = int(other.lo)
+            if 0 <= amount < 32:
+                return Interval(
+                    int(self.lo) << amount, int(self.hi) << amount
+                )
+        if self.lo >= 0:
+            return Interval(0, _INF)
+        return TOP
+
+    def shr(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        if other.is_constant and _is_finite(self.lo) and _is_finite(self.hi):
+            amount = int(other.lo)
+            if 0 <= amount < 32:
+                # Python's floor shift is monotone in the operand.
+                return Interval(
+                    int(self.lo) >> amount, int(self.hi) >> amount
+                )
+        if self.lo >= 0:
+            return Interval(0, self.hi)
+        return TOP
+
+    def minimum(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def maximum(self, other: "Interval") -> "Interval":
+        if self.is_empty or other.is_empty:
+            return EMPTY
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def logical_not(self) -> "Interval":
+        if self.is_empty:
+            return EMPTY
+        if not self.contains(0):
+            return Interval.const(0)
+        if self.is_constant:  # the constant is 0
+            return Interval.const(1)
+        return BOOL
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo}, {self.hi}]"
+
+
+def _next_pow2_mask(value: float) -> float:
+    """Smallest ``2**k - 1 >= value`` (the OR/XOR result ceiling)."""
+    if not _is_finite(value):
+        return _INF
+    bits = int(value).bit_length()
+    return (1 << bits) - 1
+
+
+TOP = Interval(-_INF, _INF)
+BOOL = Interval(0, 1)
+EMPTY = Interval(_INF, -_INF)
+
+
+def join_all(intervals: Iterable[Interval]) -> Optional[Interval]:
+    """Hull of any number of intervals; ``None`` when given none."""
+    out: Optional[Interval] = None
+    for interval in intervals:
+        out = interval if out is None else out.join(interval)
+    return out

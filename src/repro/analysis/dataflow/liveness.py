@@ -1,0 +1,91 @@
+"""Backward live-variable analysis over a numbered instruction CFG.
+
+Nodes are instruction indices ``0..n-1``; each carries a *use* set and a
+*def* set.  The classic equations
+
+    live_out[i] = union of live_in[s] over successors s
+    live_in[i]  = use[i] | (live_out[i] - def[i])
+
+are solved as a forward problem on the reversed graph (the framework's
+only direction), with the powerset-of-names union lattice.  On top of
+the fixpoint sit the two consumers the verifier needs: dead stores
+(a def never observed) and the maximum number of simultaneously live
+names (the C stack/register pressure bound).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Sequence,
+    Tuple,
+)
+
+from .framework import Dataflow, reverse_edges
+
+__all__ = ["solve_liveness", "dead_stores", "max_live"]
+
+
+def solve_liveness(
+    successors: Sequence[Sequence[int]],
+    uses: Sequence[AbstractSet[str]],
+    defs: Sequence[AbstractSet[str]],
+) -> Tuple[List[FrozenSet[str]], List[FrozenSet[str]]]:
+    """Return ``(live_in, live_out)`` per instruction index.
+
+    ``successors[i]`` lists the indices control may reach after ``i``;
+    an empty list marks an exit.  All three sequences must have equal
+    length.
+    """
+    n = len(successors)
+    if not (len(uses) == len(defs) == n):
+        raise ValueError("successors/uses/defs must have the same length")
+
+    def live_in_of(index: int, live_out: FrozenSet[str]) -> FrozenSet[str]:
+        return frozenset(uses[index]) | (live_out - frozenset(defs[index]))
+
+    # Stored value at node i = live_out[i]; a reversed edge s -> i
+    # carries live_in[s] into live_out[i].
+    def transfer(
+        node: int, succ: int, annotation: None, value: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        return live_in_of(node, value)
+
+    forward: Dict[int, List[Tuple[int, None]]] = {
+        i: [(s, None) for s in successors[i]] for i in range(n)
+    }
+    empty: FrozenSet[str] = frozenset()
+    analysis: Dataflow[int, None, FrozenSet[str]] = Dataflow(
+        bottom=lambda: empty,
+        join=lambda a, b: a | b,
+        transfer=transfer,
+    )
+    # Seed every node so code unreachable from an exit still gets a value.
+    init: Dict[int, FrozenSet[str]] = {i: empty for i in range(n)}
+    solution = analysis.solve(reverse_edges(forward), init)
+    live_out = [solution.get(i, empty) for i in range(n)]
+    live_in = [live_in_of(i, live_out[i]) for i in range(n)]
+    return live_in, live_out
+
+
+def dead_stores(
+    successors: Sequence[Sequence[int]],
+    uses: Sequence[AbstractSet[str]],
+    defs: Sequence[AbstractSet[str]],
+) -> List[Tuple[int, str]]:
+    """``(index, name)`` for every def whose value is never observed."""
+    _, live_out = solve_liveness(successors, uses, defs)
+    out: List[Tuple[int, str]] = []
+    for index in range(len(successors)):
+        for name in sorted(defs[index]):
+            if name not in live_out[index]:
+                out.append((index, name))
+    return out
+
+
+def max_live(live_sets: Sequence[AbstractSet[str]]) -> int:
+    """Peak number of simultaneously live names across the program."""
+    return max((len(s) for s in live_sets), default=0)

@@ -1,12 +1,17 @@
 """Pluggable check registry for ``repro lint``.
 
 A check is a generator function yielding :class:`~.diagnostics.Finding`
-records, registered under a stable id and one of three layers:
+records, registered under a stable id and one of five layers:
 
 * ``network`` — runs over a set of CFSMs (the GALS network topology);
 * ``sgraph``  — runs over one synthesized s-graph + its encoding;
 * ``codegen`` — runs over one generated portable-assembly C translation
-  unit.
+  unit;
+* ``verify``  — deep dataflow analyses over one fully built module
+  (s-graph + compiled ISA program + parsed C), the ``repro verify``
+  tier;
+* ``verify-network`` — whole-network dataflow analyses under an RTOS
+  configuration (static lost-event detection).
 
 Registration is declarative (the ``@check(...)`` decorator); the runner
 asks the registry for a layer's checks and stamps each yielded finding
@@ -23,7 +28,12 @@ from .diagnostics import Diagnostic, Finding, Severity
 
 __all__ = ["Check", "check", "checks_for", "all_checks", "get_check", "run_checks"]
 
-LAYERS = ("network", "sgraph", "codegen")
+LAYERS = ("network", "sgraph", "codegen", "verify", "verify-network")
+
+#: Layers run by ``repro lint`` (cheap, per-source); ``repro verify`` runs
+#: the remaining deep layers over fully built artifacts.
+LINT_LAYERS = ("network", "sgraph", "codegen")
+VERIFY_LAYERS = ("verify", "verify-network")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,336 @@
+"""Verify-layer analyses of the generated C, via the ``cinterp`` parser.
+
+The PR 5 conformance interpreter already parses each ``<name>_react``
+function into a flat instruction list with real C expression semantics;
+this module lifts that list into a CFG and runs two dataflow analyses
+from the typed island over it:
+
+* **Forward interval analysis** (abstract interpretation of the C
+  integer arithmetic): state variables start in their declared domains,
+  1-place value buffers in ``[0, 2^width - 1]``, and every expression
+  operator is over-approximated soundly.  At each ``return`` the state
+  variables must still sit inside their domains — a violation means the
+  emitted wrap/mask code is missing or wrong (the static twin of the
+  ``cgen-drop-wrap`` injected fault, which this check flags).
+
+* **Backward liveness**: dead stores (a write never observed by any
+  later read, emit, branch, or the final return) and the peak number of
+  concurrently live locals — the C translation unit's stack bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from .dataflow import BOOL, TOP, Dataflow, Interval, dead_stores, max_live, solve_liveness
+from .diagnostics import Finding, Severity
+from .registry import check
+from .verify_common import ModuleVerifyContext
+
+__all__ = ["CFlowFacts", "c_flow_facts", "c_successors", "eval_interval"]
+
+
+# ----------------------------------------------------------------------
+# CFG + use/def extraction from CReaction instruction lists
+# ----------------------------------------------------------------------
+
+def c_successors(instructions: List[Tuple]) -> List[List[int]]:
+    """Successor indices per instruction; ``return`` has none."""
+    succs: List[List[int]] = []
+    for i, instr in enumerate(instructions):
+        op = instr[0]
+        if op == "return":
+            succs.append([])
+        elif op == "goto":
+            succs.append([instr[1]])
+        elif op == "ifgoto":
+            succs.append(sorted({i + 1, instr[2]}))
+        elif op == "ifnot_skip":
+            succs.append(sorted({i + 1, instr[2]}))
+        elif op == "switch":
+            succs.append(sorted(set(instr[2].values()) | {instr[3]}))
+        else:  # assign / emit
+            succs.append([i + 1])
+    return succs
+
+
+def ast_names(node: Any) -> Set[str]:
+    """Identifiers an expression AST reads (``DETECT_`` calls excluded)."""
+    if node is None:
+        return set()
+    kind = node[0]
+    if kind == "num":
+        return set()
+    if kind == "var":
+        return {node[1]}
+    if kind == "un":
+        return ast_names(node[2])
+    if kind == "bin":
+        return ast_names(node[2]) | ast_names(node[3])
+    if kind == "call":
+        out: Set[str] = set()
+        for arg in node[2]:
+            out |= ast_names(arg)
+        return out
+    return set()
+
+
+def _use_def(
+    instructions: List[Tuple], observable: Set[str]
+) -> Tuple[List[Set[str]], List[Set[str]]]:
+    uses: List[Set[str]] = []
+    defs: List[Set[str]] = []
+    for instr in instructions:
+        op = instr[0]
+        if op == "assign":
+            uses.append(ast_names(instr[2]))
+            defs.append({instr[1]})
+        elif op == "emit":
+            uses.append(ast_names(instr[2]))
+            defs.append(set())
+        elif op in ("ifgoto", "ifnot_skip", "switch"):
+            uses.append(ast_names(instr[1]))
+            defs.append(set())
+        elif op == "return":
+            uses.append(set(observable))
+            defs.append(set())
+        else:  # goto
+            uses.append(set())
+            defs.append(set())
+    return uses, defs
+
+
+# ----------------------------------------------------------------------
+# Interval abstract interpretation of cinterp expression ASTs
+# ----------------------------------------------------------------------
+
+def eval_interval(node: Any, env: Dict[str, Interval]) -> Interval:
+    """Sound interval of a cinterp AST under ``env`` (missing name = TOP)."""
+    kind = node[0]
+    if kind == "num":
+        return Interval.const(node[1])
+    if kind == "var":
+        return env.get(node[1], TOP)
+    if kind == "un":
+        value = eval_interval(node[2], env)
+        op = node[1]
+        if op == "!":
+            return value.logical_not()
+        if op == "-":
+            return value.neg()
+        if op == "+":
+            return value
+        return TOP
+    if kind == "bin":
+        op = node[1]
+        if op in ("&&", "||", "<", "<=", ">", ">=", "==", "!="):
+            return BOOL
+        a = eval_interval(node[2], env)
+        b = eval_interval(node[3], env)
+        if op == "+":
+            return a.add(b)
+        if op == "-":
+            return a.sub(b)
+        if op == "*":
+            return a.mul(b)
+        if op == "/":
+            return a.div_trunc(b)
+        if op == "%":
+            return a.mod_trunc(b)
+        if op == "<<":
+            return a.shl(b)
+        if op == ">>":
+            return a.shr(b)
+        if op == "&":
+            return a.bit_and(b)
+        if op == "|":
+            return a.bit_or(b)
+        if op == "^":
+            return a.bit_xor(b)
+        return TOP
+    if kind == "call":
+        name, args = node[1], node[2]
+        if name.startswith("DETECT_"):
+            return BOOL
+        values = [eval_interval(arg, env) for arg in args]
+        if name == "ITE" and len(values) == 3:
+            cond, then, other = values
+            if not cond.contains(0):
+                return then
+            if cond.is_constant:  # constant zero
+                return other
+            return then.join(other)
+        if name == "SAFE_DIV" and len(values) == 2:
+            return values[0].div_trunc(values[1])
+        if name == "SAFE_MOD" and len(values) == 2:
+            return values[0].mod_trunc(values[1])
+        if name == "MIN" and len(values) == 2:
+            return values[0].minimum(values[1])
+        if name == "MAX" and len(values) == 2:
+            return values[0].maximum(values[1])
+        return TOP
+    return TOP
+
+
+Env = Tuple[Tuple[str, Interval], ...]  # canonical, hashable-free env form
+
+
+def _env_join(a: Dict[str, Interval], b: Dict[str, Interval]) -> Dict[str, Interval]:
+    """Pointwise hull; a name missing on either side drops to implicit TOP."""
+    return {
+        name: a[name].join(b[name])
+        for name in a
+        if name in b
+    }
+
+
+@dataclass
+class CFlowFacts:
+    """Structured verdicts of the C analyses, falsifiable per snapshot."""
+
+    #: state var -> interval guaranteed to contain its value at return.
+    state_intervals: Dict[str, Interval] = field(default_factory=dict)
+    #: (instruction index, name): writes never observed downstream.
+    dead_stores: List[Tuple[int, str]] = field(default_factory=list)
+    #: Peak simultaneously live *local* names (stack bound), and which.
+    max_live_locals: int = 0
+    locals_seen: FrozenSet[str] = frozenset()
+
+
+def c_flow_facts(creact: Any, machine: Any) -> CFlowFacts:
+    """Run the interval + liveness analyses over one parsed reaction."""
+    instructions = creact.instructions
+    succs = c_successors(instructions)
+
+    # ----- forward intervals -------------------------------------------
+    init_env: Dict[str, Interval] = {}
+    domains: Dict[str, int] = {}
+    for var in machine.state_vars:
+        domains[var.name] = var.num_values
+        init_env[var.name] = Interval(0, var.num_values - 1)
+    for event in machine.inputs:
+        if event.is_valued:
+            init_env[f"value_{event.name}"] = Interval(0, (1 << event.width) - 1)
+
+    def transfer(
+        node: int, succ: int, annotation: None, env: Dict[str, Interval]
+    ) -> Dict[str, Interval]:
+        instr = instructions[node]
+        if instr[0] == "assign":
+            out = dict(env)
+            out[instr[1]] = eval_interval(instr[2], env)
+            return out
+        return env
+
+    edges = {
+        i: [(j, None) for j in out] for i, out in enumerate(succs)
+    }
+    analysis: Dataflow = Dataflow(
+        bottom=dict,
+        join=_env_join,
+        transfer=transfer,
+    )
+    solution = analysis.solve(edges, {0: init_env}) if instructions else {}
+
+    facts = CFlowFacts()
+    for i, instr in enumerate(instructions):
+        if instr[0] != "return" or i not in solution:
+            continue
+        env = solution[i]
+        for name in domains:
+            interval = env.get(name, TOP)
+            previous = facts.state_intervals.get(name)
+            facts.state_intervals[name] = (
+                interval if previous is None else previous.join(interval)
+            )
+
+    # ----- backward liveness -------------------------------------------
+    observable = set(domains) | {"fired"}
+    uses, defs = _use_def(instructions, observable)
+    facts.dead_stores = [
+        (index, name)
+        for index, name in dead_stores(succs, uses, defs)
+        if name != "fired"  # idempotent flag sets are a codegen idiom
+    ]
+    state_or_buffer = set(domains) | {
+        name for name in init_env if name.startswith("value_")
+    }
+    local_names = frozenset(
+        name
+        for per_instr in defs
+        for name in per_instr
+        if name not in state_or_buffer
+    )
+    live_in, _ = solve_liveness(succs, uses, defs)
+    facts.max_live_locals = max_live(
+        [s & local_names for s in live_in]
+    )
+    facts.locals_seen = local_names
+    return facts
+
+
+def _cfacts(ctx: ModuleVerifyContext) -> CFlowFacts:
+    if not hasattr(ctx, "_c_facts"):
+        ctx._c_facts = c_flow_facts(ctx.creact, ctx.machine)
+    return ctx._c_facts
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+@check(
+    "vf-c-state-domain",
+    layer="verify",
+    severity=Severity.ERROR,
+    description="a state variable can leave its declared domain in the generated C",
+)
+def check_state_domains(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    facts = _cfacts(ctx)
+    for var in ctx.machine.state_vars:
+        interval = facts.state_intervals.get(var.name)
+        if interval is None:
+            continue
+        if not interval.within(0, var.num_values - 1):
+            yield Finding(
+                message=(
+                    f"state variable '{var.name}' may hold {interval} at "
+                    f"return but its domain is [0, {var.num_values - 1}]; "
+                    "the domain wrap is missing or wrong"
+                ),
+            )
+
+
+@check(
+    "vf-c-dead-store",
+    layer="verify",
+    severity=Severity.WARNING,
+    description="a write in the generated C is never observed",
+)
+def check_dead_stores(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    facts = _cfacts(ctx)
+    for index, name in facts.dead_stores:
+        yield Finding(
+            message=(
+                f"write to '{name}' is dead: no later read, emit, branch "
+                "or return observes it"
+            ),
+            location=f"instr {index}",
+        )
+
+
+@check(
+    "vf-c-stack-bound",
+    layer="verify",
+    severity=Severity.INFO,
+    description="peak concurrently live locals of the generated reaction",
+)
+def check_stack_bound(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    facts = _cfacts(ctx)
+    yield Finding(
+        message=(
+            f"at most {facts.max_live_locals} local(s) live at once "
+            f"(of {len(facts.locals_seen)} declared)"
+        ),
+    )

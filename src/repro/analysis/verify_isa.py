@@ -1,0 +1,270 @@
+"""Verify-layer ISA analyses: exact cycle bounds, cross-checked twice.
+
+The compiled program's instruction-level CFG (:func:`repro.target.successors`)
+is solved with the generic min/max-path dataflow and compared against:
+
+* :func:`repro.target.analyze_program` — same graph, different algorithm
+  (topological DP vs worklist); any disagreement is an ERROR in one of
+  the two implementations;
+* :func:`repro.estimation.estimate` — the s-graph-level Table-I
+  prediction; the *feasible* exact interval must sit inside the estimate
+  widened by the scheme tolerance, otherwise the estimator's published
+  bounds are wrong for this module (this is the static twin of the
+  fuzzer's per-snapshot ``estimation/cycle-bounds`` oracle check, and
+  what catches the ``est-halve-max`` injected fault).
+
+"Feasible" matters on the second comparison: ``analyze_program`` prices
+every *structural* path, including the out-of-range default of a jump
+table whose dispatch register provably stays inside the table.  A
+forward **value-range dataflow over the ISA registers** (the machine's
+state-variable domains and input widths seed the entry environment)
+prunes those spurious edges, so the bounds compared against the
+estimate are the ones a real reaction can actually exhibit — the same
+set of cycle counts the fuzzer's execution oracle observes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .dataflow import BOOL, TOP, Dataflow, Interval, path_bounds
+from .diagnostics import Finding, Severity
+from .registry import check
+from .verify_common import ModuleVerifyContext
+
+__all__ = [
+    "isa_static_bounds",
+    "isa_feasible_bounds",
+    "isa_interval_envs",
+    "module_domains",
+]
+
+
+def isa_static_bounds(program: Any, profile: Any) -> Tuple[int, int]:
+    """Exact structural [min, max] reaction cycles via the framework.
+
+    Prices the same CFG as :func:`repro.target.analyze_program` — every
+    structural path, feasible or not — so the two must agree exactly.
+    """
+    from ..target import successors
+
+    n = len(program.instructions)
+    if n == 0:
+        return 0, 0
+    succs = successors(program, profile)
+    edges: Dict[int, List[Tuple[int, float]]] = {
+        i: [(j, float(cost)) for j, cost in out]
+        for i, out in enumerate(succs)
+    }
+    edges[n] = []
+    bounds = path_bounds(edges, 0, n)
+    return int(bounds.min_cost), int(bounds.max_cost)
+
+
+# ----------------------------------------------------------------------
+# Value-range analysis over ISA registers
+# ----------------------------------------------------------------------
+
+#: (accumulator interval, memory-cell intervals).  A cell absent from
+#: the mapping is unknown (TOP) — sound for never-written temporaries,
+#: which concretely read 0.
+IsaEnv = Tuple[Interval, Dict[str, Interval]]
+
+_BIN_INTERVALS = {
+    "ADD": Interval.add,
+    "SUB": Interval.sub,
+    "MUL": Interval.mul,
+    "DIV": Interval.div_trunc,  # divisor 0 yields 0, inside the hull
+    "MOD": Interval.mod_trunc,
+    "SHL": Interval.shl,  # out-of-range shifts return a, inside the hull
+    "SHR": Interval.shr,
+    "BAND": Interval.bit_and,
+    "BOR": Interval.bit_or,
+    "MIN": Interval.minimum,
+    "MAX": Interval.maximum,
+}
+
+_BOOL_BINS = frozenset(["LT", "LE", "GT", "GE", "EQ", "NE", "AND", "OR"])
+
+
+def _env_join_isa(a: IsaEnv, b: IsaEnv) -> IsaEnv:
+    acc = a[0].join(b[0])
+    cells = {
+        name: a[1][name].join(b[1][name]) for name in a[1] if name in b[1]
+    }
+    return acc, cells
+
+
+def _isa_transfer(instr: Tuple[str, Tuple], value: IsaEnv) -> IsaEnv:
+    op, args = instr
+    acc, cells = value
+    if op == "LD":
+        return cells.get(args[0], TOP), cells
+    if op == "LDI":
+        return Interval.const(args[0]), cells
+    if op == "ST":
+        out = dict(cells)
+        out[args[0]] = acc
+        return acc, out
+    if op in ("DETECT", "TSTBIT"):
+        return BOOL, cells
+    if op == "LIB":
+        name = args[0]
+        if name in _BOOL_BINS:
+            return BOOL, cells
+        fn = _BIN_INTERVALS.get(name)
+        if fn is None:
+            return TOP, cells
+        return fn(cells.get(args[1], TOP), cells.get(args[2], TOP)), cells
+    if op == "LIB1":
+        operand = cells.get(args[1], TOP)
+        if args[0] == "NEG":
+            return operand.neg(), cells
+        if args[0] == "NOT":
+            return operand.logical_not(), cells
+        return TOP, cells
+    if op == "LIB3":  # ITE
+        cond = cells.get(args[1], TOP)
+        then = cells.get(args[2], TOP)
+        other = cells.get(args[3], TOP)
+        if not cond.contains(0):
+            return then, cells
+        if cond.is_constant:  # constant zero
+            return other, cells
+        return then.join(other), cells
+    # FRAME / EMIT / EMITV / SETF / branches: registers untouched.
+    return value
+
+
+def module_domains(machine: Any) -> Dict[str, Interval]:
+    """Entry-time memory intervals of a compiled reaction (run_reaction)."""
+    domains: Dict[str, Interval] = {}
+    for var in machine.state_vars:
+        domains[var.name] = Interval(0, var.num_values - 1)
+    for event in machine.inputs:
+        if event.is_valued:
+            domains[f"V_{event.name}"] = Interval(0, (1 << event.width) - 1)
+    return domains
+
+
+def isa_interval_envs(
+    program: Any, profile: Any, domains: Mapping[str, Interval]
+) -> Dict[int, IsaEnv]:
+    """Per-instruction pre-state register intervals (node ``n`` = exit)."""
+    from ..target import successors
+
+    succs = successors(program, profile)
+    edges: Dict[int, List[Tuple[int, None]]] = {
+        i: [(j, None) for j, _ in out] for i, out in enumerate(succs)
+    }
+    edges[len(program.instructions)] = []
+    instructions = program.instructions
+
+    def transfer(node: int, succ: int, annotation: None, value: IsaEnv) -> IsaEnv:
+        return _isa_transfer(instructions[node], value)
+
+    analysis: Dataflow = Dataflow(
+        bottom=lambda: (TOP, {}),
+        join=_env_join_isa,
+        transfer=transfer,
+    )
+    return analysis.solve(edges, {0: (Interval.const(0), dict(domains))})
+
+
+def isa_feasible_bounds(
+    program: Any, profile: Any, domains: Mapping[str, Interval]
+) -> Tuple[int, int]:
+    """[min, max] cycles over register-feasible paths.
+
+    Like :func:`isa_static_bounds` but jump-table edges no dispatch value
+    can select (per the value-range analysis) are pruned, so the interval
+    is exactly the cycle counts an in-domain execution can exhibit.
+    Falls back to the structural bounds — always a superset — if pruning
+    somehow disconnects the exit.
+    """
+    from ..target import successors
+
+    n = len(program.instructions)
+    if n == 0:
+        return 0, 0
+    structural = isa_static_bounds(program, profile)
+    envs = isa_interval_envs(program, profile, domains)
+    labels = program.labels
+    succs = successors(program, profile)
+    edges: Dict[int, List[Tuple[int, float]]] = {}
+    for i, out in enumerate(succs):
+        op, args = program.instructions[i]
+        if op == "JTAB" and i in envs:
+            dispatch = envs[i][1].get(args[0], TOP)
+            cost = float(profile.instr_cycles(op, args))
+            table = list(args[1])
+            keep = {
+                min(labels[label], n)
+                for index, label in enumerate(table)
+                if dispatch.contains(index)
+            }
+            if dispatch.lo < 0 or dispatch.hi > len(table) - 1:
+                keep.add(min(labels[args[2]], n))
+            edges[i] = [(t, cost) for t in sorted(keep)]
+        else:
+            edges[i] = [(j, float(cost)) for j, cost in out]
+    edges[n] = []
+    try:
+        bounds = path_bounds(edges, 0, n)
+    except KeyError:
+        return structural
+    return int(bounds.min_cost), int(bounds.max_cost)
+
+
+def _feasible_bounds(ctx: ModuleVerifyContext) -> Tuple[int, int]:
+    if not hasattr(ctx, "_isa_feasible"):
+        ctx._isa_feasible = isa_feasible_bounds(
+            ctx.program, ctx.profile, module_domains(ctx.machine)
+        )
+    return ctx._isa_feasible
+
+
+# ----------------------------------------------------------------------
+# Checks
+# ----------------------------------------------------------------------
+
+@check(
+    "vf-isa-bounds",
+    layer="verify",
+    severity=Severity.ERROR,
+    description="analyze_program cycle bounds disagree with the dataflow recomputation",
+)
+def check_isa_bounds(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    got_min, got_max = isa_static_bounds(ctx.program, ctx.profile)
+    meas = ctx.meas
+    if (got_min, got_max) != (meas.min_cycles, meas.max_cycles):
+        yield Finding(
+            message=(
+                f"analyze_program reports cycles [{meas.min_cycles}, "
+                f"{meas.max_cycles}] but the dataflow recomputation over "
+                f"the same CFG gives [{got_min}, {got_max}]"
+            ),
+        )
+
+
+@check(
+    "vf-est-vs-isa",
+    layer="verify",
+    severity=Severity.ERROR,
+    description="feasible ISA cycle bounds fall outside the estimator bounds plus tolerance",
+)
+def check_estimate_covers_isa(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    est = ctx.est
+    feas_min, feas_max = _feasible_bounds(ctx)
+    tol = ctx.est_tolerance
+    lo = est.min_cycles * (1.0 - tol)
+    hi = est.max_cycles * (1.0 + tol)
+    if not (lo <= feas_min and feas_max <= hi):
+        yield Finding(
+            message=(
+                f"feasible cycles [{feas_min}, {feas_max}] escape the "
+                f"estimate [{est.min_cycles}, {est.max_cycles}] widened by "
+                f"tolerance {tol:g}; an execution inside the feasible "
+                "interval could violate the published Table-I bound"
+            ),
+        )

@@ -1,0 +1,186 @@
+"""Network-level interference analysis: static lost-event detection.
+
+The RTOS of Sec. IV delivers every event through a 1-place buffer (a
+flag bit plus, for valued events, a value cell).  A delivery that finds
+the previous one unconsumed *overwrites* it — the run-trace ``lost``
+events of the observability layer.  This module is their static twin: a
+may-lose analysis over the CFSM network plus one
+:class:`~repro.rtos.config.RtosConfig`.
+
+The analysis is a deliberate over-approximation — soundness here means
+**no pair it declares safe may ever lose an event in simulation** (the
+soundness test replays RTOS runs against the claim set).  A pair is
+safe only under the narrow provable condition: a single software
+producer, interrupt delivery, no chaining/polling complications, a
+priority-driven scheduler, and a receiver that strictly outranks every
+producer — then the receiver is always dispatched (or preempts) before
+the producer can possibly complete a second emission.
+
+Everything else is flagged with a reason:
+
+* ``environment`` (INFO) — stimuli can always arrive faster than the
+  consumer reacts; only rate analysis (out of scope) could bound it;
+* ``multi-writer`` (WARNING) — two machines emit the same event; their
+  completions can land back-to-back before the receiver runs;
+* ``scheduling`` (WARNING) — a single producer, but the scheduler gives
+  no guarantee the receiver runs between two producer completions;
+* ``chained`` (INFO) — producer and receiver share a fused task; an
+  unconsumed chain-internal event is re-queued through the RTOS and can
+  collide with the next activation's copy;
+* ``hardware``/``polled``/``isr-chain`` (WARNING/INFO) — delivery paths
+  (delayed hw reactions, poll latching, in-ISR execution) that bypass
+  the priority argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set
+
+from ..rtos.config import SchedulingPolicy
+from .diagnostics import Finding, Severity
+from .registry import check
+from .verify_common import RtosVerifyContext
+
+__all__ = ["LossCandidate", "lost_event_candidates"]
+
+
+@dataclass(frozen=True)
+class LossCandidate:
+    """One (event, receiving task) pair that may lose deliveries."""
+
+    event: str
+    task: str
+    reason: str
+    detail: str
+
+    @property
+    def severity(self) -> Severity:
+        if self.reason in ("environment", "chained", "polled"):
+            return Severity.INFO
+        return Severity.WARNING
+
+
+def lost_event_candidates(ctx: RtosVerifyContext) -> List[LossCandidate]:
+    """Every (event, receiver-task) pair that may overwrite a buffer."""
+    config = ctx.config
+    producers: Dict[str, List[str]] = {}  # event -> producing machine names
+    for machine in ctx.machines:
+        for event in machine.outputs:
+            producers.setdefault(event.name, []).append(machine.name)
+
+    candidates: List[LossCandidate] = []
+    seen: Set[tuple] = set()
+
+    def add(event: str, task: str, reason: str, detail: str) -> None:
+        key = (event, task)
+        if key not in seen:
+            seen.add(key)
+            candidates.append(LossCandidate(event, task, reason, detail))
+
+    for machine in ctx.machines:
+        receiver_task = ctx.task_of(machine.name)
+        if receiver_task is None:
+            continue  # hardware consumers have no software buffer
+        for event in machine.inputs:
+            name = event.name
+            writers = producers.get(name, [])
+            if not writers:
+                add(
+                    name, receiver_task, "environment",
+                    "event is environment-driven; stimuli can outpace "
+                    "the consumer",
+                )
+                continue
+            hw_writers = [w for w in writers if w in config.hw_machines]
+            if name in config.polled_events:
+                add(
+                    name, receiver_task, "polled",
+                    "poll latch coalesces bursts before delivery",
+                )
+                continue
+            if name in config.isr_chained_events:
+                add(
+                    name, receiver_task, "isr-chain",
+                    "in-ISR delivery can interleave with an active frame",
+                )
+                continue
+            if len(writers) > 1:
+                add(
+                    name, receiver_task, "multi-writer",
+                    f"machines {', '.join(sorted(writers))} all emit it",
+                )
+                continue
+            if hw_writers:
+                add(
+                    name, receiver_task, "hardware",
+                    f"hardware machine {hw_writers[0]} emits it off-CPU "
+                    "with delayed delivery",
+                )
+                continue
+            producer_task = ctx.task_of(writers[0])
+            if producer_task == receiver_task:
+                add(
+                    name, receiver_task, "chained",
+                    f"producer {writers[0]} shares the fused task; an "
+                    "unconsumed copy is re-queued through the RTOS",
+                )
+                continue
+            producer_machine = next(
+                m for m in ctx.machines if m.name == writers[0]
+            )
+            if any(
+                e.name in config.isr_chained_events
+                for e in producer_machine.inputs
+            ):
+                add(
+                    name, receiver_task, "isr-chain",
+                    f"producer {writers[0]} can run inside an ISR, "
+                    "bypassing priority dispatch",
+                )
+                continue
+            if config.policy == SchedulingPolicy.ROUND_ROBIN:
+                add(
+                    name, receiver_task, "scheduling",
+                    "round-robin gives the receiver no precedence over "
+                    f"producer task {producer_task}",
+                )
+                continue
+            receiver_priority = ctx.task_priority(receiver_task)
+            if producer_task is None:
+                # Unreachable: hw producers were handled above.
+                continue
+            producer_priority = ctx.task_priority(producer_task)
+            if receiver_priority >= producer_priority:
+                add(
+                    name, receiver_task, "scheduling",
+                    f"receiver priority {receiver_priority} does not "
+                    f"strictly outrank producer task {producer_task} "
+                    f"(priority {producer_priority}); two completions can "
+                    "land before the receiver is dispatched",
+                )
+                continue
+            # Safe: single sw producer, interrupt delivery, priority
+            # scheduler, receiver strictly higher priority.  On delivery
+            # the receiver becomes the highest-priority enabled task, so
+            # it runs (or preempts) before the producer — strictly lower
+            # priority — can complete another activation.
+    return candidates
+
+
+@check(
+    "vf-net-lost-event",
+    layer="verify-network",
+    severity=Severity.WARNING,
+    description="a 1-place event buffer may be overwritten before it is consumed",
+)
+def check_lost_events(ctx: RtosVerifyContext) -> Iterator[Finding]:
+    for candidate in lost_event_candidates(ctx):
+        yield Finding(
+            message=(
+                f"event '{candidate.event}' to task '{candidate.task}' "
+                f"may be lost ({candidate.reason}): {candidate.detail}"
+            ),
+            location=f"event {candidate.event}",
+            severity=candidate.severity,
+        )

@@ -1,0 +1,214 @@
+"""Verify-layer s-graph analyses: path conditions and Table-I bounds.
+
+Two analyses built on :mod:`repro.analysis.dataflow`:
+
+* **BDD path-condition propagation** (a constant-propagation instance
+  whose lattice is the BDD algebra itself): the abstract value at a
+  vertex is the exact disjunction of input valuations that reach it.
+  Restricted to the encoding's care set this yields dead TEST branches,
+  care-unreachable vertices, and ASSIGN labels that are secretly
+  constant — the value-range/constant-propagation tier of the verifier.
+  Every claim is checkable against concrete execution: if an input
+  snapshot's path visits a vertex we called unreachable, the analysis
+  is unsound (the difftest soundness harness enforces exactly this).
+
+* **Static cycle bounds over the priced s-graph**: the estimator's own
+  edge-cost graph (:func:`repro.estimation.edge_cost_graph`) solved
+  with the generic min/max-path dataflow instead of Dijkstra/PERT.
+  Disagreement with :func:`repro.estimation.estimate` means one of the
+  two implementations mis-prices a path — an ERROR, since Table I
+  hangs off those figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..sgraph import ASSIGN, TEST
+from .dataflow import Dataflow, path_bounds
+from .diagnostics import Finding, Severity
+from .registry import check
+from .sgraph_checks import SGraphContext, _edge_constraint
+from .verify_common import ModuleVerifyContext
+
+__all__ = ["SGraphFacts", "sgraph_flow_facts", "sgraph_static_bounds"]
+
+
+@dataclass
+class SGraphFacts:
+    """Structured verdicts of the path-condition analysis.
+
+    Kept as data (not rendered findings) so the soundness harness can
+    falsify each claim directly against concrete executions.
+    """
+
+    #: vid -> BDD of the input valuations reaching the vertex.
+    cond: Dict[int, Any] = field(default_factory=dict)
+    #: (vid, edge index): feasible-marked TEST edges dead within care.
+    dead_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: Graph-reachable vertices no care-set valuation can reach.
+    unreachable: List[int] = field(default_factory=list)
+    #: ASSIGN vid -> the single value its non-constant label takes.
+    constant_assigns: Dict[int, bool] = field(default_factory=dict)
+
+
+def sgraph_flow_facts(sgraph: Any, encoding: Any) -> Optional[SGraphFacts]:
+    """Run the path-condition dataflow; ``None`` if there is no encoding."""
+    if encoding is None:
+        return None
+    manager = encoding.manager
+    care = encoding.care
+    helper = SGraphContext(sgraph, encoding)
+    reach = sgraph.reachable()
+
+    edges: Dict[int, List[Tuple[int, Tuple[Any, int]]]] = {}
+    for vid in reach:
+        vertex = sgraph.vertex(vid)
+        edges[vid] = [
+            (child, (vertex, index))
+            for index, child in enumerate(vertex.children)
+        ]
+
+    def transfer(
+        node: int, succ: int, annotation: Tuple[Any, int], value: Any
+    ) -> Any:
+        vertex, index = annotation
+        constraint = _edge_constraint(helper, vertex, index)
+        return value if constraint is None else value & constraint
+
+    analysis: Dataflow = Dataflow(
+        bottom=lambda: manager.false,
+        join=lambda a, b: a | b,
+        transfer=transfer,
+    )
+    cond = analysis.solve(edges, {sgraph.begin: manager.true})
+
+    facts = SGraphFacts(cond=cond)
+    for vid in sorted(reach):
+        vertex = sgraph.vertex(vid)
+        here = cond.get(vid, manager.false)
+        if (here & care).is_false:
+            facts.unreachable.append(vid)
+            continue
+        if vertex.kind == TEST:
+            for index in range(len(vertex.children)):
+                if vertex.infeasible and vertex.infeasible[index]:
+                    continue  # already declared dead; sg-infeasible-care audits it
+                constraint = _edge_constraint(helper, vertex, index)
+                through = here if constraint is None else here & constraint
+                if (through & care).is_false:
+                    facts.dead_edges.append((vid, index))
+        elif vertex.kind == ASSIGN:
+            label = vertex.label
+            if label is None or label.is_constant:
+                continue
+            pc = here & care
+            if (label & pc).is_false:
+                facts.constant_assigns[vid] = False
+            elif ((~label) & pc).is_false:
+                facts.constant_assigns[vid] = True
+    return facts
+
+
+def _facts(ctx: ModuleVerifyContext) -> Optional[SGraphFacts]:
+    """Per-context memo: the three claim checks share one fixpoint run."""
+    if not hasattr(ctx, "_sgraph_facts"):
+        ctx._sgraph_facts = sgraph_flow_facts(ctx.sgraph, ctx.encoding)
+    return ctx._sgraph_facts
+
+
+def sgraph_static_bounds(ctx: ModuleVerifyContext) -> Tuple[int, int]:
+    """Min/max reaction cycles over the priced s-graph, via the framework."""
+    from ..estimation import edge_cost_graph
+
+    edges, begin_cost, end_cost = edge_cost_graph(
+        ctx.sgraph,
+        ctx.encoding,
+        ctx.params,
+        copy_vars=ctx.result.copy_vars,
+    )
+    bounds = path_bounds(
+        edges, ctx.sgraph.begin, ctx.sgraph.end, begin_cost, end_cost
+    )
+    return int(round(bounds.min_cost)), int(round(bounds.max_cost))
+
+
+@check(
+    "vf-sg-dead-branch",
+    layer="verify",
+    severity=Severity.WARNING,
+    description="a feasible-marked TEST edge can never be taken within the care set",
+)
+def check_dead_branches(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    facts = _facts(ctx)
+    if facts is None:
+        return
+    for vid, index in facts.dead_edges:
+        yield Finding(
+            message=(
+                f"edge #{index} is dead: no care-set input reaches it, yet "
+                "it is not marked infeasible (worst-case timing keeps it)"
+            ),
+            location=f"vertex {vid}",
+        )
+
+
+@check(
+    "vf-sg-unreachable",
+    layer="verify",
+    severity=Severity.WARNING,
+    description="a vertex is graph-reachable but no care-set input reaches it",
+)
+def check_care_unreachable(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    facts = _facts(ctx)
+    if facts is None:
+        return
+    for vid in facts.unreachable:
+        vertex = ctx.sgraph.vertex(vid)
+        yield Finding(
+            message=(
+                f"{vertex.kind} vertex is unreachable for every input in "
+                "the care set (dead code in the emitted reaction)"
+            ),
+            location=f"vertex {vid}",
+        )
+
+
+@check(
+    "vf-sg-constant-assign",
+    layer="verify",
+    severity=Severity.INFO,
+    description="a guarded ASSIGN's label is constant over all reaching inputs",
+)
+def check_constant_assigns(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    facts = _facts(ctx)
+    if facts is None:
+        return
+    for vid, value in sorted(facts.constant_assigns.items()):
+        yield Finding(
+            message=(
+                f"label always evaluates {value} on every care-set path "
+                "reaching it; the guard could be folded away"
+            ),
+            location=f"vertex {vid}",
+        )
+
+
+@check(
+    "vf-est-bounds",
+    layer="verify",
+    severity=Severity.ERROR,
+    description="estimator cycle bounds disagree with the independent dataflow recomputation",
+)
+def check_estimator_bounds(ctx: ModuleVerifyContext) -> Iterator[Finding]:
+    got_min, got_max = sgraph_static_bounds(ctx)
+    est = ctx.est
+    if (got_min, got_max) != (est.min_cycles, est.max_cycles):
+        yield Finding(
+            message=(
+                f"estimate() reports cycles [{est.min_cycles}, "
+                f"{est.max_cycles}] but the dataflow recomputation over "
+                f"the same edge costs gives [{got_min}, {got_max}]"
+            ),
+        )

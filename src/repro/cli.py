@@ -14,8 +14,14 @@ Subcommands:
   given as Python expressions over the state variables;
 * ``lint``     — static analysis of a set of RSL modules: network-level
   hazards, s-graph well-formedness, and generated-C sanity checks, with
-  text or JSON output and stable exit codes (0 clean, 1 findings at or
-  above ``--fail-on``, 2 usage error);
+  text, JSON or SARIF output and stable exit codes (0 clean, 1 findings
+  at or above ``--fail-on``, 2 usage error);
+* ``verify``   — the deep tier: whole-program dataflow verification of
+  every fully built module (BDD path conditions over the s-graph,
+  value-range and liveness analyses over the generated C, independent
+  cycle-bound recomputation cross-checked against ``analyze_program``
+  and the estimator) plus static lost-event detection for the network
+  under an RTOS configuration; same outputs and exit codes as ``lint``;
 * ``simulate`` — build a network and run it on the RTOS simulator under a
   stimulus scenario, with optional run-trace (``repro-run-trace/v1``),
   Chrome trace-event export, metrics dump, and latency probes;
@@ -382,8 +388,13 @@ def _cmd_check(args) -> int:
     return 1 if failures else 0
 
 
-def _cmd_lint(args) -> int:
-    from .analysis import lint_design, render_json, render_text
+def _lint_preamble(args, command: str):
+    """Shared ``lint``/``verify`` front matter.
+
+    Handles ``--list-checks``, validates ``--check`` ids, and compiles the
+    module sources.  Returns the machine list, or an int exit code when
+    the command is already finished (or failed).
+    """
     from .frontend.rsl import RslSyntaxError
 
     if args.list_checks:
@@ -391,12 +402,12 @@ def _cmd_lint(args) -> int:
 
         for registered in all_checks():
             print(
-                f"{registered.id:24s} {registered.layer:8s} "
+                f"{registered.id:24s} {registered.layer:14s} "
                 f"{registered.severity!s:8s} {registered.description}"
             )
         return 0
     if not args.modules:
-        sys.stderr.write("repro lint: no modules given\n")
+        sys.stderr.write(f"repro {command}: no modules given\n")
         return 2
     if args.check:
         from .analysis import all_checks
@@ -405,7 +416,7 @@ def _cmd_lint(args) -> int:
         for check_id in args.check:
             if check_id not in known:
                 sys.stderr.write(
-                    f"repro lint: unknown check '{check_id}' "
+                    f"repro {command}: unknown check '{check_id}' "
                     "(see --list-checks)\n"
                 )
                 return 2
@@ -414,16 +425,70 @@ def _cmd_lint(args) -> int:
         try:
             machines.append(compile_source(_read(path)))
         except (OSError, RslSyntaxError) as exc:
-            sys.stderr.write(f"repro lint: {path}: {exc}\n")
+            sys.stderr.write(f"repro {command}: {path}: {exc}\n")
             return 2
+    return machines
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import lint_design, render_json, render_sarif, render_text
+
+    machines = _lint_preamble(args, "lint")
+    if isinstance(machines, int):
+        return machines
     report = lint_design(
         machines,
         design=args.name,
         scheme=args.scheme,
         only=args.check or None,
+        jobs=args.jobs,
     )
-    if args.json:
+    if args.sarif:
+        _write(args.output, render_sarif(report))
+    elif args.json:
         _write(args.output, render_json(report, fail_on=args.fail_on))
+    else:
+        _write(args.output, render_text(report, verbose=args.verbose))
+    return report.exit_code(args.fail_on)
+
+
+def _cmd_verify(args) -> int:
+    from .analysis import (
+        render_sarif,
+        render_text,
+        render_verify_json,
+        verify_design,
+    )
+
+    machines = _lint_preamble(args, "verify")
+    if isinstance(machines, int):
+        return machines
+    priorities = {}
+    for item in args.priority or []:
+        name, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"--priority expects NAME=P, got {item!r}")
+        priorities[name] = int(value)
+    config = RtosConfig(
+        policy=args.policy,
+        priorities=priorities,
+        polled_events=set(args.polled or []),
+        chains=[chain.split(",") for chain in (args.chain or [])],
+    )
+    report = verify_design(
+        machines,
+        design=args.name,
+        scheme=args.scheme,
+        profile=args.target,
+        rtos_config=config,
+        only=args.check or None,
+        jobs=args.jobs,
+        est_tolerance=args.est_tol,
+    )
+    if args.sarif:
+        _write(args.output, render_sarif(report))
+    elif args.json:
+        _write(args.output, render_verify_json(report, fail_on=args.fail_on))
     else:
         _write(args.output, render_text(report, verbose=args.verbose))
     return report.exit_code(args.fail_on)
@@ -660,6 +725,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only this check id (repeatable)")
     p.add_argument("--json", action="store_true",
                    help="emit the repro-lint-report/v1 JSON document")
+    p.add_argument("--sarif", action="store_true",
+                   help="emit a SARIF 2.1.0 log instead of text/JSON")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="check modules on an N-worker process pool "
+                        "(output is byte-identical to a serial run)")
     p.add_argument("--fail-on", default="error",
                    choices=["error", "warning", "info", "never"],
                    help="lowest severity that makes the exit code 1")
@@ -669,6 +739,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list the registered checks and exit")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "verify",
+        help="whole-program static verification of a set of RSL modules",
+    )
+    p.add_argument("modules", nargs="*", help="RSL source files")
+    p.add_argument("--name", default="design",
+                   help="design name used in the report")
+    p.add_argument("--scheme", default="sift",
+                   choices=["naive", "sift", "sift-strict",
+                            "outputs-first", "mixed"])
+    p.add_argument("--target", default="K11", choices=sorted(PROFILES))
+    p.add_argument("--policy", default=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+                   choices=list(SchedulingPolicy.ALL),
+                   help="RTOS policy assumed by the interference analysis")
+    p.add_argument("--priority", action="append", metavar="NAME=P",
+                   help="static priority for a machine (lower = higher; "
+                        "repeatable)")
+    p.add_argument("--polled", action="append",
+                   help="deliver this event by polling (repeatable)")
+    p.add_argument("--chain", action="append",
+                   help="comma-separated machine names fused into one task")
+    p.add_argument("--est-tol", type=float, default=None,
+                   help="relative tolerance for the estimator bound checks "
+                        "(default: the scheme's difftest tolerance)")
+    p.add_argument("--check", action="append",
+                   help="run only this check id (repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the repro-verify-report/v1 JSON document")
+    p.add_argument("--sarif", action="store_true",
+                   help="emit a SARIF 2.1.0 log instead of text/JSON")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="verify modules on an N-worker process pool "
+                        "(output is byte-identical to a serial run)")
+    p.add_argument("--fail-on", default="error",
+                   choices=["error", "warning", "info", "never"],
+                   help="lowest severity that makes the exit code 1")
+    p.add_argument("--verbose", action="store_true",
+                   help="show INFO diagnostics in text output")
+    p.add_argument("--list-checks", action="store_true",
+                   help="list the registered checks and exit")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
         "fuzz",

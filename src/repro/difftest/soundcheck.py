@@ -1,0 +1,289 @@
+"""Fuzz cross-validation of the static verifier (soundness falsifier).
+
+The conformance oracle (:mod:`repro.difftest.oracle`) checks that the
+five executable layers *agree with each other*.  This module checks the
+other leg of the PR: that the **static verifier never over-claims**.
+Every claim the ``verify``-tier dataflow analyses make is universally
+quantified ("vertex v is unreachable for every care-set input", "state
+variable s lies in [lo, hi] at return", "every in-domain reaction takes
+between ``min`` and ``max`` cycles") — so a single concrete execution
+that exhibits the opposite is a soundness bug, full stop.
+
+For each generated CFSM we build the same artifact set the verifier
+analyses (:class:`repro.analysis.ModuleVerifyContext`), extract the raw
+structured facts (not the rendered findings), and then run a batch of
+random snapshots through the real interpreters, falsifying:
+
+* ``SGraphFacts.unreachable`` — the s-graph traversal must never visit a
+  claimed-unreachable vertex on a care-set input;
+* ``SGraphFacts.dead_edges`` — the traversal must never cross an edge
+  whose every claimed branch index was declared dead;
+* ``SGraphFacts.constant_assigns`` — a visited ASSIGN claimed constant
+  must evaluate to exactly that constant;
+* ``CFlowFacts.state_intervals`` — the C interpreter's post-reaction
+  state must land inside every claimed interval;
+* :func:`repro.analysis.verify_isa.isa_feasible_bounds` — the ISA
+  simulator's cycle count must land inside the claimed feasible bounds
+  (and, transitively, the structural ``analyze_program`` bounds, which
+  are a superset).
+
+``CFlowFacts.dead_stores`` is *not* falsified here: observing "a write
+was never read" needs interpreter instrumentation, not end states.  The
+dead-store analysis is instead covered by unit tests with known-dead
+programs.
+
+This module imports :mod:`repro.analysis` and must therefore never be
+imported from ``repro.difftest.__init__`` (the verifier builds contexts
+through ``difftest.cinterp``; keeping soundcheck out of the package
+surface keeps the layering acyclic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..analysis.verify_c import c_flow_facts
+from ..analysis.verify_common import ModuleVerifyContext
+from ..analysis.verify_isa import isa_feasible_bounds, module_domains
+from ..analysis.verify_sgraph import sgraph_flow_facts
+from ..synthesis.reactive import ConsistencyError
+from ..target import run_reaction
+from .cinterp import CInterpError
+from .generator import CaseConfig, generate_case
+
+__all__ = [
+    "Contradiction",
+    "SoundnessReport",
+    "check_case_soundness",
+    "run_soundness",
+]
+
+#: Scheme rotation for the campaign — every synthesis scheme must be
+#: sound, not just the default (mirrors the conformance runner).
+DEFAULT_SCHEMES: Tuple[str, ...] = (
+    "naive",
+    "sift",
+    "sift-strict",
+    "mixed",
+    "outputs-first",
+)
+
+
+@dataclass
+class Contradiction:
+    """One concrete execution that refutes one static claim."""
+
+    case_index: int
+    snapshot_index: int
+    claim: str  # "sg-unreachable" | "sg-dead-edge" | "sg-constant" | ...
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"case {self.case_index} snapshot {self.snapshot_index}: "
+            f"{self.claim}: {self.detail}"
+        )
+
+
+@dataclass
+class SoundnessReport:
+    """Aggregate outcome of a soundness campaign."""
+
+    seed: int = 0
+    cases: int = 0
+    reactions: int = 0
+    #: claim kind -> number of (claim, snapshot) pairs actually tested.
+    claims_checked: Dict[str, int] = field(default_factory=dict)
+    #: (case index, reason) for cases that could not be built.
+    skipped: List[Tuple[int, str]] = field(default_factory=list)
+    contradictions: List[Contradiction] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.contradictions
+
+    def count(self, claim: str, n: int = 1) -> None:
+        self.claims_checked[claim] = self.claims_checked.get(claim, 0) + n
+
+    def summary(self) -> str:
+        checked = sum(self.claims_checked.values())
+        verdict = "SOUND" if self.ok else "UNSOUND"
+        return (
+            f"{verdict}: {self.cases} cases, {self.reactions} reactions, "
+            f"{checked} claim checks, {len(self.contradictions)} "
+            f"contradictions, {len(self.skipped)} skipped"
+        )
+
+
+def _dead_edge_map(
+    dead_edges: List[Tuple[int, int]]
+) -> Dict[int, Set[int]]:
+    dead: Dict[int, Set[int]] = {}
+    for vid, index in dead_edges:
+        dead.setdefault(vid, set()).add(index)
+    return dead
+
+
+def check_case_soundness(
+    cfsm: Any,
+    snapshots: List[Tuple[Dict[str, int], Set[str], Dict[str, int]]],
+    scheme: str = "sift",
+    profile: str = "K11",
+    case_index: int = 0,
+    report: Optional[SoundnessReport] = None,
+) -> SoundnessReport:
+    """Falsify every static claim about ``cfsm`` against ``snapshots``."""
+    report = report if report is not None else SoundnessReport()
+    try:
+        ctx = ModuleVerifyContext.build(cfsm, scheme=scheme, profile=profile)
+    except ConsistencyError as exc:
+        report.skipped.append((case_index, f"synthesis: {exc}"))
+        return report
+    except CInterpError as exc:
+        report.skipped.append((case_index, f"c-parse: {exc}"))
+        return report
+    report.cases += 1
+
+    def bad(snapshot_index: int, claim: str, detail: str) -> None:
+        report.contradictions.append(
+            Contradiction(case_index, snapshot_index, claim, detail)
+        )
+
+    sgraph = ctx.sgraph
+    encoding = ctx.encoding
+    manager = encoding.manager
+    facts = sgraph_flow_facts(sgraph, encoding)
+    cfacts = c_flow_facts(ctx.creact, cfsm)
+    feas_min, feas_max = isa_feasible_bounds(
+        ctx.program, ctx.profile, module_domains(cfsm)
+    )
+    unreachable = set(facts.unreachable) if facts else set()
+    dead = _dead_edge_map(facts.dead_edges) if facts else {}
+    constants = dict(facts.constant_assigns) if facts else {}
+
+    for snap_index, (state, present, values) in enumerate(snapshots):
+        report.reactions += 1
+        bits = encoding.evaluate_inputs(state, present, values)
+        in_care = bool(manager.evaluate(encoding.care, bits))
+
+        # ---- s-graph claims (quantified over the care set only) -------
+        if in_care:
+            sg_eval = sgraph.evaluate(bits)
+            visited = set(sg_eval.path)
+
+            hit = visited & unreachable
+            report.count("sg-unreachable", len(unreachable))
+            for vid in sorted(hit):
+                bad(
+                    snap_index,
+                    "sg-unreachable",
+                    f"claimed-unreachable vertex {vid} was visited",
+                )
+
+            report.count("sg-dead-edge", len(facts.dead_edges) if facts else 0)
+            for u, w in zip(sg_eval.path, sg_eval.path[1:]):
+                dead_here = dead.get(u)
+                if not dead_here:
+                    continue
+                vertex = sgraph.vertex(u)
+                to_w = [
+                    i for i, c in enumerate(vertex.children) if c == w
+                ]
+                # Only a contradiction if *every* index that could have
+                # carried the traversal from u to w was claimed dead.
+                if to_w and all(i in dead_here for i in to_w):
+                    bad(
+                        snap_index,
+                        "sg-dead-edge",
+                        f"claimed-dead edge {u}->{w} "
+                        f"(indices {to_w}) was traversed",
+                    )
+
+            report.count("sg-constant", len(constants))
+            for vid, claimed in constants.items():
+                if vid not in visited:
+                    continue
+                vertex = sgraph.vertex(vid)
+                actual = bool(manager.evaluate(vertex.label, bits))
+                if actual != claimed:
+                    bad(
+                        snap_index,
+                        "sg-constant",
+                        f"ASSIGN {vid} claimed constant {claimed}, "
+                        f"evaluated {actual}",
+                    )
+
+        # ---- C state intervals ----------------------------------------
+        try:
+            _fired, c_state, _emissions = ctx.creact.run(
+                dict(state), set(present), dict(values)
+            )
+        except CInterpError as exc:
+            # An interpreter crash is a conformance bug (the oracle's
+            # beat), not a verifier soundness bug — record and move on.
+            report.skipped.append(
+                (case_index, f"snapshot {snap_index} c-run: {exc}")
+            )
+        else:
+            report.count("c-state-interval", len(cfacts.state_intervals))
+            for name, interval in cfacts.state_intervals.items():
+                if name in c_state and not interval.contains(c_state[name]):
+                    bad(
+                        snap_index,
+                        "c-state-interval",
+                        f"{name}={c_state[name]} escapes claimed "
+                        f"[{interval.lo}, {interval.hi}]",
+                    )
+
+        # ---- ISA cycle bounds -----------------------------------------
+        outcome = run_reaction(
+            ctx.program, ctx.profile, cfsm, state, present, values
+        )
+        report.count("isa-feasible-bounds")
+        if not feas_min <= outcome.cycles <= feas_max:
+            bad(
+                snap_index,
+                "isa-feasible-bounds",
+                f"reaction took {outcome.cycles} cycles, outside "
+                f"claimed feasible [{feas_min}, {feas_max}]",
+            )
+        report.count("isa-structural-bounds")
+        if not ctx.meas.min_cycles <= outcome.cycles <= ctx.meas.max_cycles:
+            bad(
+                snap_index,
+                "isa-structural-bounds",
+                f"reaction took {outcome.cycles} cycles, outside "
+                f"structural [{ctx.meas.min_cycles}, {ctx.meas.max_cycles}]",
+            )
+
+    return report
+
+
+def run_soundness(
+    seed: int = 0,
+    cases: int = 200,
+    config: Optional[CaseConfig] = None,
+    schemes: Tuple[str, ...] = DEFAULT_SCHEMES,
+    profile: str = "K11",
+) -> SoundnessReport:
+    """Run a soundness campaign over ``cases`` generated CFSMs.
+
+    Deterministic in ``seed`` (the same stable per-case streams as the
+    conformance fuzzer). Schemes rotate per case index so every
+    synthesis scheme's verifier claims get falsification pressure.
+    """
+    config = config or CaseConfig()
+    report = SoundnessReport(seed=seed)
+    for index in range(cases):
+        case = generate_case(seed, index, config)
+        scheme = schemes[index % len(schemes)]
+        check_case_soundness(
+            case.cfsm,
+            case.snapshots,
+            scheme=scheme,
+            profile=profile,
+            case_index=index,
+            report=report,
+        )
+    return report

@@ -9,7 +9,7 @@
 """
 
 from .calibrate import calibrate, calibrate_cache_clear
-from .estimate import Estimate, estimate, expr_size, expr_time
+from .estimate import Estimate, edge_cost_graph, estimate, expr_size, expr_time
 from .partition import PartitionResult, partition
 from .params import CostParams, SizeParams, SystemParams, TimingParams
 
@@ -20,6 +20,7 @@ __all__ = [
     "partition",
     "Estimate",
     "estimate",
+    "edge_cost_graph",
     "expr_size",
     "expr_time",
     "CostParams",

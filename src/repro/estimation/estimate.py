@@ -28,7 +28,7 @@ from ..sgraph import ASSIGN, BEGIN, END, SGraph, TEST
 from ..synthesis.encoding import FireFlag, ReactiveEncoding
 from .params import CostParams
 
-__all__ = ["Estimate", "estimate", "expr_time", "expr_size"]
+__all__ = ["Estimate", "estimate", "edge_cost_graph", "expr_time", "expr_size"]
 
 
 @dataclass
@@ -180,36 +180,30 @@ def estimate(
     return result
 
 
-def _estimate(
+def _n_copies(
+    encoding: ReactiveEncoding, copy_vars: Optional[Set[str]]
+) -> int:
+    if copy_vars is None:
+        return len(encoding.cfsm.state_vars)
+    return len([v for v in encoding.cfsm.state_vars if v.name in copy_vars])
+
+
+def edge_cost_graph(
     sg: SGraph,
     encoding: ReactiveEncoding,
     params: CostParams,
-    exclude_infeasible: bool,
-    copy_vars: Optional[Set[str]],
-) -> Estimate:
-    n_copies = (
-        len(encoding.cfsm.state_vars)
-        if copy_vars is None
-        else len([v for v in encoding.cfsm.state_vars if v.name in copy_vars])
-    )
+    exclude_infeasible: bool = False,
+    copy_vars: Optional[Set[str]] = None,
+) -> Tuple[Dict[int, List[Tuple[int, float]]], float, float]:
+    """The priced s-graph the path analyses run over.
+
+    Returns ``(edges, begin_cost, end_cost)`` where ``edges`` maps each
+    reachable vertex to its ``(child, cycles)`` out-edges.  Public so the
+    static verifier can recompute the Table-I bounds with an independent
+    path algorithm over the *same* per-edge cost model.
+    """
     reach = sg.reachable()
-    parents: Dict[int, int] = {vid: 0 for vid in reach}
-    for vid in reach:
-        # Distinct children only: a switch table routing many codes to one
-        # target is a single shared edge, not many gotos.
-        for child in set(sg.vertex(vid).children):
-            parents[child] = parents.get(child, 0) + 1
-
-    # ----- code size: sum over vertices ---------------------------------
-    size = 0.0
-    for vid in reach:
-        vertex = sg.vertex(vid)
-        size += _vertex_size(vertex, params, encoding, n_copies)
-        # Linearization: each extra parent of a shared vertex costs a goto.
-        if parents.get(vid, 0) > 1:
-            size += (parents[vid] - 1) * params.size.s_goto
-
-    # ----- edge-cost graph for path analyses ------------------------------
+    parents = _parent_counts(sg, reach)
     edges: Dict[int, List[Tuple[int, float]]] = {vid: [] for vid in reach}
     for vid in reach:
         vertex = sg.vertex(vid)
@@ -227,9 +221,45 @@ def _estimate(
             if parents.get(child, 0) > 1 and not vertex.is_switch:
                 cost += params.timing.t_goto
             edges[vid].append((child, cost))
-
+    n_copies = _n_copies(encoding, copy_vars)
     begin_cost = params.timing.t_frame + n_copies * params.timing.t_local_init
     end_cost = params.timing.t_return
+    return edges, begin_cost, end_cost
+
+
+def _parent_counts(sg: SGraph, reach) -> Dict[int, int]:
+    parents: Dict[int, int] = {vid: 0 for vid in reach}
+    for vid in reach:
+        # Distinct children only: a switch table routing many codes to one
+        # target is a single shared edge, not many gotos.
+        for child in set(sg.vertex(vid).children):
+            parents[child] = parents.get(child, 0) + 1
+    return parents
+
+
+def _estimate(
+    sg: SGraph,
+    encoding: ReactiveEncoding,
+    params: CostParams,
+    exclude_infeasible: bool,
+    copy_vars: Optional[Set[str]],
+) -> Estimate:
+    n_copies = _n_copies(encoding, copy_vars)
+    reach = sg.reachable()
+    parents = _parent_counts(sg, reach)
+
+    # ----- code size: sum over vertices ---------------------------------
+    size = 0.0
+    for vid in reach:
+        vertex = sg.vertex(vid)
+        size += _vertex_size(vertex, params, encoding, n_copies)
+        # Linearization: each extra parent of a shared vertex costs a goto.
+        if parents.get(vid, 0) > 1:
+            size += (parents[vid] - 1) * params.size.s_goto
+
+    edges, begin_cost, end_cost = edge_cost_graph(
+        sg, encoding, params, exclude_infeasible, copy_vars
+    )
 
     min_cycles = _dijkstra(sg, edges, begin_cost, end_cost)
     max_cycles = _pert(sg, edges, begin_cost, end_cost)

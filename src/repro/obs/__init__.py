@@ -39,6 +39,7 @@ from .report import (
     render_difftest_repro,
     render_report,
     render_run_report,
+    render_verify_report,
     report_file,
 )
 from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT, RunEvent, RunTrace
@@ -47,6 +48,7 @@ from .schema import (
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
+    VERIFY_REPORT_FORMAT,
     assert_valid_trace,
     validate_bdd_bench,
     validate_build_trace,
@@ -54,6 +56,7 @@ from .schema import (
     validate_difftest_repro,
     validate_run_trace,
     validate_trace,
+    validate_verify_report,
 )
 
 __all__ = [
@@ -75,6 +78,7 @@ __all__ = [
     "BDD_BENCH_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
+    "VERIFY_REPORT_FORMAT",
     "chrome_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
@@ -85,12 +89,14 @@ __all__ = [
     "validate_bdd_bench",
     "validate_difftest_report",
     "validate_difftest_repro",
+    "validate_verify_report",
     "validate_trace",
     "assert_valid_trace",
     "render_build_report",
     "render_run_report",
     "render_difftest_report",
     "render_difftest_repro",
+    "render_verify_report",
     "render_report",
     "report_file",
 ]

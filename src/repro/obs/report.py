@@ -17,12 +17,13 @@ from .schema import (
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
+    VERIFY_REPORT_FORMAT,
     validate_trace,
 )
 
 __all__ = ["render_build_report", "render_run_report",
            "render_difftest_report", "render_difftest_repro",
-           "render_report", "report_file"]
+           "render_verify_report", "render_report", "report_file"]
 
 
 def _rule(title: str) -> str:
@@ -288,6 +289,62 @@ def render_difftest_repro(doc: Dict[str, Any], top: int = 10) -> str:
 
 
 # ----------------------------------------------------------------------
+# Verify reports
+# ----------------------------------------------------------------------
+
+
+def render_verify_report(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-verify-report/v1`` static-verifier document."""
+    summary = doc.get("summary", {})
+    lines = [_rule(
+        f"static verify: {doc.get('design', '?')} "
+        f"({doc.get('scheme', '?')}, {doc.get('profile', '?')})"
+    )]
+    lines.append(
+        f"{summary.get('modules', 0)} modules verified; "
+        f"{summary.get('errors', 0)} error(s), "
+        f"{summary.get('warnings', 0)} warning(s), "
+        f"{summary.get('infos', 0)} info"
+    )
+    modules = doc.get("modules", [])
+    if modules:
+        lines.append("")
+        lines.append("per-module cycle bounds (estimate vs exact):")
+        lines.append(
+            f"  {'module':20s} {'est min':>8s} {'est max':>8s} "
+            f"{'exact min':>9s} {'exact max':>9s} {'size':>6s}"
+        )
+        for module in modules:
+            est = module.get("estimate", {})
+            meas = module.get("measured", {})
+            lines.append(
+                f"  {module.get('module', '?'):20s} "
+                f"{est.get('min_cycles', 0):8d} {est.get('max_cycles', 0):8d} "
+                f"{meas.get('min_cycles', 0):9d} "
+                f"{meas.get('max_cycles', 0):9d} "
+                f"{meas.get('code_size', 0):6d}"
+            )
+    diagnostics = [
+        d for d in doc.get("diagnostics", [])
+        if d.get("severity") in ("error", "warning")
+    ]
+    lines.append("")
+    if diagnostics:
+        lines.append(f"first {min(top, len(diagnostics))} findings:")
+        for diag in diagnostics[:top]:
+            where = diag.get("artifact", "?")
+            if diag.get("location"):
+                where += f":{diag['location']}"
+            lines.append(
+                f"  {where}: {diag.get('severity')}: "
+                f"[{diag.get('check')}] {diag.get('message', '')[:80]}"
+            )
+    else:
+        lines.append("no errors or warnings.")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -303,6 +360,8 @@ def render_report(doc: Dict[str, Any], top: int = 10) -> str:
         return render_difftest_report(doc, top=top)
     if fmt == DIFFTEST_REPRO_FORMAT:
         return render_difftest_repro(doc, top=top)
+    if fmt == VERIFY_REPORT_FORMAT:
+        return render_verify_report(doc, top=top)
     raise ValueError(f"unknown trace format {fmt!r}")
 
 

@@ -20,12 +20,14 @@ __all__ = [
     "validate_bdd_bench",
     "validate_difftest_report",
     "validate_difftest_repro",
+    "validate_verify_report",
     "validate_trace",
     "assert_valid_trace",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
+    "VERIFY_REPORT_FORMAT",
 ]
 
 BUILD_TRACE_FORMAT = "repro-build-trace/v1"
@@ -36,6 +38,11 @@ DIFFTEST_REPRO_FORMAT = "repro-difftest-repro/v1"
 _DIFFTEST_LAYERS = (
     "reference", "bdd", "sgraph", "cgen", "isa", "analysis", "estimation",
 )
+
+VERIFY_REPORT_FORMAT = "repro-verify-report/v1"
+_VERIFY_SEVERITIES = ("error", "warning", "info")
+_VERIFY_LAYERS = ("network", "sgraph", "codegen", "verify", "verify-network")
+_VERIFY_BOUND_FIELDS = ("code_size", "min_cycles", "max_cycles")
 
 BDD_BENCH_FORMAT = "repro-bdd-bench/v1"
 #: Deterministic per-scenario sift fields (counted, not timed — these must
@@ -326,6 +333,84 @@ def validate_difftest_repro(doc: Dict[str, Any]) -> List[str]:
     return errors
 
 
+def validate_verify_report(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-verify-report/v1`` document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != VERIFY_REPORT_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {VERIFY_REPORT_FORMAT!r}")
+    for key in ("design", "scheme", "profile"):
+        if not isinstance(doc.get(key), str):
+            errors.append(f"'{key}' missing or not a string")
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("'summary' missing or not an object")
+        summary = {}
+    for key in ("errors", "warnings", "infos", "exit_code", "modules"):
+        if not _is_int(summary.get(key)) or summary.get(key, 0) < 0:
+            errors.append(f"summary.{key} must be a non-negative integer")
+    modules = doc.get("modules")
+    if not isinstance(modules, list):
+        errors.append("'modules' missing or not a list")
+        modules = []
+    if _is_int(summary.get("modules")) and summary["modules"] != len(modules):
+        errors.append(
+            f"summary.modules={summary['modules']} but "
+            f"{len(modules)} module entries present"
+        )
+    for i, module in enumerate(modules):
+        where = f"modules[{i}]"
+        if not isinstance(module, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(module.get("module"), str):
+            errors.append(f"{where}: 'module' missing or not a string")
+        for table in ("estimate", "measured"):
+            figures = module.get(table)
+            if not isinstance(figures, dict):
+                errors.append(f"{where}: '{table}' missing or not an object")
+                continue
+            for field in _VERIFY_BOUND_FIELDS:
+                if not _is_int(figures.get(field)):
+                    errors.append(f"{where}.{table}.{field} must be an integer")
+            if (
+                _is_int(figures.get("min_cycles"))
+                and _is_int(figures.get("max_cycles"))
+                and figures["min_cycles"] > figures["max_cycles"]
+            ):
+                errors.append(f"{where}.{table}: min_cycles > max_cycles")
+    diagnostics = doc.get("diagnostics")
+    if not isinstance(diagnostics, list):
+        errors.append("'diagnostics' missing or not a list")
+        diagnostics = []
+    counted = {"error": 0, "warning": 0, "info": 0}
+    for i, diag in enumerate(diagnostics):
+        where = f"diagnostics[{i}]"
+        if not isinstance(diag, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("check", "severity", "layer", "artifact", "message"):
+            if not isinstance(diag.get(key), str):
+                errors.append(f"{where}: missing string field {key!r}")
+        severity = diag.get("severity")
+        if severity not in _VERIFY_SEVERITIES:
+            errors.append(f"{where}: unknown severity {severity!r}")
+        else:
+            counted[severity] += 1
+        if diag.get("layer") not in _VERIFY_LAYERS:
+            errors.append(f"{where}: unknown layer {diag.get('layer')!r}")
+    for severity, key in (("error", "errors"), ("warning", "warnings"),
+                          ("info", "infos")):
+        if _is_int(summary.get(key)) and summary[key] != counted[severity]:
+            errors.append(
+                f"summary.{key}={summary[key]} but {counted[severity]} "
+                f"{severity} diagnostics present"
+            )
+    return errors
+
+
 def validate_trace(doc: Dict[str, Any]) -> List[str]:
     """Dispatch on the document's ``format`` field."""
     if not isinstance(doc, dict):
@@ -341,6 +426,8 @@ def validate_trace(doc: Dict[str, Any]) -> List[str]:
         return validate_difftest_report(doc)
     if fmt == DIFFTEST_REPRO_FORMAT:
         return validate_difftest_repro(doc)
+    if fmt == VERIFY_REPORT_FORMAT:
+        return validate_verify_report(doc)
     return [f"unknown trace format {fmt!r}"]
 
 

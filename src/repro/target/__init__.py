@@ -7,7 +7,7 @@ measures exact code size and best/worst-case reaction cycles — the
 numbers the s-graph-level estimator is validated against in Table I.
 """
 
-from .analysis import PathAnalysis, analyze_program
+from .analysis import PathAnalysis, analyze_program, successors
 from .compile import compile_sgraph, compile_two_level
 from .isa import Program
 from .machine import ExecutionResult, ReactionOutcome, run_program, run_reaction
@@ -27,4 +27,5 @@ __all__ = [
     "compile_two_level",
     "run_program",
     "run_reaction",
+    "successors",
 ]

@@ -21,7 +21,7 @@ from ..obs import get_tracer
 from .isa import Program
 from .profiles import ISAProfile
 
-__all__ = ["PathAnalysis", "analyze_program"]
+__all__ = ["PathAnalysis", "analyze_program", "successors"]
 
 
 @dataclass
@@ -38,10 +38,16 @@ class PathAnalysis:
         )
 
 
-def _successors(
+def successors(
     program: Program, profile: ISAProfile
 ) -> List[List[Tuple[int, int]]]:
-    """Per-instruction ``(target, cycles)`` edges; target ``n`` is the exit."""
+    """Per-instruction ``(target, cycles)`` edges; target ``n`` is the exit.
+
+    This is the instruction-level CFG both :func:`analyze_program` and
+    the static verifier (``repro verify``) price paths over; exposing it
+    lets the verifier recompute the bounds with an independent algorithm
+    against the same edge costs.
+    """
     labels = program.labels
     n = len(program.instructions)
 
@@ -88,7 +94,7 @@ def _analyze(program: Program, profile: ISAProfile) -> PathAnalysis:
     n = len(program.instructions)
     if n == 0:
         return PathAnalysis(code_size=size, min_cycles=0, max_cycles=0)
-    succs = _successors(program, profile)
+    succs = successors(program, profile)
 
     # Reachable subgraph from the entry point.
     reachable = {0}

@@ -68,3 +68,118 @@ class TestTextReport:
         last = render_text(report).splitlines()[-1]
         assert last.startswith("d: ")
         assert "error(s)" in last
+
+
+class TestEdgeCases:
+    def _mixed_report(self):
+        from repro.analysis import Diagnostic, Report, Severity
+
+        def diag(severity, check, message):
+            return Diagnostic(
+                check=check,
+                severity=severity,
+                layer="network",
+                artifact="art",
+                location="loc",
+                message=message,
+            )
+
+        return Report(
+            design="mixed",
+            diagnostics=[
+                diag(Severity.INFO, "net-undriven-event", "third"),
+                diag(Severity.ERROR, "net-type-mismatch", "first"),
+                diag(Severity.WARNING, "net-buffer-race", "second"),
+            ],
+        )
+
+    def test_empty_report_renders_everywhere(self):
+        from repro.analysis import Report, render_sarif
+
+        report = Report(design="empty")
+        document = json.loads(render_json(report))
+        assert document["summary"] == {
+            "errors": 0, "warnings": 0, "infos": 0, "exit_code": 0,
+        }
+        assert document["diagnostics"] == []
+        sarif = json.loads(render_sarif(report))
+        assert sarif["runs"][0]["results"] == []
+        assert sarif["runs"][0]["tool"]["driver"]["rules"] == []
+        text = render_text(report)
+        assert "0 error(s)" in text
+
+    def test_empty_verify_report_validates(self):
+        from repro.analysis import VERIFY_SCHEMA_ID, render_verify_json
+        from repro.analysis.runner import VerifyReport
+        from repro.obs import validate_verify_report
+
+        report = VerifyReport(design="empty")
+        document = json.loads(render_verify_json(report))
+        assert document["format"] == VERIFY_SCHEMA_ID
+        assert document["summary"]["modules"] == 0
+        assert validate_verify_report(document) == []
+
+    def test_mixed_severities_sort_most_severe_first(self):
+        document = json.loads(render_json(self._mixed_report()))
+        assert [d["message"] for d in document["diagnostics"]] == [
+            "first", "second", "third",
+        ]
+        assert [d["severity"] for d in document["diagnostics"]] == [
+            "error", "warning", "info",
+        ]
+
+    def test_json_round_trip_preserves_every_field(self):
+        from repro.analysis import Severity
+
+        report = self._mixed_report()
+        document = json.loads(render_json(report))
+        rendered = {
+            (d["check"], d["severity"], d["layer"], d["artifact"],
+             d["location"], d["message"])
+            for d in document["diagnostics"]
+        }
+        original = {
+            (d.check, str(d.severity), d.layer, d.artifact, d.location,
+             d.message)
+            for d in report.diagnostics
+        }
+        assert rendered == original
+        assert all(
+            Severity.parse(d["severity"]) in tuple(Severity)
+            for d in document["diagnostics"]
+        )
+
+    def test_sarif_levels_and_rule_indices(self):
+        from repro.analysis import render_sarif
+
+        sarif = json.loads(render_sarif(self._mixed_report()))
+        run = sarif["runs"][0]
+        assert [r["level"] for r in run["results"]] == [
+            "error", "warning", "note",
+        ]
+        rules = run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == sorted(r["id"] for r in rules)
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            location = result["locations"][0]["logicalLocations"][0]
+            assert location["fullyQualifiedName"] == "art:loc"
+
+    def test_sarif_unregistered_check_falls_back_to_id(self):
+        from repro.analysis import Diagnostic, Report, Severity, render_sarif
+
+        report = Report(
+            design="d",
+            diagnostics=[
+                Diagnostic(
+                    check="synthesis-error",
+                    severity=Severity.ERROR,
+                    layer="sgraph",
+                    artifact="m",
+                    location="",
+                    message="boom",
+                )
+            ],
+        )
+        sarif = json.loads(render_sarif(report))
+        rule = sarif["runs"][0]["tool"]["driver"]["rules"][0]
+        assert rule["shortDescription"]["text"] == "synthesis-error"

@@ -1,0 +1,94 @@
+"""Cycle-bound agreement across the three independent computations.
+
+The acceptance bar for the verifier: on the two reference applications,
+for every synthesis scheme,
+
+* the framework's structural ISA bounds equal ``analyze_program``'s
+  exact Kahn-DP figures **exactly** (two different algorithms, one CFG);
+* the framework's s-graph bounds equal the Table-I estimator exactly
+  (worklist tuple-lattice vs Dijkstra/PERT over the same priced graph);
+* the register-feasible ISA bounds (jump-table pruning) sit inside the
+  estimator's band widened by the scheme tolerance — this is the pair
+  a real WCET consumer would compare.
+"""
+
+import pytest
+
+from repro.analysis import ModuleVerifyContext, verify_design
+from repro.analysis.verify_isa import (
+    isa_feasible_bounds,
+    isa_static_bounds,
+    module_domains,
+)
+from repro.analysis.verify_sgraph import sgraph_static_bounds
+from repro.apps import dashboard_machines, shock_machines
+from repro.sgraph import SCHEMES
+
+APPS = [
+    ("dashboard", dashboard_machines),
+    ("shock", shock_machines),
+]
+
+_CTX_CACHE = {}
+
+
+def _contexts(app, scheme):
+    """Build each (app, scheme) artifact set once for the whole module."""
+    key = (app, scheme)
+    if key not in _CTX_CACHE:
+        _CTX_CACHE[key] = [
+            ModuleVerifyContext.build(machine, scheme=scheme)
+            for machine in dict(APPS)[app]()
+        ]
+    return _CTX_CACHE[key]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("app", [a[0] for a in APPS])
+class TestBoundAgreement:
+    def test_structural_isa_bounds_exact(self, app, scheme):
+        for ctx in _contexts(app, scheme):
+            got = isa_static_bounds(ctx.program, ctx.profile)
+            assert got == (ctx.meas.min_cycles, ctx.meas.max_cycles), (
+                ctx.machine.name
+            )
+
+    def test_sgraph_bounds_match_estimator_exact(self, app, scheme):
+        for ctx in _contexts(app, scheme):
+            got = sgraph_static_bounds(ctx)
+            assert got == (ctx.est.min_cycles, ctx.est.max_cycles), (
+                ctx.machine.name
+            )
+
+    def test_feasible_bounds_within_estimator_tolerance(self, app, scheme):
+        for ctx in _contexts(app, scheme):
+            lo, hi = isa_feasible_bounds(
+                ctx.program, ctx.profile, module_domains(ctx.machine)
+            )
+            s_lo, s_hi = isa_static_bounds(ctx.program, ctx.profile)
+            assert s_lo <= lo <= hi <= s_hi  # pruning only tightens
+            tol = ctx.est_tolerance
+            assert ctx.est.min_cycles * (1.0 - tol) <= lo
+            assert hi <= ctx.est.max_cycles * (1.0 + tol)
+
+
+@pytest.mark.parametrize("app,make", APPS)
+def test_reference_apps_verify_clean(app, make):
+    report = verify_design(make(), design=app)
+    errors = [d for d in report.diagnostics if d.severity >= 30]
+    assert errors == []
+    # Every module contributed a bounds record to the report.
+    assert {m["module"] for m in report.modules} == {m.name for m in make()}
+
+
+def test_feasible_pruning_is_effective_somewhere():
+    """The shock absorber's jump tables give pruning real work to do."""
+    tightened = False
+    for ctx in _contexts("shock", "sift"):
+        structural = isa_static_bounds(ctx.program, ctx.profile)
+        feasible = isa_feasible_bounds(
+            ctx.program, ctx.profile, module_domains(ctx.machine)
+        )
+        if feasible != structural:
+            tightened = True
+    assert tightened

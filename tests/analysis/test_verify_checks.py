@@ -1,0 +1,132 @@
+"""Behavior of the verify-tier checks on clean and tampered builds."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import ModuleVerifyContext, Severity, run_checks, verify_design
+from repro.analysis.verify_c import c_flow_facts
+from repro.analysis.verify_sgraph import sgraph_flow_facts
+from repro.frontend import compile_source
+
+WRAPPING = """
+module wrapper:
+  input go;
+  output done;
+  var s : 0..2 = 0;
+  loop
+    await go;
+    if s == 2 then
+      s := 0; emit done;
+    else
+      s := s + 1;
+    end
+  end
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def wrapper_ctx():
+    return ModuleVerifyContext.build(compile_source(WRAPPING))
+
+
+class TestCleanBuilds:
+    def test_clean_pair_verifies_without_errors(self, clean_pair):
+        report = verify_design(clean_pair, design="clean")
+        assert [d for d in report.diagnostics if d.severity >= Severity.ERROR] == []
+        assert report.exit_code() == 0
+
+    def test_verify_layer_runs_on_module_context(self, wrapper_ctx):
+        diagnostics = run_checks("verify", "wrapper", wrapper_ctx)
+        assert all(d.severity < Severity.ERROR for d in diagnostics)
+        # The stack-bound INFO finding always reports.
+        assert any(d.check == "vf-c-stack-bound" for d in diagnostics)
+
+    def test_state_intervals_stay_in_domain(self, wrapper_ctx):
+        facts = c_flow_facts(wrapper_ctx.creact, wrapper_ctx.machine)
+        interval = facts.state_intervals["s"]
+        assert interval.within(0, 2)
+
+    def test_sgraph_facts_cover_reachable_graph(self, wrapper_ctx):
+        facts = sgraph_flow_facts(wrapper_ctx.sgraph, wrapper_ctx.encoding)
+        assert facts is not None
+        assert wrapper_ctx.sgraph.begin in facts.cond
+        assert facts.unreachable == []
+
+
+class TestTamperedEstimator:
+    def test_halved_estimate_is_flagged(self, monkeypatch):
+        """The verifier must catch an estimator regression (Table I)."""
+        import repro.estimation as estimation
+
+        original = estimation.estimate
+
+        def halved(*args, **kwargs):
+            est = original(*args, **kwargs)
+            return dataclasses.replace(est, max_cycles=est.max_cycles // 2)
+
+        monkeypatch.setattr(estimation, "estimate", halved)
+        report = verify_design(
+            [compile_source(WRAPPING)], design="tampered"
+        )
+        errors = {d.check for d in report.diagnostics if d.severity >= Severity.ERROR}
+        assert "vf-est-bounds" in errors
+        assert "vf-est-vs-isa" in errors
+        assert report.exit_code() == 1
+
+    def test_inflated_minimum_is_flagged(self, monkeypatch):
+        import repro.estimation as estimation
+
+        original = estimation.estimate
+
+        def inflated(*args, **kwargs):
+            est = original(*args, **kwargs)
+            return dataclasses.replace(est, min_cycles=est.min_cycles * 3)
+
+        monkeypatch.setattr(estimation, "estimate", inflated)
+        report = verify_design(
+            [compile_source(WRAPPING)], design="tampered"
+        )
+        errors = {d.check for d in report.diagnostics if d.severity >= Severity.ERROR}
+        assert "vf-est-bounds" in errors
+
+
+class TestTamperedMeasurement:
+    def test_shifted_analyze_program_is_flagged(self, monkeypatch):
+        """Algorithm diversity: Kahn DP vs worklist must agree exactly."""
+        import repro.target as target
+
+        original = target.analyze_program
+
+        def shifted(*args, **kwargs):
+            meas = original(*args, **kwargs)
+            return dataclasses.replace(meas, max_cycles=meas.max_cycles + 1)
+
+        monkeypatch.setattr(target, "analyze_program", shifted)
+        ctx = ModuleVerifyContext.build(compile_source(WRAPPING))
+        diagnostics = run_checks("verify", "wrapper", ctx)
+        assert any(
+            d.check == "vf-isa-bounds" and d.severity >= Severity.ERROR
+            for d in diagnostics
+        )
+
+
+class TestCrashDegradation:
+    def test_crashing_check_becomes_error_diagnostic(self, wrapper_ctx, monkeypatch):
+        from repro.analysis import registry
+
+        registered = registry.get_check("vf-c-stack-bound")
+
+        def boom(ctx):
+            raise RuntimeError("kaput")
+            yield  # pragma: no cover
+
+        monkeypatch.setitem(
+            registry._REGISTRY,
+            "vf-c-stack-bound",
+            dataclasses.replace(registered, fn=boom),
+        )
+        diagnostics = run_checks("verify", "wrapper", wrapper_ctx)
+        crashed = [d for d in diagnostics if "crashed" in d.message]
+        assert crashed and crashed[0].severity == Severity.ERROR

@@ -1,0 +1,123 @@
+"""Static lost-event (1-place buffer overwrite) analysis of a network."""
+
+from repro.analysis import RtosVerifyContext, Severity, run_checks
+from repro.analysis.verify_rtos import lost_event_candidates
+from repro.rtos import RtosConfig, SchedulingPolicy
+
+
+def _reasons(ctx):
+    return {(c.event, c.reason) for c in lost_event_candidates(ctx)}
+
+
+class TestLostEventAnalysis:
+    def test_priority_receiver_above_producer_is_safe(self, clean_pair):
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities={"producer": 2, "consumer": 1},
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        # 'ping' (producer -> consumer) is provably safe; only the
+        # environment-driven 'tick' remains (INFO, can always burst).
+        assert _reasons(ctx) == {("tick", "environment")}
+
+    def test_round_robin_is_flagged(self, clean_pair):
+        config = RtosConfig(policy=SchedulingPolicy.ROUND_ROBIN)
+        ctx = RtosVerifyContext(clean_pair, config)
+        assert ("ping", "scheduling") in _reasons(ctx)
+
+    def test_priority_tie_is_flagged(self, clean_pair):
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities={"producer": 1, "consumer": 1},
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        assert ("ping", "scheduling") in _reasons(ctx)
+
+    def test_multi_writer_is_flagged(self, racing_design):
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities={"producer": 2, "producer2": 3, "consumer": 1},
+        )
+        ctx = RtosVerifyContext(racing_design, config)
+        assert ("ping", "multi-writer") in _reasons(ctx)
+
+    def test_polled_event_downgrades_to_info(self, clean_pair):
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities={"producer": 2, "consumer": 1},
+            polled_events={"ping"},
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        candidates = {c.event: c for c in lost_event_candidates(ctx)}
+        assert candidates["ping"].reason == "polled"
+        assert candidates["ping"].severity == Severity.INFO
+
+    def test_chained_producer_in_isr_is_flagged(self, clean_pair):
+        # 'tick' runs producer inside the ISR; its 'ping' output then
+        # bypasses priority dispatch -> flagged even with good priorities.
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities={"producer": 2, "consumer": 1},
+            isr_chained_events={"tick"},
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        assert ("ping", "isr-chain") in _reasons(ctx)
+
+    def test_fused_chain_reports_chained(self, clean_pair):
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            chains=[["producer", "consumer"]],
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        assert ("ping", "chained") in _reasons(ctx)
+        assert ctx.task_of("producer") == "producer+consumer"
+
+    def test_hardware_consumer_has_no_buffer(self, clean_pair):
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            hw_machines={"consumer"},
+            priorities={"producer": 1},
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        assert all(c.task != "consumer" for c in lost_event_candidates(ctx))
+
+
+class TestCheckWiring:
+    def test_check_emits_diagnostics_with_candidate_severity(self, clean_pair):
+        ctx = RtosVerifyContext(
+            clean_pair, RtosConfig(policy=SchedulingPolicy.ROUND_ROBIN)
+        )
+        diagnostics = run_checks("verify-network", "net", ctx)
+        lost = [d for d in diagnostics if d.check == "vf-net-lost-event"]
+        assert lost
+        by_event = {d.location: d for d in lost}
+        assert by_event["event ping"].severity == Severity.WARNING
+        assert by_event["event tick"].severity == Severity.INFO
+
+
+class TestSimulationCrossCheck:
+    def test_safe_verdict_holds_under_simulation(self, clean_pair):
+        """Events the verifier calls safe must never be lost in a run."""
+        from repro.cfsm import Network
+        from repro.obs import RunTrace
+        from repro.rtos.runtime import RtosRuntime, Stimulus
+
+        config = RtosConfig(
+            policy=SchedulingPolicy.PREEMPTIVE_PRIORITY,
+            priorities={"producer": 2, "consumer": 1},
+        )
+        ctx = RtosVerifyContext(clean_pair, config)
+        flagged = {c.event for c in lost_event_candidates(ctx)}
+        assert "ping" not in flagged
+
+        trace = RunTrace()
+        runtime = RtosRuntime(
+            Network("sim", clean_pair), config, run_trace=trace
+        )
+        # Mixed cadence, including back-to-back bursts of the stimulus.
+        stimuli = [Stimulus(time=t, event="tick") for t in range(0, 40_000, 800)]
+        stimuli += [Stimulus(time=t, event="tick") for t in range(100, 8_000, 150)]
+        runtime.schedule_stimuli(stimuli)
+        runtime.run(until=200_000)
+        observed_lost = {e["event"] for e in trace.by_kind("lost")}
+        assert observed_lost <= flagged

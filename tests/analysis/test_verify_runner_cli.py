@@ -1,0 +1,176 @@
+"""End-to-end: verify_design, the ``repro verify`` CLI, SARIF, parallel."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    VERIFY_SCHEMA_ID,
+    VerifyReport,
+    render_sarif,
+    render_verify_json,
+    verify_design,
+)
+from repro.cli import main
+from repro.obs import validate_trace, validate_verify_report
+
+TWO_PHASE = """
+module phaser:
+  input go;
+  output done;
+  var s : 0..1 = 0;
+  loop
+    await go;
+    if s == 0 then
+      s := 1;
+    else
+      s := 0; emit done;
+    end
+  end
+end
+"""
+
+RELAY = """
+module relay:
+  input done;
+  output ack;
+  loop
+    await done;
+    emit ack;
+  end
+end
+"""
+
+
+@pytest.fixture
+def design_rsl(tmp_path):
+    a = tmp_path / "phaser.rsl"
+    b = tmp_path / "relay.rsl"
+    a.write_text(TWO_PHASE)
+    b.write_text(RELAY)
+    return [str(a), str(b)]
+
+
+class TestVerifyDesign:
+    def test_report_shape(self, clean_pair):
+        report = verify_design(clean_pair, design="d")
+        assert isinstance(report, VerifyReport)
+        assert report.exit_code() == 0
+        assert {m["module"] for m in report.modules} == {"producer", "consumer"}
+        for record in report.modules:
+            est, meas = record["estimate"], record["measured"]
+            assert est["min_cycles"] <= est["max_cycles"]
+            assert meas["min_cycles"] <= meas["max_cycles"]
+            assert meas["code_size"] > 0
+
+    def test_parallel_report_identical(self, clean_pair):
+        serial = verify_design(clean_pair, design="d", jobs=1)
+        pooled = verify_design(clean_pair, design="d", jobs=2)
+        assert render_verify_json(serial) == render_verify_json(pooled)
+
+    def test_check_filter(self, clean_pair):
+        report = verify_design(
+            clean_pair, design="d", only=["vf-c-stack-bound"]
+        )
+        assert {d.check for d in report.diagnostics} <= {
+            "vf-c-stack-bound", "synthesis-error"
+        }
+
+    def test_json_document_validates(self, clean_pair):
+        document = json.loads(render_verify_json(verify_design(clean_pair)))
+        assert document["format"] == VERIFY_SCHEMA_ID
+        assert validate_verify_report(document) == []
+        assert validate_trace(document) == []
+
+    def test_broken_machine_degrades(self, clean_pair):
+        class Broken:
+            name = "broken"
+            inputs = ()
+            outputs = ()
+            state_vars = ()
+            transitions = ()
+
+        report = verify_design(list(clean_pair) + [Broken()], design="d")
+        assert any(d.check == "synthesis-error" for d in report.diagnostics)
+        assert report.exit_code() == 1
+
+
+class TestSarif:
+    def test_sarif_structure(self, clean_pair):
+        log = json.loads(render_sarif(verify_design(clean_pair)))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        results = run["results"]
+        for result in results:
+            assert result["ruleId"] in rules
+            assert result["level"] in ("error", "warning", "note")
+            index = result["ruleIndex"]
+            assert run["tool"]["driver"]["rules"][index]["id"] == result["ruleId"]
+        # The INFO stack-bound findings are present as 'note' results.
+        assert any(r["ruleId"] == "vf-c-stack-bound" for r in results)
+
+
+class TestVerifyCli:
+    def test_clean_design_exits_zero(self, design_rsl, capsys):
+        assert main(["verify", *design_rsl]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_json_output_validates(self, design_rsl, capsys):
+        assert main(["verify", "--json", "--name", "cli", *design_rsl]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["design"] == "cli"
+        assert document["format"] == VERIFY_SCHEMA_ID
+        assert validate_verify_report(document) == []
+
+    def test_serial_and_parallel_byte_identical(self, design_rsl, capsys):
+        assert main(["verify", "--json", *design_rsl]) == 0
+        serial = capsys.readouterr().out
+        assert main(["verify", "--json", "--jobs", "2", *design_rsl]) == 0
+        pooled = capsys.readouterr().out
+        assert serial == pooled
+
+    def test_sarif_flag(self, design_rsl, capsys):
+        assert main(["verify", "--sarif", *design_rsl]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro"
+
+    def test_rtos_flags_change_the_verdict(self, design_rsl, capsys):
+        # Strict priorities: 'done' (phaser -> relay) is provably safe.
+        assert main([
+            "verify", "--verbose",
+            "--priority", "phaser=2", "--priority", "relay=1",
+            *design_rsl,
+        ]) == 0
+        safe_out = capsys.readouterr().out
+        assert "event 'done'" not in safe_out
+        # Round-robin: the same event becomes a WARNING.
+        assert main([
+            "verify", "--policy", "round-robin", "--fail-on", "warning",
+            *design_rsl,
+        ]) == 1
+        assert "event 'done'" in capsys.readouterr().out
+
+    def test_est_tol_zero_still_sound(self, design_rsl):
+        # The feasible bounds must sit inside the *exact* estimator band
+        # only up to rounding; tolerance 0.02 is far below the default
+        # 0.5 and these modules are small enough to hold it.
+        assert main(["verify", "--est-tol", "0.02", *design_rsl]) == 0
+
+    def test_list_checks_includes_verify_tier(self, capsys):
+        assert main(["verify", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "vf-est-vs-isa" in out
+        assert "vf-net-lost-event" in out
+
+    def test_unknown_check_is_usage_error(self, design_rsl, capsys):
+        assert main(["verify", "--check", "vf-nope", *design_rsl]) == 2
+        assert "unknown check 'vf-nope'" in capsys.readouterr().err
+
+    def test_no_modules_is_usage_error(self):
+        assert main(["verify"]) == 2
+
+    def test_output_file(self, design_rsl, tmp_path):
+        out = tmp_path / "verify.json"
+        assert main(["verify", "--json", "-o", str(out), *design_rsl]) == 0
+        assert json.loads(out.read_text())["summary"]["exit_code"] == 0

@@ -97,3 +97,32 @@ class TestDispatchAndFile:
             report_file(str(bad))
         # Validation can be bypassed; rendering tolerates the junk event.
         assert "run trace" in report_file(str(bad), validate=False)
+
+
+class TestVerifyReport:
+    def _doc(self):
+        from .test_schema import valid_verify_doc
+
+        return valid_verify_doc()
+
+    def test_bounds_table_and_findings(self):
+        from repro.obs import render_verify_report
+
+        text = render_verify_report(self._doc())
+        assert "static verify: d (sift, K11)" in text
+        assert "per-module cycle bounds" in text
+        assert "vf-est-bounds" in text or "boom" in text
+
+    def test_clean_document_reports_no_findings(self):
+        from repro.obs import render_verify_report
+
+        doc = self._doc()
+        doc["diagnostics"] = []
+        doc["summary"].update(errors=0, exit_code=0)
+        text = render_verify_report(doc)
+        assert "no errors or warnings" in text
+
+    def test_render_report_dispatch(self):
+        from repro.obs import render_report
+
+        assert "static verify" in render_report(self._doc())

@@ -185,3 +185,93 @@ class TestDispatch:
         assert_valid_trace(valid_run_doc())  # no raise
         with pytest.raises(ValueError, match="invalid trace"):
             assert_valid_trace({"format": "mystery"})
+
+
+def valid_verify_doc():
+    return {
+        "format": "repro-verify-report/v1",
+        "design": "d",
+        "scheme": "sift",
+        "profile": "K11",
+        "summary": {
+            "errors": 1,
+            "warnings": 0,
+            "infos": 0,
+            "exit_code": 1,
+            "modules": 1,
+        },
+        "modules": [
+            {
+                "module": "m",
+                "estimate": {
+                    "code_size": 10, "min_cycles": 5, "max_cycles": 9,
+                },
+                "measured": {
+                    "code_size": 12, "min_cycles": 6, "max_cycles": 8,
+                },
+            }
+        ],
+        "diagnostics": [
+            {
+                "check": "vf-est-bounds",
+                "severity": "error",
+                "layer": "verify",
+                "artifact": "m",
+                "location": "",
+                "message": "boom",
+            }
+        ],
+    }
+
+
+class TestVerifyReportValidation:
+    def test_valid_document_has_no_errors(self):
+        from repro.obs import validate_verify_report
+
+        assert validate_verify_report(valid_verify_doc()) == []
+
+    def test_wrong_format(self):
+        from repro.obs import validate_verify_report
+
+        doc = valid_verify_doc()
+        doc["format"] = "repro-verify-report/v2"
+        assert validate_verify_report(doc)
+
+    def test_severity_counts_cross_checked(self):
+        from repro.obs import validate_verify_report
+
+        doc = valid_verify_doc()
+        doc["summary"]["errors"] = 2
+        errors = validate_verify_report(doc)
+        assert any("error" in e for e in errors)
+
+    def test_module_count_cross_checked(self):
+        from repro.obs import validate_verify_report
+
+        doc = valid_verify_doc()
+        doc["summary"]["modules"] = 5
+        assert validate_verify_report(doc)
+
+    def test_bound_tables_must_be_ordered_ints(self):
+        from repro.obs import validate_verify_report
+
+        doc = valid_verify_doc()
+        doc["modules"][0]["measured"]["min_cycles"] = 99
+        assert validate_verify_report(doc)
+        doc = valid_verify_doc()
+        doc["modules"][0]["estimate"]["code_size"] = "ten"
+        assert validate_verify_report(doc)
+
+    def test_diagnostic_enums_constrained(self):
+        from repro.obs import validate_verify_report
+
+        doc = valid_verify_doc()
+        doc["diagnostics"][0]["severity"] = "fatal"
+        assert validate_verify_report(doc)
+        doc = valid_verify_doc()
+        doc["diagnostics"][0]["layer"] = "bytecode"
+        assert validate_verify_report(doc)
+
+    def test_dispatches_through_validate_trace(self):
+        assert validate_trace(valid_verify_doc()) == []
+        assert_valid_trace(valid_verify_doc())
