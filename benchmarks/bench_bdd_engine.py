@@ -11,13 +11,23 @@ Two modes:
 * **pytest-benchmark** (``pytest benchmarks/bench_bdd_engine.py``) — the
   timing fixtures below;
 * **report script** (``python benchmarks/bench_bdd_engine.py --json
-  BENCH_bdd.json``) — emits the machine-readable ``repro-bdd-bench/v1``
+  BENCH_bdd.json``) — emits the machine-readable ``repro-bdd-bench/v2``
   document the repo tracks at its root.  ``--check REFERENCE`` additionally
-  compares the *deterministic* counters (sift swap count, collect() calls,
-  final sizes) against a committed reference and exits non-zero on any
-  regression — the CI gate.  ``REPRO_BENCH_SMOKE=1`` or ``--smoke``
+  compares the *deterministic* counters (sift swap/skip counts, collect()
+  calls, final sizes) against a committed reference and exits non-zero on
+  any regression — the CI gate.  ``REPRO_BENCH_SMOKE=1`` or ``--smoke``
   shrinks the timed workloads (the deterministic sift scenarios always run
   in full so the gate compares like with like).
+
+v2 additions over v1: a ``store`` section with the struct-of-arrays
+footprint (bytes per node) and complement-edge share; a
+``cofactor_quantify`` workload plus a quantification drive in the counter
+run, so the restrict/quant cache counters are exercised (under v1 the
+counter run was the stress sift alone, which never cofactors or
+quantifies — the zeros were vacuous, not dead counters); and an
+``independent`` sift scenario over disjoint root supports where the
+interaction-matrix fast path provably fires (the stress DNF makes every
+variable pair interact, so its ``swap_skips: 0`` is correct behavior).
 """
 
 import argparse
@@ -169,6 +179,26 @@ def _workload_quantification(repeats):
     return _timed_ops(run, repeats)
 
 
+def _workload_cofactor_quantify(repeats):
+    """Cofactor + smoothing mix — the s-graph builder's access pattern.
+
+    One op is a restrict (both cofactors of one variable) or an
+    existential quantification; drives the restrict and quant caches so
+    their counters in BENCH_bdd.json are non-vacuous.
+    """
+    manager = BddManager()
+    variables, f = _stress_function(manager, n_pairs=7)
+
+    def run():
+        for _ in range(repeats):
+            for var in variables:
+                f.cofactors(var)
+            f.exists(variables[::3])
+            f.exists(variables[1::3])
+
+    return _timed_ops(run, repeats * (len(variables) + 2))
+
+
 def _sift_scenario(n_pairs, cubes):
     """Pessimized-order stress sift: the kernel's headline scenario.
 
@@ -200,19 +230,72 @@ def _sift_scenario(n_pairs, cubes):
     }
 
 
+def _independent_scenario(n_clusters=4, vars_per_cluster=5, cubes=10, seed=11):
+    """Sift over disjoint root supports: the interaction-matrix showcase.
+
+    Each cluster's function touches only its own variables, the clusters
+    are interleaved into a pessimal order, and every root is kept live —
+    so cross-cluster swaps are non-interacting and reduce to pure
+    level-map updates (``swap_skips``).  Deterministic like the stress
+    scenarios: the skip count is part of the CI gate.
+    """
+    manager = BddManager()
+    rng = random.Random(seed)
+    clusters = []
+    roots = []
+    for _ in range(n_clusters):
+        cluster = [manager.new_var() for _ in range(vars_per_cluster)]
+        clusters.append(cluster)
+        f = manager.false
+        for _ in range(cubes):
+            cube = manager.true
+            for var in rng.sample(cluster, rng.randint(2, 4)):
+                literal = (
+                    manager.var(var) if rng.random() < 0.5 else manager.nvar(var)
+                )
+                cube = cube & literal
+            f = f | cube
+        roots.append(f)
+    order = [
+        clusters[c][i]
+        for i in range(vars_per_cluster)
+        for c in range(n_clusters)
+    ]
+    apply_order(manager, order)
+    manager.swap_count = 0
+    manager.swap_skips = 0
+    manager.collect_count = 0
+    t0 = time.perf_counter()
+    final_size = sift_to_convergence(manager)
+    wall = time.perf_counter() - t0
+    assert all(r.size() > 0 for r in roots)  # every root stayed live
+    assert manager.swap_skips > 0, "interaction fast path never fired"
+    return {
+        "n_vars": n_clusters * vars_per_cluster,
+        "cubes": n_clusters * cubes,
+        "wall_s": round(wall, 4),
+        "swaps": manager.swap_count,
+        "swap_skips": manager.swap_skips,
+        "collects": manager.collect_count,
+        "final_size": final_size,
+    }
+
+
 def run_report(smoke=False):
-    """Build the full ``repro-bdd-bench/v1`` report document."""
+    """Build the full ``repro-bdd-bench/v2`` report document."""
     repeats = 3 if smoke else 20
     workloads = {
         "construction": _workload_construction(repeats),
         "swap_ladder": _workload_swap_ladder(repeats),
         "quantification": _workload_quantification(repeats),
+        "cofactor_quantify": _workload_cofactor_quantify(repeats),
     }
     # The sift scenarios always run in full: their counters are the CI
     # regression gate and must be comparable between smoke and full runs.
     sift = {
         "small": _sift_scenario(8, 24),
         "stress": _sift_scenario(10, 48),
+        "independent": _independent_scenario(),
     }
     for name, scenario in sift.items():
         baseline = _PRE_OVERHAUL_BASELINE.get(name)
@@ -224,8 +307,11 @@ def run_report(smoke=False):
                 )
             else:
                 scenario["speedup"] = float("inf")
-    # Aggregate kernel counters from a representative run (the stress sift
-    # re-executed on a fresh manager so cache statistics are self-contained).
+    # Aggregate kernel counters from a representative run: the stress sift
+    # re-executed on a fresh manager, followed by a cofactor/quantification
+    # drive on the sifted function.  Sifting alone never restricts or
+    # quantifies, so without the drive those cache counters read zero
+    # vacuously (the v1 report did exactly that).
     manager = BddManager()
     variables, f = _stress_function(manager, n_pairs=10, cubes=48)
     apply_order(
@@ -233,21 +319,24 @@ def run_report(smoke=False):
         [v for v in variables if v % 2 == 0] + [v for v in variables if v % 2 == 1],
     )
     sift_to_convergence(manager)
+    for var in variables:
+        f.cofactors(var)
+    f.exists(variables[::3])
+    f.exists(variables[1::3])
     counters = dict(manager.counters())
-    ite_total = counters["ite_cache_hits"] + counters["ite_cache_misses"]
-    counters["ite_cache_hit_rate"] = (
-        round(counters["ite_cache_hits"] / ite_total, 4) if ite_total else 0.0
-    )
-    quant_total = counters["quant_cache_hits"] + counters["quant_cache_misses"]
-    counters["quant_cache_hit_rate"] = (
-        round(counters["quant_cache_hits"] / quant_total, 4) if quant_total else 0.0
-    )
+    for cache in ("ite", "restrict", "quant"):
+        total = counters[f"{cache}_cache_hits"] + counters[f"{cache}_cache_misses"]
+        counters[f"{cache}_cache_hit_rate"] = (
+            round(counters[f"{cache}_cache_hits"] / total, 4) if total else 0.0
+        )
+    store = {k: round(v, 4) for k, v in manager.store_stats().items()}
     return {
         "format": BDD_BENCH_FORMAT,
         "smoke": smoke,
         "workloads": workloads,
         "sift": sift,
         "counters": counters,
+        "store": store,
     }
 
 
@@ -263,7 +352,7 @@ def check_against_reference(report, reference):
         if got is None:
             problems.append(f"sift scenario {name!r} missing from report")
             continue
-        for field in ("swaps", "collects", "final_size"):
+        for field in ("swaps", "swap_skips", "collects", "final_size"):
             if got[field] != ref[field]:
                 problems.append(
                     f"sift[{name}].{field}: {got[field]} != reference {ref[field]}"

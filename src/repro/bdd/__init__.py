@@ -3,9 +3,10 @@
 Public surface:
 
 * :class:`~repro.bdd.manager.BddManager` / :class:`~repro.bdd.manager.Function`
-  — the ROBDD package: refcounted GC, swap-stable operation caches,
-  iterative ITE, cube quantification (see DESIGN.md §5, "The BDD
-  kernel");
+  — the ROBDD package: struct-of-arrays node store with complemented
+  edges (handles are plain ints, NOT is a bit flip), refcounted GC,
+  swap-stable operation caches, iterative ITE, cube quantification (see
+  DESIGN.md §5, "The BDD kernel");
 * :class:`~repro.bdd.mdd.MultiValuedVar` — finite-domain variables encoded on
   binary variable groups;
 * :func:`~repro.bdd.sifting.sift` / :func:`~repro.bdd.sifting.sift_to_convergence`

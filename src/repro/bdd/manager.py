@@ -5,14 +5,24 @@ represents each CFSM's reactive function as a BDD (Sec. II-B), optimizes it by
 dynamic variable reordering (Rudell's sifting, Sec. III-B3), and derives the
 s-graph directly from the BDD structure (Theorem 1).
 
-The implementation is a reference-counted unique-table ROBDD package in the
-style of CUDD:
+The implementation is a struct-of-arrays, complement-edge ROBDD package in
+the style of CUDD:
 
-* nodes are rows in parallel arrays (``_var``, ``_lo``, ``_hi``, ``_ref``)
-  indexed by an integer node id; ids ``0`` and ``1`` are the FALSE and TRUE
-  terminals;
-* the unique table is keyed by ``(var, lo, hi)`` so that nodes keep their ids
-  when variable *levels* move during reordering;
+* the node store is a set of **parallel int arrays** (``_var``, ``_lo``,
+  ``_hi``, ``_ref``, ``_next``) indexed by an integer node slot; slot ``0``
+  is the single terminal node.  A Boolean function is a plain int **edge**
+  ``(node << 1) | complement`` — ``TRUE_ID`` is the regular edge to the
+  terminal and ``FALSE_ID`` its complement, and negation is ``edge ^ 1``,
+  O(1), no traversal, no allocation;
+* canonical form puts the complement bit **never on a then-edge**: ``_mk``
+  flips both children and complements the resulting edge instead, so each
+  function and its negation share one physical node and node counts roughly
+  halve relative to a complement-free store;
+* the unique table is a **per-variable chained int subtable**: ``_buckets
+  [var]`` holds bucket heads and ``_next`` threads the collision chains
+  through the node store itself (slot 0 doubles as the chain terminator) —
+  no per-entry tuple keys, no dict of objects, and ``swap_levels`` can
+  enumerate one variable's nodes without touching any other level;
 * **liveness is reference-counted**: ``_ref[n]`` counts parent edges from
   live nodes plus live external :class:`Function` handles.  When a count
   drops to zero the node is flagged *dead* (its child references are
@@ -25,21 +35,30 @@ style of CUDD:
   :meth:`live_node_count` is O(1) and the sifting loop never has to collect
   just to read a size;
 * the operation caches (ITE / restrict / quantification / support) are keyed
-  by node ids.  Node ids denote *functions*, and in-place level swaps
-  relabel nodes without changing the function each id denotes — so cached
-  results stay valid across reordering and are only purged of entries that
-  mention freed ids when :meth:`collect` actually frees nodes.  Caches are
-  bounded and count hits/misses (see :meth:`counters` /
-  :meth:`export_metrics`);
+  by int edges.  Edges denote *functions*, and in-place level swaps relabel
+  nodes without changing the function each edge denotes — so cached results
+  stay valid across reordering and are only purged of entries that mention
+  freed slots when :meth:`collect` actually frees nodes.  ITE triples are
+  complement-normalized (main operand regular, then-operand regular) so a
+  triple and its negation share one entry; restrict results are cached on
+  the regular edge and re-complemented on the way out.  Caches are bounded
+  and count hits/misses (see :meth:`counters` / :meth:`export_metrics`);
 * dynamic reordering is implemented with the standard in-place adjacent-level
   swap (with an interaction-matrix fast path for non-interacting variable
   pairs), on top of which :mod:`repro.bdd.sifting` builds constrained
   sifting.
+
+Sizes reported by :meth:`size` / :meth:`shared_size` /
+:meth:`reachable_counts_by_var` are **semantic**: they count distinct
+reachable edges, i.e. distinct subfunctions — exactly the node counts a
+complement-free kernel reports.  Physical allocation (roughly half that) is
+visible through :meth:`live_node_count` and :meth:`store_stats`.
 """
 
 from __future__ import annotations
 
 import bisect
+import sys
 import weakref
 from typing import (
     Dict,
@@ -55,17 +74,25 @@ from typing import (
 
 __all__ = ["BddManager", "Function", "FALSE_ID", "TRUE_ID"]
 
-FALSE_ID = 0
-TRUE_ID = 1
+# Terminal edges: both point at node slot 0; the complement bit alone
+# distinguishes them.  TRUE is the regular edge so that a positive cube's
+# spine stays complement-free.
+TRUE_ID = 0
+FALSE_ID = 1
 
-# Sentinel "variable" of the two terminal nodes.  It is never a valid
-# variable id and always compares as the deepest possible level.
+# Sentinel "variable" of the terminal node (and of freed slots awaiting
+# recycling).  It is never a valid variable id and always compares as the
+# deepest possible level.
 _TERMINAL_VAR = -1
 
 # Default bound on each operation cache.  When an insert would grow a cache
 # past the bound the cache is cleared wholesale (deterministic, O(1) amortized)
 # and ``cache_resets`` is incremented.
 _DEFAULT_CACHE_LIMIT = 1 << 20
+
+# Initial bucket count of each per-variable subtable (always a power of two;
+# doubled whenever a subtable's load factor passes 2).
+_INITIAL_BUCKETS = 8
 
 
 class Function:
@@ -74,7 +101,8 @@ class Function:
     Handles support the usual operator algebra (``&``, ``|``, ``^``, ``~``,
     ``>>`` for implication) plus the structural operations used by the
     synthesis flow (cofactors, quantification, composition).  Two handles
-    compare equal iff they denote the same function, by ROBDD canonicity.
+    compare equal iff they denote the same function, by ROBDD canonicity
+    (``id`` is the canonical complement-edge encoding).
 
     Each live handle holds one reference on its root node; the reference is
     released (via a weakref callback) when the handle is garbage-collected.
@@ -82,9 +110,9 @@ class Function:
 
     __slots__ = ("manager", "id", "__weakref__")
 
-    def __init__(self, manager: "BddManager", node_id: int):
+    def __init__(self, manager: "BddManager", edge: int):
         self.manager = manager
-        self.id = node_id
+        self.id = edge
         manager._register_handle(self)
 
     # -- identity ---------------------------------------------------------
@@ -114,28 +142,33 @@ class Function:
 
     @property
     def is_constant(self) -> bool:
-        return self.id in (FALSE_ID, TRUE_ID)
+        return self.id < 2
 
     # -- structure --------------------------------------------------------
 
     @property
     def var(self) -> int:
         """Top variable id (raises on constants)."""
-        v = self.manager._var[self.id]
+        v = self.manager._var[self.id >> 1]
         if v == _TERMINAL_VAR:
             raise ValueError("constant function has no top variable")
         return v
 
     @property
     def low(self) -> "Function":
-        return self.manager._wrap(self.manager._lo[self.id])
+        """The else-cofactor (complement bit propagated through)."""
+        m = self.manager
+        return m._wrap(m._lo[self.id >> 1] ^ (self.id & 1))
 
     @property
     def high(self) -> "Function":
-        return self.manager._wrap(self.manager._hi[self.id])
+        """The then-cofactor (complement bit propagated through)."""
+        m = self.manager
+        return m._wrap(m._hi[self.id >> 1] ^ (self.id & 1))
 
     def size(self) -> int:
-        """Number of BDD nodes (including terminals) reachable from here."""
+        """Number of distinct subfunctions (including constants) reachable
+        from here — the node count of an equivalent complement-free BDD."""
         return self.manager.size(self)
 
     def support(self) -> Set[int]:
@@ -202,29 +235,31 @@ class Function:
 
 
 class BddManager:
-    """Owner of the node store, unique table, and variable order."""
+    """Owner of the node store, unique subtables, and variable order."""
 
     def __init__(self, cache_limit: int = _DEFAULT_CACHE_LIMIT) -> None:
-        # Node store.  Slot 0 = FALSE, slot 1 = TRUE.
-        self._var: List[int] = [_TERMINAL_VAR, _TERMINAL_VAR]
-        self._lo: List[int] = [FALSE_ID, TRUE_ID]
-        self._hi: List[int] = [FALSE_ID, TRUE_ID]
-        # Reference counts: parent edges from live nodes + live handles.
-        # Terminals are permanent; their counts are never consulted.
-        self._ref: List[int] = [1, 1]
+        # Node store (struct of arrays).  Slot 0 is the terminal; its
+        # self-edges are never followed and its refcount never consulted.
+        self._var: List[int] = [_TERMINAL_VAR]
+        self._lo: List[int] = [TRUE_ID]
+        self._hi: List[int] = [TRUE_ID]
+        self._ref: List[int] = [1]
+        # Unique-table collision chains, threaded through the store; 0 (the
+        # terminal, never chained) doubles as the end-of-chain marker.
+        self._next: List[int] = [0]
         # Dead flag: ref hit zero and the node's child references were
         # released.  (ref == 0 without the flag is a newborn whose child
         # references are still held — an intermediate result in flight.)
-        self._is_dead: List[bool] = [False, False]
-        # The dead ids, mirrored as a set so swap_levels can sweep them in
+        self._is_dead: List[bool] = [False]
+        # The dead slots, mirrored as a set so swap_levels can sweep them in
         # O(dead): dead nodes never survive a structural swap, which keeps
         # resurrection sound (a resurrected node's structure is guaranteed
         # untouched since it died).
         self._dead_set: Set[int] = set()
         self._free: List[int] = []
-        # Slots freed eagerly (by swap_levels) whose ids may still appear in
-        # operation caches: quarantined here — detectably stale via
-        # ``_var[nid] == _TERMINAL_VAR`` — and only recycled into ``_free``
+        # Slots freed eagerly (by swap_levels) whose edges may still appear
+        # in operation caches: quarantined here — detectably stale via
+        # ``_var[slot] == _TERMINAL_VAR`` — and only recycled into ``_free``
         # after collect() has purged the caches of them.
         self._pending_free: List[int] = []
         # Handle-death decrefs land here (weakref callbacks can fire at
@@ -232,13 +267,15 @@ class BddManager:
         # deterministic safe points: collect(), structural swaps, check().
         self._handle_deaths: List[int] = []
 
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._nodes_of_var: Dict[int, Set[int]] = {}
-        self._dead_of_var: Dict[int, int] = {}
+        # Per-variable unique subtables + allocation accounting.
+        self._buckets: List[List[int]] = []
+        self._count_of_var: List[int] = []
+        self._dead_of_var: List[int] = []
+        self._allocated = 0  # non-terminal slots currently in some subtable
 
-        # Operation caches.  Entries survive reordering (ids denote
-        # functions; swaps preserve what every id denotes) and are purged
-        # of freed ids by collect().
+        # Operation caches.  Entries survive reordering (edges denote
+        # functions; swaps preserve what every edge denotes) and are purged
+        # of freed slots by collect().
         self.cache_limit = cache_limit
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._restrict_cache: Dict[Tuple[int, int], int] = {}
@@ -285,8 +322,9 @@ class BddManager:
         self._level_of_var.append(var)
         self._var_at_level.append(var)
         self._var_names.append(name if name is not None else f"v{var}")
-        self._nodes_of_var[var] = set()
-        self._dead_of_var[var] = 0
+        self._buckets.append([0] * _INITIAL_BUCKETS)
+        self._count_of_var.append(0)
+        self._dead_of_var.append(0)
         return var
 
     @property
@@ -311,7 +349,7 @@ class BddManager:
     # ------------------------------------------------------------------
 
     def _mark_dead(self, nid: int) -> None:
-        """``nid`` (ref == 0, child references held) leaves the live set."""
+        """Slot ``nid`` (ref == 0, child references held) leaves the live set."""
         is_dead = self._is_dead
         ref = self._ref
         lo, hi = self._lo, self._hi
@@ -326,8 +364,8 @@ class BddManager:
         self._live_count -= 1
         while stack:
             n = stack.pop()
-            for c in (lo[n], hi[n]):
-                if c > TRUE_ID:
+            for c in (lo[n] >> 1, hi[n] >> 1):
+                if c:
                     r = ref[c] - 1
                     ref[c] = r
                     if r == 0:
@@ -338,9 +376,10 @@ class BddManager:
                         self._live_count -= 1
                         stack.append(c)
 
-    def _decref(self, nid: int) -> None:
-        """Release one reference on ``nid`` (recursively kills orphans)."""
-        if nid <= TRUE_ID:
+    def _decref(self, edge: int) -> None:
+        """Release one reference on ``edge`` (recursively kills orphans)."""
+        nid = edge >> 1
+        if nid == 0:
             return
         r = self._ref[nid] - 1
         self._ref[nid] = r
@@ -348,7 +387,7 @@ class BddManager:
             self._mark_dead(nid)
 
     def _resurrect(self, nid: int) -> None:
-        """Bring the dead node ``nid`` back: re-acquire its child references.
+        """Bring the dead slot ``nid`` back: re-acquire its child references.
 
         Dead descendants reached through restored edges are resurrected too
         (CUDD's *reclaim*): a cache or unique-table hit on a dead result is
@@ -368,8 +407,8 @@ class BddManager:
         stack = [nid]
         while stack:
             n = stack.pop()
-            for c in (lo[n], hi[n]):
-                if c > TRUE_ID:
+            for c in (lo[n] >> 1, hi[n] >> 1):
+                if c:
                     if ref[c] == 0 and is_dead[c]:
                         is_dead[c] = False
                         dead_set.discard(c)
@@ -379,28 +418,29 @@ class BddManager:
                         stack.append(c)
                     ref[c] += 1
 
-    def _incref(self, nid: int) -> None:
-        """Acquire one reference on ``nid`` (resurrecting it if dead)."""
-        if nid <= TRUE_ID:
+    def _incref(self, edge: int) -> None:
+        """Acquire one reference on ``edge`` (resurrecting its node if dead)."""
+        nid = edge >> 1
+        if nid == 0:
             return
         if self._ref[nid] == 0 and self._is_dead[nid]:
             self._resurrect(nid)
         self._ref[nid] += 1
 
-    def _is_stale(self, nid: int) -> bool:
-        """True for an id freed by a swap but not yet recycled by collect."""
-        return nid > TRUE_ID and self._var[nid] == _TERMINAL_VAR
+    def _is_stale(self, edge: int) -> bool:
+        """True for an edge freed by a swap but not yet recycled by collect."""
+        nid = edge >> 1
+        return nid > 0 and self._var[nid] == _TERMINAL_VAR
 
     def _free_dead_node(self, nid: int) -> None:
-        """Release a dead node's slot eagerly (during a level swap).
+        """Release a dead slot eagerly (during a level swap or a collect).
 
         Dead nodes hold no child references, so freeing is pure
-        bookkeeping; the id is quarantined in ``_pending_free`` until the
+        bookkeeping; the slot is quarantined in ``_pending_free`` until the
         next collect() purges the operation caches of it.
         """
         var = self._var[nid]
-        del self._unique[(var, self._lo[nid], self._hi[nid])]
-        self._nodes_of_var[var].discard(nid)
+        self._unlink(nid)
         self._dead_of_var[var] -= 1
         self._dead_count -= 1
         self._is_dead[nid] = False
@@ -410,20 +450,117 @@ class BddManager:
         self.nodes_freed += 1
 
     # ------------------------------------------------------------------
+    # Unique subtables
+    # ------------------------------------------------------------------
+
+    def _unlink(self, nid: int) -> None:
+        """Remove ``nid`` from its variable's collision chain."""
+        var = self._var[nid]
+        buckets = self._buckets[var]
+        nxt = self._next
+        slot = (
+            (self._lo[nid] * 0x9E3779B1) ^ (self._hi[nid] * 0x45D9F3B)
+        ) & (len(buckets) - 1)
+        p = buckets[slot]
+        if p == nid:
+            buckets[slot] = nxt[nid]
+        else:
+            while nxt[p] != nid:
+                p = nxt[p]
+            nxt[p] = nxt[nid]
+        self._count_of_var[var] -= 1
+        self._allocated -= 1
+
+    def _link(self, var: int, nid: int) -> None:
+        """Insert ``nid`` (fields already set) into ``var``'s subtable."""
+        buckets = self._buckets[var]
+        mask = len(buckets) - 1
+        slot = (
+            (self._lo[nid] * 0x9E3779B1) ^ (self._hi[nid] * 0x45D9F3B)
+        ) & mask
+        self._next[nid] = buckets[slot]
+        buckets[slot] = nid
+        count = self._count_of_var[var] + 1
+        self._count_of_var[var] = count
+        self._allocated += 1
+        if count > (mask + 1) << 1:
+            self._grow_subtable(var)
+
+    def _lookup(self, var: int, lo: int, hi: int) -> Optional[int]:
+        """Find the slot of ``(var, lo, hi)`` in the subtable, if present."""
+        buckets = self._buckets[var]
+        n = buckets[
+            ((lo * 0x9E3779B1) ^ (hi * 0x45D9F3B)) & (len(buckets) - 1)
+        ]
+        nxt = self._next
+        lo_arr, hi_arr = self._lo, self._hi
+        while n:
+            if lo_arr[n] == lo and hi_arr[n] == hi:
+                return n
+            n = nxt[n]
+        return None
+
+    def _grow_subtable(self, var: int) -> None:
+        """Double ``var``'s bucket array and rehash its chains."""
+        old = self._buckets[var]
+        mask = (len(old) << 1) - 1
+        new = [0] * (mask + 1)
+        nxt = self._next
+        lo_arr, hi_arr = self._lo, self._hi
+        for head in old:
+            n = head
+            while n:
+                follow = nxt[n]
+                slot = ((lo_arr[n] * 0x9E3779B1) ^ (hi_arr[n] * 0x45D9F3B)) & mask
+                nxt[n] = new[slot]
+                new[slot] = n
+                n = follow
+        self._buckets[var] = new
+
+    def _shrink_subtable(self, var: int) -> None:
+        """Rehash ``var``'s bucket array down while it is badly underloaded.
+
+        Buckets otherwise only ever grow, and sifting scans every head of a
+        subtable per swap — after a level's population collapses, walks over
+        a mostly-empty array would dominate the swap.  Shrinking stops at a
+        quarter load (growth triggers at 2x) so the two never thrash.
+        """
+        old = self._buckets[var]
+        size = len(old)
+        count = self._count_of_var[var]
+        while size > _INITIAL_BUCKETS and (count << 2) <= size:
+            size >>= 1
+        if size == len(old):
+            return
+        mask = size - 1
+        new = [0] * size
+        nxt = self._next
+        lo_arr, hi_arr = self._lo, self._hi
+        for head in old:
+            n = head
+            while n:
+                follow = nxt[n]
+                slot = ((lo_arr[n] * 0x9E3779B1) ^ (hi_arr[n] * 0x45D9F3B)) & mask
+                nxt[n] = new[slot]
+                new[slot] = n
+                n = follow
+        self._buckets[var] = new
+
+    # ------------------------------------------------------------------
     # Handles & constants
     # ------------------------------------------------------------------
 
     def _register_handle(self, handle: Function) -> None:
         key = id(handle)
-        nid = handle.id
-        self._incref(nid)
+        edge = handle.id
+        self._incref(edge)
         self._handles[key] = weakref.ref(
-            handle, lambda _ref, key=key, nid=nid: self._drop_handle(key, nid)
+            handle, lambda _ref, key=key, edge=edge: self._drop_handle(key, edge)
         )
 
-    def _drop_handle(self, key: int, nid: int) -> None:
+    def _drop_handle(self, key: int, edge: int) -> None:
         if self._handles.pop(key, None) is not None:
-            self._handle_deaths.append(nid)
+            self._handle_deaths.append(edge)
 
     def _drain_handle_deaths(self) -> None:
         """Apply queued handle-death decrefs (at a safe point)."""
@@ -431,8 +568,8 @@ class BddManager:
         while deaths:
             self._decref(deaths.pop())
 
-    def _wrap(self, node_id: int) -> Function:
-        return Function(self, node_id)
+    def _wrap(self, edge: int) -> Function:
+        return Function(self, edge)
 
     @property
     def false(self) -> Function:
@@ -459,29 +596,39 @@ class BddManager:
         Built bottom-up with direct ``_mk`` calls (one node per literal) —
         no ITE recursion, no cache churn.
         """
-        nid = TRUE_ID
+        edge = TRUE_ID
         level_of = self._level_of_var
         for var in sorted(literals, key=level_of.__getitem__, reverse=True):
             if literals[var]:
-                nid = self._mk(var, FALSE_ID, nid)
+                edge = self._mk(var, FALSE_ID, edge)
             else:
-                nid = self._mk(var, nid, FALSE_ID)
-        return self._wrap(nid)
+                edge = self._mk(var, edge, FALSE_ID)
+        return self._wrap(edge)
 
     def _positive_cube_id(self, variables: Iterable[int]) -> int:
-        """Node id of the positive cube over ``variables`` (bottom-up)."""
-        nid = TRUE_ID
+        """Edge of the positive cube over ``variables`` (bottom-up).
+
+        A positive cube's spine is complement-free: every node is
+        ``(var, FALSE, rest)`` with a regular then-edge, so quantification
+        can walk it with plain ``_hi`` reads.
+        """
+        edge = TRUE_ID
         level_of = self._level_of_var
         for var in sorted(set(variables), key=level_of.__getitem__, reverse=True):
-            nid = self._mk(var, FALSE_ID, nid)
-        return nid
+            edge = self._mk(var, FALSE_ID, edge)
+        return edge
 
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
 
     def _mk(self, var: int, lo: int, hi: int) -> int:
-        """Find-or-create the reduced node ``(var, lo, hi)``.
+        """Find-or-create the reduced node for edge cofactors ``(lo, hi)``.
+
+        Canonical form: the then-edge is never complemented.  When ``hi``
+        carries the complement bit, both cofactors are flipped and the
+        complement moves onto the returned edge, so a function and its
+        negation share one physical node.
 
         The returned node may be dead (resurrection is the caller's
         concern via ``_incref``); a *created* node is a newborn with
@@ -489,54 +636,76 @@ class BddManager:
         """
         if lo == hi:
             return lo
-        key = (var, lo, hi)
-        nid = self._unique.get(key)
-        if nid is None:
-            if self._free:
-                nid = self._free.pop()
-                self._var[nid] = var
-                self._lo[nid] = lo
-                self._hi[nid] = hi
-                self._ref[nid] = 0
-            else:
-                nid = len(self._var)
-                self._var.append(var)
-                self._lo.append(lo)
-                self._hi.append(hi)
-                self._ref.append(0)
-                self._is_dead.append(False)
-            self._incref(lo)
-            self._incref(hi)
-            self._unique[key] = nid
-            self._nodes_of_var[var].add(nid)
-            self._live_count += 1
-            allocated = len(self._unique)
-            if allocated > self.peak_nodes:
-                self.peak_nodes = allocated
-        return nid
+        c = hi & 1
+        if c:
+            lo ^= 1
+            hi ^= 1
+        buckets = self._buckets[var]
+        mask = len(buckets) - 1
+        slot = ((lo * 0x9E3779B1) ^ (hi * 0x45D9F3B)) & mask
+        nxt = self._next
+        lo_arr, hi_arr = self._lo, self._hi
+        n = buckets[slot]
+        while n:
+            if lo_arr[n] == lo and hi_arr[n] == hi:
+                return (n << 1) | c
+            n = nxt[n]
+        if self._free:
+            n = self._free.pop()
+            self._var[n] = var
+            lo_arr[n] = lo
+            hi_arr[n] = hi
+            self._ref[n] = 0
+        else:
+            n = len(self._var)
+            self._var.append(var)
+            lo_arr.append(lo)
+            hi_arr.append(hi)
+            self._ref.append(0)
+            nxt.append(0)
+            self._is_dead.append(False)
+        self._incref(lo)
+        self._incref(hi)
+        nxt[n] = buckets[slot]
+        buckets[slot] = n
+        count = self._count_of_var[var] + 1
+        self._count_of_var[var] = count
+        self._allocated += 1
+        if self._allocated > self.peak_nodes:
+            self.peak_nodes = self._allocated
+        self._live_count += 1
+        if count > (mask + 1) << 1:
+            self._grow_subtable(var)
+        return (n << 1) | c
 
     # ------------------------------------------------------------------
     # Core ITE and derived operators
     # ------------------------------------------------------------------
 
-    def _top_level(self, nid: int) -> int:
-        v = self._var[nid]
+    def _top_level(self, edge: int) -> int:
+        v = self._var[edge >> 1]
         if v == _TERMINAL_VAR:
             return len(self._level_of_var)
         return self._level_of_var[v]
 
     def _ite(self, f: int, g: int, h: int) -> int:
-        """Iterative ITE with standard-triple normalization.
+        """Iterative ITE with complement-aware standard-triple normalization.
 
         An explicit work stack replaces Python recursion (one frame tuple
         per pending reduction instead of a full interpreter frame), and
-        triples are normalized to complement-free canonical form before
-        the cache lookup:
+        triples are normalized to canonical form before the cache lookup:
 
-        * ``ITE(f, f, h) = ITE(f, 1, h)`` and ``ITE(f, g, f) = ITE(f, g, 0)``;
-        * ``ITE(f, 1, h)`` (OR) and ``ITE(f, g, 0)`` (AND) are commutative —
-          operands are ordered by ``(level, id)`` so both argument orders
-          share one cache entry.
+        * equal and complement operands reduce immediately —
+          ``ITE(f, f, h) = ITE(f, 1, h)``, ``ITE(f, ~f, h) = ITE(f, 0, h)``
+          and dually for ``h``; ``ITE(f, 1, 0) = f``, ``ITE(f, 0, 1) = ~f``;
+        * ``ITE(f, 1, h)`` (OR), ``ITE(f, g, 0)`` (AND), ``ITE(f, g, 1)``
+          and ``ITE(f, 0, h)`` (via De Morgan rotations) and the XOR shape
+          ``ITE(f, g, ~g) = ITE(g, f, ~f)`` are reordered so both argument
+          orders share one cache entry;
+        * the complement bits are then pulled out of ``f`` (by swapping the
+          branches) and out of ``g`` (by negating the whole triple), so the
+          cached triple always has a regular main operand and a regular
+          then-operand, and a triple and its negation share one entry.
         """
         var_arr = self._var
         lo_arr = self._lo
@@ -548,84 +717,124 @@ class BddManager:
         mk = self._mk
 
         results: List[int] = []
-        # Frames: (0, f, g, h) = evaluate triple; (1, var, key) = reduce.
+        # Frames: (0, f, g, h) = evaluate triple; (1, var, key, neg) = reduce.
         tasks: List[Tuple[int, ...]] = [(0, f, g, h)]
         pop = tasks.pop
         push = tasks.append
         while tasks:
             frame = pop()
             if frame[0]:
-                _, var, key = frame
+                _, var, key, neg = frame
                 hi_r = results.pop()
                 lo_r = results.pop()
                 r = mk(var, lo_r, hi_r)
                 cache[key] = r
-                results.append(r)
+                results.append(r ^ neg)
                 continue
             _, f, g, h = frame
             # Terminal rules.
-            if f == TRUE_ID:
-                results.append(g)
-                continue
-            if f == FALSE_ID:
-                results.append(h)
+            if f < 2:
+                results.append(g if f == TRUE_ID else h)
                 continue
             if g == h:
                 results.append(g)
                 continue
-            # Equal-operand reductions (complement-free standard triples).
+            # Equal/complement-operand reductions.
             if g == f:
                 g = TRUE_ID
-            elif h == f:
+            elif g == f ^ 1:
+                g = FALSE_ID
+            if h == f:
                 h = FALSE_ID
+            elif h == f ^ 1:
+                h = TRUE_ID
+            if g == h:
+                results.append(g)
+                continue
             if g == TRUE_ID and h == FALSE_ID:
                 results.append(f)
                 continue
-            fl = level_of[var_arr[f]]
+            if g == FALSE_ID and h == TRUE_ID:
+                results.append(f ^ 1)
+                continue
+            fl = level_of[var_arr[f >> 1]]
             if g == TRUE_ID:
                 # OR(f, h): commutative, h is non-terminal here.
-                hl = level_of[var_arr[h]]
+                hl = level_of[var_arr[h >> 1]]
                 if hl < fl or (hl == fl and h < f):
                     f, h = h, f
                     fl = hl
             elif h == FALSE_ID:
                 # AND(f, g): commutative, g is non-terminal here.
-                gl = level_of[var_arr[g]]
+                gl = level_of[var_arr[g >> 1]]
                 if gl < fl or (gl == fl and g < f):
                     f, g = g, f
                     fl = gl
+            elif h == TRUE_ID:
+                # ITE(f, g, 1) == ITE(~g, ~f, 1): canonical smaller operand.
+                gl = level_of[var_arr[g >> 1]]
+                if gl < fl or (gl == fl and (g ^ 1) < f):
+                    f, g = g ^ 1, f ^ 1
+                    fl = gl
+            elif g == FALSE_ID:
+                # ITE(f, 0, h) == ITE(~h, 0, ~f).
+                hl = level_of[var_arr[h >> 1]]
+                if hl < fl or (hl == fl and (h ^ 1) < f):
+                    f, h = h ^ 1, f ^ 1
+                    fl = hl
+            elif h == g ^ 1:
+                # XOR shape: ITE(f, g, ~g) == ITE(g, f, ~f).  The operands
+                # never share a node here (g == f / g == ~f reduced above).
+                gl = level_of[var_arr[g >> 1]]
+                if gl < fl or (gl == fl and (g >> 1) < (f >> 1)):
+                    f, g, h = g, f, f ^ 1
+                    fl = gl
+            # Pull complements out: main operand regular (swap branches),
+            # then-operand regular (negate the triple, restore on exit).
+            if f & 1:
+                f ^= 1
+                g, h = h, g
+            neg = g & 1
+            if neg:
+                g ^= 1
+                h ^= 1
             key = (f, g, h)
             r = cache.get(key)
             # A cached result whose slot was freed by a swap (and not yet
             # recycled) is detectably stale: its var is the terminal marker
-            # but it is not a terminal.  Treat as a miss and overwrite.
-            if r is not None and (r <= TRUE_ID or var_arr[r] != _TERMINAL_VAR):
+            # but it is not the terminal.  Treat as a miss and overwrite.
+            if r is not None and (r < 2 or var_arr[r >> 1] != _TERMINAL_VAR):
                 self.ite_hits += 1
-                results.append(r)
+                results.append(r ^ neg)
                 continue
             self.ite_misses += 1
-            gv = var_arr[g]
+            gv = var_arr[g >> 1]
             gl = nvars if gv < 0 else level_of[gv]
-            hv = var_arr[h]
+            hv = var_arr[h >> 1]
             hl = nvars if hv < 0 else level_of[hv]
             level = fl
             if gl < level:
                 level = gl
             if hl < level:
                 level = hl
+            # f and g are regular here; only h can carry a complement.
             if fl == level:
-                f0, f1 = lo_arr[f], hi_arr[f]
+                nf = f >> 1
+                f0, f1 = lo_arr[nf], hi_arr[nf]
             else:
                 f0 = f1 = f
             if gl == level:
-                g0, g1 = lo_arr[g], hi_arr[g]
+                ng = g >> 1
+                g0, g1 = lo_arr[ng], hi_arr[ng]
             else:
                 g0 = g1 = g
             if hl == level:
-                h0, h1 = lo_arr[h], hi_arr[h]
+                ch = h & 1
+                nh = h >> 1
+                h0, h1 = lo_arr[nh] ^ ch, hi_arr[nh] ^ ch
             else:
                 h0 = h1 = h
-            push((1, var_at[level], key))
+            push((1, var_at[level], key, neg))
             push((0, f1, g1, h1))
             push((0, f0, g0, h0))
         if len(cache) > self.cache_limit:
@@ -637,7 +846,9 @@ class BddManager:
         return self._wrap(self._ite(f.id, g.id, h.id))
 
     def apply_not(self, f: Function) -> Function:
-        return self._wrap(self._ite(f.id, FALSE_ID, TRUE_ID))
+        # Complement edges make negation a bit flip: no traversal, no
+        # allocation, no cache traffic.
+        return self._wrap(f.id ^ 1)
 
     def apply_and(self, f: Function, g: Function) -> Function:
         return self._wrap(self._ite(f.id, g.id, FALSE_ID))
@@ -646,7 +857,7 @@ class BddManager:
         return self._wrap(self._ite(f.id, TRUE_ID, g.id))
 
     def apply_xor(self, f: Function, g: Function) -> Function:
-        return self._wrap(self._ite(f.id, self._ite(g.id, FALSE_ID, TRUE_ID), g.id))
+        return self._wrap(self._ite(f.id, g.id ^ 1, g.id))
 
     def conjoin(self, functions: Iterable[Function]) -> Function:
         """AND of ``functions``, combined as a balanced tree.
@@ -686,73 +897,137 @@ class BddManager:
         return self._wrap(ids[0])
 
     # ------------------------------------------------------------------
+    # Raw-edge API
+    # ------------------------------------------------------------------
+    #
+    # Hot loops (the s-graph builder's Theorem-1 smoothing, the estimator's
+    # guard walk) work on plain int edges and skip Function allocation and
+    # the weakref handle registry entirely.  A raw edge holds NO reference:
+    # callers that keep one across an operation that can collect must
+    # protect()/unprotect() it.
+
+    def protect(self, edge: int) -> int:
+        """Acquire a reference on a raw edge; returns the edge."""
+        self._incref(edge)
+        return edge
+
+    def unprotect(self, edge: int) -> None:
+        """Release a reference taken with :meth:`protect`."""
+        self._decref(edge)
+
+    def wrap(self, edge: int) -> Function:
+        """Create a :class:`Function` handle for a raw edge.
+
+        The handle holds its own reference (released when the handle is
+        garbage-collected), so this is how a raw-edge computation hands a
+        result back to handle-level code.
+        """
+        return Function(self, edge)
+
+    def not_id(self, edge: int) -> int:
+        """Negation of a raw edge (a bit flip)."""
+        return edge ^ 1
+
+    def ite_ids(self, f: int, g: int, h: int) -> int:
+        """ITE over raw edges."""
+        return self._ite(f, g, h)
+
+    def and_ids(self, f: int, g: int) -> int:
+        """AND over raw edges."""
+        return self._ite(f, g, FALSE_ID)
+
+    def or_ids(self, f: int, g: int) -> int:
+        """OR over raw edges."""
+        return self._ite(f, TRUE_ID, g)
+
+    def restrict_id(self, edge: int, var: int, value: bool) -> int:
+        """Cofactor of a raw edge by ``var = value``."""
+        return self._restrict(edge, var, value)
+
+    def exists_cube_id(self, edge: int, cube: int) -> int:
+        """Existential quantification of a raw edge by a positive-cube edge."""
+        return self._exists_cube(edge, cube)
+
+    # ------------------------------------------------------------------
     # Cofactors, quantification, composition
     # ------------------------------------------------------------------
 
-    def _restrict(self, nid: int, var: int, value: bool) -> int:
-        level = self._top_level(nid)
+    def _restrict(self, edge: int, var: int, value: bool) -> int:
+        nid = edge >> 1
+        if nid == 0:
+            return edge
+        var_arr = self._var
+        level = self._level_of_var[var_arr[nid]]
         target_level = self._level_of_var[var]
         if level > target_level:
-            return nid
+            return edge
+        c = edge & 1
         if level == target_level:
-            return self._hi[nid] if value else self._lo[nid]
-        # Dedicated int-keyed cache: (node, var*2 + value).
-        cache_key = (nid, (var << 1) | value)
+            return (self._hi[nid] if value else self._lo[nid]) ^ c
+        # Restriction commutes with complement, so the cache is keyed on the
+        # regular edge and the result re-complemented on the way out:
+        # restrict(~f) = ~restrict(f) shares one entry.
+        cache_key = (nid << 1, (var << 1) | value)
         cached = self._restrict_cache.get(cache_key)
         if cached is not None and not self._is_stale(cached):
             self.restrict_hits += 1
-            return cached
+            return cached ^ c
         self.restrict_misses += 1
         lo = self._restrict(self._lo[nid], var, value)
         hi = self._restrict(self._hi[nid], var, value)
-        result = self._mk(self._var[nid], lo, hi)
+        result = self._mk(var_arr[nid], lo, hi)
         cache = self._restrict_cache
         cache[cache_key] = result
         if len(cache) > self.cache_limit:
             cache.clear()
             self.cache_resets += 1
-        return result
+        return result ^ c
 
     def restrict(self, f: Function, var: int, value: bool) -> Function:
         return self._wrap(self._restrict(f.id, var, value))
 
-    def _exists_cube(self, nid: int, cube: int) -> int:
-        """Existentially quantify the positive-cube ``cube`` out of ``nid``.
+    def _exists_cube(self, edge: int, cube: int) -> int:
+        """Existentially quantify the positive-cube ``cube`` out of ``edge``.
 
         One traversal for the whole variable set (instead of one
         restrict+OR pass per variable), with early termination on TRUE
-        and its own cache (``_quant_cache``).
+        and its own cache (``_quant_cache``).  Unlike restrict, existential
+        quantification does NOT commute with complement (exists x.~f !=
+        ~exists x.f), so entries are keyed on the edge as-is.
         """
-        if nid <= TRUE_ID or cube == TRUE_ID:
-            return nid
+        if edge < 2 or cube == TRUE_ID:
+            return edge
         var_arr = self._var
         level_of = self._level_of_var
-        nl = level_of[var_arr[nid]]
-        # Drop cube variables above the node: vacuously quantified.
         hi_arr = self._hi
-        while cube > TRUE_ID and level_of[var_arr[cube]] < nl:
-            cube = hi_arr[cube]
-        if cube <= TRUE_ID:
-            return nid
-        key = (nid, cube, -1)
+        nl = level_of[var_arr[edge >> 1]]
+        # Drop cube variables above the node: vacuously quantified.  Cube
+        # spines are complement-free, so plain _hi reads walk them.
+        while cube and level_of[var_arr[cube >> 1]] < nl:
+            cube = hi_arr[cube >> 1]
+        if not cube:
+            return edge
+        key = (edge, cube, -1)
         cached = self._quant_cache.get(key)
         if cached is not None and not self._is_stale(cached):
             self.quant_hits += 1
             return cached
         self.quant_misses += 1
         lo_arr = self._lo
-        if level_of[var_arr[cube]] == nl:
+        c = edge & 1
+        nid = edge >> 1
+        if level_of[var_arr[cube >> 1]] == nl:
             # Quantified variable: OR of the cofactor results.
-            rest = hi_arr[cube]
-            r0 = self._exists_cube(lo_arr[nid], rest)
+            rest = hi_arr[cube >> 1]
+            r0 = self._exists_cube(lo_arr[nid] ^ c, rest)
             if r0 == TRUE_ID:
                 result = TRUE_ID
             else:
-                r1 = self._exists_cube(hi_arr[nid], rest)
+                r1 = self._exists_cube(hi_arr[nid] ^ c, rest)
                 result = self._ite(r0, TRUE_ID, r1)
         else:
-            r0 = self._exists_cube(lo_arr[nid], cube)
-            r1 = self._exists_cube(hi_arr[nid], cube)
+            r0 = self._exists_cube(lo_arr[nid] ^ c, cube)
+            r1 = self._exists_cube(hi_arr[nid] ^ c, cube)
             result = self._mk(var_arr[nid], r0, r1)
         cache = self._quant_cache
         cache[key] = result
@@ -762,12 +1037,12 @@ class BddManager:
         return result
 
     @staticmethod
-    def _check_positive_cube(manager: "BddManager", nid: int) -> None:
-        while nid > TRUE_ID:
-            if manager._lo[nid] != FALSE_ID:
+    def _check_positive_cube(manager: "BddManager", edge: int) -> None:
+        while edge >= 2:
+            if (edge & 1) or manager._lo[edge >> 1] != FALSE_ID:
                 raise ValueError("cube must be a conjunction of positive literals")
-            nid = manager._hi[nid]
-        if nid != TRUE_ID:
+            edge = manager._hi[edge >> 1]
+        if edge != TRUE_ID:
             raise ValueError("cube must be a conjunction of positive literals")
 
     def exists(self, f: Function, variables: Iterable[int]) -> Function:
@@ -786,14 +1061,15 @@ class BddManager:
         return self._wrap(self._exists_cube(f.id, cube.id))
 
     def forall(self, f: Function, variables: Iterable[int]) -> Function:
-        # By duality over the canonical store: forall x.f == ~exists x.~f.
-        neg = self._ite(f.id, FALSE_ID, TRUE_ID)
-        ex = self._exists_cube(neg, self._positive_cube_id(variables))
-        return self._wrap(self._ite(ex, FALSE_ID, TRUE_ID))
+        # By duality: forall x.f == ~exists x.~f — both negations are bit
+        # flips on the complement-edge store.
+        return self._wrap(
+            self._exists_cube(f.id ^ 1, self._positive_cube_id(variables)) ^ 1
+        )
 
     def _and_exists(self, f: int, g: int, cube: int) -> int:
         """Relational product: exists cube . (f & g), in one traversal."""
-        if f == FALSE_ID or g == FALSE_ID:
+        if f == FALSE_ID or g == FALSE_ID or g == f ^ 1:
             return FALSE_ID
         if f == TRUE_ID:
             return self._exists_cube(g, cube)
@@ -803,13 +1079,13 @@ class BddManager:
             f, g = g, f
         var_arr = self._var
         level_of = self._level_of_var
-        fl = level_of[var_arr[f]]
-        gl = level_of[var_arr[g]]
+        fl = level_of[var_arr[f >> 1]]
+        gl = level_of[var_arr[g >> 1]]
         top = fl if fl < gl else gl
         hi_arr = self._hi
-        while cube > TRUE_ID and level_of[var_arr[cube]] < top:
-            cube = hi_arr[cube]
-        if cube <= TRUE_ID:
+        while cube and level_of[var_arr[cube >> 1]] < top:
+            cube = hi_arr[cube >> 1]
+        if not cube:
             return self._ite(f, g, FALSE_ID)
         key = (f, g, cube)
         cached = self._quant_cache.get(key)
@@ -819,15 +1095,19 @@ class BddManager:
         self.quant_misses += 1
         lo_arr = self._lo
         if fl == top:
-            f0, f1 = lo_arr[f], hi_arr[f]
+            cf = f & 1
+            nf = f >> 1
+            f0, f1 = lo_arr[nf] ^ cf, hi_arr[nf] ^ cf
         else:
             f0 = f1 = f
         if gl == top:
-            g0, g1 = lo_arr[g], hi_arr[g]
+            cg = g & 1
+            ng = g >> 1
+            g0, g1 = lo_arr[ng] ^ cg, hi_arr[ng] ^ cg
         else:
             g0 = g1 = g
-        if level_of[var_arr[cube]] == top:
-            rest = hi_arr[cube]
+        if level_of[var_arr[cube >> 1]] == top:
+            rest = hi_arr[cube >> 1]
             r0 = self._and_exists(f0, g0, rest)
             if r0 == TRUE_ID:
                 result = TRUE_ID
@@ -864,65 +1144,113 @@ class BddManager:
     # ------------------------------------------------------------------
 
     def size(self, f: Function) -> int:
+        """Distinct subfunctions reachable from ``f`` (semantic size).
+
+        Counts distinct reachable *edges* — a function and its negation
+        count separately, as do both constants — which is exactly the node
+        count of an equivalent complement-free BDD.  Physical slots shared
+        through complement edges are roughly half of this.
+        """
         seen: Set[int] = set()
         stack = [f.id]
+        lo_arr, hi_arr = self._lo, self._hi
         while stack:
-            nid = stack.pop()
-            if nid in seen:
+            edge = stack.pop()
+            if edge in seen:
                 continue
-            seen.add(nid)
-            if self._var[nid] != _TERMINAL_VAR:
-                stack.append(self._lo[nid])
-                stack.append(self._hi[nid])
+            seen.add(edge)
+            nid = edge >> 1
+            if nid:
+                c = edge & 1
+                stack.append(lo_arr[nid] ^ c)
+                stack.append(hi_arr[nid] ^ c)
         return len(seen)
 
     def shared_size(self, functions: Sequence[Function]) -> int:
-        """Node count of the shared DAG rooted at ``functions``."""
+        """Semantic node count of the shared DAG rooted at ``functions``."""
         seen: Set[int] = set()
         stack = [f.id for f in functions]
+        lo_arr, hi_arr = self._lo, self._hi
         while stack:
-            nid = stack.pop()
-            if nid in seen:
+            edge = stack.pop()
+            if edge in seen:
                 continue
-            seen.add(nid)
-            if self._var[nid] != _TERMINAL_VAR:
-                stack.append(self._lo[nid])
-                stack.append(self._hi[nid])
+            seen.add(edge)
+            nid = edge >> 1
+            if nid:
+                c = edge & 1
+                stack.append(lo_arr[nid] ^ c)
+                stack.append(hi_arr[nid] ^ c)
         return len(seen)
 
-    def _support_ids(self, nid: int) -> FrozenSet[int]:
-        """Support of ``nid``, memoized per node (purged on collect).
+    def reachable_counts_by_var(self) -> List[int]:
+        """Distinct reachable subfunctions per top variable, over live handles.
 
-        Supports are order-independent, so entries survive reordering like
+        The sifting pass sorts its schedule by these counts: they equal the
+        per-variable node populations a complement-free kernel would report
+        right after a collect, so sifting decisions (and hence final
+        variable orders) are independent of the complement-edge sharing.
+        """
+        self._drain_handle_deaths()
+        counts = [0] * self.num_vars
+        seen: Set[int] = set()
+        stack: List[int] = []
+        for ref in list(self._handles.values()):
+            handle = ref()
+            if handle is not None:
+                stack.append(handle.id)
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        while stack:
+            edge = stack.pop()
+            if edge in seen:
+                continue
+            seen.add(edge)
+            nid = edge >> 1
+            if nid:
+                counts[var_arr[nid]] += 1
+                c = edge & 1
+                stack.append(lo_arr[nid] ^ c)
+                stack.append(hi_arr[nid] ^ c)
+        return counts
+
+    def _support_ids(self, edge: int) -> FrozenSet[int]:
+        """Support of ``edge``, memoized per node slot (purged on collect).
+
+        Supports are complement- and order-independent, so the memo is
+        keyed by node slot (not edge) and entries survive reordering like
         the other caches.
         """
+        nid = edge >> 1
+        empty: FrozenSet[int] = frozenset()
+        if nid == 0:
+            return empty
         cache = self._support_cache
         cached = cache.get(nid)
         if cached is not None:
             return cached
-        empty: FrozenSet[int] = frozenset()
-        if nid <= TRUE_ID:
-            return empty
         lo_arr, hi_arr, var_arr = self._lo, self._hi, self._var
         stack = [nid]
         while stack:
             n = stack[-1]
-            if n <= TRUE_ID or n in cache:
+            if n in cache:
                 stack.pop()
                 continue
-            lo, hi = lo_arr[n], hi_arr[n]
+            lo_n = lo_arr[n] >> 1
+            hi_n = hi_arr[n] >> 1
             ready = True
-            if lo > TRUE_ID and lo not in cache:
-                stack.append(lo)
+            if lo_n and lo_n not in cache:
+                stack.append(lo_n)
                 ready = False
-            if hi > TRUE_ID and hi not in cache:
-                stack.append(hi)
+            if hi_n and hi_n not in cache:
+                stack.append(hi_n)
                 ready = False
             if ready:
                 stack.pop()
-                lo_sup = cache.get(lo, empty)
-                hi_sup = cache.get(hi, empty)
-                cache[n] = frozenset({var_arr[n]}) | lo_sup | hi_sup
+                cache[n] = (
+                    frozenset({var_arr[n]})
+                    | cache.get(lo_n, empty)
+                    | cache.get(hi_n, empty)
+                )
         return cache[nid]
 
     def support(self, f: Function) -> Set[int]:
@@ -942,9 +1270,9 @@ class BddManager:
         seen_roots: Set[int] = set()
         for ref in list(self._handles.values()):
             handle = ref()
-            if handle is None or handle.id in seen_roots:
+            if handle is None or (handle.id >> 1) in seen_roots:
                 continue
-            seen_roots.add(handle.id)
+            seen_roots.add(handle.id >> 1)
             sup = sorted(self._support_ids(handle.id))
             for i, a in enumerate(sup):
                 for b in sup[i + 1:]:
@@ -952,10 +1280,14 @@ class BddManager:
         return pairs
 
     def evaluate(self, f: Function, assignment: Dict[int, bool]) -> bool:
-        nid = f.id
-        while self._var[nid] != _TERMINAL_VAR:
-            nid = self._hi[nid] if assignment[self._var[nid]] else self._lo[nid]
-        return nid == TRUE_ID
+        edge = f.id
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        while edge >= 2:
+            nid = edge >> 1
+            edge = (
+                hi_arr[nid] if assignment[var_arr[nid]] else lo_arr[nid]
+            ) ^ (edge & 1)
+        return edge == TRUE_ID
 
     def count_sat(self, f: Function, variables: Optional[Sequence[int]] = None) -> int:
         """Number of satisfying assignments over ``variables``.
@@ -979,21 +1311,25 @@ class BddManager:
             return bisect.bisect_left(levels, level)
 
         memo: Dict[int, int] = {}
+        lo_arr, hi_arr = self._lo, self._hi
 
-        def count(nid: int) -> int:
-            # Satisfying assignments over counted vars at/below this node's level.
-            if nid == FALSE_ID:
+        def count(edge: int) -> int:
+            # Satisfying assignments over counted vars at/below this level.
+            if edge == FALSE_ID:
                 return 0
-            here = rank(self._top_level(nid))
-            if nid == TRUE_ID:
+            here = rank(self._top_level(edge))
+            if edge == TRUE_ID:
                 return 1 << (n - here)
-            if nid in memo:
-                return memo[nid]
-            lo, hi = self._lo[nid], self._hi[nid]
+            if edge in memo:
+                return memo[edge]
+            c = edge & 1
+            nid = edge >> 1
+            lo = lo_arr[nid] ^ c
+            hi = hi_arr[nid] ^ c
             lo_gap = rank(self._top_level(lo)) - here - 1
             hi_gap = rank(self._top_level(hi)) - here - 1
             total = (count(lo) << lo_gap) + (count(hi) << hi_gap)
-            memo[nid] = total
+            memo[edge] = total
             return total
 
         root_gap = rank(self._top_level(f.id))
@@ -1001,18 +1337,21 @@ class BddManager:
 
     def iter_sat(self, f: Function) -> Iterator[Dict[int, bool]]:
         """Iterate over satisfying cubes (partial assignments over support)."""
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
 
-        def walk(nid: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
-            if nid == FALSE_ID:
+        def walk(edge: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if edge == FALSE_ID:
                 return
-            if nid == TRUE_ID:
+            if edge == TRUE_ID:
                 yield dict(partial)
                 return
-            var = self._var[nid]
+            c = edge & 1
+            nid = edge >> 1
+            var = var_arr[nid]
             partial[var] = False
-            yield from walk(self._lo[nid], partial)
+            yield from walk(lo_arr[nid] ^ c, partial)
             partial[var] = True
-            yield from walk(self._hi[nid], partial)
+            yield from walk(hi_arr[nid] ^ c, partial)
             del partial[var]
 
         yield from walk(f.id, {})
@@ -1024,27 +1363,36 @@ class BddManager:
         return None
 
     def to_dot(self, f: Function, name: str = "bdd") -> str:
-        """Graphviz DOT rendering of the BDD rooted at ``f``."""
+        """Graphviz DOT rendering of the BDD rooted at ``f``.
+
+        Rendered over distinct reachable edges (one vertex per
+        subfunction), so the drawing matches the complement-free BDD of the
+        same function rather than exposing the shared physical slots.
+        """
         lines = [f'digraph "{name}" {{', "  rankdir=TB;"]
         seen: Set[int] = set()
         stack = [f.id]
         while stack:
-            nid = stack.pop()
-            if nid in seen:
+            edge = stack.pop()
+            if edge in seen:
                 continue
-            seen.add(nid)
-            if self._var[nid] == _TERMINAL_VAR:
-                label = "1" if nid == TRUE_ID else "0"
-                lines.append(f'  n{nid} [label="{label}", shape=box];')
+            seen.add(edge)
+            nid = edge >> 1
+            if nid == 0:
+                label = "1" if edge == TRUE_ID else "0"
+                lines.append(f'  n{edge} [label="{label}", shape=box];')
                 continue
+            c = edge & 1
             lines.append(
-                f'  n{nid} [label="{self.var_name(self._var[nid])}", '
+                f'  n{edge} [label="{self.var_name(self._var[nid])}", '
                 f"shape=circle];"
             )
-            lines.append(f"  n{nid} -> n{self._lo[nid]} [style=dashed];")
-            lines.append(f"  n{nid} -> n{self._hi[nid]};")
-            stack.append(self._lo[nid])
-            stack.append(self._hi[nid])
+            lo = self._lo[nid] ^ c
+            hi = self._hi[nid] ^ c
+            lines.append(f"  n{edge} -> n{lo} [style=dashed];")
+            lines.append(f"  n{edge} -> n{hi};")
+            stack.append(lo)
+            stack.append(hi)
         lines.append("}")
         return "\n".join(lines)
 
@@ -1053,6 +1401,7 @@ class BddManager:
     # ------------------------------------------------------------------
 
     def live_roots(self) -> Set[int]:
+        """Root edges of all live handles."""
         roots: Set[int] = set()
         for ref in list(self._handles.values()):
             handle = ref()
@@ -1061,18 +1410,19 @@ class BddManager:
         return roots
 
     def live_node_count(self) -> int:
-        """Non-terminal nodes holding references, in O(1).
+        """Non-terminal slots holding references, in O(1).
 
-        Maintained incrementally by every operation including
-        :meth:`swap_levels` — the sifting loop reads this between swaps
-        without collecting.
+        This is *physical* occupancy — with complement edges roughly half
+        the semantic size.  Maintained incrementally by every operation
+        including :meth:`swap_levels` — the sifting loop reads this between
+        swaps without collecting.
         """
         return self._live_count
 
     def live_nodes_at_level(self, level: int) -> int:
-        """Live node count of one level, in O(1)."""
+        """Live physical node count of one level, in O(1)."""
         var = self._var_at_level[level]
-        return len(self._nodes_of_var[var]) - self._dead_of_var[var]
+        return self._count_of_var[var] - self._dead_of_var[var]
 
     def collect(self) -> int:
         """Reclaim unreferenced nodes; returns nodes freed.
@@ -1080,22 +1430,22 @@ class BddManager:
         Reference counts are exact on a DAG, so collection is a sweep of
         the dead set (plus any in-flight intermediate roots that were
         never referenced), not a mark-and-sweep.  Operation caches are
-        *purged of entries mentioning freed ids* rather than cleared —
+        *purged of entries mentioning freed slots* rather than cleared —
         everything else they hold is still valid — after which the
-        quarantined ids (both this sweep's and any freed eagerly by swaps
+        quarantined slots (both this sweep's and any freed eagerly by swaps
         since the last collect) are recycled into the allocation freelist.
         """
         self.collect_count += 1
         self._drain_handle_deaths()
         ref = self._ref
         is_dead = self._is_dead
+        var_arr = self._var
         # Unreferenced newborns (intermediate results nobody wrapped) are
         # garbage too: release their child references so they join the
         # dead set, then sweep everything flagged.
-        for nodes in self._nodes_of_var.values():
-            for nid in nodes:
-                if ref[nid] == 0 and not is_dead[nid]:
-                    self._mark_dead(nid)
+        for nid in range(1, len(var_arr)):
+            if var_arr[nid] != _TERMINAL_VAR and ref[nid] == 0 and not is_dead[nid]:
+                self._mark_dead(nid)
         freed = len(self._dead_set)
         while self._dead_set:
             self._free_dead_node(next(iter(self._dead_set)))
@@ -1106,32 +1456,34 @@ class BddManager:
         return freed
 
     def _purge_caches(self, freed: Set[int]) -> None:
-        """Drop cache entries that mention any freed node id.
+        """Drop cache entries that mention any freed node slot.
 
-        Freed ids are recycled by ``_mk`` and would otherwise alias new,
-        unrelated functions; every entry that never touched a freed id
-        remains valid and stays.
+        Freed slots are recycled by ``_mk`` and would otherwise alias new,
+        unrelated functions; every entry that never touched a freed slot
+        remains valid and stays.  Cache fields are edges (slot = edge >> 1)
+        except sentinel ``-1`` (which shifts to ``-1``, never a slot) and
+        the restrict key's packed ``(var, value)`` field, which is skipped.
         """
         self._ite_cache = {
             k: v
             for k, v in self._ite_cache.items()
-            if v not in freed
-            and k[0] not in freed
-            and k[1] not in freed
-            and k[2] not in freed
+            if v >> 1 not in freed
+            and k[0] >> 1 not in freed
+            and k[1] >> 1 not in freed
+            and k[2] >> 1 not in freed
         }
         self._restrict_cache = {
             k: v
             for k, v in self._restrict_cache.items()
-            if k[0] not in freed and v not in freed
+            if k[0] >> 1 not in freed and v >> 1 not in freed
         }
         self._quant_cache = {
             k: v
             for k, v in self._quant_cache.items()
-            if v not in freed
-            and k[0] not in freed
-            and k[1] not in freed
-            and k[2] not in freed
+            if v >> 1 not in freed
+            and k[0] >> 1 not in freed
+            and k[1] >> 1 not in freed
+            and k[2] >> 1 not in freed
         }
         self._support_cache = {
             k: v for k, v in self._support_cache.items() if k not in freed
@@ -1147,9 +1499,9 @@ class BddManager:
         """Swap the variables at ``level`` and ``level + 1`` in place.
 
         Every live :class:`Function` handle keeps denoting the same Boolean
-        function; node ids are stable, only labels/children are rewritten.
+        function; edges are stable, only labels/children are rewritten.
         Reference counts and per-level live totals are maintained
-        incrementally, and the operation caches are left intact (node ids
+        incrementally, and the operation caches are left intact (edges
         keep denoting the same functions across a swap, so every cached
         entry stays valid).
 
@@ -1174,10 +1526,10 @@ class BddManager:
         var_arr = self._var
         lo_arr = self._lo
         hi_arr = self._hi
+        nxt = self._next
+        ref = self._ref
         is_dead = self._is_dead
-        nodes_x = self._nodes_of_var[x]
-        nodes_y = self._nodes_of_var[y]
-        unique = self._unique
+        count_of_var = self._count_of_var
         self._drain_handle_deaths()
         # Sweep ALL dead nodes into the quarantine pool before touching
         # structure.  Relabeling a corpse would manufacture two fresh dead
@@ -1185,49 +1537,254 @@ class BddManager:
         # deferred to once per pass), and any dead node left behind while
         # the levels move could later be resurrected with structure that no
         # longer means what it did when the node died.  Freeing instead is
-        # safe: dead nodes hold no child references, and the ids stay
+        # safe: dead nodes hold no child references, and the slots stay
         # un-recycled until collect() purges the caches of them (stale
         # cache hits are screened out by _is_stale).  The sweep is O(dead)
         # via _dead_set and each node is freed at most once, so the
         # amortized cost per swap is bounded by the swap's own work.
-        while self._dead_set:
-            self._free_dead_node(next(iter(self._dead_set)))
-        affected = [
-            nid
-            for nid in nodes_x
-            if var_arr[lo_arr[nid]] == y or var_arr[hi_arr[nid]] == y
-        ]
+        dead_set = self._dead_set
+        if dead_set:
+            dead_of_var = self._dead_of_var
+            buckets_all = self._buckets
+            pending = self._pending_free
+            for nid in dead_set:
+                v = var_arr[nid]
+                buckets = buckets_all[v]
+                slot = (
+                    (lo_arr[nid] * 0x9E3779B1) ^ (hi_arr[nid] * 0x45D9F3B)
+                ) & (len(buckets) - 1)
+                p = buckets[slot]
+                if p == nid:
+                    buckets[slot] = nxt[nid]
+                else:
+                    while nxt[p] != nid:
+                        p = nxt[p]
+                    nxt[p] = nxt[nid]
+                count_of_var[v] -= 1
+                dead_of_var[v] -= 1
+                is_dead[nid] = False
+                var_arr[nid] = _TERMINAL_VAR
+                pending.append(nid)
+            n_dead = len(dead_set)
+            self._allocated -= n_dead
+            self._dead_count -= n_dead
+            self.nodes_freed += n_dead
+            dead_set.clear()
+        # Snapshot the x-nodes with a y-labeled child (in either cofactor —
+        # the complement bit never changes which node an edge targets).
+        buckets_x = self._buckets[x]
+        if count_of_var[x] << 3 < len(buckets_x):
+            self._shrink_subtable(x)
+            buckets_x = self._buckets[x]
+        affected: List[int] = []
+        for head in buckets_x:
+            nid = head
+            while nid:
+                if (
+                    var_arr[lo_arr[nid] >> 1] == y
+                    or var_arr[hi_arr[nid] >> 1] == y
+                ):
+                    affected.append(nid)
+                nid = nxt[nid]
+        # The relabel loop below is the kernel's hottest code: the subtable
+        # and refcount operations are inlined on local bindings, and the
+        # child decrefs are DEFERRED to a batch after the loop.  Deferral is
+        # what makes the old per-node clash lookup unnecessary: with no
+        # deaths mid-loop the unique subtables hold live nodes only, a live
+        # (y, g0, g1) occupant is impossible before the swap (one of g0/g1
+        # is always x-labeled, which would violate the pre-swap order), and
+        # two relabeled nodes never collide (they denote distinct
+        # functions).  Refcounts also guarantee every child's structure
+        # stays valid for the whole loop: a child of a not-yet-processed
+        # affected node is still referenced by it.
+        buckets_y = self._buckets[y]
+        mask_x = len(buckets_x) - 1
+        mask_y = len(buckets_y) - 1
+        free = self._free
+        pending_decref: List[int] = []
+        deferred = pending_decref.append
+        created = 0
         for nid in affected:
-            f0, f1 = lo_arr[nid], hi_arr[nid]
-            if var_arr[f0] == y:
-                f00, f01 = lo_arr[f0], hi_arr[f0]
+            f0 = lo_arr[nid]
+            f1 = hi_arr[nid]  # regular, by the canonical form
+            c0 = f0 & 1
+            n0 = f0 >> 1
+            if var_arr[n0] == y:
+                f00 = lo_arr[n0] ^ c0
+                f01 = hi_arr[n0] ^ c0
             else:
                 f00 = f01 = f0
-            if var_arr[f1] == y:
-                f10, f11 = lo_arr[f1], hi_arr[f1]
+            n1 = f1 >> 1
+            if var_arr[n1] == y:
+                f10 = lo_arr[n1]
+                f11 = hi_arr[n1]
             else:
                 f10 = f11 = f1
-            g0 = self._mk(x, f00, f10)
-            self._incref(g0)
-            g1 = self._mk(x, f01, f11)
-            self._incref(g1)
-            # Relabel nid from an x-node into a y-node.
-            del unique[(x, f0, f1)]
-            nodes_x.discard(nid)
+            # g0 = mk(x, f00, f10), plus one reference for the new parent.
+            # Children of live nodes are live, so the increfs never need
+            # the resurrection path.
+            if f00 == f10:
+                g0 = f00
+                ng = g0 >> 1
+                if ng:
+                    ref[ng] += 1
+            else:
+                cg = f10 & 1
+                if cg:
+                    glo = f00 ^ 1
+                    ghi = f10 ^ 1
+                else:
+                    glo = f00
+                    ghi = f10
+                slot = ((glo * 0x9E3779B1) ^ (ghi * 0x45D9F3B)) & mask_x
+                n = buckets_x[slot]
+                while n:
+                    if lo_arr[n] == glo and hi_arr[n] == ghi:
+                        break
+                    n = nxt[n]
+                if n:
+                    ref[n] += 1
+                else:
+                    if free:
+                        n = free.pop()
+                        var_arr[n] = x
+                        lo_arr[n] = glo
+                        hi_arr[n] = ghi
+                        ref[n] = 1
+                    else:
+                        n = len(var_arr)
+                        var_arr.append(x)
+                        lo_arr.append(glo)
+                        hi_arr.append(ghi)
+                        ref.append(1)
+                        nxt.append(0)
+                        is_dead.append(False)
+                    nglo = glo >> 1
+                    if nglo:
+                        ref[nglo] += 1
+                    nghi = ghi >> 1
+                    if nghi:
+                        ref[nghi] += 1
+                    nxt[n] = buckets_x[slot]
+                    buckets_x[slot] = n
+                    created += 1
+                g0 = (n << 1) | cg
+            # g1 = mk(x, f01, f11): f11 comes off a regular then-edge, so
+            # g1 is always regular and the relabeled node keeps the
+            # canonical form.
+            if f01 == f11:
+                g1 = f01
+                ng = g1 >> 1
+                if ng:
+                    ref[ng] += 1
+            else:
+                slot = ((f01 * 0x9E3779B1) ^ (f11 * 0x45D9F3B)) & mask_x
+                n = buckets_x[slot]
+                while n:
+                    if lo_arr[n] == f01 and hi_arr[n] == f11:
+                        break
+                    n = nxt[n]
+                if n:
+                    ref[n] += 1
+                else:
+                    if free:
+                        n = free.pop()
+                        var_arr[n] = x
+                        lo_arr[n] = f01
+                        hi_arr[n] = f11
+                        ref[n] = 1
+                    else:
+                        n = len(var_arr)
+                        var_arr.append(x)
+                        lo_arr.append(f01)
+                        hi_arr.append(f11)
+                        ref.append(1)
+                        nxt.append(0)
+                        is_dead.append(False)
+                    nglo = f01 >> 1
+                    if nglo:
+                        ref[nglo] += 1
+                    nghi = f11 >> 1
+                    if nghi:
+                        ref[nghi] += 1
+                    nxt[n] = buckets_x[slot]
+                    buckets_x[slot] = n
+                    created += 1
+                g1 = n << 1
+            # Relabel nid from an x-node into a y-node: unlink from x's
+            # chain, rewrite in place, push onto y's chain.
+            slot = ((f0 * 0x9E3779B1) ^ (f1 * 0x45D9F3B)) & mask_x
+            p = buckets_x[slot]
+            if p == nid:
+                buckets_x[slot] = nxt[nid]
+            else:
+                while nxt[p] != nid:
+                    p = nxt[p]
+                nxt[p] = nxt[nid]
             var_arr[nid] = y
             lo_arr[nid] = g0
             hi_arr[nid] = g1
-            clash = unique.get((y, g0, g1))
-            if clash is not None:
-                # Only a node killed earlier in this very swap (by a child
-                # decref) can occupy the slot: free the corpse and take it.
-                # A *live* occupant would mean canonicity is broken.
-                assert is_dead[clash], "canonicity violated in swap"
-                self._free_dead_node(clash)
-            unique[(y, g0, g1)] = nid
-            nodes_y.add(nid)
-            self._decref(f0)
-            self._decref(f1)
+            slot = ((g0 * 0x9E3779B1) ^ (g1 * 0x45D9F3B)) & mask_y
+            nxt[nid] = buckets_y[slot]
+            buckets_y[slot] = nid
+            deferred(f0)
+            deferred(f1)
+        if affected or created:
+            n_moved = len(affected)
+            count_of_var[x] += created - n_moved
+            count_of_var[y] += n_moved
+            self._allocated += created
+            self._live_count += created
+            if self._allocated > self.peak_nodes:
+                self.peak_nodes = self._allocated
+            # Deferred subtable growth (chains were allowed to lengthen for
+            # the duration of the loop so the masks stayed stable).
+            while count_of_var[x] > (len(self._buckets[x]) << 1):
+                self._grow_subtable(x)
+            while count_of_var[y] > (len(self._buckets[y]) << 1):
+                self._grow_subtable(y)
+            # Batched child decrefs, with the _mark_dead cascade inlined:
+            # corpses stay in their subtables with structure intact
+            # (resurrectable) until the next sweep.
+            dead_of_var = self._dead_of_var
+            dead_add = dead_set.add
+            deaths = 0
+            for edge in pending_decref:
+                nn = edge >> 1
+                if nn:
+                    r = ref[nn] - 1
+                    ref[nn] = r
+                    if r == 0:
+                        is_dead[nn] = True
+                        dead_add(nn)
+                        dead_of_var[var_arr[nn]] += 1
+                        deaths += 1
+                        stack = [nn]
+                        while stack:
+                            m = stack.pop()
+                            c = lo_arr[m] >> 1
+                            if c:
+                                rc = ref[c] - 1
+                                ref[c] = rc
+                                if rc == 0:
+                                    is_dead[c] = True
+                                    dead_add(c)
+                                    dead_of_var[var_arr[c]] += 1
+                                    deaths += 1
+                                    stack.append(c)
+                            c = hi_arr[m] >> 1
+                            if c:
+                                rc = ref[c] - 1
+                                ref[c] = rc
+                                if rc == 0:
+                                    is_dead[c] = True
+                                    dead_add(c)
+                                    dead_of_var[var_arr[c]] += 1
+                                    deaths += 1
+                                    stack.append(c)
+            if deaths:
+                self._dead_count += deaths
+                self._live_count -= deaths
         self._var_at_level[level], self._var_at_level[level + 1] = y, x
         self._level_of_var[x] = level + 1
         self._level_of_var[y] = level
@@ -1253,6 +1810,43 @@ class BddManager:
             "quant_cache_hits": self.quant_hits,
             "quant_cache_misses": self.quant_misses,
             "cache_resets": self.cache_resets,
+        }
+
+    def store_stats(self) -> Dict[str, float]:
+        """Memory and complement-edge statistics of the node store.
+
+        ``bytes_per_node`` divides the concrete interpreter footprint of
+        the parallel arrays and bucket tables by the allocated node count;
+        ``complement_edge_share`` is the fraction of allocated nodes whose
+        else-edge carries the complement bit (then-edges never do, by the
+        canonical form).  Figures are interpreter-dependent — benches
+        report them but gates must not compare them.
+        """
+        arrays = (
+            self._var, self._lo, self._hi, self._ref, self._next, self._is_dead
+        )
+        store_bytes = sum(sys.getsizeof(a) for a in arrays)
+        store_bytes += sys.getsizeof(self._buckets)
+        complemented = 0
+        for var in range(self.num_vars):
+            buckets = self._buckets[var]
+            store_bytes += sys.getsizeof(buckets)
+            for head in buckets:
+                nid = head
+                while nid:
+                    if self._lo[nid] & 1:
+                        complemented += 1
+                    nid = self._next[nid]
+        allocated = self._allocated
+        return {
+            "allocated_slots": float(len(self._var) - 1),
+            "allocated_nodes": float(allocated),
+            "store_bytes": float(store_bytes),
+            "bytes_per_node": store_bytes / allocated if allocated else 0.0,
+            "complemented_lo_edges": float(complemented),
+            "complement_edge_share": (
+                complemented / allocated if allocated else 0.0
+            ),
         }
 
     def export_metrics(self, registry, prefix: str = "bdd") -> None:
@@ -1282,24 +1876,44 @@ class BddManager:
         assert sorted(self._var_at_level) == list(range(self.num_vars))
         for var, level in enumerate(self._level_of_var):
             assert self._var_at_level[level] == var
-        for (var, lo, hi), nid in self._unique.items():
-            assert self._var[nid] == var and self._lo[nid] == lo and self._hi[nid] == hi
-            assert lo != hi, "unreduced node in unique table"
-            for child in (lo, hi):
-                if self._var[child] != _TERMINAL_VAR:
-                    assert (
-                        self._level_of_var[self._var[child]] > self._level_of_var[var]
-                    ), "ordering violated"
+        assert self._var[0] == _TERMINAL_VAR and self._ref[0] >= 1
         allocated: Set[int] = set()
-        for var, nodes in self._nodes_of_var.items():
-            for nid in nodes:
-                assert self._var[nid] == var
-                allocated.add(nid)
-            dead_here = sum(1 for nid in nodes if self._is_dead[nid])
+        keys: Set[Tuple[int, int, int]] = set()
+        for var in range(self.num_vars):
+            count = 0
+            dead_here = 0
+            for head in self._buckets[var]:
+                nid = head
+                while nid:
+                    assert self._var[nid] == var
+                    lo, hi = self._lo[nid], self._hi[nid]
+                    assert lo != hi, "unreduced node in unique table"
+                    assert hi & 1 == 0, "complemented then-edge"
+                    key = (var, lo, hi)
+                    assert key not in keys, "duplicate unique-table entry"
+                    keys.add(key)
+                    for child in (lo, hi):
+                        cn = child >> 1
+                        if cn:
+                            cv = self._var[cn]
+                            assert cv != _TERMINAL_VAR, "edge to a freed slot"
+                            assert (
+                                self._level_of_var[cv] > self._level_of_var[var]
+                            ), "ordering violated"
+                    assert nid not in allocated, "slot chained twice"
+                    allocated.add(nid)
+                    count += 1
+                    if self._is_dead[nid]:
+                        dead_here += 1
+                    nid = self._next[nid]
+            assert count == self._count_of_var[var], (
+                f"subtable count of var {var}: {count} != {self._count_of_var[var]}"
+            )
             assert dead_here == self._dead_of_var[var], (
                 f"dead count of var {var}: {dead_here} != {self._dead_of_var[var]}"
             )
-        assert self._dead_count == sum(self._dead_of_var.values())
+        assert self._allocated == len(allocated)
+        assert self._dead_count == sum(self._dead_of_var)
         assert self._live_count == len(allocated) - self._dead_count
         assert self._dead_set == {n for n in allocated if self._is_dead[n]}
         for nid in self._pending_free:
@@ -1310,28 +1924,38 @@ class BddManager:
             if self._is_dead[nid]:
                 assert self._ref[nid] == 0, f"dead node {nid} has references"
                 continue
-            for child in (self._lo[nid], self._hi[nid]):
-                if child > TRUE_ID:
+            for child in (self._lo[nid] >> 1, self._hi[nid] >> 1):
+                if child:
                     expected[child] += 1
-        for root in (h.id for h in map(lambda r: r(), self._handles.values()) if h):
-            if root > TRUE_ID:
-                expected[root] += 1
+        for ref in list(self._handles.values()):
+            handle = ref()
+            if handle is not None and handle.id >= 2:
+                expected[handle.id >> 1] += 1
         for nid in allocated:
             if not self._is_dead[nid]:
                 assert self._ref[nid] == expected[nid], (
                     f"refcount of {nid}: {self._ref[nid]} != {expected[nid]}"
                 )
-        # Caches may mention allocated/terminal ids, or quarantined ids
+        # Caches may mention allocated/terminal slots, or quarantined slots
         # (freed by a swap, screened out on lookup by _is_stale, recycled
         # only after the next collect purges them).
-        valid = allocated | {FALSE_ID, TRUE_ID} | set(self._pending_free)
+        valid = allocated | {0} | set(self._pending_free)
         for (f, g, h), r in self._ite_cache.items():
-            assert {f, g, h, r} <= valid, "ite cache references a recycled id"
-        for (nid, _), r in self._restrict_cache.items():
-            assert nid in valid and r in valid, (
-                "restrict cache references a recycled id"
+            assert {f >> 1, g >> 1, h >> 1, r >> 1} <= valid, (
+                "ite cache references a recycled slot"
             )
-        for (f, g, c), r in self._quant_cache.items():
-            assert {f, g if g >= 0 else TRUE_ID, c if c >= 0 else TRUE_ID, r} <= valid
+            assert f & 1 == 0 and g & 1 == 0, "non-canonical ite cache key"
+        for (edge, _), r in self._restrict_cache.items():
+            assert edge >> 1 in valid and r >> 1 in valid, (
+                "restrict cache references a recycled slot"
+            )
+            assert edge & 1 == 0, "non-canonical restrict cache key"
+        for (a, b, c), r in self._quant_cache.items():
+            fields = {a >> 1, r >> 1}
+            if b >= 0:
+                fields.add(b >> 1)
+            if c >= 0:
+                fields.add(c >> 1)
+            assert fields <= valid, "quant cache references a recycled slot"
         for nid in self._support_cache:
-            assert nid in valid, "support cache references a recycled id"
+            assert nid in valid, "support cache references a recycled slot"

@@ -65,10 +65,13 @@ class MultiValuedVar:
         return self.manager.cube(self.encode(value))
 
     def in_set(self, values: Sequence[int]) -> Function:
-        result = self.manager.false
-        for value in values:
-            result = result | self.equals(value)
-        return result
+        """Characteristic function of ``self in values``.
+
+        Combined as a balanced disjunction over the value cubes — on the
+        int-edge kernel each cube is a handful of ``_mk`` calls and the
+        balanced tree keeps intermediate BDDs small for wide sets.
+        """
+        return self.manager.disjoin(self.equals(value) for value in values)
 
     def valid(self) -> Function:
         """Characteristic function of the encodable, in-domain codes."""

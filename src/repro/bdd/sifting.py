@@ -186,10 +186,14 @@ def sift(
     where: Dict[int, int] = {
         var: j for j, block in enumerate(blocks) for var in block
     }
+    # Schedule by *semantic* per-variable population (distinct reachable
+    # subfunctions per top variable).  On the complement-edge store this is
+    # what the per-variable physical node counts of a complement-free kernel
+    # would be, so the processing order — and hence the final variable order
+    # — is independent of complement-edge sharing.
+    counts = manager.reachable_counts_by_var()
     schedule: List[FrozenSet[int]] = [frozenset(block) for block in blocks]
-    schedule.sort(
-        key=lambda block: -sum(len(manager._nodes_of_var[v]) for v in block)
-    )
+    schedule.sort(key=lambda block: -sum(counts[v] for v in block))
 
     for block_vars in schedule:
         index = where[next(iter(block_vars))]

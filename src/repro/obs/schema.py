@@ -2,7 +2,7 @@
 
 The container ships no JSON-Schema dependency, so the document formats —
 ``repro-build-trace/v1``, ``repro-run-trace/v1``, and the engine-benchmark
-report ``repro-bdd-bench/v1`` — are checked by plain structural
+report ``repro-bdd-bench/v2`` — are checked by plain structural
 validators.  Each returns a list of error strings (empty means valid) so
 CI can print every problem at once; :func:`assert_valid_trace` wraps them
 in a raising form.
@@ -44,10 +44,20 @@ _VERIFY_SEVERITIES = ("error", "warning", "info")
 _VERIFY_LAYERS = ("network", "sgraph", "codegen", "verify", "verify-network")
 _VERIFY_BOUND_FIELDS = ("code_size", "min_cycles", "max_cycles")
 
-BDD_BENCH_FORMAT = "repro-bdd-bench/v1"
+BDD_BENCH_FORMAT = "repro-bdd-bench/v2"
 #: Deterministic per-scenario sift fields (counted, not timed — these must
 #: reproduce exactly and are what the CI regression gate compares).
-_BENCH_SIFT_COUNTERS = ("swaps", "collects", "final_size")
+_BENCH_SIFT_COUNTERS = ("swaps", "swap_skips", "collects", "final_size")
+#: v2 node-store section: memory footprint and complement-edge statistics.
+#: Interpreter-dependent (sys.getsizeof) — reported, never gated.
+_BENCH_STORE_FIELDS = (
+    "allocated_slots",
+    "allocated_nodes",
+    "store_bytes",
+    "bytes_per_node",
+    "complemented_lo_edges",
+    "complement_edge_share",
+)
 
 #: Per-kind required data fields of a run-trace event.
 _RUN_REQUIRED_FIELDS = {
@@ -173,7 +183,7 @@ def validate_run_trace(doc: Dict[str, Any]) -> List[str]:
 
 
 def validate_bdd_bench(doc: Dict[str, Any]) -> List[str]:
-    """Structural check of a ``repro-bdd-bench/v1`` report (BENCH_bdd.json)."""
+    """Structural check of a ``repro-bdd-bench/v2`` report (BENCH_bdd.json)."""
     errors: List[str] = []
     if not isinstance(doc, dict):
         return ["document is not a JSON object"]
@@ -227,6 +237,21 @@ def validate_bdd_bench(doc: Dict[str, Any]) -> List[str]:
         for key, value in counters.items():
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 errors.append(f"counters[{key!r}]: not a number")
+    store = doc.get("store")
+    if not isinstance(store, dict):
+        errors.append("'store' missing or not an object")
+    else:
+        for field in _BENCH_STORE_FIELDS:
+            value = store.get(field)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                errors.append(f"store.{field} must be a non-negative number")
+        share = store.get("complement_edge_share")
+        if isinstance(share, (int, float)) and not 0 <= share <= 1:
+            errors.append("store.complement_edge_share must be in [0, 1]")
     return errors
 
 

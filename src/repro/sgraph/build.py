@@ -56,7 +56,6 @@ def build_sgraph(
     outputs = set(rf.output_vars)
 
     sg = SGraph(rf.input_vars, rf.output_vars, name=name or f"{rf.cfsm.name}_sg")
-    memo: Dict[Tuple[int, int], int] = {}
     # Outputs still unprocessed after each position (for label smoothing).
     later_outputs: List[List[int]] = []
     seen_later: List[int] = []
@@ -69,24 +68,45 @@ def build_sgraph(
     # every vertex at that depth: the quantification below is the hot loop
     # of the whole construction (it runs twice per ASSIGN vertex), and a
     # shared cube keeps the manager's quantification cache keyed on the
-    # same (node, cube) pairs throughout.
+    # same (node, cube) pairs throughout.  The Function handles keep the
+    # cubes referenced for the duration of the build.
     smooth_cubes: Dict[int, Function] = {}
+    smooth_cube_ids: Dict[int, int] = {}
     for k, var in enumerate(order):
         if var in outputs and later_outputs[k]:
-            smooth_cubes[k] = manager.cube({v: True for v in later_outputs[k]})
+            cube_fn = manager.cube({v: True for v in later_outputs[k]})
+            smooth_cubes[k] = cube_fn
+            smooth_cube_ids[k] = cube_fn.id
 
-    def rec(chi: Function, k: int) -> int:
-        if chi.is_false:
+    # The recursion below runs on raw int edges: one Function handle is
+    # created per ASSIGN vertex (the stored label) instead of ~10 transient
+    # handles per vertex, which kept the manager's weakref/death-queue
+    # machinery in the construction's inner loop.  Every edge memoized as a
+    # key is protected for the duration of the build so a mid-build
+    # collection could never recycle a slot out from under the memo.
+    memo: Dict[Tuple[int, int], int] = {}
+    protected: List[int] = []
+    protect = manager.protect
+    restrict_id = manager.restrict_id
+    exists_cube_id = manager.exists_cube_id
+    and_ids = manager.and_ids
+    or_ids = manager.or_ids
+    false_id = manager.false.id
+    n_order = len(order)
+
+    def rec(chi: int, k: int) -> int:
+        if chi == false_id:
             # Outside the care set: this path can never execute.
             return sg.end
-        if k == len(order):
+        if k == n_order:
             return sg.end
-        key = (chi.id, k)
+        key = (chi, k)
         cached = memo.get(key)
         if cached is not None:
             return cached
         var = order[k]
-        c0, c1 = chi.cofactors(var)
+        c0 = restrict_id(chi, var, False)
+        c1 = restrict_id(chi, var, True)
         if var in outputs:
             # ASSIGN vertex: the label is 1 exactly where assigning 1 is
             # valid and assigning 0 is not, *for some completion of the
@@ -94,34 +114,42 @@ def build_sgraph(
             # not yet assigned (the paper's boxed condition).  Don't-cares
             # (both assignments completable) resolve to 0, "the cheapest
             # option of no assignment".
-            cube = smooth_cubes.get(k)
-            can0 = c0.exists_cube(cube) if cube is not None else c0
-            can1 = c1.exists_cube(cube) if cube is not None else c1
-            label = can1 & ~can0
+            cube = smooth_cube_ids.get(k)
+            can0 = exists_cube_id(c0, cube) if cube is not None else c0
+            can1 = exists_cube_id(c1, cube) if cube is not None else c1
+            label = and_ids(can1, can0 ^ 1)
             # Don't-care simplification: inputs with no valid completion
             # never reach this vertex, so the label only has to be right on
             # `valid`; a label constant there becomes a constant vertex
             # (e.g. when only a care-set correlation kept it symbolic).
-            valid = can0 | can1
-            if (valid & ~label).is_false:
-                label = manager.true
-            elif (valid & label).is_false:
-                label = manager.false
-            child = rec(c0 | c1, k + 1)
-            vid = sg.add_assign(var, label, child)
+            valid = or_ids(can0, can1)
+            if and_ids(valid, label ^ 1) == false_id:
+                label_fn = manager.true
+            elif and_ids(valid, label) == false_id:
+                label_fn = manager.false
+            else:
+                label_fn = manager.wrap(label)
+            child = rec(or_ids(c0, c1), k + 1)
+            vid = sg.add_assign(var, label_fn, child)
         else:
-            if c0.id == c1.id:
+            if c0 == c1:
                 vid = rec(c0, k + 1)  # chi independent of var: skip the TEST
             else:
                 lo = rec(c0, k + 1)
                 hi = rec(c1, k + 1)
                 vid = sg.add_test(
-                    var, [lo, hi], infeasible=[c0.is_false, c1.is_false]
+                    var, [lo, hi], infeasible=[c0 == false_id, c1 == false_id]
                 )
         memo[key] = vid
+        protected.append(protect(chi))
         return vid
 
-    root = rec(rf.chi, 0)
+    try:
+        root = rec(rf.chi.id, 0)
+    finally:
+        unprotect = manager.unprotect
+        for edge in protected:
+            unprotect(edge)
     sg.set_begin(root)
     return sg
 

@@ -15,6 +15,8 @@ import itertools
 import random
 
 from repro.bdd import (
+    FALSE_ID,
+    TRUE_ID,
     BddManager,
     apply_order,
     sift,
@@ -179,6 +181,153 @@ class TestRandomizedEquivalence:
         for f, table in zip(handles, tables):
             after = [m.evaluate(f, bits) for bits in all_assignments(n_vars)]
             assert after == table
+
+
+class TestComplementEdges:
+    """Complement-bit identities: a function and its negation share a node."""
+
+    def test_constant_encoding(self):
+        m = BddManager()
+        assert m.true.id == TRUE_ID
+        assert m.false.id == FALSE_ID
+        assert (~m.true).id == FALSE_ID
+        assert (~m.false).id == TRUE_ID
+
+    def test_negation_is_a_bit_flip(self):
+        rng = random.Random(717)
+        n_vars = 8
+        m = BddManager()
+        for _ in range(n_vars):
+            m.new_var()
+        for _ in range(10):
+            f = dnf_bdd(m, random_dnf(rng, n_vars, 8))
+            g = ~f
+            assert g.id == f.id ^ 1  # same node, complemented edge
+            assert (~g).id == f.id  # double negation is the identity
+            assert_matches(
+                m, g, lambda bits, f=f: not m.evaluate(f, bits), n_vars
+            )
+        m.check()
+
+    def test_xor_and_xnor_share_one_node(self):
+        rng = random.Random(727)
+        n_vars = 8
+        m = BddManager()
+        for _ in range(n_vars):
+            m.new_var()
+        for _ in range(10):
+            cf = random_dnf(rng, n_vars, 6)
+            cg = random_dnf(rng, n_vars, 6)
+            f, g = dnf_bdd(m, cf), dnf_bdd(m, cg)
+            xor = f ^ g
+            xnor = f.iff(g)
+            assert xor.id == xnor.id ^ 1
+            assert_matches(
+                m,
+                xor,
+                lambda bits: dnf_eval(cf, bits) != dnf_eval(cg, bits),
+                n_vars,
+            )
+        m.check()
+
+    def test_ite_f_g_not_g_is_xnor(self):
+        rng = random.Random(737)
+        n_vars = 8
+        m = BddManager()
+        for _ in range(n_vars):
+            m.new_var()
+        for _ in range(10):
+            cf = random_dnf(rng, n_vars, 6)
+            cg = random_dnf(rng, n_vars, 6)
+            f, g = dnf_bdd(m, cf), dnf_bdd(m, cg)
+            result = f.ite(g, ~g)
+            assert result.id == f.iff(g).id
+            assert result.id == (f ^ g).id ^ 1
+            assert_matches(
+                m,
+                result,
+                lambda bits: dnf_eval(cg, bits)
+                if dnf_eval(cf, bits)
+                else not dnf_eval(cg, bits),
+                n_vars,
+            )
+        m.check()
+
+    def test_complement_commutes_with_restrict_and_not_with_exists(self):
+        rng = random.Random(747)
+        n_vars = 8
+        m = BddManager()
+        for _ in range(n_vars):
+            m.new_var()
+        for _ in range(8):
+            f = dnf_bdd(m, random_dnf(rng, n_vars, 8))
+            var = rng.randrange(n_vars)
+            # restrict commutes with complement...
+            assert (~f).restrict(var, True).id == (~f.restrict(var, True)).id
+            # ...while exists does not in general: forall is its dual.
+            assert (~f).exists([var]) == ~f.forall([var])
+        m.check()
+
+    def test_de_morgan_through_shared_nodes(self):
+        rng = random.Random(757)
+        n_vars = 8
+        m = BddManager()
+        for _ in range(n_vars):
+            m.new_var()
+        for _ in range(10):
+            f = dnf_bdd(m, random_dnf(rng, n_vars, 6))
+            g = dnf_bdd(m, random_dnf(rng, n_vars, 6))
+            assert (~(f & g)).id == ((~f) | (~g)).id
+            assert (~(f | g)).id == ((~f) & (~g)).id
+        m.check()
+
+
+class TestCheckDiscipline:
+    """check()-after-every-op mode: every mutation leaves a valid store.
+
+    ``check()`` validates the canonical form (then-edges never
+    complemented), chain membership, refcounts, and cache entries — so
+    running it after each operation pins the exact step that would break
+    an invariant.
+    """
+
+    def test_check_after_every_operation(self):
+        rng = random.Random(777)
+        n_vars = 6
+        m = BddManager()
+        for _ in range(n_vars):
+            m.new_var()
+        live = [m.var(v) for v in range(n_vars)]
+        for step in range(40):
+            op = rng.randrange(7)
+            if op == 0:
+                live.append(rng.choice(live) & rng.choice(live))
+            elif op == 1:
+                live.append(rng.choice(live) | rng.choice(live))
+            elif op == 2:
+                live.append(rng.choice(live) ^ rng.choice(live))
+            elif op == 3:
+                live.append(~rng.choice(live))
+            elif op == 4:
+                live.append(
+                    rng.choice(live).restrict(
+                        rng.randrange(n_vars), rng.random() < 0.5
+                    )
+                )
+            elif op == 5:
+                m.swap_levels(rng.randrange(n_vars - 1))
+            else:
+                cube = m.cube({rng.randrange(n_vars): True})
+                live.append(rng.choice(live).exists_cube(cube))
+            if len(live) > 12:
+                # Drop handles so GC churn (deaths, resurrection, collect)
+                # happens mid-sequence too.
+                del live[rng.randrange(len(live))]
+                if step % 9 == 0:
+                    m.collect()
+            m.check()
+        m.collect()
+        m.check()
 
 
 class TestKernelDiscipline:

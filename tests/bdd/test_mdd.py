@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bdd import BddManager, MultiValuedVar
+from repro.bdd import BddManager, MultiValuedVar, apply_order, sift_to_convergence
 
 
 @pytest.fixture
@@ -80,3 +80,84 @@ class TestFunctions:
         v = MultiValuedVar(mgr, "s", 9)
         assert v.group() == v.bits
         assert v.group() is not v.bits  # defensive copy
+
+
+class TestIntHandleKernelRoundTrips:
+    """MDD encodings driven through the int-edge kernel's machinery."""
+
+    def test_handles_are_int_edges_with_complement_sharing(self, mgr):
+        v = MultiValuedVar(mgr, "s", 6)
+        f = v.in_set([1, 3, 5])
+        assert isinstance(f.id, int)
+        # The negated set function is the same node, complement bit flipped.
+        assert (~f).id == f.id ^ 1
+        # Within the valid codes, ~in_set(S) agrees with in_set(D \ S).
+        inverse = v.in_set([0, 2, 4])
+        assert (v.valid() & ~f) == (v.valid() & inverse)
+
+    def test_in_set_partition_is_exact(self, mgr):
+        v = MultiValuedVar(mgr, "s", 7)
+        a = v.in_set([0, 2, 4])
+        b = v.in_set([1, 3, 5, 6])
+        assert (a & b).is_false
+        assert (a | b) == v.valid()
+
+    def test_sat_iteration_decodes_into_the_set(self, mgr):
+        import itertools
+
+        v = MultiValuedVar(mgr, "s", 6)
+        values = {1, 3, 4}
+        f = v.in_set(sorted(values))
+        seen = set()
+        for cube in f.iter_sat():  # partial cubes over the support
+            free = [b for b in v.bits if b not in cube]
+            for picks in itertools.product([False, True], repeat=len(free)):
+                decoded = v.value_of({**cube, **dict(zip(free, picks))})
+                assert decoded in values
+                seen.add(decoded)
+        assert seen == values
+
+    def test_count_sat_matches_set_size(self, mgr):
+        v = MultiValuedVar(mgr, "s", 12)
+        f = v.in_set([0, 5, 7, 11])
+        assert f.count_sat(v.bits) == 4
+
+    def test_equals_survives_sifting_as_a_group(self, mgr):
+        # Two multi-valued variables shuffled into a pessimal (but
+        # group-contiguous) order, then a grouped sift: every equals/in_set
+        # function must still denote the same set afterwards, and the bit
+        # groups must stay contiguous.
+        a = MultiValuedVar(mgr, "a", 5)
+        b = MultiValuedVar(mgr, "b", 6)
+        fa = a.in_set([1, 4])
+        fb = b.in_set([0, 2, 5])
+        combined = fa & fb
+        order = list(reversed(b.bits)) + list(reversed(a.bits))
+        apply_order(mgr, order)
+        sift_to_convergence(mgr, groups=[a.group(), b.group()])
+        mgr.check()
+        for value in range(5):
+            assert fa(a.encode(value)) == (value in (1, 4))
+        for value in range(6):
+            assert fb(b.encode(value)) == (value in (0, 2, 5))
+        for va in range(5):
+            for vb in range(6):
+                bits = {**a.encode(va), **b.encode(vb)}
+                assert combined(bits) == (va in (1, 4) and vb in (0, 2, 5))
+        levels_a = sorted(mgr.level_of(x) for x in a.bits)
+        levels_b = sorted(mgr.level_of(x) for x in b.bits)
+        for levels in (levels_a, levels_b):
+            assert levels == list(range(levels[0], levels[0] + len(levels)))
+
+    def test_valid_of_power_of_two_is_constant_true_edge(self, mgr):
+        from repro.bdd import TRUE_ID
+
+        v = MultiValuedVar(mgr, "s", 16)
+        assert v.valid().id == TRUE_ID
+
+    def test_wide_in_set_balanced_disjunction(self, mgr):
+        v = MultiValuedVar(mgr, "s", 64)
+        evens = v.in_set(range(0, 64, 2))
+        # s even <=> lowest bit clear: a single-node function (complemented).
+        assert evens == mgr.nvar(v.bits[-1])
+        mgr.check()

@@ -117,6 +117,14 @@ def valid_bench_doc():
             },
         },
         "counters": {"ite_cache_hits": 10, "ite_cache_misses": 4},
+        "store": {
+            "allocated_slots": 1500.0,
+            "allocated_nodes": 1480.0,
+            "store_bytes": 120000.0,
+            "bytes_per_node": 81.1,
+            "complemented_lo_edges": 64.0,
+            "complement_edge_share": 0.043,
+        },
     }
 
 
@@ -139,6 +147,22 @@ class TestBddBenchValidation:
         doc = valid_bench_doc()
         doc["sift"]["stress"]["collects"] = 2.5
         assert any("collects" in e for e in validate_bdd_bench(doc))
+
+    def test_swap_skips_is_a_gated_counter(self):
+        doc = valid_bench_doc()
+        del doc["sift"]["stress"]["swap_skips"]
+        assert any("swap_skips" in e for e in validate_bdd_bench(doc))
+
+    def test_store_section_required_and_bounded(self):
+        doc = valid_bench_doc()
+        del doc["store"]
+        assert any("store" in e for e in validate_bdd_bench(doc))
+        doc = valid_bench_doc()
+        doc["store"]["bytes_per_node"] = -1
+        assert any("bytes_per_node" in e for e in validate_bdd_bench(doc))
+        doc = valid_bench_doc()
+        doc["store"]["complement_edge_share"] = 1.5
+        assert any("complement_edge_share" in e for e in validate_bdd_bench(doc))
 
     def test_baseline_requires_speedup(self):
         doc = valid_bench_doc()
@@ -168,8 +192,11 @@ class TestBddBenchValidation:
         with open(path) as fh:
             ref = json.load(fh)
         for name, scenario in ref["sift"].items():
-            for field in ("swaps", "collects", "final_size"):
+            for field in ("swaps", "swap_skips", "collects", "final_size"):
                 assert isinstance(scenario[field], int), (name, field)
+        # The interaction-matrix fast path must be non-vacuously gated
+        # somewhere in the reference.
+        assert any(sc["swap_skips"] > 0 for sc in ref["sift"].values())
 
 
 class TestDispatch:
