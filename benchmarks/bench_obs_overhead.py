@@ -9,10 +9,23 @@ every sink attached, checks the attached run still returns *identical*
 simulation results (observability never changes behavior), and records
 the wall-clock ratio.
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``): shorter scenario, fewer repeats.
+Two entry points:
+
+* **pytest** (``pytest benchmarks/bench_obs_overhead.py``) — the
+  assertion-backed overhead checks below, reported to
+  ``results/obs_overhead.txt``;
+* **report script** (``python benchmarks/bench_obs_overhead.py --json
+  BENCH_obs.json``) — the machine-readable observability figures the
+  ``obs-trace`` CI job feeds ``repro bench-history --check``: causal
+  build-trace overhead (obs-on vs obs-off wall clock), telemetry-bus
+  write+drain throughput, and merged ``--jobs 2`` trace shape/size.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``): shorter scenario,
+fewer repeats.
 """
 
 import os
+import sys
 import time
 
 from repro.obs import MetricsRegistry, RunTrace
@@ -20,6 +33,8 @@ from repro.rtos import RtosConfig, RtosRuntime, Stimulus
 from repro.sgraph import synthesize
 from repro.target import K11, compile_sgraph
 
+if __name__ == "__main__":  # script mode runs from anywhere
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from conftest import write_report
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -121,3 +136,130 @@ def test_disabled_tracer_span_is_nearly_free():
     # Disabled spans are one shared object: no per-call allocation.
     assert first is second
     assert len(tracer.spans) == 0
+
+
+# ----------------------------------------------------------------------
+# report-script mode (BENCH_obs.json)
+# ----------------------------------------------------------------------
+
+def _bench_build_overhead(repeats):
+    """Causal-trace overhead on a full serial co-synthesis build."""
+    from repro.apps import dashboard_network
+    from repro.flow import build_system
+    from repro.pipeline import BuildTrace
+
+    def build(trace=None):
+        build_system(dashboard_network(), trace=trace)
+
+    build()  # warm caches (imports, calibration) outside the timer
+    bare = _median_wall(lambda: build(), repeats=repeats)
+    traced = _median_wall(lambda: build(BuildTrace()), repeats=repeats)
+    overhead_pct = (traced / bare - 1.0) * 100.0 if bare else 0.0
+    return {
+        "bare_wall_ms": round(bare * 1000, 3),
+        "traced_wall_ms": round(traced * 1000, 3),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def _bench_bus_throughput(records):
+    """Write+drain throughput of the JSONL telemetry bus, records/second."""
+    import shutil
+    import tempfile
+
+    from repro.obs import TelemetryBus
+
+    root = tempfile.mkdtemp(prefix="repro-bench-bus-")
+    try:
+        bus = TelemetryBus(root)
+        event = {
+            "module": "bench", "name": "span", "kind": "stage",
+            "wall_ms": 1, "metrics": {"n": 1}, "status": "",
+        }
+        start = time.perf_counter()
+        for lane in range(1, 5):
+            with bus.writer(lane) as writer:
+                for _ in range(records // 4):
+                    writer.emit_event(event)
+        drained = bus.drain()
+        wall = time.perf_counter() - start
+        assert len(drained) == (records // 4) * 4
+        return {
+            "records": len(drained),
+            "wall_ms": round(wall * 1000, 3),
+            "records_per_sec": round(len(drained) / wall) if wall else 0,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _bench_merged_trace():
+    """Shape and size of one merged ``--jobs 2`` causal build trace."""
+    import json as _json
+
+    from repro.apps import dashboard_network
+    from repro.flow import build_system
+    from repro.pipeline import BuildTrace
+
+    trace = BuildTrace()
+    build_system(dashboard_network(), trace=trace, jobs=2)
+    doc = trace.to_dict()
+    from repro.obs import assert_valid_trace
+
+    assert_valid_trace(doc)
+    return {
+        "events": len(doc["events"]),
+        "lanes": len(trace.lanes()),
+        "json_bytes": len(_json.dumps(doc).encode("utf-8")),
+    }
+
+
+def run_report(smoke=False):
+    repeats = 3 if smoke else 5
+    records = 2_000 if smoke else 20_000
+    return {
+        "format": "repro-obs-bench/v1",
+        "smoke": smoke,
+        "build": _bench_build_overhead(repeats),
+        "bus": _bench_bus_throughput(records),
+        "trace": _bench_merged_trace(),
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default="BENCH_obs.json",
+                        help="where to write the report document")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink workloads (or set REPRO_BENCH_SMOKE=1)")
+    args = parser.parse_args(argv)
+    smoke = args.smoke or SMOKE
+
+    report = run_report(smoke=smoke)
+    with open(args.json, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    build = report["build"]
+    print(
+        f"  build: bare {build['bare_wall_ms']}ms, traced "
+        f"{build['traced_wall_ms']}ms ({build['overhead_pct']:+.2f}%)"
+    )
+    bus = report["bus"]
+    print(
+        f"  bus: {bus['records']} records in {bus['wall_ms']}ms "
+        f"({bus['records_per_sec']}/s)"
+    )
+    shape = report["trace"]
+    print(
+        f"  merged --jobs 2 trace: {shape['events']} events on "
+        f"{shape['lanes']} lanes, {shape['json_bytes']} bytes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -244,7 +244,9 @@ def sift(
         while current > best_pos:
             move(-1)
         if profile is not None:
-            profile.sample("block", metric(), manager.swap_count)
+            profile.sample(
+                "block", metric(), manager.swap_count, manager.counters()
+            )
 
     if constraints is not None:
         assert constraints.is_satisfied(manager), "sifting violated constraints"
@@ -268,7 +270,7 @@ def sift_to_convergence(
         metric = manager.live_node_count
     size = metric()
     if profile is not None:
-        profile.start(size, manager.swap_count)
+        profile.start(size, manager.swap_count, manager.counters())
     try:
         for _ in range(max_passes):
             new_size = sift(
@@ -276,11 +278,15 @@ def sift_to_convergence(
                 metric=metric, profile=profile,
             )
             if profile is not None:
-                profile.sample("pass", new_size, manager.swap_count)
+                profile.sample(
+                    "pass", new_size, manager.swap_count, manager.counters()
+                )
             if new_size >= size:
                 return new_size
             size = new_size
         return size
     finally:
         if profile is not None:
-            profile.sample("end", metric(), manager.swap_count)
+            profile.sample(
+                "end", metric(), manager.swap_count, manager.counters()
+            )

@@ -34,6 +34,10 @@ Subcommands:
   reaction is cross-checked bit for bit, with measured cycles held to the
   estimator's [min, max] bounds; failures are shrunk to minimal replayable
   repros (``--replay`` re-checks one);
+* ``bench-history`` — merge ``BENCH_*.json`` benchmark reports into one
+  ``repro-bench-history/v1`` trend document and, with ``--check``, gate
+  every tracked metric against a committed reference (exit 1 on any
+  regression or missing metric);
 * ``info``     — summarize a module: events, state variables, transitions,
   reactive-function statistics.
 """
@@ -76,12 +80,19 @@ def _make_cache(args):
         return None
     from .pipeline import ArtifactCache
 
-    return ArtifactCache(args.cache_dir)
+    return ArtifactCache(
+        args.cache_dir, max_bytes=getattr(args, "cache_max_bytes", None)
+    )
 
 
 def _finish_trace(args, trace) -> None:
     if getattr(args, "trace", None):
         trace.write(args.trace)
+    if getattr(args, "chrome_trace", None):
+        from .obs import write_build_chrome_trace
+
+        write_build_chrome_trace(trace, args.chrome_trace)
+        sys.stderr.write(f"wrote Chrome trace to {args.chrome_trace}\n")
     sys.stderr.write(trace.summary() + "\n")
 
 
@@ -173,6 +184,10 @@ def _cmd_synth(args) -> int:
         )
     if args.trace:
         trace.write(args.trace)
+    if args.chrome_trace:
+        from .obs import write_build_chrome_trace
+
+        write_build_chrome_trace(trace, args.chrome_trace)
     return 0
 
 
@@ -537,7 +552,18 @@ def _cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         smoke=args.smoke,
     )
-    doc = run_fuzz(config)
+    trace = None
+    if args.trace:
+        from .pipeline import BuildTrace
+
+        trace = BuildTrace()
+    doc = run_fuzz(config, trace=trace)
+    if trace is not None:
+        from .obs import assert_valid_trace
+
+        assert_valid_trace(trace.to_dict())
+        trace.write(args.trace)
+        sys.stderr.write(f"wrote campaign trace to {args.trace}\n")
     print(render_difftest_report(doc, top=args.top))
     if args.out:
         _write(args.out, json.dumps(doc, indent=2, sort_keys=True))
@@ -557,6 +583,37 @@ def _cmd_fuzz(args) -> int:
                 json.dump(failure["repro"], handle, indent=2, sort_keys=True)
             sys.stderr.write(f"wrote shrunk repro to {path}\n")
     return 1 if doc["summary"]["failures"] else 0
+
+
+def _cmd_bench_history(args) -> int:
+    import json
+
+    from .obs import (
+        assert_valid_trace,
+        build_history,
+        check_history,
+        load_reference,
+        render_history,
+    )
+
+    doc = build_history(args.reports)
+    failures = 0
+    if args.check:
+        try:
+            reference = load_reference(args.check)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write(f"repro bench-history: {exc}\n")
+            return 2
+        checks, failures = check_history(doc, reference)
+        doc["checks"] = checks
+        doc["summary"]["checked"] = len(checks)
+        doc["summary"]["failures"] = failures
+    assert_valid_trace(doc)
+    if args.out:
+        _write(args.out, json.dumps(doc, indent=2, sort_keys=True))
+        sys.stderr.write(f"wrote bench history to {args.out}\n")
+    print(render_history(doc))
+    return 1 if failures else 0
 
 
 def _cmd_info(args) -> int:
@@ -608,11 +665,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="content-addressed artifact cache directory "
                             "(unchanged modules skip synthesis entirely)")
+        p.add_argument("--cache-max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="evict least-recently-used cache entries "
+                            "beyond this total size")
         p.add_argument("--no-cache", action="store_true",
                        help="ignore --cache-dir for this run")
         p.add_argument("--trace", default=None, metavar="OUT.json",
                        help="write the structured build trace "
                             "(repro-build-trace/v1) to this file")
+        p.add_argument("--chrome-trace", default=None, metavar="OUT.json",
+                       help="also export the build trace as Chrome "
+                            "trace-event JSON with per-worker lanes")
 
     p = sub.add_parser("synth", help="synthesize one RSL module")
     p.add_argument("module", help="RSL source file ('-' for stdin)")
@@ -823,7 +887,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "toolchain (repeatable); skips campaign mode")
     p.add_argument("--top", type=int, default=10,
                    help="rows per report table")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write the merged causal campaign trace "
+                        "(repro-build-trace/v1, one lane per case)")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "bench-history",
+        help="merge BENCH_*.json reports into one trend document",
+    )
+    p.add_argument("reports", nargs="+", metavar="BENCH.json",
+                   help="benchmark report files to merge")
+    p.add_argument("--check", default=None, metavar="REFERENCE.json",
+                   help="gate the merged metrics against this committed "
+                        "reference (exit 1 on any regression)")
+    p.add_argument("-o", "--out", default=None, metavar="OUT.json",
+                   help="write the repro-bench-history/v1 document")
+    p.set_defaults(func=_cmd_bench_history)
 
     p = sub.add_parser("info", help="summarize a module")
     p.add_argument("module")

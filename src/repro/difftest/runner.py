@@ -16,11 +16,16 @@ locally from the JSON artifact alone.
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import time
-from dataclasses import dataclass
+from contextlib import ExitStack
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.context import TraceContext
 from ..pipeline.parallel import make_executor
+from ..pipeline.trace import BuildTrace, TraceEvent
 from .generator import CaseConfig, generate_case
 from .inject import inject_fault
 from .oracle import CaseReport, OracleOptions, check_case
@@ -97,11 +102,18 @@ class FuzzConfig:
 
 @dataclass
 class FuzzCaseOutcome:
-    """Executor-transportable result of one case (plain dicts only)."""
+    """Executor-transportable result of one case (plain dicts only).
+
+    ``events``/``metrics`` carry the case's telemetry home when the task
+    ran with a trace context but no bus (in-process execution); bus-mode
+    tasks stream them instead and leave both empty.
+    """
 
     report: Dict[str, Any]
     repro: Optional[Dict[str, Any]] = None
     shrink_ms: int = 0
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -110,14 +122,30 @@ class FuzzCaseTask:
 
     The fault (if any) is entered *inside* ``run`` so it is active in the
     worker process — patching in the parent would not cross the pool.
+
+    With a trace ``context`` injected, the case runs under a
+    ``fuzz.case`` span on its own lane and reports a
+    ``difftest_divergences`` counter — through the telemetry bus when the
+    context names one, in the outcome otherwise.
     """
 
     index: int
     config: FuzzConfig
+    context: Optional[TraceContext] = None
 
     def run(self, keep_result: bool) -> FuzzCaseOutcome:
         config = self.config
-        with inject_fault(config.inject):
+        trace = (
+            BuildTrace(context=self.context)
+            if self.context is not None else None
+        )
+        with ExitStack() as stack:
+            span = None
+            if trace is not None:
+                span = stack.enter_context(
+                    trace.span(f"case-{self.index:04d}", "fuzz.case")
+                )
+            stack.enter_context(inject_fault(config.inject))
             case = generate_case(
                 config.seed, self.index, config.case_config()
             )
@@ -155,17 +183,78 @@ class FuzzCaseTask:
                         "inject": config.inject,
                     },
                 )
+        events: List[Dict[str, Any]] = []
+        metrics: Dict[str, float] = {}
+        if trace is not None and span is not None:
+            divergences = len(report.mismatches)
+            span.metrics.update(
+                {
+                    "scheme": options.scheme,
+                    "reactions": report.reactions,
+                    "mismatches": divergences,
+                    "skipped": 1 if report.skipped else 0,
+                }
+            )
+            if self.context is not None and self.context.bus_dir is not None:
+                from ..obs.bus import TelemetryBus
+
+                bus = TelemetryBus(self.context.bus_dir)
+                with bus.writer(self.context.lane) as writer:
+                    for event in trace.events:
+                        writer.emit_event(event.to_dict())
+                    writer.emit_metric("difftest_divergences", divergences)
+            else:
+                events = [event.to_dict() for event in trace.events]
+                metrics = {"difftest_divergences": divergences}
         return FuzzCaseOutcome(
-            report=report.as_dict(), repro=repro, shrink_ms=shrink_ms
+            report=report.as_dict(), repro=repro, shrink_ms=shrink_ms,
+            events=events, metrics=metrics,
         )
 
 
-def run_fuzz(config: FuzzConfig) -> Dict[str, Any]:
-    """Run a campaign; returns the ``repro-difftest/v1`` document."""
+def run_fuzz(
+    config: FuzzConfig, trace: Optional[BuildTrace] = None
+) -> Dict[str, Any]:
+    """Run a campaign; returns the ``repro-difftest/v1`` document.
+
+    With ``trace`` given, the campaign records one merged causal trace:
+    a root span, one ``fuzz.case`` span per case on its own lane, and a
+    summed ``difftest_divergences`` counter — streamed over a telemetry
+    bus when the campaign fans out over a process pool.
+    """
     started = time.monotonic()
-    tasks = [FuzzCaseTask(index=i, config=config) for i in range(config.cases)]
     executor = make_executor(config.jobs)
-    outcomes: List[FuzzCaseOutcome] = executor.run(tasks)
+    if trace is not None and trace.trace_id is None:
+        trace.begin(f"fuzz-seed{config.seed}")
+    bus_dir: Optional[str] = None
+    if trace is not None and executor.jobs > 1:
+        bus_dir = tempfile.mkdtemp(prefix="repro-fuzz-bus-")
+    try:
+        tasks = [
+            FuzzCaseTask(
+                index=i, config=config,
+                context=(
+                    trace.context_for(i + 1, bus_dir)
+                    if trace is not None else None
+                ),
+            )
+            for i in range(config.cases)
+        ]
+        outcomes: List[FuzzCaseOutcome] = executor.run(tasks)
+        if trace is not None:
+            for outcome in outcomes:
+                for event in outcome.events:
+                    trace.record(TraceEvent.from_dict(event))
+                for name, value in outcome.metrics.items():
+                    trace.add_metric(name, value)
+            if bus_dir is not None:
+                from ..obs.bus import TelemetryBus
+
+                trace.merge_bus(TelemetryBus(bus_dir).drain())
+            trace.finish()
+    finally:
+        if bus_dir is not None:
+            shutil.rmtree(bus_dir, ignore_errors=True)
 
     reactions = 0
     skipped: List[Dict[str, Any]] = []

@@ -25,6 +25,8 @@ The result bundles every artifact a system integrator needs, and
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -210,6 +212,13 @@ def build_system(
     ``trace`` collects per-pass/per-stage timing, cache hit/miss events,
     and size metrics.  All three are orthogonal and none changes a single
     artifact byte.
+
+    A fresh ``trace`` is opened as a *causal* trace: ``build_system``
+    begins the root span, hands every scheduled task a
+    :class:`~repro.obs.context.TraceContext` on its own span-id lane, and
+    — for process pools — merges the workers' spans back over a telemetry
+    bus, so the final document is one connected span tree whatever
+    executor ran the build.
     """
 
     def staged(stage: str, fn):
@@ -220,6 +229,9 @@ def build_system(
                 network.name, stage, (time.perf_counter() - start) * 1000.0
             )
         return value
+
+    if trace is not None and trace.trace_id is None:
+        trace.begin(network.name)
 
     if lint:
         from .analysis import lint_design, render_text
@@ -281,21 +293,41 @@ def build_system(
 
     if pending:
         executor = make_executor(jobs)
-        tasks = [
-            ModuleBuildTask(
-                machine=machine, options=options, profile=profile, params=params
-            )
-            for machine, _ in pending
-        ]
-        outcomes = executor.run(tasks)
-        for (machine, key), outcome in zip(pending, outcomes):
-            if trace is not None:
-                trace.extend(outcome.events)
-            if cache is not None and key is not None:
-                cache.put(key, outcome.artifacts)
-            build.modules[machine.name] = _module_build(
-                outcome.artifacts, result=outcome.result, from_cache=False
-            )
+        # Cross-process tasks stream their spans home over a telemetry
+        # bus; in-process tasks carry them in the outcome.  Lanes are
+        # assigned by task order, so serial and parallel builds produce
+        # structurally identical span trees.
+        bus_dir: Optional[str] = None
+        if trace is not None and executor.jobs > 1:
+            bus_dir = tempfile.mkdtemp(prefix="repro-bus-")
+        try:
+            tasks = [
+                ModuleBuildTask(
+                    machine=machine, options=options, profile=profile,
+                    params=params,
+                    context=(
+                        trace.context_for(index + 1, bus_dir)
+                        if trace is not None else None
+                    ),
+                )
+                for index, (machine, _) in enumerate(pending)
+            ]
+            outcomes = executor.run(tasks)
+            for (machine, key), outcome in zip(pending, outcomes):
+                if trace is not None:
+                    trace.extend(outcome.events)
+                if cache is not None and key is not None:
+                    cache.put(key, outcome.artifacts)
+                build.modules[machine.name] = _module_build(
+                    outcome.artifacts, result=outcome.result, from_cache=False
+                )
+            if bus_dir is not None and trace is not None:
+                from .obs.bus import TelemetryBus
+
+                trace.merge_bus(TelemetryBus(bus_dir).drain())
+        finally:
+            if bus_dir is not None:
+                shutil.rmtree(bus_dir, ignore_errors=True)
 
     # Modules land in network declaration order whatever path built them.
     build.modules = {
@@ -316,4 +348,8 @@ def build_system(
             copied_counts=copied_counts,
         ),
     )
+    if trace is not None:
+        if cache is not None:
+            trace.metrics.update(cache.metrics_dict())
+        trace.finish()
     return build

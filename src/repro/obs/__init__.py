@@ -1,25 +1,41 @@
 """Unified observability: run traces, metrics, spans, profiling, reports.
 
 This package is the shared core the rest of the system instruments
-against (the tentpole of the observability PR):
+against (the tentpole of the observability PRs):
 
 * :mod:`repro.obs.core` — the low-overhead :class:`Tracer` (spans) and
   :class:`MetricsRegistry` (counters/gauges/histograms), plus the
   :class:`TraceDocument` base both trace formats serialize through;
+* :mod:`repro.obs.context` — W3C-style :class:`TraceContext` (trace /
+  span / parent ids on per-worker lanes) that crosses process pools;
+* :mod:`repro.obs.bus` — the JSONL :class:`TelemetryBus` worker
+  processes stream spans and metrics home over;
 * :mod:`repro.obs.runtrace` — the ``repro-run-trace/v1`` document emitted
   by an instrumented :class:`repro.rtos.runtime.RtosRuntime`;
-* :mod:`repro.obs.chrometrace` — export of a run trace to Chrome
-  trace-event JSON (opens in Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.chrometrace` — export of run *and* build traces to
+  Chrome trace-event JSON (opens in Perfetto / ``chrome://tracing``),
+  with per-worker lanes on build traces;
 * :mod:`repro.obs.profile` — the :class:`SiftProfile` collector for the
-  BDD reordering loop;
-* :mod:`repro.obs.schema` — structural validators for the trace documents
-  and the ``repro-bdd-bench/v1`` engine-benchmark report;
+  BDD reordering loop, including engine-counter timelines;
+* :mod:`repro.obs.schema` — structural validators for the trace documents,
+  the engine-benchmark report, and the bench-history trend document;
+* :mod:`repro.obs.history` — the ``repro-bench-history/v1`` merger and
+  regression gate behind ``repro bench-history``;
 * :mod:`repro.obs.report` — the shared reporter behind ``repro report``.
 
 Nothing here imports the rest of ``repro``, so any layer can depend on it.
 """
 
-from .chrometrace import chrome_trace_events, to_chrome_trace, write_chrome_trace
+from .bus import BusWriter, TelemetryBus, split_records
+from .chrometrace import (
+    build_chrome_trace_events,
+    chrome_trace_events,
+    to_build_chrome_trace,
+    to_chrome_trace,
+    write_build_chrome_trace,
+    write_chrome_trace,
+)
+from .context import TraceContext, make_span_id, new_trace_id, span_id_lane
 from .core import (
     Counter,
     Gauge,
@@ -31,6 +47,13 @@ from .core import (
     get_tracer,
     read_trace_file,
     set_tracer,
+)
+from .history import (
+    build_history,
+    check_history,
+    flatten_metrics,
+    load_reference,
+    render_history,
 )
 from .profile import SiftProfile, SiftSample
 from .report import (
@@ -45,12 +68,14 @@ from .report import (
 from .runtrace import RUN_EVENT_KINDS, RUN_TRACE_FORMAT, RunEvent, RunTrace
 from .schema import (
     BDD_BENCH_FORMAT,
+    BENCH_HISTORY_FORMAT,
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
     VERIFY_REPORT_FORMAT,
     assert_valid_trace,
     validate_bdd_bench,
+    validate_bench_history,
     validate_build_trace,
     validate_difftest_report,
     validate_difftest_repro,
@@ -70,23 +95,40 @@ __all__ = [
     "MetricsRegistry",
     "TraceDocument",
     "read_trace_file",
+    "TraceContext",
+    "new_trace_id",
+    "make_span_id",
+    "span_id_lane",
+    "TelemetryBus",
+    "BusWriter",
+    "split_records",
     "RunTrace",
     "RunEvent",
     "RUN_TRACE_FORMAT",
     "RUN_EVENT_KINDS",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
+    "BENCH_HISTORY_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
     "VERIFY_REPORT_FORMAT",
     "chrome_trace_events",
     "to_chrome_trace",
     "write_chrome_trace",
+    "build_chrome_trace_events",
+    "to_build_chrome_trace",
+    "write_build_chrome_trace",
     "SiftProfile",
     "SiftSample",
+    "build_history",
+    "check_history",
+    "flatten_metrics",
+    "load_reference",
+    "render_history",
     "validate_build_trace",
     "validate_run_trace",
     "validate_bdd_bench",
+    "validate_bench_history",
     "validate_difftest_report",
     "validate_difftest_repro",
     "validate_verify_report",

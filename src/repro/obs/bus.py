@@ -1,0 +1,159 @@
+"""The telemetry bus: an append-only JSONL sink workers write, one
+coordinator drains.
+
+Process-pool workers cannot share a Python object with the coordinator,
+and the historical alternative — carrying every span home inside the
+pickled task outcome — couples telemetry to task *completion*: a worker
+that dies or is killed loses its whole history.  The bus decouples them.
+Each worker appends newline-delimited JSON records to its own lane file
+under one bus directory (``lane-NNNN.jsonl``); appends of whole lines are
+atomic enough for this single-writer-per-file layout, the records are
+durable the moment they are flushed, and the coordinator merges every
+lane after (or during) the run without locks.
+
+Record shapes (the ``kind`` field dispatches):
+
+* ``{"kind": "event", "lane": N, "event": {...}}`` — one trace event
+  (the dict form of :class:`repro.pipeline.trace.TraceEvent`);
+* ``{"kind": "metric", "lane": N, "name": "...", "value": X}`` — one
+  counter contribution, summed across lanes by the coordinator;
+* anything else is preserved for forward compatibility and ignored by
+  :func:`split_records`.
+
+Lane numbering matches :class:`repro.obs.context.TraceContext`: lane 0 is
+the coordinator, task *i* writes lane *i + 1*, and
+:meth:`TelemetryBus.drain` returns records sorted by lane then by
+position in the file — i.e. task order, which is what makes a merged
+parallel trace structurally identical to a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["TelemetryBus", "BusWriter", "split_records"]
+
+_LANE_PREFIX = "lane-"
+_LANE_SUFFIX = ".jsonl"
+
+
+class BusWriter:
+    """Single-writer append handle for one lane file.
+
+    Opens lazily on the first :meth:`emit` so constructing a writer in a
+    task that ends up emitting nothing costs no file handle, and flushes
+    per record so the coordinator can observe a lane mid-run.
+    """
+
+    def __init__(self, path: str, lane: int = 0):
+        self.path = path
+        self.lane = lane
+        self.records_written = 0
+        self._handle = None
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        record = dict(record)
+        record.setdefault("lane", self.lane)
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def emit_event(self, event: Dict[str, Any]) -> None:
+        self.emit({"kind": "event", "event": event})
+
+    def emit_metric(self, name: str, value: float) -> None:
+        self.emit({"kind": "metric", "name": name, "value": value})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "BusWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TelemetryBus:
+    """One bus directory: a lane file per writer, drained by the owner."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def lane_path(self, lane: int) -> str:
+        return os.path.join(self.root, f"{_LANE_PREFIX}{lane:04d}{_LANE_SUFFIX}")
+
+    def writer(self, lane: int) -> BusWriter:
+        return BusWriter(self.lane_path(lane), lane=lane)
+
+    def lanes(self) -> List[int]:
+        """Lane numbers present on disk, ascending."""
+        lanes = []
+        for name in os.listdir(self.root):
+            if name.startswith(_LANE_PREFIX) and name.endswith(_LANE_SUFFIX):
+                digits = name[len(_LANE_PREFIX):-len(_LANE_SUFFIX)]
+                try:
+                    lanes.append(int(digits))
+                except ValueError:
+                    continue
+        return sorted(lanes)
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Every record from every lane, in (lane, file-position) order.
+
+        A torn final line (a writer killed mid-append) is dropped rather
+        than poisoning the merge.
+        """
+        records: List[Dict[str, Any]] = []
+        for lane in self.lanes():
+            with open(self.lane_path(lane), "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+        return records
+
+    def clear(self) -> int:
+        """Delete every lane file; returns how many were removed."""
+        removed = 0
+        for lane in self.lanes():
+            os.unlink(self.lane_path(lane))
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"<TelemetryBus {self.root!r}>"
+
+
+def split_records(
+    records: Iterable[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, float]]:
+    """Partition drained records into (event dicts, summed metrics)."""
+    events: List[Dict[str, Any]] = []
+    metrics: Dict[str, float] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "event":
+            event = record.get("event")
+            if isinstance(event, dict):
+                events.append(event)
+        elif kind == "metric":
+            name = record.get("name")
+            value = record.get("value")
+            if isinstance(name, str) and isinstance(value, (int, float)):
+                metrics[name] = metrics.get(name, 0) + value
+    return events, metrics

@@ -1,4 +1,4 @@
-"""Export a run trace to the Chrome trace-event JSON format.
+"""Export run and build traces to the Chrome trace-event JSON format.
 
 The output is the ``{"traceEvents": [...]}`` object-format document that
 Perfetto and ``chrome://tracing`` open directly: task activations become
@@ -9,6 +9,12 @@ the cumulative lost-event count is a counter (``ph: "C"``) track.
 Chrome timestamps are microseconds; a simulated cycle maps to one
 microsecond, so a 2 MHz target's 2 000 000-cycle run renders as two
 seconds — unit labels aside, the relative picture is exact.
+
+Build traces export too (:func:`to_build_chrome_trace`): every span-id
+*lane* of a causal trace — the coordinator plus one lane per scheduled
+task — becomes its own named thread track, so a ``--jobs N`` build
+renders with the worker processes side by side; cache lookups become
+instant marks on the coordinator track.
 """
 
 from __future__ import annotations
@@ -18,7 +24,14 @@ from typing import Any, Dict, List
 
 from .runtrace import RunTrace
 
-__all__ = ["chrome_trace_events", "to_chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "build_chrome_trace_events",
+    "to_build_chrome_trace",
+    "write_build_chrome_trace",
+]
 
 _PID = 1
 #: Track reserved for environment stimuli and RTOS-level marks.
@@ -129,4 +142,96 @@ def to_chrome_trace(run: RunTrace) -> Dict[str, Any]:
 def write_chrome_trace(run: RunTrace, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(to_chrome_trace(run), handle, indent=1)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Build traces (repro-build-trace/v1) with per-worker lanes
+# ----------------------------------------------------------------------
+
+
+def _lane_name(lane: int, pid: Any) -> str:
+    base = "coordinator" if lane == 0 else f"worker lane {lane}"
+    return f"{base} (pid {pid})" if pid is not None else base
+
+
+def build_chrome_trace_events(trace) -> List[Dict[str, Any]]:
+    """Chrome events for a :class:`repro.pipeline.trace.BuildTrace`.
+
+    Causal traces place each event on its lane's track at its recorded
+    ``t_ms`` offset; flat traces fall back to one track with slices laid
+    end to end.
+    """
+    lane_pids: Dict[int, Any] = {}
+    for e in trace.events:
+        lane = e.lane if e.lane is not None else 0
+        if lane not in lane_pids:
+            lane_pids[lane] = e.pid
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": lane,
+            "args": {"name": _lane_name(lane, pid)},
+        }
+        for lane, pid in sorted(lane_pids.items())
+    ]
+    cursors: Dict[int, float] = {}  # flat-trace fallback timeline per lane
+    for e in trace.events:
+        lane = e.lane if e.lane is not None else 0
+        dur_us = max(e.wall_ms * 1000.0, 1.0)
+        if e.t_ms is not None:
+            ts_us = e.t_ms * 1000.0
+        else:
+            ts_us = cursors.get(lane, 0.0)
+            cursors[lane] = ts_us + dur_us
+        args: Dict[str, Any] = {}
+        if e.span_id is not None:
+            args["span_id"] = e.span_id
+            if e.parent_id is not None:
+                args["parent_id"] = e.parent_id
+        if e.kind == "cache":
+            name = f"cache {e.status}: {e.module}"
+            mark = _instant(name, "cache", int(ts_us), lane)
+            if args:
+                mark["args"] = args
+            events.append(mark)
+            continue
+        for key, value in e.metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                args[key] = value
+        events.append(
+            {
+                "name": f"{e.module}:{e.name}",
+                "cat": e.kind,
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_us,
+                "pid": _PID,
+                "tid": lane,
+                **({"args": args} if args else {}),
+            }
+        )
+    return events
+
+
+def to_build_chrome_trace(trace) -> Dict[str, Any]:
+    """The full object-format Chrome trace document for a build trace."""
+    other: Dict[str, Any] = {
+        "source": "repro-build-trace/v1",
+        "unit": "build wall clock (us)",
+    }
+    if trace.trace_id is not None:
+        other["trace_id"] = trace.trace_id
+    return {
+        "traceEvents": build_chrome_trace_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_build_chrome_trace(trace, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_build_chrome_trace(trace), handle, indent=1)
         handle.write("\n")

@@ -1,8 +1,9 @@
 """The shared observability core: spans, metrics, trace documents.
 
-Everything in this module is dependency-free (it imports nothing from the
-rest of ``repro``) so any layer — the BDD engine, the synthesis pipeline,
-the RTOS runtime — can be instrumented without import cycles.
+Everything in this module is dependency-free (it imports nothing from
+``repro`` outside the equally dependency-free :mod:`repro.obs.context`)
+so any layer — the BDD engine, the synthesis pipeline, the RTOS runtime
+— can be instrumented without import cycles.
 
 Three primitives:
 
@@ -27,6 +28,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .context import TraceContext, make_span_id
+
 __all__ = [
     "Span",
     "Tracer",
@@ -49,12 +52,20 @@ __all__ = [
 @dataclass
 class Span:
     """One timed region.  Used as a context manager; attributes may be
-    added while the span is open via :meth:`set`."""
+    added while the span is open via :meth:`set`.
+
+    The id fields are populated only by a tracer carrying a
+    :class:`~repro.obs.context.TraceContext` — they causally link the
+    span into a cross-process trace (W3C Trace Context shapes).
+    """
 
     name: str
     attrs: Dict[str, Any] = field(default_factory=dict)
     start_ms: float = 0.0
     wall_ms: float = 0.0
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
     _t0: float = 0.0
 
     def set(self, **attrs: Any) -> "Span":
@@ -93,18 +104,38 @@ class Tracer:
     ``enabled=False`` (the default of the process-wide tracer) makes every
     hook a near-free no-op, which is what keeps permanent instrumentation
     in the BDD engine and path analysis within the overhead budget.
+
+    With a :class:`~repro.obs.context.TraceContext` attached, every span
+    is stamped with ``trace_id``/``span_id``/``parent_id``: span ids are
+    allocated on the context's lane, and each span links back to the
+    context's parent span — so a tracer opened inside a worker process
+    produces spans causally joined to the coordinating build.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(
+        self,
+        enabled: bool = True,
+        context: Optional[TraceContext] = None,
+    ):
         self.enabled = enabled
+        self.context = context
         self.spans: List[Span] = []
+        self._seq = 0
         self._epoch = time.perf_counter()
+
+    def _stamp(self, s: Span) -> None:
+        if self.context is not None:
+            self._seq += 1
+            s.trace_id = self.context.trace_id
+            s.span_id = make_span_id(self.context.lane, self._seq)
+            s.parent_id = self.context.span_id
 
     def span(self, name: str, **attrs: Any):
         if not self.enabled:
             return _NULL_SPAN
         s = Span(name=name, attrs=dict(attrs))
         s.start_ms = (time.perf_counter() - self._epoch) * 1000.0
+        self._stamp(s)
         self.spans.append(s)
         return s
 
@@ -113,6 +144,7 @@ class Tracer:
             return
         s = Span(name=name, attrs=dict(attrs))
         s.start_ms = (time.perf_counter() - self._epoch) * 1000.0
+        self._stamp(s)
         self.spans.append(s)
 
     def clear(self) -> None:
@@ -122,17 +154,27 @@ class Tracer:
         return [s for s in self.spans if s.name == name]
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "spans": [
                 {
                     "name": s.name,
                     "start_ms": round(s.start_ms, 3),
                     "wall_ms": round(s.wall_ms, 3),
                     **({"attrs": s.attrs} if s.attrs else {}),
+                    **(
+                        {
+                            "span_id": s.span_id,
+                            "parent_id": s.parent_id,
+                        }
+                        if s.span_id is not None else {}
+                    ),
                 }
                 for s in self.spans
             ]
         }
+        if self.context is not None:
+            out["trace_id"] = self.context.trace_id
+        return out
 
 
 #: Process-wide tracer used by the permanent hooks in ``estimation`` and

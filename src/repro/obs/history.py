@@ -1,0 +1,200 @@
+"""Perf-trajectory tracking: merge benchmark reports, gate regressions.
+
+Every benchmark in this repository emits a ``BENCH_*.json`` document (the
+BDD-engine bench, the pipeline bench, the observability-overhead bench).
+Each file captures one subsystem at one commit; none of them shows a
+*trajectory*.  :func:`build_history` merges any set of them into one
+``repro-bench-history/v1`` trend document: every numeric leaf of every
+report, flattened to a dotted path prefixed with the report's stem
+(``BENCH_bdd.json`` → ``bdd.counters.swaps``), so the same path names the
+same quantity across commits and CI runs can diff documents over time.
+
+:func:`check_history` is the regression gate (``repro bench-history
+--check``): a committed reference file declares tracked metrics with
+either a relative tolerance (``ref`` + ``max_regress_pct`` — fail when
+the metric degrades more than N% against the recorded value) or an
+absolute bound (``limit`` — fail when the metric crosses it; the right
+tool for timing figures, which are too noisy for tight relative gates).
+``better`` declares the good direction (``lower`` for wall times and
+sizes, ``higher`` for throughputs and hit rates).  A tracked metric that
+vanished from the merged document fails too — silently dropping a
+benchmark must not pass the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from .schema import BENCH_HISTORY_FORMAT
+
+__all__ = [
+    "BENCH_HISTORY_FORMAT",
+    "flatten_metrics",
+    "source_prefix",
+    "build_history",
+    "check_history",
+    "render_history",
+    "load_reference",
+]
+
+
+def flatten_metrics(doc: Any, prefix: str = "") -> Dict[str, float]:
+    """Every numeric leaf of ``doc`` as ``{dotted.path: value}``.
+
+    Booleans and the ``format`` tag are skipped; lists are indexed by
+    position so array-valued figures stay addressable.
+    """
+    out: Dict[str, float] = {}
+
+    def walk(node: Any, path: str) -> None:
+        if isinstance(node, bool):
+            return
+        if isinstance(node, (int, float)):
+            out[path] = node
+            return
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if path == prefix and key == "format":
+                    continue
+                walk(value, f"{path}.{key}" if path else key)
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                walk(value, f"{path}[{index}]")
+
+    walk(doc, prefix)
+    return out
+
+
+def source_prefix(path: str) -> str:
+    """The metric-path prefix of one report file.
+
+    ``BENCH_bdd.json`` → ``bdd``; a file without the ``BENCH_`` stem keeps
+    its lowercase stem (``results.json`` → ``results``).
+    """
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if stem.upper().startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    return stem.lower()
+
+
+def build_history(paths: List[str]) -> Dict[str, Any]:
+    """Merge benchmark reports into one ``repro-bench-history/v1`` doc."""
+    sources: List[str] = []
+    metrics: Dict[str, float] = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        prefix = source_prefix(path)
+        sources.append(os.path.basename(path))
+        metrics.update(flatten_metrics(doc, prefix))
+    return {
+        "format": BENCH_HISTORY_FORMAT,
+        "sources": sources,
+        "metrics": {key: metrics[key] for key in sorted(metrics)},
+        "summary": {"metrics": len(metrics), "sources": len(sources)},
+    }
+
+
+def load_reference(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), dict):
+        raise ValueError(f"{path}: not a bench-history reference file")
+    return doc
+
+
+def _check_one(
+    value: Optional[float], spec: Dict[str, Any]
+) -> Tuple[str, str]:
+    """Evaluate one tracked metric; returns ``(status, detail)``."""
+    if value is None:
+        return "missing", "metric absent from merged history"
+    better = spec.get("better", "lower")
+    limit = spec.get("limit")
+    if limit is not None:
+        if better == "lower" and value > limit:
+            return "fail", f"value {value:g} above limit {limit:g}"
+        if better == "higher" and value < limit:
+            return "fail", f"value {value:g} below limit {limit:g}"
+    ref = spec.get("ref")
+    pct = spec.get("max_regress_pct")
+    if ref is not None and pct is not None:
+        if better == "lower":
+            bound = ref * (1 + pct / 100.0)
+            if value > bound:
+                return (
+                    "fail",
+                    f"value {value:g} regressed >{pct:g}% vs ref {ref:g}",
+                )
+        else:
+            bound = ref * (1 - pct / 100.0)
+            if value < bound:
+                return (
+                    "fail",
+                    f"value {value:g} regressed >{pct:g}% vs ref {ref:g}",
+                )
+    return "ok", ""
+
+
+def check_history(
+    history: Dict[str, Any], reference: Dict[str, Any]
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Gate ``history`` against ``reference``; returns (checks, failures).
+
+    The returned check entries are attached to the history document
+    (``doc["checks"]``) by the CLI; a ``missing`` status counts as a
+    failure so a benchmark silently dropping out of CI trips the gate.
+    """
+    metrics = history.get("metrics", {})
+    checks: List[Dict[str, Any]] = []
+    failures = 0
+    for name in sorted(reference.get("metrics", {})):
+        spec = reference["metrics"][name]
+        value = metrics.get(name)
+        status, detail = _check_one(value, spec)
+        entry: Dict[str, Any] = {"metric": name, "status": status}
+        if value is not None:
+            entry["value"] = value
+        for key in ("ref", "max_regress_pct", "limit", "better"):
+            if key in spec:
+                entry[key] = spec[key]
+        if detail:
+            entry["detail"] = detail
+        if status != "ok":
+            failures += 1
+        checks.append(entry)
+    return checks, failures
+
+
+def render_history(doc: Dict[str, Any]) -> str:
+    """Human-readable summary of a bench-history document."""
+    lines = [
+        f"bench history: {doc['summary']['metrics']} metrics from "
+        f"{', '.join(doc.get('sources', []))}"
+    ]
+    checks = doc.get("checks")
+    if checks is not None:
+        for check in checks:
+            status = check["status"]
+            mark = {"ok": "ok  ", "fail": "FAIL", "missing": "MISS"}[status]
+            line = f"  [{mark}] {check['metric']}"
+            if "value" in check:
+                line += f" = {check['value']:g}"
+            if "limit" in check:
+                line += f" (limit {check['limit']:g})"
+            if "ref" in check and "max_regress_pct" in check:
+                line += (
+                    f" (ref {check['ref']:g} "
+                    f"±{check['max_regress_pct']:g}%)"
+                )
+            if check.get("detail"):
+                line += f" — {check['detail']}"
+            lines.append(line)
+        failures = sum(1 for c in checks if c["status"] != "ok")
+        lines.append(
+            f"  {len(checks)} tracked, {failures} failing"
+            if failures else f"  {len(checks)} tracked, all within bounds"
+        )
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ from typing import Any, Dict, List
 from .core import Histogram, read_trace_file
 from .runtrace import RunTrace
 from .schema import (
+    BENCH_HISTORY_FORMAT,
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
@@ -30,6 +31,21 @@ def _rule(title: str) -> str:
     return f"== {title} " + "=" * max(0, 58 - len(title))
 
 
+def _series(values: List[Any], fmt: str = "{}", points: int = 6) -> str:
+    """A compact ``a -> b -> c`` rendering of a sampled curve.
+
+    Long series are decimated to ``points`` evenly spaced samples
+    (always keeping the first and last) so a thousand-block sift still
+    renders on one line.
+    """
+    if not values:
+        return "-"
+    if len(values) > points:
+        step = (len(values) - 1) / (points - 1)
+        values = [values[round(i * step)] for i in range(points)]
+    return " -> ".join(fmt.format(v) for v in values)
+
+
 # ----------------------------------------------------------------------
 # Build traces
 # ----------------------------------------------------------------------
@@ -39,22 +55,52 @@ def render_build_report(doc: Dict[str, Any], top: int = 10) -> str:
     """Summarize a ``repro-build-trace/v1`` document."""
     events = doc.get("events", [])
     summary = doc.get("summary", {})
+    metrics = doc.get("metrics", {}) or {}
     lines = [_rule("build trace")]
     lines.append(
         f"{summary.get('events', len(events))} events, "
         f"{summary.get('synthesis_passes', 0)} synthesis passes, "
         f"{summary.get('wall_ms', 0.0):.1f} ms instrumented"
     )
+    if doc.get("trace_id"):
+        lanes = sorted({
+            e.get("lane") for e in events
+            if isinstance(e, dict) and e.get("lane") is not None
+        })
+        workers = sum(1 for lane in lanes if lane != 0)
+        lines.append(
+            f"trace {doc['trace_id']}: {len(lanes)} lanes "
+            f"(coordinator + {workers} worker lanes)"
+        )
 
-    hits = summary.get("cache_hits", 0)
-    misses = summary.get("cache_misses", 0)
+    # Prefer the cache's own exported metrics (which include evictions
+    # and bytes); ad-hoc event counters are the fallback for old docs.
+    if "cache_hits" in metrics or "cache_misses" in metrics:
+        hits = int(metrics.get("cache_hits", 0))
+        misses = int(metrics.get("cache_misses", 0))
+    else:
+        hits = summary.get("cache_hits", 0)
+        misses = summary.get("cache_misses", 0)
     if hits + misses:
         rate = 100.0 * hits / (hits + misses)
-        lines.append(
-            f"cache: {hits} hits / {misses} misses ({rate:.0f}% hit rate)"
-        )
+        line = f"cache: {hits} hits / {misses} misses ({rate:.0f}% hit rate)"
+        if "cache_evictions" in metrics:
+            line += (
+                f", {int(metrics['cache_evictions'])} evictions, "
+                f"{int(metrics.get('cache_bytes', 0))} bytes stored"
+            )
+        lines.append(line)
     else:
         lines.append("cache: not used")
+    other_metrics = {
+        k: v for k, v in metrics.items() if not k.startswith("cache_")
+    }
+    if other_metrics:
+        lines.append(
+            "counters: " + ", ".join(
+                f"{k}={v:g}" for k, v in sorted(other_metrics.items())
+            )
+        )
 
     passes = [e for e in events if e.get("kind") == "pass"]
     stages = [e for e in events if e.get("kind") == "stage"]
@@ -74,6 +120,31 @@ def render_build_report(doc: Dict[str, Any], top: int = 10) -> str:
                 f"  {e.get('module', '?'):16s} {e.get('name', '?'):12s} "
                 f"{e.get('wall_ms', 0.0):9.2f}  {shown}"
             )
+
+    # Sifting trajectories: the per-sample curves recorded by the order
+    # pass (live size, ITE-cache hit rate) rendered as compact series.
+    curves = [
+        (e.get("module", "?"), e["metrics"]["sift_timeline"])
+        for e in passes
+        if isinstance(e.get("metrics"), dict)
+        and isinstance(e["metrics"].get("sift_timeline"), list)
+        and e["metrics"]["sift_timeline"]
+    ]
+    if curves:
+        lines.append("")
+        lines.append("sift trajectories (size / ITE hit rate over reordering):")
+        for module, timeline in curves[:top]:
+            sizes = [p.get("size") for p in timeline if "size" in p]
+            rates = [
+                p["ite_hit_rate"] for p in timeline if "ite_hit_rate" in p
+            ]
+            live = [p["live_nodes"] for p in timeline if "live_nodes" in p]
+            line = f"  {module:16s} size {_series(sizes)}"
+            if rates:
+                line += f" | ite hit rate {_series(rates, fmt='{:.2f}')}"
+            if live:
+                line += f" | live {_series(live)}"
+            lines.append(line)
 
     if stages:
         by_stage: Dict[str, float] = {}
@@ -362,6 +433,10 @@ def render_report(doc: Dict[str, Any], top: int = 10) -> str:
         return render_difftest_repro(doc, top=top)
     if fmt == VERIFY_REPORT_FORMAT:
         return render_verify_report(doc, top=top)
+    if fmt == BENCH_HISTORY_FORMAT:
+        from .history import render_history
+
+        return render_history(doc)
     raise ValueError(f"unknown trace format {fmt!r}")
 
 

@@ -18,6 +18,7 @@ __all__ = [
     "validate_build_trace",
     "validate_run_trace",
     "validate_bdd_bench",
+    "validate_bench_history",
     "validate_difftest_report",
     "validate_difftest_repro",
     "validate_verify_report",
@@ -25,6 +26,7 @@ __all__ = [
     "assert_valid_trace",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
+    "BENCH_HISTORY_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
     "VERIFY_REPORT_FORMAT",
@@ -32,6 +34,9 @@ __all__ = [
 
 BUILD_TRACE_FORMAT = "repro-build-trace/v1"
 _BUILD_EVENT_KINDS = ("pass", "cache", "stage")
+
+BENCH_HISTORY_FORMAT = "repro-bench-history/v1"
+_HISTORY_CHECK_STATUSES = ("ok", "fail", "missing")
 
 DIFFTEST_REPORT_FORMAT = "repro-difftest/v1"
 DIFFTEST_REPRO_FORMAT = "repro-difftest-repro/v1"
@@ -79,6 +84,81 @@ def _is_int(value: Any) -> bool:
     return isinstance(value, int) and not isinstance(value, bool)
 
 
+def _is_hex(value: Any, width: int) -> bool:
+    if not isinstance(value, str) or len(value) != width:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def _validate_span_links(doc: Dict[str, Any], events: List[Any]) -> List[str]:
+    """Causal-link checks of a build trace carrying a ``trace_id``.
+
+    Every event must carry a unique 16-hex ``span_id``; every
+    ``parent_id`` must name another span in the document; exactly the
+    root span (``root_span_id``) may be parentless; and the parent links
+    must form a rooted, acyclic tree.
+    """
+    errors: List[str] = []
+    if not _is_hex(doc.get("trace_id"), 32):
+        errors.append("trace_id is not a 32-hex-char string")
+    root = doc.get("root_span_id")
+    if not _is_hex(root, 16):
+        errors.append("root_span_id missing or not a 16-hex-char string")
+    span_ids: Dict[str, int] = {}
+    parents: Dict[str, Any] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            continue
+        where = f"events[{i}]"
+        span_id = event.get("span_id")
+        if not _is_hex(span_id, 16):
+            errors.append(f"{where}: span_id missing or not 16 hex chars")
+            continue
+        if span_id in span_ids:
+            errors.append(
+                f"{where}: span_id {span_id} duplicates "
+                f"events[{span_ids[span_id]}]"
+            )
+            continue
+        span_ids[span_id] = i
+        parent_id = event.get("parent_id")
+        if parent_id is None:
+            if span_id != root:
+                errors.append(f"{where}: non-root span {span_id} has no parent")
+        elif not _is_hex(parent_id, 16):
+            errors.append(f"{where}: parent_id is not 16 hex chars")
+        else:
+            parents[span_id] = parent_id
+    if root is not None and root not in span_ids and isinstance(root, str):
+        errors.append(f"root_span_id {root} names no event")
+    for span_id, parent_id in parents.items():
+        if parent_id not in span_ids:
+            errors.append(
+                f"span {span_id}: parent {parent_id} names no event"
+            )
+    # Cycle check over the parent pointers (a valid doc is a tree).
+    state: Dict[str, int] = {}  # 1 = on path, 2 = done
+    for start in parents:
+        if state.get(start):
+            continue
+        path = []
+        node = start
+        while node in parents and state.get(node) is None:
+            state[node] = 1
+            path.append(node)
+            node = parents[node]
+            if state.get(node) == 1:
+                errors.append(f"span link cycle through {node}")
+                break
+        for seen in path:
+            state[seen] = 2
+    return errors
+
+
 def validate_build_trace(doc: Dict[str, Any]) -> List[str]:
     """Structural check of a ``repro-build-trace/v1`` document."""
     errors: List[str] = []
@@ -107,6 +187,16 @@ def validate_build_trace(doc: Dict[str, Any]) -> List[str]:
         if kind == "cache" and event.get("status") not in ("hit", "miss"):
             errors.append(f"{where}: cache event status "
                           f"{event.get('status')!r} not hit/miss")
+    if "trace_id" in doc or "root_span_id" in doc:
+        errors.extend(_validate_span_links(doc, events))
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            errors.append("'metrics' is not an object")
+        else:
+            for key, value in metrics.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"metrics[{key!r}]: not a number")
     summary = doc.get("summary")
     if not isinstance(summary, dict):
         errors.append("'summary' missing or not an object")
@@ -252,6 +342,63 @@ def validate_bdd_bench(doc: Dict[str, Any]) -> List[str]:
         share = store.get("complement_edge_share")
         if isinstance(share, (int, float)) and not 0 <= share <= 1:
             errors.append("store.complement_edge_share must be in [0, 1]")
+    return errors
+
+
+def validate_bench_history(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-bench-history/v1`` trend document."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != BENCH_HISTORY_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {BENCH_HISTORY_FORMAT!r}")
+    sources = doc.get("sources")
+    if not isinstance(sources, list) or not all(
+        isinstance(s, str) for s in sources or []
+    ):
+        errors.append("'sources' missing or not a list of strings")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("'metrics' missing or not an object")
+        metrics = {}
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"metrics[{key!r}]: not a number")
+    checks = doc.get("checks")
+    failures = 0
+    if checks is not None:
+        if not isinstance(checks, list):
+            errors.append("'checks' is not a list")
+            checks = []
+        for i, check in enumerate(checks):
+            where = f"checks[{i}]"
+            if not isinstance(check, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            if not isinstance(check.get("metric"), str):
+                errors.append(f"{where}: 'metric' missing or not a string")
+            status = check.get("status")
+            if status not in _HISTORY_CHECK_STATUSES:
+                errors.append(f"{where}: unknown status {status!r}")
+            elif status != "ok":
+                # "missing" counts as failing: a benchmark silently
+                # dropping out of CI must trip the gate.
+                failures += 1
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("'summary' missing or not an object")
+    else:
+        if summary.get("metrics") != len(metrics):
+            errors.append(
+                f"summary.metrics={summary.get('metrics')} but "
+                f"{len(metrics)} metrics present"
+            )
+        if checks is not None and summary.get("failures") != failures:
+            errors.append(
+                f"summary.failures={summary.get('failures')} but "
+                f"{failures} failing checks present"
+            )
     return errors
 
 
@@ -447,6 +594,8 @@ def validate_trace(doc: Dict[str, Any]) -> List[str]:
         return validate_run_trace(doc)
     if fmt == BDD_BENCH_FORMAT:
         return validate_bdd_bench(doc)
+    if fmt == BENCH_HISTORY_FORMAT:
+        return validate_bench_history(doc)
     if fmt == DIFFTEST_REPORT_FORMAT:
         return validate_difftest_report(doc)
     if fmt == DIFFTEST_REPRO_FORMAT:

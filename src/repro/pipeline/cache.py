@@ -143,12 +143,24 @@ def module_cache_key(cfsm, options: Dict[str, Any], profile) -> str:
 
 
 class ArtifactCache:
-    """A content-addressed object store under one root directory."""
+    """A content-addressed object store under one root directory.
 
-    def __init__(self, root: str):
+    ``max_bytes`` (also the CLI's ``--cache-max-bytes``) bounds the store:
+    after every write the least-recently-used entries are evicted until
+    the store fits.  Recency is tracked through entry file mtimes (a hit
+    touches the file), so the LRU order survives across processes sharing
+    one cache directory.  Keys this process served a hit for or wrote —
+    the *in-flight* set, whose payloads a live build may still hold — are
+    pinned and never evicted by this process.
+    """
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None):
         self.root = os.path.abspath(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._pinned: set = set()
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
@@ -170,6 +182,11 @@ class ArtifactCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._pinned.add(key)
+        try:
+            os.utime(path, None)  # refresh LRU recency
+        except OSError:
+            pass
         return entry["payload"]
 
     def put(self, key: str, payload: Any) -> None:
@@ -190,6 +207,56 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        self._pinned.add(key)
+        self._evict_to_fit()
+
+    # -- eviction ----------------------------------------------------------
+
+    def _entries(self):
+        """Every stored entry as ``(mtime, size, key, path)``."""
+        out = []
+        objects = os.path.join(self.root, "objects")
+        for dirpath, _, filenames in os.walk(objects):
+            for name in filenames:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                out.append((stat.st_mtime, stat.st_size, name[:-4], path))
+        return out
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored."""
+        return sum(size for _, size, _, _ in self._entries())
+
+    def _evict_to_fit(self) -> int:
+        """Drop LRU entries until the store fits ``max_bytes``.
+
+        Pinned (in-flight) keys are skipped: a build holding a payload it
+        just read or wrote must never find it vanished.  Returns how many
+        entries were evicted.
+        """
+        if self.max_bytes is None:
+            return 0
+        entries = sorted(self._entries())  # oldest mtime first
+        total = sum(size for _, size, _, _ in entries)
+        evicted = 0
+        for _, size, key, path in entries:
+            if total <= self.max_bytes:
+                break
+            if key in self._pinned:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
@@ -212,8 +279,42 @@ class ArtifactCache:
                     removed += 1
         return removed
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 with no lookups)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def metrics_dict(self) -> Dict[str, float]:
+        """The cache's counters as flat metrics (trace / registry keys)."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_bytes": self.total_bytes(),
+        }
+
+    def export_metrics(self, registry) -> None:
+        """Snapshot the counters into a :class:`repro.obs.MetricsRegistry`."""
+        registry.counter("cache_hits").value = self.hits
+        registry.counter("cache_misses").value = self.misses
+        registry.counter("cache_evictions").value = self.evictions
+        registry.gauge("cache_bytes").set(self.total_bytes())
+
     def stats(self) -> str:
-        return f"cache {self.root}: {self.hits} hits, {self.misses} misses"
+        line = (
+            f"cache {self.root}: {self.hits} hits, {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.evictions} evictions, "
+            f"{self.total_bytes()} bytes stored"
+        )
+        if self.max_bytes is not None:
+            line += f" (max {self.max_bytes})"
+        return line
+
+    def __str__(self) -> str:
+        # The report path renders the cache directly — stats must work
+        # even when no metrics registry was ever attached.
+        return self.stats()
 
     def __repr__(self) -> str:
         return f"<ArtifactCache {self.root!r}>"

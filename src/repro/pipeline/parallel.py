@@ -22,8 +22,9 @@ historical in-process flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
+from ..obs.context import TraceContext
 from .artifacts import ModuleArtifacts, build_module_artifacts
 from .trace import BuildTrace, TraceEvent
 
@@ -39,22 +40,48 @@ __all__ = [
 
 @dataclass
 class ModuleBuildTask:
-    """One schedulable unit: build every artifact of one software CFSM."""
+    """One schedulable unit: build every artifact of one software CFSM.
+
+    When the coordinator runs a causal trace it injects a
+    :class:`~repro.obs.context.TraceContext`: the task then opens a child
+    trace on its own span-id lane, wraps the build in a per-module span,
+    and — when the context names a telemetry-bus directory — streams the
+    events home over the bus instead of carrying them in the (pickled)
+    outcome, so a worker that dies mid-build loses nothing already done.
+    """
 
     machine: Any  # Cfsm — picklable by construction
     options: Dict[str, Any]
     profile: Any  # ISAProfile
     params: Any  # CostParams
+    context: Optional[TraceContext] = None
 
     def run(self, keep_result: bool) -> "ModuleBuildOutcome":
-        trace = BuildTrace()
-        artifacts, result = build_module_artifacts(
-            self.machine, self.options, self.profile, self.params, trace=trace
-        )
+        trace = BuildTrace(context=self.context)
+        if self.context is not None:
+            with trace.span(self.machine.name, "module"):
+                artifacts, result = build_module_artifacts(
+                    self.machine, self.options, self.profile, self.params,
+                    trace=trace,
+                )
+        else:
+            artifacts, result = build_module_artifacts(
+                self.machine, self.options, self.profile, self.params,
+                trace=trace,
+            )
+        events = trace.events
+        if self.context is not None and self.context.bus_dir is not None:
+            from ..obs.bus import TelemetryBus
+
+            bus = TelemetryBus(self.context.bus_dir)
+            with bus.writer(self.context.lane) as writer:
+                for event in events:
+                    writer.emit_event(event.to_dict())
+            events = []
         return ModuleBuildOutcome(
             artifacts=artifacts,
             result=result if keep_result else None,
-            events=trace.events,
+            events=events,
         )
 
 

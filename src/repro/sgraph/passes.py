@@ -85,6 +85,10 @@ class OrderPass(Pass):
         metrics: Dict[str, Any] = {"scheme": scheme, "chi_nodes": rf.chi.size()}
         if profile is not None:
             metrics.update(profile.summary())
+            # Per-sample curve (size, swaps, ITE hit rate, live nodes)
+            # over the reordering run; wall-clock-free so identical
+            # builds trace identically.
+            metrics["sift_timeline"] = profile.timeline()
             # Kernel-level view of the same reordering run: swap fast-path
             # hits, collection count, and cache effectiveness ride along in
             # the build trace next to the sift trajectory.

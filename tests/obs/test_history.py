@@ -1,0 +1,122 @@
+"""Bench-history merging and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BENCH_HISTORY_FORMAT,
+    build_history,
+    check_history,
+    flatten_metrics,
+    render_history,
+    validate_bench_history,
+    validate_trace,
+)
+from repro.obs.history import source_prefix
+
+
+def test_flatten_walks_nested_dicts_lists_and_skips_bools():
+    doc = {
+        "format": "repro-x/v1",
+        "smoke": True,
+        "build": {"wall_ms": 12.5, "counts": [3, 4]},
+    }
+    flat = flatten_metrics(doc, "obs")
+    assert flat == {
+        "obs.build.wall_ms": 12.5,
+        "obs.build.counts[0]": 3,
+        "obs.build.counts[1]": 4,
+    }
+
+
+def test_source_prefix_strips_bench_stem():
+    assert source_prefix("/a/b/BENCH_obs.json") == "obs"
+    assert source_prefix("BENCH_bdd.json") == "bdd"
+    assert source_prefix("results.json") == "results"
+
+
+@pytest.fixture
+def reports(tmp_path):
+    obs = tmp_path / "BENCH_obs.json"
+    obs.write_text(json.dumps({"build": {"overhead_pct": 4.0}}))
+    bdd = tmp_path / "BENCH_bdd.json"
+    bdd.write_text(json.dumps({"sift": {"small": {"swaps": 100}}}))
+    return [str(obs), str(bdd)]
+
+
+def test_build_history_merges_and_validates(reports):
+    doc = build_history(reports)
+    assert doc["format"] == BENCH_HISTORY_FORMAT
+    assert doc["sources"] == ["BENCH_obs.json", "BENCH_bdd.json"]
+    assert doc["metrics"] == {
+        "bdd.sift.small.swaps": 100,
+        "obs.build.overhead_pct": 4.0,
+    }
+    assert validate_bench_history(doc) == []
+    assert validate_trace(doc) == []
+
+
+def test_check_passes_within_limits(reports):
+    doc = build_history(reports)
+    reference = {
+        "metrics": {
+            "obs.build.overhead_pct": {"limit": 10, "better": "lower"},
+            "bdd.sift.small.swaps": {"ref": 100, "max_regress_pct": 20},
+        }
+    }
+    checks, failures = check_history(doc, reference)
+    assert failures == 0
+    assert [c["status"] for c in checks] == ["ok", "ok"]
+
+
+def test_check_fails_on_limit_and_relative_regression(reports):
+    doc = build_history(reports)
+    reference = {
+        "metrics": {
+            # better=lower with value above the limit.
+            "obs.build.overhead_pct": {"limit": 2, "better": "lower"},
+            # better=higher with a >5% drop vs the reference.
+            "bdd.sift.small.swaps": {
+                "ref": 200, "max_regress_pct": 5, "better": "higher",
+            },
+        }
+    }
+    checks, failures = check_history(doc, reference)
+    assert failures == 2
+    assert all(c["status"] == "fail" for c in checks)
+
+
+def test_missing_tracked_metric_fails_the_gate(reports):
+    doc = build_history(reports)
+    reference = {"metrics": {"pipeline.vanished": {"limit": 1}}}
+    checks, failures = check_history(doc, reference)
+    assert failures == 1
+    assert checks[0]["status"] == "missing"
+    # Attached to the doc, the summary must stay consistent for the schema.
+    doc["checks"] = checks
+    doc["summary"]["checked"] = len(checks)
+    doc["summary"]["failures"] = failures
+    assert validate_bench_history(doc) == []
+
+
+def test_render_history_marks_statuses(reports):
+    doc = build_history(reports)
+    reference = {
+        "metrics": {
+            "obs.build.overhead_pct": {"limit": 10, "better": "lower"},
+            "pipeline.vanished": {"limit": 1},
+        }
+    }
+    checks, failures = check_history(doc, reference)
+    doc["checks"] = checks
+    text = render_history(doc)
+    assert "[ok  ] obs.build.overhead_pct" in text
+    assert "[MISS] pipeline.vanished" in text
+    assert "1 failing" in text
+
+
+def test_validator_rejects_inconsistent_summary(reports):
+    doc = build_history(reports)
+    doc["summary"]["metrics"] = 99
+    assert validate_bench_history(doc)

@@ -118,6 +118,94 @@ class TestArtifactCache:
         assert "0 hits, 1 misses" in cache.stats()
 
 
+class TestEviction:
+    """LRU eviction under ``max_bytes`` with in-flight pinning."""
+
+    def _put_blob(self, cache, seed, size=1000):
+        key = f"{seed:02x}" * 32
+        cache.put(key, b"x" * size)
+        return key
+
+    def _age(self, cache, key, seconds):
+        import os
+
+        path = cache._path(key)
+        stat = os.stat(path)
+        os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        for seed in range(5):
+            self._put_blob(cache, seed)
+        assert cache.evictions == 0 and len(cache) == 5
+
+    def test_eviction_honors_max_bytes(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=3000)
+        keys = []
+        for seed in range(4):
+            keys.append(self._put_blob(cache, seed))
+            self._age(cache, keys[-1], seconds=(10 - seed) * 60)
+        # Un-pin to model a later process sharing the directory.
+        fresh = ArtifactCache(str(tmp_path), max_bytes=3000)
+        fresh.put(self._put_blob(cache, 0xEE, size=1), b"")  # trigger fit
+        assert fresh.total_bytes() <= 3000
+        assert fresh.evictions > 0
+        # Oldest entry went first.
+        assert keys[0] not in fresh
+        assert keys[-1] in fresh
+
+    def test_in_flight_entries_are_never_evicted(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=1500)
+        first = self._put_blob(cache, 1)
+        self._age(cache, first, seconds=600)
+        # ``first`` was just written by *this* process: pinned.  A second
+        # oversized write must not evict it even though the store exceeds
+        # max_bytes with both pinned.
+        second = self._put_blob(cache, 2)
+        assert first in cache and second in cache
+        assert cache.evictions == 0
+
+    def test_hit_refreshes_recency_and_pins(self, tmp_path):
+        seeder = ArtifactCache(str(tmp_path))
+        old = self._put_blob(seeder, 1)
+        newer = self._put_blob(seeder, 2)
+        self._age(seeder, old, seconds=600)
+        self._age(seeder, newer, seconds=300)
+        # Each pickled blob is a bit over 1 KB; the cap fits two entries.
+        cache = ArtifactCache(str(tmp_path), max_bytes=2400)
+        assert cache.get(old) is not None  # touch + pin the LRU entry
+        cache._pinned.discard(old)  # isolate the mtime refresh
+        self._put_blob(cache, 3)
+        # ``newer`` is now the stalest unpinned entry and gets evicted.
+        assert newer not in cache
+        assert old in cache
+
+    def test_metrics_dict_and_registry_export(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        cache = ArtifactCache(str(tmp_path), max_bytes=10_000)
+        cache.get("00" * 32)
+        key = self._put_blob(cache, 1)
+        cache.get(key)
+        metrics = cache.metrics_dict()
+        assert metrics["cache_hits"] == 1
+        assert metrics["cache_misses"] == 1
+        assert metrics["cache_evictions"] == 0
+        assert metrics["cache_bytes"] > 0
+        registry = MetricsRegistry()
+        cache.export_metrics(registry)
+        assert registry.counter("cache_hits").value == 1
+        assert registry.gauge("cache_bytes").value == metrics["cache_bytes"]
+
+    def test_stats_renders_without_registry(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=4096)
+        cache.get("00" * 32)
+        text = str(cache)
+        assert "0 hits, 1 misses" in text
+        assert "(0% hit rate)" in text
+        assert "(max 4096)" in text
+
+
 class TestParamsInKey:
     def test_different_cost_params_change_the_key(self):
         cfsm = make_counter_cfsm()
