@@ -1,0 +1,259 @@
+"""Fleet-scale simulation throughput: bit-sliced kernels vs the scalar
+reference simulator.
+
+The fleet engine (:mod:`repro.fleet`) compiles each machine's synthesized
+evaluator into straight-line plane operations and steps one *fleet
+instance per bit lane*, so a 4096-instance dashboard fleet advances 4096
+networks per plane pass.  This benchmark measures that claim directly:
+
+* **scalar leg** — replay a handful of lanes through
+  :class:`repro.cfsm.network.NetworkSimulator` under the *same* stimulus
+  stream and time reactions/second;
+* **fleet legs** — run the whole fleet through the int-plane backend
+  (and the numpy uint64-word backend when numpy is importable) and time
+  reactions/second; ``speedup`` is fleet over scalar;
+* **cross-check** — sampled lanes must be bit-identical to the scalar
+  simulator (states, flags, value buffers, lost-event and reaction
+  counts);
+* **determinism** — ``--jobs 1`` and ``--jobs 4`` fleet digests must
+  match exactly.
+
+Two entry points:
+
+* **pytest** (``pytest benchmarks/bench_fleet_sim.py``) — the
+  assertion-backed checks below, reported to ``results/fleet_sim.txt``;
+* **report script** (``python benchmarks/bench_fleet_sim.py --json
+  BENCH_sim.json``) — the machine-readable ``repro-sim-bench/v1``
+  document the CI jobs feed ``repro bench-history --check`` (tracked
+  metric: the int-backend speedup, gated at >= 20x in full mode).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1`` or ``--smoke``): smaller fleet,
+fewer steps, fewer scalar baseline lanes.
+"""
+
+import os
+import sys
+import time
+
+from repro.cfsm.network import NetworkSimulator
+from repro.fleet import (
+    FleetConfig,
+    check_lanes,
+    compile_network,
+    default_spec,
+    numpy_available,
+    run_fleet,
+)
+from repro.fleet.crosscheck import materialize_stream
+
+if __name__ == "__main__":  # script mode runs from anywhere
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: The acceptance gate of full mode: the int-backend fleet must deliver
+#: at least this many times the scalar simulator's reactions/second on a
+#: >= 4096-instance dashboard fleet.  Smoke mode only requires > 1x.
+MIN_SPEEDUP = 20.0
+
+
+def _sizes(smoke):
+    if smoke:
+        return {"instances": 1024, "steps": 50, "scalar_lanes": 4,
+                "check_lanes": 8}
+    return {"instances": 4096, "steps": 200, "scalar_lanes": 8,
+            "check_lanes": 16}
+
+
+def _scalar_leg(network, compiled, spec, config, lanes):
+    """Time ``lanes`` scalar replays under the fleet's own stimulus."""
+    shard_lanes = min(config.instances, config.lanes_per_shard)
+    step_planes = materialize_stream(
+        compiled, spec, config.seed, config.steps, 0, shard_lanes
+    )
+    reactions = 0
+    start = time.perf_counter()
+    for lane in range(lanes):
+        sim = NetworkSimulator(network)
+        for planes in step_planes:
+            for name, presence, values in planes:
+                if not (presence >> lane) & 1:
+                    continue
+                value = None
+                if values is not None:
+                    value = sum(
+                        ((plane >> lane) & 1) << b
+                        for b, plane in enumerate(values)
+                    )
+                sim.inject(name, value)
+            sim.step()
+        reactions += sim.reactions
+    wall = time.perf_counter() - start
+    return {
+        "reactions": reactions,
+        "wall_s": round(wall, 6),
+        "reactions_per_sec": round(reactions / wall, 1) if wall else 0.0,
+    }
+
+
+def _fleet_leg(network, compiled, config, backend, scalar_rps):
+    leg_config = FleetConfig(
+        instances=config.instances,
+        steps=config.steps,
+        seed=config.seed,
+        jobs=config.jobs,
+        backend=backend,
+        lanes_per_shard=config.lanes_per_shard,
+        spec=config.spec,
+    )
+    summary = run_fleet(network, leg_config, compiled=compiled)
+    rps = summary["reactions_per_sec"]
+    return {
+        "reactions": summary["reactions"],
+        "wall_s": round((summary["wall_ms"] - summary["compile_ms"]) / 1000.0,
+                        6),
+        "reactions_per_sec": round(rps, 1),
+        "speedup": round(rps / scalar_rps, 2) if scalar_rps else 0.0,
+    }, summary["digest"]
+
+
+def run_report(smoke=False):
+    from repro.apps import dashboard_network
+
+    sizes = _sizes(smoke)
+    network = dashboard_network()
+    compiled = compile_network(network)
+    spec = default_spec(network)
+    config = FleetConfig(
+        instances=sizes["instances"],
+        steps=sizes["steps"],
+        seed=0,
+        jobs=1,
+        backend="int",
+        spec=spec,
+    )
+
+    scalar = _scalar_leg(
+        network, compiled, spec, config, sizes["scalar_lanes"]
+    )
+    backends = {}
+    backends["int"], _ = _fleet_leg(
+        network, compiled, config, "int", scalar["reactions_per_sec"]
+    )
+    if numpy_available():
+        backends["numpy"], _ = _fleet_leg(
+            network, compiled, config, "numpy", scalar["reactions_per_sec"]
+        )
+
+    jobs4_config = FleetConfig(
+        instances=config.instances,
+        steps=config.steps,
+        seed=config.seed,
+        jobs=4,
+        backend="int",
+        lanes_per_shard=max(64, config.instances // 4),
+        spec=spec,
+    )
+    jobs4 = run_fleet(network, jobs4_config, compiled=compiled)
+    # Digests hash per-shard state, so compare against a jobs=1 run of
+    # the *same* sharding, not the single-shard timing leg.
+    jobs1_config = FleetConfig(
+        instances=jobs4_config.instances,
+        steps=jobs4_config.steps,
+        seed=jobs4_config.seed,
+        jobs=1,
+        backend="int",
+        lanes_per_shard=jobs4_config.lanes_per_shard,
+        spec=spec,
+    )
+    jobs1 = run_fleet(network, jobs1_config, compiled=compiled)
+
+    sample = sorted({
+        lane * config.instances // sizes["check_lanes"]
+        for lane in range(sizes["check_lanes"])
+    })
+    mismatches = check_lanes(network, config, sample, compiled=compiled)
+
+    doc = {
+        "format": "repro-sim-bench/v1",
+        "smoke": smoke,
+        "network": network.name,
+        "instances": config.instances,
+        "steps": config.steps,
+        "kernel_ops": compiled.op_count,
+        "scalar": scalar,
+        "backends": backends,
+        "crosscheck": {
+            "lanes": len(sample),
+            "mismatches": len(mismatches),
+        },
+        "determinism": {
+            "jobs1_digest": jobs1["digest"],
+            "jobs4_digest": jobs4["digest"],
+            "match": jobs1["digest"] == jobs4["digest"],
+        },
+    }
+    return doc
+
+
+def _report_lines(doc):
+    from repro.obs import render_sim_bench
+
+    return render_sim_bench(doc).splitlines()
+
+
+def test_fleet_bench_document_is_valid_and_fast():
+    from repro.obs import validate_trace
+
+    doc = run_report(smoke=True)
+    errors = validate_trace(doc)
+    assert errors == [], errors
+    assert doc["crosscheck"]["mismatches"] == 0, doc["crosscheck"]
+    assert doc["determinism"]["match"], doc["determinism"]
+    # Smoke fleets are small; the full >= 20x gate lives in the
+    # bench-history reference checked by CI on the full document.
+    assert doc["backends"]["int"]["speedup"] > 1.0, doc["backends"]["int"]
+    write_report("fleet_sim", _report_lines(doc))
+
+
+def main(argv=None):
+    import argparse
+    import json
+
+    from repro.obs import assert_valid_trace, render_sim_bench
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default="BENCH_sim.json",
+                        help="where to write the report document")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink workloads (or set REPRO_BENCH_SMOKE=1)")
+    args = parser.parse_args(argv)
+    smoke = args.smoke or SMOKE
+
+    doc = run_report(smoke=smoke)
+    assert_valid_trace(doc)
+    with open(args.json, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.json}")
+    print(render_sim_bench(doc))
+    failures = []
+    if doc["crosscheck"]["mismatches"]:
+        failures.append(f"{doc['crosscheck']['mismatches']} lane mismatches")
+    if not doc["determinism"]["match"]:
+        failures.append("jobs 1 vs jobs 4 digests diverged")
+    gate = MIN_SPEEDUP if not smoke else 1.0
+    if doc["backends"]["int"]["speedup"] < gate:
+        failures.append(
+            f"int speedup {doc['backends']['int']['speedup']}x "
+            f"below {gate}x gate"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,15 @@ from .events import EventDef
 from .machine import Cfsm
 from .semantics import react
 
-__all__ = ["Network", "NetworkSimulator"]
+__all__ = ["Network", "NetworkSimulator", "QuiescenceError"]
+
+
+class QuiescenceError(RuntimeError):
+    """A network failed to quiesce within its step budget.
+
+    Subclasses :class:`RuntimeError` for compatibility with callers that
+    caught the old generic error.
+    """
 
 
 class Network:
@@ -137,6 +145,8 @@ class NetworkSimulator:
         self.emitted_to_environment: List[Tuple[str, Optional[int]]] = []
         self._rng = random.Random(seed)
         self._rr_cursor = 0
+        self._rr_order = [m.name for m in network.machines]
+        self._rr_index = {name: i for i, name in enumerate(self._rr_order)}
 
     # -- observation --------------------------------------------------------
 
@@ -212,23 +222,31 @@ class NetworkSimulator:
         return self.step(self._rng.choice(enabled))
 
     def _pick_round_robin(self, enabled: List[str]) -> str:
-        order = [m.name for m in self.network.machines]
+        enabled_set = set(enabled)
+        order = self._rr_order
         n = len(order)
         for offset in range(n):
-            candidate = order[(self._rr_cursor + offset) % n]
-            if candidate in enabled:
-                self._rr_cursor = (order.index(candidate) + 1) % n
-                return candidate
+            index = (self._rr_cursor + offset) % n
+            if order[index] in enabled_set:
+                self._rr_cursor = (index + 1) % n
+                return order[index]
         raise AssertionError("enabled machine not in network order")
 
     def run_until_quiescent(self, max_steps: int = 10_000) -> int:
-        """Step (round-robin) until no machine is enabled; returns steps."""
+        """Step (round-robin) until no machine is enabled; returns steps.
+
+        Raises :class:`QuiescenceError` when the budget runs out with
+        machines still enabled; quiescing *exactly* at the budget is a
+        normal return of ``max_steps``.
+        """
         steps = 0
         while steps < max_steps:
             if self.step() is None:
                 return steps
             steps += 1
-        raise RuntimeError(
+        if not self.enabled_machines():
+            return steps
+        raise QuiescenceError(
             f"network {self.network.name} did not quiesce in {max_steps} steps"
         )
 

@@ -28,6 +28,11 @@ Subcommands:
 * ``report``   — summarize any repro trace JSON file (build or run trace)
   as a human-readable report: slowest passes, cache hit rate, per-task
   CPU share, lost events, latency histograms;
+* ``fleet``    — fleet-scale batched simulation: compile the network's
+  synthesized evaluators into bit-sliced kernels and step thousands of
+  instances at once (one fleet instance per bit lane), sharded over the
+  process pool under seeded per-lane stimulus; ``--check N`` replays N
+  sampled lanes through the scalar simulator and fails on any divergence;
 * ``fuzz``     — differential conformance fuzzing: random CFSMs are run
   through all five executable layers (reference semantics, BDD
   characteristic function, s-graph, generated C, target ISA) and every
@@ -509,6 +514,97 @@ def _cmd_verify(args) -> int:
     return report.exit_code(args.fail_on)
 
 
+def _cmd_fleet(args) -> int:
+    import json
+
+    from .cfsm import Network
+    from .fleet import (
+        FleetConfig,
+        check_lanes,
+        compile_network,
+        load_spec,
+        run_fleet,
+    )
+
+    if args.app:
+        from . import apps
+
+        network = getattr(apps, f"{args.app}_network")()
+    elif args.modules:
+        machines = [compile_source(_read(path)) for path in args.modules]
+        network = Network(args.name, machines)
+    else:
+        sys.stderr.write(
+            "repro fleet: no modules given (pass RSL files or --app)\n"
+        )
+        return 2
+    spec = load_spec(args.stimulus, network) if args.stimulus else None
+    config = FleetConfig(
+        instances=args.instances,
+        steps=args.steps,
+        seed=args.seed,
+        jobs=args.jobs,
+        backend=args.backend,
+        lanes_per_shard=args.lanes_per_shard,
+        spec=spec,
+    )
+    trace = None
+    if args.trace:
+        from .pipeline import BuildTrace
+
+        trace = BuildTrace()
+    compiled = compile_network(network)
+    summary = run_fleet(network, config, trace=trace, compiled=compiled)
+    if trace is not None:
+        from .obs import assert_valid_trace
+
+        assert_valid_trace(trace.to_dict())
+        trace.write(args.trace)
+        sys.stderr.write(f"wrote fleet trace to {args.trace}\n")
+    print(
+        f"{summary['network']}: {summary['instances']:,} instances x "
+        f"{summary['steps']:,} steps on {summary['shards']} shard(s) "
+        f"(jobs={summary['jobs']}, backend={summary['backend']})"
+    )
+    print(
+        f"  {summary['reactions']:,} reactions "
+        f"({summary['reactions_per_sec']:,.0f}/s after "
+        f"{summary['compile_ms']} ms kernel compile, "
+        f"{summary['kernel_ops']:,} plane ops/step), "
+        f"{summary['lost_events']:,} lost events"
+    )
+    for name, count in sorted(summary["env_emitted"].items()):
+        print(f"  env {name}: {count:,} emissions")
+    print(f"  fleet digest {summary['digest'][:32]}...")
+    failures = 0
+    if args.check:
+        sample = sorted(
+            {lane * config.instances // args.check
+             for lane in range(args.check)}
+        )
+        mismatches = check_lanes(network, config, sample, compiled=compiled)
+        if mismatches:
+            failures = len(mismatches)
+            print(f"  cross-check: {failures} MISMATCHES over "
+                  f"{len(sample)} lanes")
+            for record in mismatches[: args.top]:
+                print(
+                    f"    lane {record['lane']} {record['field']}: "
+                    f"fleet={record['fleet']!r} scalar={record['scalar']!r}"
+                )
+        else:
+            print(f"  cross-check: {len(sample)} lanes bit-identical to "
+                  "the scalar simulator")
+        summary["crosscheck"] = {
+            "lanes": len(sample),
+            "mismatches": failures,
+        }
+    if args.out:
+        _write(args.out, json.dumps(summary, indent=2, sort_keys=True))
+        sys.stderr.write(f"wrote fleet summary to {args.out}\n")
+    return 1 if failures else 0
+
+
 def _cmd_fuzz(args) -> int:
     import json
 
@@ -846,6 +942,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list the registered checks and exit")
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "fleet",
+        help="bit-sliced batched simulation of thousands of instances",
+    )
+    p.add_argument("modules", nargs="*", help="RSL source files")
+    p.add_argument("--name", default="system",
+                   help="network name used in the summary")
+    p.add_argument("--app", default=None,
+                   choices=["dashboard", "shock", "abp"],
+                   help="simulate a built-in example network instead of "
+                        "RSL files")
+    p.add_argument("--instances", type=int, default=4096,
+                   help="fleet size (one instance per bit lane)")
+    p.add_argument("--steps", type=int, default=100,
+                   help="network steps per instance")
+    p.add_argument("--seed", type=int, default=0,
+                   help="stimulus seed (per-shard streams derive from it)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run shards on an N-worker process pool (results "
+                        "are identical for any N)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "int", "numpy"],
+                   help="plane representation: arbitrary-precision ints, "
+                        "numpy uint64 words, or auto-select")
+    p.add_argument("--lanes-per-shard", type=int, default=4096,
+                   help="lanes per shard (fixed blocks, independent of "
+                        "--jobs)")
+    p.add_argument("--stimulus", default=None, metavar="SPEC.json",
+                   help="JSON stimulus spec: {\"events\": {NAME: "
+                        "{\"p\", \"lo\", \"hi\"}}} (default: p=0.5, "
+                        "full range)")
+    p.add_argument("--check", type=int, default=0, metavar="N",
+                   help="cross-check N evenly sampled lanes against the "
+                        "scalar simulator (exit 1 on divergence)")
+    p.add_argument("--top", type=int, default=10,
+                   help="mismatch records shown per failing check")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write the merged causal fleet trace "
+                        "(repro-build-trace/v1, one lane per shard)")
+    p.add_argument("--out", default=None, metavar="OUT.json",
+                   help="write the machine-readable fleet summary")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "fuzz",

@@ -1,0 +1,68 @@
+"""Fleet-scale batched simulation of CFSM networks.
+
+Compiles each machine's synthesized evaluator into a straight-line
+bit-sliced kernel (one plane per state bit/flag/buffer bit, one fleet
+instance per lane) and steps thousands of network instances per plane
+pass, sharded over the pipeline process pool.  Every lane is
+bit-for-bit equivalent to the scalar :class:`repro.cfsm.network.NetworkSimulator`
+— see :mod:`repro.fleet.crosscheck`.
+"""
+
+from .alu import Alu, BitVec, Circuit, FleetCompileError, build_expr
+from .crosscheck import check_lanes, random_campaign
+from .kernel import CompiledMachine, CompiledNetwork, compile_network
+from .lanes import (
+    Backend,
+    IntBackend,
+    LaneCounter,
+    NumpyBackend,
+    make_backend,
+    numpy_available,
+    select,
+)
+from .sim import (
+    FleetConfig,
+    FleetShard,
+    FleetShardOutcome,
+    FleetShardTask,
+    run_fleet,
+)
+from .stimulus import (
+    EventStimulus,
+    StimulusSpec,
+    StimulusStream,
+    default_spec,
+    load_spec,
+    shard_seed,
+)
+
+__all__ = [
+    "Alu",
+    "Backend",
+    "BitVec",
+    "Circuit",
+    "CompiledMachine",
+    "CompiledNetwork",
+    "EventStimulus",
+    "FleetCompileError",
+    "FleetConfig",
+    "FleetShard",
+    "FleetShardOutcome",
+    "FleetShardTask",
+    "IntBackend",
+    "LaneCounter",
+    "NumpyBackend",
+    "StimulusSpec",
+    "StimulusStream",
+    "build_expr",
+    "check_lanes",
+    "compile_network",
+    "default_spec",
+    "load_spec",
+    "make_backend",
+    "numpy_available",
+    "random_campaign",
+    "run_fleet",
+    "select",
+    "shard_seed",
+]

@@ -1,0 +1,344 @@
+"""Compile synthesized reactive functions into bit-sliced reaction kernels.
+
+One :class:`CompiledMachine` holds straight-line Python source evaluating a
+whole CFSM reaction for every fleet lane at once:
+
+* guard/action selection comes from the **condition BDDs** of
+  :func:`repro.synthesis.reactive.synthesize_reactive` — each BDD node
+  becomes one lane-mux (``select``) over its variable's plane, shared
+  across all conditions through the traversal memo, exactly mirroring the
+  s-graph evaluation the paper generates code from;
+* expression tests and action right-hand sides go through the bit-sliced
+  ALU (:mod:`repro.fleet.alu`), replicating
+  :func:`repro.cfsm.semantics.react` arithmetic bit-for-bit (state writes
+  wrap with Python's floor-mod, safe division, &c.);
+* ``check=True`` synthesis proves enabled actions never conflict inside
+  the care set, so the kernel needs no runtime conflict planes — the same
+  argument that lets the generated C of Sec. V skip the check.
+
+The per-lane scheduling (who reacts this step) lives in
+:mod:`repro.fleet.sim`; a kernel only sees a ``RUN`` plane masking the
+lanes where its machine was picked.  Lanes outside ``RUN`` pass state,
+flags and buffers through unchanged, which is what lets one fleet step
+run every machine's kernel over disjoint lane sets.
+
+Compiled objects are picklable (plain source + layout metadata, no BDD
+manager), so process-pool shards rebuild their callables with one
+``exec`` each.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..bdd.manager import FALSE_ID, TRUE_ID, Function
+from ..cfsm.machine import AssignState, Cfsm, Emit
+from ..cfsm.network import Network
+from ..synthesis.reactive import synthesize_reactive
+from .alu import Alu, BitVec, Circuit, FleetCompileError, ONES, ZERO, build_expr
+
+__all__ = [
+    "CompiledMachine",
+    "CompiledNetwork",
+    "compile_network",
+    "compute_event_widths",
+]
+
+_MAX_WIDTH_PASSES = 64
+
+
+def _ident(name: str) -> str:
+    return re.sub(r"\W", "_", name)
+
+
+def _machine_env(
+    cfsm: Cfsm,
+    state_planes: Dict[str, List[str]],
+    buffer_planes: Dict[str, List[str]],
+) -> Dict[str, BitVec]:
+    """Expression environment: state vars (unsigned) + ``?event`` buffers."""
+    env: Dict[str, BitVec] = {}
+    for var in cfsm.state_vars:
+        env[var.name] = BitVec(state_planes[var.name] + [ZERO])
+    for event in cfsm.inputs:
+        if event.is_valued:
+            env[f"?{event.name}"] = BitVec(buffer_planes[event.name])
+    return env
+
+
+def _state_planes_for(cfsm: Cfsm, prefix: str = "s") -> Dict[str, List[str]]:
+    return {
+        var.name: [f"{prefix}{vi}_{b}" for b in range(_state_bits(var.num_values))]
+        for vi, var in enumerate(cfsm.state_vars)
+    }
+
+
+def _state_bits(num_values: int) -> int:
+    return max(1, (num_values - 1).bit_length())
+
+
+def compute_event_widths(network: Network) -> Dict[str, int]:
+    """Signed buffer width (in planes) of every valued event, by fixpoint.
+
+    Environment inputs hold injected values in ``[0, 2**width)`` so they
+    start (and stay) at ``width + 1`` planes; machine-produced events start
+    at 1 plane and grow to cover every emitting expression, iterated until
+    the widths stabilise.  Divergence (a feedback loop that widens its own
+    buffer forever) is reported as a :class:`FleetCompileError` rather
+    than looping.
+    """
+    widths: Dict[str, int] = {}
+    env_inputs = {e.name for e in network.environment_inputs()}
+    for event in network.events():
+        if not event.is_valued:
+            continue
+        widths[event.name] = event.width + 1 if event.name in env_inputs else 1
+
+    for _ in range(_MAX_WIDTH_PASSES):
+        changed = False
+        for cfsm in network.machines:
+            state_planes = _state_planes_for(cfsm)
+            buffer_planes = {
+                e.name: [f"v_{_ident(e.name)}_{b}" for b in range(widths[e.name])]
+                for e in cfsm.inputs
+                if e.is_valued
+            }
+            alu = Alu(Circuit())
+            env = _machine_env(cfsm, state_planes, buffer_planes)
+            for action in cfsm.all_actions():
+                if isinstance(action, Emit) and action.value is not None:
+                    width = build_expr(alu, action.value, env).width
+                    if width > widths[action.event.name]:
+                        widths[action.event.name] = width
+                        changed = True
+        if not changed:
+            return widths
+    raise FleetCompileError(
+        f"network {network.name}: event buffer widths do not converge"
+    )
+
+
+def _prune(lines: List[str], roots: List[str]) -> List[str]:
+    """Drop straight-line assignments whose results never reach ``roots``."""
+    needed = set(roots)
+    kept: List[str] = []
+    for line in reversed(lines):
+        name, _, rhs = line.partition(" = ")
+        if name in needed:
+            kept.append(line)
+            for token in re.split(r"[^\w]+", rhs):
+                if token:
+                    needed.add(token)
+    kept.reverse()
+    return kept
+
+
+class CompiledMachine:
+    """Bit-sliced reaction kernel of one CFSM (picklable, manager-free).
+
+    Call layout (all planes): ``fn(Z, M, RUN, *flags, *state, *buffers)``
+    with flags in ``input_events`` order, state planes LSB-first per
+    ``state_specs`` entry, buffers LSB-first per ``valued_inputs`` entry.
+    Returns ``(fired, *state', *flags', *emissions)`` where emissions
+    carry, per ``output_events`` entry, an emit plane followed by the
+    event's value planes when it is valued.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        fn_name: str,
+        input_events: List[str],
+        valued_inputs: List[str],
+        state_specs: List[Tuple[str, int, int, int]],  # name, |D|, bits, init
+        output_events: List[Tuple[str, bool]],  # name, is_valued
+        op_count: int,
+    ):
+        self.name = name
+        self.source = source
+        self.fn_name = fn_name
+        self.input_events = input_events
+        self.valued_inputs = valued_inputs
+        self.state_specs = state_specs
+        self.output_events = output_events
+        self.op_count = op_count
+        self._fn: Optional[Callable] = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_fn"] = None
+        return state
+
+    @property
+    def fn(self) -> Callable:
+        if self._fn is None:
+            namespace: Dict[str, object] = {}
+            exec(self.source, namespace)  # straight-line plane ops only
+            self._fn = namespace[self.fn_name]
+        return self._fn
+
+
+class CompiledNetwork:
+    """Every machine kernel plus the event wiring needed to route planes."""
+
+    def __init__(self, network: Network):
+        self.name = network.name
+        self.event_widths = compute_event_widths(network)
+        self.machines = [
+            _compile_machine(m, self.event_widths) for m in network.machines
+        ]
+        self.machine_index = {m.name: i for i, m in enumerate(self.machines)}
+        self.consumers: Dict[str, List[int]] = {
+            e.name: [self.machine_index[m.name] for m in network.consumers(e.name)]
+            for e in network.events()
+        }
+        self.env_inputs: List[Tuple[str, Optional[int]]] = [
+            (e.name, e.width) for e in network.environment_inputs()
+        ]
+        self.env_outputs: List[str] = [
+            e.name for e in network.environment_outputs()
+        ]
+
+    @property
+    def op_count(self) -> int:
+        return sum(m.op_count for m in self.machines)
+
+
+def compile_network(network: Network) -> CompiledNetwork:
+    return CompiledNetwork(network)
+
+
+def _compile_machine(cfsm: Cfsm, event_widths: Dict[str, int]) -> CompiledMachine:
+    rf = synthesize_reactive(cfsm, check=True)
+    enc = rf.encoding
+    circ = Circuit()
+    alu = Alu(circ)
+
+    input_events = [e.name for e in cfsm.inputs]
+    valued_inputs = [e.name for e in cfsm.inputs if e.is_valued]
+    state_specs = [
+        (v.name, v.num_values, _state_bits(v.num_values), v.init)
+        for v in cfsm.state_vars
+    ]
+    flag_planes = {name: f"f{i}" for i, name in enumerate(input_events)}
+    state_planes = _state_planes_for(cfsm)
+    buffer_planes = {
+        name: [f"v{j}_{b}" for b in range(event_widths[name])]
+        for j, name in enumerate(valued_inputs)
+    }
+    env = _machine_env(cfsm, state_planes, buffer_planes)
+
+    # Encoding input variable -> plane computing it.
+    var_plane: Dict[int, str] = {}
+    for name, var in enc.presence_vars.items():
+        var_plane[var] = flag_planes[name]
+    for name, mvar in enc.state_mvars.items():
+        for i, var in enumerate(mvar.bits):
+            var_plane[var] = state_planes[name][mvar.num_bits - 1 - i]
+    for test in enc.opaque_tests:
+        vec = build_expr(alu, test.expr, env)
+        var_plane[enc.opaque_var[test.key()]] = alu.nonzero(vec)
+
+    # Condition BDDs -> plane circuits, one select per node, shared
+    # across conditions through the regular-edge memo.
+    manager = rf.manager
+    memo: Dict[int, str] = {}
+
+    def edge_plane(edge: int) -> str:
+        if edge == TRUE_ID:
+            return ONES
+        if edge == FALSE_ID:
+            return ZERO
+        regular = edge & ~1
+        plane = memo.get(regular)
+        if plane is None:
+            node: Function = manager.wrap(regular)
+            plane = circ.select(
+                var_plane[node.var],
+                edge_plane(node.high.id),
+                edge_plane(node.low.id),
+            )
+            memo[regular] = plane
+        return circ.not_(plane) if edge & 1 else plane
+
+    fired = circ.and_(edge_plane(rf.fire_condition.id), "RUN")
+    selected: Dict[Tuple, str] = {
+        action.key(): circ.and_(edge_plane(cond.id), "RUN")
+        for action, cond in (
+            (a, rf.conditions[a.key()]) for a in enc.actions
+        )
+    }
+
+    results: List[str] = [fired]
+
+    # New state: each writer folds a lane-select over the previous value;
+    # check_consistency proved writers of one variable are never selected
+    # together, so fold order is immaterial.
+    not_fired = circ.not_(fired)
+    for var in cfsm.state_vars:
+        bits = _state_bits(var.num_values)
+        current = list(state_planes[var.name])
+        for action in enc.actions:
+            if not (isinstance(action, AssignState) and action.var.name == var.name):
+                continue
+            rhs = build_expr(alu, action.value, env)
+            wrapped = alu.floormod(rhs, var.num_values)
+            sel = selected[action.key()]
+            current = [
+                circ.select(sel, wrapped.plane(b), current[b]) for b in range(bits)
+            ]
+        results.extend(current)
+
+    # New flags: a fired reaction consumes the whole snapshot.
+    for name in input_events:
+        results.append(circ.and_(flag_planes[name], not_fired))
+
+    # Emissions, one (emit plane, value planes) group per declared output.
+    output_events: List[Tuple[str, bool]] = []
+    for event in cfsm.outputs:
+        emitters = [
+            a
+            for a in enc.actions
+            if isinstance(a, Emit) and a.event.name == event.name
+        ]
+        emit = circ.or_all(selected[a.key()] for a in emitters)
+        output_events.append((event.name, event.is_valued))
+        results.append(emit)
+        if event.is_valued:
+            width = event_widths[event.name]
+            value = BitVec([ZERO] * width)
+            for a in emitters:
+                vec = build_expr(alu, a.value, env)
+                if vec.width > width:
+                    raise FleetCompileError(
+                        f"{cfsm.name}: emission of {event.name} is "
+                        f"{vec.width} planes wide but its buffer has {width}"
+                    )
+                value = alu.select_vec(selected[a.key()], vec, value)
+            results.extend(value.extended(width))
+
+    params = (
+        ["Z", "M", "RUN"]
+        + [flag_planes[name] for name in input_events]
+        + [p for name, _, bits, _ in state_specs for p in state_planes[name]]
+        + [p for name in valued_inputs for p in buffer_planes[name]]
+    )
+    body = _prune(circ.lines, [r for r in results if r not in (ZERO, ONES)])
+    fn_name = f"kernel_{_ident(cfsm.name)}"
+    source = "\n".join(
+        [f"def {fn_name}({', '.join(params)}):"]
+        + [f"    {line}" for line in body]
+        + ["    return ({},)".format(", ".join(results))]
+    )
+    return CompiledMachine(
+        name=cfsm.name,
+        source=source,
+        fn_name=fn_name,
+        input_events=input_events,
+        valued_inputs=valued_inputs,
+        state_specs=state_specs,
+        output_events=output_events,
+        op_count=len(body),
+    )

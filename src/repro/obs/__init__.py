@@ -62,6 +62,7 @@ from .report import (
     render_difftest_repro,
     render_report,
     render_run_report,
+    render_sim_bench,
     render_verify_report,
     report_file,
 )
@@ -72,6 +73,7 @@ from .schema import (
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
+    SIM_BENCH_FORMAT,
     VERIFY_REPORT_FORMAT,
     assert_valid_trace,
     validate_bdd_bench,
@@ -80,6 +82,7 @@ from .schema import (
     validate_difftest_report,
     validate_difftest_repro,
     validate_run_trace,
+    validate_sim_bench,
     validate_trace,
     validate_verify_report,
 )
@@ -108,6 +111,7 @@ __all__ = [
     "RUN_EVENT_KINDS",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
+    "SIM_BENCH_FORMAT",
     "BENCH_HISTORY_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
@@ -128,6 +132,7 @@ __all__ = [
     "validate_build_trace",
     "validate_run_trace",
     "validate_bdd_bench",
+    "validate_sim_bench",
     "validate_bench_history",
     "validate_difftest_report",
     "validate_difftest_repro",
@@ -139,6 +144,7 @@ __all__ = [
     "render_difftest_report",
     "render_difftest_repro",
     "render_verify_report",
+    "render_sim_bench",
     "render_report",
     "report_file",
 ]

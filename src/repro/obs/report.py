@@ -18,13 +18,15 @@ from .schema import (
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
+    SIM_BENCH_FORMAT,
     VERIFY_REPORT_FORMAT,
     validate_trace,
 )
 
 __all__ = ["render_build_report", "render_run_report",
            "render_difftest_report", "render_difftest_repro",
-           "render_verify_report", "render_report", "report_file"]
+           "render_verify_report", "render_sim_bench",
+           "render_report", "report_file"]
 
 
 def _rule(title: str) -> str:
@@ -416,6 +418,54 @@ def render_verify_report(doc: Dict[str, Any], top: int = 10) -> str:
 
 
 # ----------------------------------------------------------------------
+# Fleet-simulation benchmark reports
+# ----------------------------------------------------------------------
+
+
+def render_sim_bench(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-sim-bench/v1`` report (BENCH_sim.json)."""
+    del top  # uniform renderer signature; this report has no top-N table
+    lines = [_rule(f"fleet simulation bench: {doc.get('network', '?')}")]
+    lines.append(
+        f"{doc.get('instances', 0):,} instances x {doc.get('steps', 0):,} "
+        f"steps; {doc.get('kernel_ops', 0):,} plane ops per network step"
+        + (" (smoke)" if doc.get("smoke") else "")
+    )
+    scalar = doc.get("scalar", {})
+    lines.append("")
+    lines.append(
+        f"  {'engine':12s} {'reactions':>12s} {'wall s':>9s} "
+        f"{'reactions/s':>13s} {'speedup':>8s}"
+    )
+    lines.append(
+        f"  {'scalar':12s} {scalar.get('reactions', 0):12,d} "
+        f"{scalar.get('wall_s', 0.0):9.3f} "
+        f"{scalar.get('reactions_per_sec', 0.0):13,.0f} {'1.0x':>8s}"
+    )
+    for name, leg in sorted(doc.get("backends", {}).items()):
+        lines.append(
+            f"  {'fleet/' + name:12s} {leg.get('reactions', 0):12,d} "
+            f"{leg.get('wall_s', 0.0):9.3f} "
+            f"{leg.get('reactions_per_sec', 0.0):13,.0f} "
+            f"{leg.get('speedup', 0.0):7.1f}x"
+        )
+    crosscheck = doc.get("crosscheck", {})
+    lines.append("")
+    lines.append(
+        f"cross-check: {crosscheck.get('lanes', 0)} lanes vs the scalar "
+        f"simulator, {crosscheck.get('mismatches', 0)} mismatches"
+    )
+    determinism = doc.get("determinism", {})
+    if determinism:
+        verdict = "identical" if determinism.get("match") else "DIVERGED"
+        lines.append(
+            f"determinism: --jobs 1 vs --jobs 4 fleet digests {verdict} "
+            f"({determinism.get('jobs1_digest', '')[:16]}...)"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -433,6 +483,8 @@ def render_report(doc: Dict[str, Any], top: int = 10) -> str:
         return render_difftest_repro(doc, top=top)
     if fmt == VERIFY_REPORT_FORMAT:
         return render_verify_report(doc, top=top)
+    if fmt == SIM_BENCH_FORMAT:
+        return render_sim_bench(doc, top=top)
     if fmt == BENCH_HISTORY_FORMAT:
         from .history import render_history
 

@@ -1,9 +1,9 @@
 """Hand-rolled schema validation for the trace document formats.
 
 The container ships no JSON-Schema dependency, so the document formats —
-``repro-build-trace/v1``, ``repro-run-trace/v1``, and the engine-benchmark
-report ``repro-bdd-bench/v2`` — are checked by plain structural
-validators.  Each returns a list of error strings (empty means valid) so
+``repro-build-trace/v1``, ``repro-run-trace/v1``, the engine-benchmark
+report ``repro-bdd-bench/v2``, and the fleet-simulation benchmark
+``repro-sim-bench/v1`` — are checked by plain structural validators.  Each returns a list of error strings (empty means valid) so
 CI can print every problem at once; :func:`assert_valid_trace` wraps them
 in a raising form.
 """
@@ -18,6 +18,7 @@ __all__ = [
     "validate_build_trace",
     "validate_run_trace",
     "validate_bdd_bench",
+    "validate_sim_bench",
     "validate_bench_history",
     "validate_difftest_report",
     "validate_difftest_repro",
@@ -26,6 +27,7 @@ __all__ = [
     "assert_valid_trace",
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
+    "SIM_BENCH_FORMAT",
     "BENCH_HISTORY_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
@@ -63,6 +65,11 @@ _BENCH_STORE_FIELDS = (
     "complemented_lo_edges",
     "complement_edge_share",
 )
+
+SIM_BENCH_FORMAT = "repro-sim-bench/v1"
+#: Required throughput fields of one timed simulation leg (the scalar
+#: baseline and every fleet backend report the same shape).
+_SIM_LEG_FIELDS = ("reactions", "wall_s", "reactions_per_sec")
 
 #: Per-kind required data fields of a run-trace event.
 _RUN_REQUIRED_FIELDS = {
@@ -345,6 +352,66 @@ def validate_bdd_bench(doc: Dict[str, Any]) -> List[str]:
     return errors
 
 
+def _validate_sim_leg(where: str, leg: Any, errors: List[str]) -> None:
+    if not isinstance(leg, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if not _is_int(leg.get("reactions")) or leg["reactions"] < 0:
+        errors.append(f"{where}: reactions must be a non-negative integer")
+    if not isinstance(leg.get("wall_s"), (int, float)) or leg["wall_s"] < 0:
+        errors.append(f"{where}: wall_s must be a non-negative number")
+    if not isinstance(leg.get("reactions_per_sec"), (int, float)):
+        errors.append(f"{where}: reactions_per_sec must be a number")
+
+
+def validate_sim_bench(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-sim-bench/v1`` report (BENCH_sim.json)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != SIM_BENCH_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {SIM_BENCH_FORMAT!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("'smoke' missing or not a boolean")
+    if not isinstance(doc.get("network"), str):
+        errors.append("'network' missing or not a string")
+    for key in ("instances", "steps", "kernel_ops"):
+        if not _is_int(doc.get(key)) or doc.get(key, 0) <= 0:
+            errors.append(f"'{key}' must be a positive integer")
+    _validate_sim_leg("scalar", doc.get("scalar"), errors)
+    backends = doc.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        errors.append("'backends' missing, not an object, or empty")
+        backends = {}
+    for name, leg in backends.items():
+        where = f"backends[{name!r}]"
+        _validate_sim_leg(where, leg, errors)
+        if isinstance(leg, dict) and not isinstance(
+            leg.get("speedup"), (int, float)
+        ):
+            errors.append(f"{where}: speedup must be a number")
+    crosscheck = doc.get("crosscheck")
+    if not isinstance(crosscheck, dict):
+        errors.append("'crosscheck' missing or not an object")
+    else:
+        for key in ("lanes", "mismatches"):
+            if not _is_int(crosscheck.get(key)) or crosscheck.get(key, 0) < 0:
+                errors.append(
+                    f"crosscheck.{key} must be a non-negative integer"
+                )
+    determinism = doc.get("determinism")
+    if not isinstance(determinism, dict):
+        errors.append("'determinism' missing or not an object")
+    else:
+        for key in ("jobs1_digest", "jobs4_digest"):
+            if not isinstance(determinism.get(key), str):
+                errors.append(f"determinism.{key} missing or not a string")
+        if not isinstance(determinism.get("match"), bool):
+            errors.append("determinism.match missing or not a boolean")
+    return errors
+
+
 def validate_bench_history(doc: Dict[str, Any]) -> List[str]:
     """Structural check of a ``repro-bench-history/v1`` trend document."""
     errors: List[str] = []
@@ -594,6 +661,8 @@ def validate_trace(doc: Dict[str, Any]) -> List[str]:
         return validate_run_trace(doc)
     if fmt == BDD_BENCH_FORMAT:
         return validate_bdd_bench(doc)
+    if fmt == SIM_BENCH_FORMAT:
+        return validate_sim_bench(doc)
     if fmt == BENCH_HISTORY_FORMAT:
         return validate_bench_history(doc)
     if fmt == DIFFTEST_REPORT_FORMAT:

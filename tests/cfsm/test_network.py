@@ -195,3 +195,42 @@ class TestSimulator:
         sim.inject("a")
         with pytest.raises(RuntimeError):
             sim.run_until_quiescent(max_steps=50)
+
+
+class TestQuiescenceBudget:
+    def test_budget_exhaustion_raises_dedicated_error(self):
+        """A still-running network at the bound raises QuiescenceError
+        (a RuntimeError subclass, so old callers keep working)."""
+        from repro.cfsm.network import QuiescenceError
+
+        b1 = CfsmBuilder("ping")
+        ia = b1.pure_input("a")
+        ob = b1.pure_output("b")
+        b1.transition(when=[b1.present(ia)], do=[b1.emit(ob)])
+        ping = b1.build()
+        b2 = CfsmBuilder("pong")
+        ib = b2.input(ob)
+        oa = b2.output(ia)
+        b2.transition(when=[b2.present(ib)], do=[b2.emit(oa)])
+        pong = b2.build()
+        net = Network("loop", [ping, pong])
+        sim = NetworkSimulator(net)
+        sim.inject("a")
+        with pytest.raises(QuiescenceError):
+            sim.run_until_quiescent(max_steps=50)
+
+    def test_quiescing_exactly_at_budget_returns_steps(self, pipe):
+        """go -> A fires -> B fires: exactly 2 steps.  A budget of 2 is
+        enough, and must return normally rather than raise."""
+        sim = NetworkSimulator(pipe)
+        sim.inject("go", 9)
+        assert sim.run_until_quiescent(max_steps=2) == 2
+        assert sim.enabled_machines() == []
+
+    def test_one_step_short_still_raises(self, pipe):
+        from repro.cfsm.network import QuiescenceError
+
+        sim = NetworkSimulator(pipe)
+        sim.inject("go", 9)
+        with pytest.raises(QuiescenceError):
+            sim.run_until_quiescent(max_steps=1)

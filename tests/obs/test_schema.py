@@ -302,3 +302,96 @@ class TestVerifyReportValidation:
     def test_dispatches_through_validate_trace(self):
         assert validate_trace(valid_verify_doc()) == []
         assert_valid_trace(valid_verify_doc())
+
+
+def valid_sim_doc():
+    return {
+        "format": "repro-sim-bench/v1",
+        "smoke": True,
+        "network": "dashboard",
+        "instances": 4096,
+        "steps": 200,
+        "kernel_ops": 1161,
+        "scalar": {
+            "reactions": 1600, "wall_s": 0.07, "reactions_per_sec": 23000.0,
+        },
+        "backends": {
+            "int": {
+                "reactions": 819198, "wall_s": 0.09,
+                "reactions_per_sec": 9000000.0, "speedup": 385.0,
+            },
+        },
+        "crosscheck": {"lanes": 16, "mismatches": 0},
+        "determinism": {
+            "jobs1_digest": "aa", "jobs4_digest": "aa", "match": True,
+        },
+    }
+
+
+class TestSimBenchValidation:
+    def test_valid_document_has_no_errors(self):
+        from repro.obs import validate_sim_bench
+
+        assert validate_sim_bench(valid_sim_doc()) == []
+
+    def test_wrong_format_and_missing_sections(self):
+        from repro.obs import validate_sim_bench
+
+        doc = valid_sim_doc()
+        doc["format"] = "repro-sim-bench/v0"
+        assert any("format" in e for e in validate_sim_bench(doc))
+        doc = valid_sim_doc()
+        del doc["backends"]
+        assert any("backends" in e for e in validate_sim_bench(doc))
+        doc = valid_sim_doc()
+        doc["backends"] = {}
+        assert any("backends" in e for e in validate_sim_bench(doc))
+
+    def test_leg_fields_required(self):
+        from repro.obs import validate_sim_bench
+
+        doc = valid_sim_doc()
+        del doc["scalar"]["reactions_per_sec"]
+        assert any("reactions_per_sec" in e for e in validate_sim_bench(doc))
+        doc = valid_sim_doc()
+        del doc["backends"]["int"]["speedup"]
+        assert any("speedup" in e for e in validate_sim_bench(doc))
+        doc = valid_sim_doc()
+        doc["backends"]["int"]["wall_s"] = -1
+        assert any("wall_s" in e for e in validate_sim_bench(doc))
+
+    def test_crosscheck_and_determinism_required(self):
+        from repro.obs import validate_sim_bench
+
+        doc = valid_sim_doc()
+        doc["crosscheck"]["mismatches"] = -1
+        assert any("mismatches" in e for e in validate_sim_bench(doc))
+        doc = valid_sim_doc()
+        del doc["determinism"]["match"]
+        assert any("match" in e for e in validate_sim_bench(doc))
+
+    def test_dispatches_and_renders(self):
+        from repro.obs import render_report
+
+        assert validate_trace(valid_sim_doc()) == []
+        assert_valid_trace(valid_sim_doc())
+        text = render_report(valid_sim_doc())
+        assert "fleet simulation bench" in text
+        assert "385.0x" in text
+
+    def test_committed_bench_sim_document_is_valid_and_meets_gate(self):
+        """The committed BENCH_sim.json must validate and hold the
+        acceptance figures: >= 4096-instance fleet, >= 20x int-backend
+        speedup, every sampled lane bit-identical, digests job-invariant.
+        """
+        from repro.obs import validate_sim_bench
+
+        path = os.path.join(REPO_ROOT, "BENCH_sim.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert validate_sim_bench(doc) == []
+        assert doc["instances"] >= 4096
+        assert doc["backends"]["int"]["speedup"] >= 20.0
+        assert doc["crosscheck"]["lanes"] > 0
+        assert doc["crosscheck"]["mismatches"] == 0
+        assert doc["determinism"]["match"]
