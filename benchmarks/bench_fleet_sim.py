@@ -35,6 +35,8 @@ import os
 import sys
 import time
 
+import pytest
+
 from repro.cfsm.network import NetworkSimulator
 from repro.fleet import (
     FleetConfig,
@@ -203,6 +205,8 @@ def _report_lines(doc):
     return render_sim_bench(doc).splitlines()
 
 
+@pytest.mark.timing
+@pytest.mark.slow
 def test_fleet_bench_document_is_valid_and_fast():
     from repro.obs import validate_trace
 

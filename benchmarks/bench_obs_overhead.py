@@ -28,6 +28,8 @@ import os
 import sys
 import time
 
+import pytest
+
 from repro.obs import MetricsRegistry, RunTrace
 from repro.rtos import RtosConfig, RtosRuntime, Stimulus
 from repro.sgraph import synthesize
@@ -87,6 +89,7 @@ def _programs(shock_net):
     }
 
 
+@pytest.mark.timing
 def test_observability_is_inert_and_cheap(shock_net):
     programs = _programs(shock_net)
 

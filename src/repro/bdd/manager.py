@@ -571,6 +571,38 @@ class BddManager:
     def _wrap(self, edge: int) -> Function:
         return Function(self, edge)
 
+    def live_handle_count(self) -> int:
+        """External handles still alive (the two constants always are)."""
+        self._drain_handle_deaths()
+        return sum(1 for ref in self._handles.values() if ref() is not None)
+
+    def reset(self) -> bool:
+        """Restore the pristine post-construction state for reuse.
+
+        The warm manager pools of the serve front door hand one manager to
+        many successive synthesis requests; ``reset()`` is what makes that
+        sound: it rebuilds the node store, unique tables, variable order,
+        operation caches, and profiling counters from scratch, exactly as
+        ``__init__`` left them.  Refuses (returns ``False``) while any
+        external :class:`Function` handle beyond the two constants is
+        still alive — a caller holding a handle into the old store must
+        never see it repointed.  Artifact bytes are unaffected either way:
+        synthesis output depends only on the CFSM and options, never on
+        slot/id layout (the PR 7 invariant), which the serve suite checks
+        by diffing fresh-manager and reset-manager builds.
+        """
+        self._drain_handle_deaths()
+        for ref in self._handles.values():
+            handle = ref()
+            if handle is None or handle is self._false or handle is self._true:
+                continue
+            return False
+        # Re-running __init__ rebinds every structure.  Stale weakref
+        # callbacks of old handles (including the replaced constants) find
+        # their key absent from the fresh _handles dict and no-op.
+        self.__init__(self.cache_limit)
+        return True
+
     @property
     def false(self) -> Function:
         return self._false

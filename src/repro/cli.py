@@ -39,6 +39,13 @@ Subcommands:
   reaction is cross-checked bit for bit, with measured cycles held to the
   estimator's [min, max] bounds; failures are shrunk to minimal replayable
   repros (``--replay`` re-checks one);
+* ``serve``    — synthesis-as-a-service: a daemon accepting concurrent
+  synthesize / estimate / simulate / fleet / fuzz requests over a
+  length-prefixed JSON protocol, executed on a persistent worker pool
+  with a shared artifact cache, bounded-queue admission control, and a
+  causal per-request trace in every response;
+* ``request``  — send one request to a running ``serve`` daemon and print
+  the response (``ping``/``stats``/``shutdown`` are the control plane);
 * ``bench-history`` — merge ``BENCH_*.json`` benchmark reports into one
   ``repro-bench-history/v1`` trend document and, with ``--check``, gate
   every tracked metric against a committed reference (exit 1 on any
@@ -712,6 +719,47 @@ def _cmd_bench_history(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=max(1, args.jobs),
+        queue_depth=args.queue_depth,
+        cache_dir=(None if args.no_cache else args.cache_dir),
+        cache_max_bytes=args.cache_max_bytes,
+        trace_requests=not args.no_request_traces,
+    )
+
+    def announce(server) -> None:
+        sys.stderr.write(
+            f"repro serve: listening on {config.host}:{server.port} "
+            f"(--jobs {config.jobs}, queue depth {config.queue_depth}"
+            + (f", cache {config.cache_dir}" if config.cache_dir else "")
+            + ")\n"
+        )
+
+    run_server(config, announce=announce)
+    return 0
+
+
+def _cmd_request(args) -> int:
+    import json
+
+    from .serve import request_once
+
+    params = json.loads(args.params) if args.params else {}
+    if not isinstance(params, dict):
+        sys.stderr.write("repro request: --params must be a JSON object\n")
+        return 2
+    response = request_once(
+        args.host, args.port, args.kind, params, timeout=args.timeout
+    )
+    _write(args.out, json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("status") == "ok" else 1
+
+
 def _cmd_info(args) -> int:
     cfsm = compile_source(_read(args.module))
     result = synthesize(cfsm, scheme=args.scheme)
@@ -1043,6 +1091,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out", default=None, metavar="OUT.json",
                    help="write the repro-bench-history/v1 document")
     p.set_defaults(func=_cmd_bench_history)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the synthesis-as-a-service daemon",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7411,
+                   help="TCP port to listen on (0 = ephemeral)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="worker processes (max concurrent requests)")
+    p.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                   help="admitted requests that may wait; one more is "
+                        "rejected with retry_after_ms")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="shared artifact cache directory for all workers")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="evict least-recently-used cache entries beyond "
+                        "this total size")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore --cache-dir for this daemon")
+    p.add_argument("--no-request-traces", action="store_true",
+                   help="skip the per-request causal trace in responses")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "request",
+        help="send one request to a running repro serve daemon",
+    )
+    p.add_argument("kind",
+                   help="request kind (synthesize, estimate, simulate, "
+                        "fleet, fuzz, ping, stats, shutdown)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7411)
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="request parameters as a JSON object")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("-o", "--out", default=None, metavar="OUT.json",
+                   help="write the response document (default stdout)")
+    p.set_defaults(func=_cmd_request)
 
     p = sub.add_parser("info", help="summarize a module")
     p.add_argument("module")

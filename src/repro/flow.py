@@ -197,6 +197,7 @@ def build_system(
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
     trace: Optional[BuildTrace] = None,
+    manager_pool=None,
 ) -> SystemBuild:
     """Run the complete flow over ``network``.
 
@@ -210,8 +211,10 @@ def build_system(
     short-circuits synthesis for modules whose content address (CFSM
     fingerprint, options, profile, code version) is already stored;
     ``trace`` collects per-pass/per-stage timing, cache hit/miss events,
-    and size metrics.  All three are orthogonal and none changes a single
-    artifact byte.
+    and size metrics; ``manager_pool`` (serial builds only — it is never
+    shipped across a process boundary) lends each module build a warm,
+    reset BDD manager, the serve workers' request-to-request reuse.  All
+    four are orthogonal and none changes a single artifact byte.
 
     A fresh ``trace`` is opened as a *causal* trace: ``build_system``
     begins the root span, hands every scheduled task a
@@ -308,6 +311,9 @@ def build_system(
                     context=(
                         trace.context_for(index + 1, bus_dir)
                         if trace is not None else None
+                    ),
+                    manager_pool=(
+                        manager_pool if executor.jobs == 1 else None
                     ),
                 )
                 for index, (machine, _) in enumerate(pending)

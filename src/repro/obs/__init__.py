@@ -62,6 +62,7 @@ from .report import (
     render_difftest_repro,
     render_report,
     render_run_report,
+    render_serve_bench,
     render_sim_bench,
     render_verify_report,
     report_file,
@@ -73,6 +74,7 @@ from .schema import (
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
+    SERVE_BENCH_FORMAT,
     SIM_BENCH_FORMAT,
     VERIFY_REPORT_FORMAT,
     assert_valid_trace,
@@ -82,6 +84,7 @@ from .schema import (
     validate_difftest_report,
     validate_difftest_repro,
     validate_run_trace,
+    validate_serve_bench,
     validate_sim_bench,
     validate_trace,
     validate_verify_report,
@@ -112,6 +115,7 @@ __all__ = [
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
     "SIM_BENCH_FORMAT",
+    "SERVE_BENCH_FORMAT",
     "BENCH_HISTORY_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
@@ -133,6 +137,7 @@ __all__ = [
     "validate_run_trace",
     "validate_bdd_bench",
     "validate_sim_bench",
+    "validate_serve_bench",
     "validate_bench_history",
     "validate_difftest_report",
     "validate_difftest_repro",
@@ -145,6 +150,7 @@ __all__ = [
     "render_difftest_repro",
     "render_verify_report",
     "render_sim_bench",
+    "render_serve_bench",
     "render_report",
     "report_file",
 ]

@@ -18,6 +18,7 @@ from .schema import (
     BUILD_TRACE_FORMAT,
     DIFFTEST_REPORT_FORMAT,
     DIFFTEST_REPRO_FORMAT,
+    SERVE_BENCH_FORMAT,
     SIM_BENCH_FORMAT,
     VERIFY_REPORT_FORMAT,
     validate_trace,
@@ -26,7 +27,7 @@ from .schema import (
 __all__ = ["render_build_report", "render_run_report",
            "render_difftest_report", "render_difftest_repro",
            "render_verify_report", "render_sim_bench",
-           "render_report", "report_file"]
+           "render_serve_bench", "render_report", "report_file"]
 
 
 def _rule(title: str) -> str:
@@ -466,6 +467,75 @@ def render_sim_bench(doc: Dict[str, Any], top: int = 10) -> str:
 
 
 # ----------------------------------------------------------------------
+# Serving benchmark reports
+# ----------------------------------------------------------------------
+
+
+def render_serve_bench(doc: Dict[str, Any], top: int = 10) -> str:
+    """Summarize a ``repro-serve-bench/v1`` report (BENCH_serve.json)."""
+    del top  # uniform renderer signature; this report has no top-N table
+    config = doc.get("config", {})
+    lines = [_rule("serve bench")]
+    lines.append(
+        f"{config.get('clients', 0)} concurrent clients against "
+        f"--jobs {config.get('jobs', 0)} "
+        f"(queue depth {config.get('queue_depth', 0)})"
+        + (" (smoke)" if doc.get("smoke") else "")
+    )
+    latency = doc.get("latency", {})
+    if latency:
+        lines.append("")
+        lines.append(
+            f"  {'mix':14s} {'requests':>8s} {'rps':>8s} "
+            f"{'p50 ms':>9s} {'p90 ms':>9s} {'p99 ms':>9s}"
+        )
+        for name, leg in sorted(latency.items()):
+            lines.append(
+                f"  {name:14s} {leg.get('requests', 0):8d} "
+                f"{leg.get('throughput_rps', 0.0):8.1f} "
+                f"{leg.get('p50_ms', 0.0):9.1f} "
+                f"{leg.get('p90_ms', 0.0):9.1f} "
+                f"{leg.get('p99_ms', 0.0):9.1f}"
+            )
+    cache = doc.get("cache", {})
+    if cache:
+        cold = cache.get("cold", {})
+        warm = cache.get("warm", {})
+        lines.append("")
+        lines.append(
+            f"cache: cold {cold.get('throughput_rps', 0.0):.1f} rps -> "
+            f"warm {warm.get('throughput_rps', 0.0):.1f} rps "
+            f"({cache.get('warm_over_cold', 0.0):.1f}x)"
+        )
+    conformance = doc.get("conformance", {})
+    if conformance:
+        verdict = (
+            "byte-identical" if conformance.get("mismatches", 1) == 0
+            else f"{conformance['mismatches']} MISMATCHES"
+        )
+        lines.append(
+            f"conformance: {conformance.get('requests', 0)} served responses "
+            f"vs direct library calls — {verdict}"
+        )
+    backpressure = doc.get("backpressure", {})
+    if backpressure:
+        lines.append(
+            f"backpressure: {backpressure.get('rejected', 0)}/"
+            f"{backpressure.get('attempts', 0)} rejected at capacity, "
+            f"retry-after {backpressure.get('retry_after_ms', 0.0):.0f} ms"
+        )
+    soak = doc.get("soak", {})
+    if soak:
+        lines.append(
+            f"soak: {soak.get('requests', 0)} requests, "
+            f"{soak.get('errors', 0)} errors, "
+            f"{soak.get('leaked_workers', 0)} leaked workers, "
+            f"{soak.get('pin_files', 0)} stale cache pins"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -485,6 +555,8 @@ def render_report(doc: Dict[str, Any], top: int = 10) -> str:
         return render_verify_report(doc, top=top)
     if fmt == SIM_BENCH_FORMAT:
         return render_sim_bench(doc, top=top)
+    if fmt == SERVE_BENCH_FORMAT:
+        return render_serve_bench(doc, top=top)
     if fmt == BENCH_HISTORY_FORMAT:
         from .history import render_history
 

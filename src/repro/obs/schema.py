@@ -19,6 +19,7 @@ __all__ = [
     "validate_run_trace",
     "validate_bdd_bench",
     "validate_sim_bench",
+    "validate_serve_bench",
     "validate_bench_history",
     "validate_difftest_report",
     "validate_difftest_repro",
@@ -28,6 +29,7 @@ __all__ = [
     "BUILD_TRACE_FORMAT",
     "BDD_BENCH_FORMAT",
     "SIM_BENCH_FORMAT",
+    "SERVE_BENCH_FORMAT",
     "BENCH_HISTORY_FORMAT",
     "DIFFTEST_REPORT_FORMAT",
     "DIFFTEST_REPRO_FORMAT",
@@ -70,6 +72,10 @@ SIM_BENCH_FORMAT = "repro-sim-bench/v1"
 #: Required throughput fields of one timed simulation leg (the scalar
 #: baseline and every fleet backend report the same shape).
 _SIM_LEG_FIELDS = ("reactions", "wall_s", "reactions_per_sec")
+
+SERVE_BENCH_FORMAT = "repro-serve-bench/v1"
+#: Latency percentiles every timed serving leg must report (ms).
+_SERVE_PERCENTILES = ("p50_ms", "p90_ms", "p99_ms")
 
 #: Per-kind required data fields of a run-trace event.
 _RUN_REQUIRED_FIELDS = {
@@ -412,6 +418,107 @@ def validate_sim_bench(doc: Dict[str, Any]) -> List[str]:
     return errors
 
 
+def _validate_serve_leg(where: str, leg: Any, errors: List[str],
+                        percentiles: bool = False) -> None:
+    if not isinstance(leg, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if not _is_int(leg.get("requests")) or leg["requests"] <= 0:
+        errors.append(f"{where}: requests must be a positive integer")
+    if not isinstance(leg.get("wall_s"), (int, float)) or leg["wall_s"] < 0:
+        errors.append(f"{where}: wall_s must be a non-negative number")
+    if not isinstance(leg.get("throughput_rps"), (int, float)):
+        errors.append(f"{where}: throughput_rps must be a number")
+    if percentiles:
+        for field in _SERVE_PERCENTILES:
+            value = leg.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(
+                    f"{where}: {field} must be a non-negative number"
+                )
+        p50, p99 = leg.get("p50_ms"), leg.get("p99_ms")
+        if (
+            isinstance(p50, (int, float))
+            and isinstance(p99, (int, float))
+            and p50 > p99
+        ):
+            errors.append(f"{where}: p50_ms > p99_ms")
+
+
+def validate_serve_bench(doc: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``repro-serve-bench/v1`` report (BENCH_serve.json)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("format") != SERVE_BENCH_FORMAT:
+        errors.append(f"format is {doc.get('format')!r}, "
+                      f"expected {SERVE_BENCH_FORMAT!r}")
+    if not isinstance(doc.get("smoke"), bool):
+        errors.append("'smoke' missing or not a boolean")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("'config' missing or not an object")
+        config = {}
+    for key in ("jobs", "queue_depth", "clients"):
+        if not _is_int(config.get(key)) or config.get(key, 0) <= 0:
+            errors.append(f"config.{key} must be a positive integer")
+    latency = doc.get("latency")
+    if not isinstance(latency, dict) or not latency:
+        errors.append("'latency' missing, not an object, or empty")
+        latency = {}
+    for name, leg in latency.items():
+        _validate_serve_leg(f"latency[{name!r}]", leg, errors,
+                            percentiles=True)
+    cache = doc.get("cache")
+    if not isinstance(cache, dict):
+        errors.append("'cache' missing or not an object")
+    else:
+        _validate_serve_leg("cache.cold", cache.get("cold"), errors)
+        _validate_serve_leg("cache.warm", cache.get("warm"), errors)
+        ratio = cache.get("warm_over_cold")
+        if not isinstance(ratio, (int, float)) or ratio <= 0:
+            errors.append("cache.warm_over_cold must be a positive number")
+    conformance = doc.get("conformance")
+    if not isinstance(conformance, dict):
+        errors.append("'conformance' missing or not an object")
+    else:
+        if not _is_int(conformance.get("requests")) or \
+                conformance.get("requests", 0) <= 0:
+            errors.append("conformance.requests must be a positive integer")
+        if not _is_int(conformance.get("mismatches")) or \
+                conformance.get("mismatches", 0) < 0:
+            errors.append(
+                "conformance.mismatches must be a non-negative integer"
+            )
+    backpressure = doc.get("backpressure")
+    if not isinstance(backpressure, dict):
+        errors.append("'backpressure' missing or not an object")
+    else:
+        if not _is_int(backpressure.get("attempts")) or \
+                backpressure.get("attempts", 0) <= 0:
+            errors.append("backpressure.attempts must be a positive integer")
+        if not _is_int(backpressure.get("rejected")) or \
+                backpressure.get("rejected", 0) < 0:
+            errors.append(
+                "backpressure.rejected must be a non-negative integer"
+            )
+        retry = backpressure.get("retry_after_ms")
+        if not isinstance(retry, (int, float)) or retry < 0:
+            errors.append(
+                "backpressure.retry_after_ms must be a non-negative number"
+            )
+    soak = doc.get("soak")
+    if not isinstance(soak, dict):
+        errors.append("'soak' missing or not an object")
+    else:
+        if not _is_int(soak.get("requests")) or soak.get("requests", 0) <= 0:
+            errors.append("soak.requests must be a positive integer")
+        for key in ("errors", "leaked_workers", "pin_files"):
+            if not _is_int(soak.get(key)) or soak.get(key, 0) < 0:
+                errors.append(f"soak.{key} must be a non-negative integer")
+    return errors
+
+
 def validate_bench_history(doc: Dict[str, Any]) -> List[str]:
     """Structural check of a ``repro-bench-history/v1`` trend document."""
     errors: List[str] = []
@@ -663,6 +770,8 @@ def validate_trace(doc: Dict[str, Any]) -> List[str]:
         return validate_bdd_bench(doc)
     if fmt == SIM_BENCH_FORMAT:
         return validate_sim_bench(doc)
+    if fmt == SERVE_BENCH_FORMAT:
+        return validate_serve_bench(doc)
     if fmt == BENCH_HISTORY_FORMAT:
         return validate_bench_history(doc)
     if fmt == DIFFTEST_REPORT_FORMAT:

@@ -33,6 +33,7 @@ from .parallel import (
     Executor,
     ModuleBuildOutcome,
     ModuleBuildTask,
+    PersistentProcessExecutor,
     ProcessExecutor,
     SerialExecutor,
     make_executor,
@@ -60,5 +61,6 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "PersistentProcessExecutor",
     "make_executor",
 ]

@@ -19,15 +19,38 @@ Entries live under ``<root>/objects/<k[:2]>/<k>.pkl`` and are written
 atomically (temp file + rename), so concurrent builds sharing a cache
 directory are safe: the worst race outcome is the same bytes written
 twice.  A corrupt or unreadable entry is treated as a miss.
+
+``shared=True`` promotes the store to a *concurrency-safe shared* cache
+for long-running multi-process services (the ``repro serve`` front door):
+
+* **cross-process pinning** — every hit or write drops a
+  ``<root>/pins/<key>.<pid>.pin`` marker; eviction (in any process) skips
+  every key with a live pin, so an entry a concurrent request just read
+  can never vanish under it.  :meth:`release_pins` drops this process's
+  markers once the request's payloads are out the door; markers from dead
+  processes are garbage-collected on the next eviction.
+* **locked eviction** — the LRU sweep runs under an exclusive
+  ``flock`` on ``<root>/.lock``, so two processes never race the
+  scan-and-unlink (one torn scan could otherwise over-evict).
+* **convergent counters** — each process mirrors its hit/miss/eviction
+  counters to ``<root>/counters/<pid>.json`` (atomic replace);
+  :meth:`shared_metrics` sums every process's file, so the fleet-wide
+  hit rate converges no matter which worker served which request.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
+
+try:  # POSIX file locking; absent on exotic platforms -> lockless fallback
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only container
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "ArtifactCache",
@@ -62,6 +85,17 @@ _code_version: Optional[str] = None
 
 def _hash_text(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # e.g. EPERM: alive but not ours
+    return True
 
 
 def code_version() -> str:
@@ -152,11 +186,23 @@ class ArtifactCache:
     one cache directory.  Keys this process served a hit for or wrote —
     the *in-flight* set, whose payloads a live build may still hold — are
     pinned and never evicted by this process.
+
+    ``shared=True`` (the serve daemon's mode) extends the in-flight
+    guarantee across processes: pins become on-disk markers every
+    process's eviction honours, the eviction sweep itself is serialized
+    through a file lock, and the counters are mirrored per-pid so
+    :meth:`shared_metrics` reports one convergent fleet-wide view.
     """
 
-    def __init__(self, root: str, max_bytes: Optional[int] = None):
+    def __init__(
+        self,
+        root: str,
+        max_bytes: Optional[int] = None,
+        shared: bool = False,
+    ):
         self.root = os.path.abspath(root)
         self.max_bytes = max_bytes
+        self.shared = bool(shared)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -164,6 +210,28 @@ class ArtifactCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key}.pkl")
+
+    def _pin_dir(self) -> str:
+        return os.path.join(self.root, "pins")
+
+    def _pin_path(self, key: str) -> str:
+        return os.path.join(self._pin_dir(), f"{key}.{os.getpid()}.pin")
+
+    def _counter_dir(self) -> str:
+        return os.path.join(self.root, "counters")
+
+    def _pin(self, key: str) -> None:
+        """Mark ``key`` in-flight (locally; on disk too when shared)."""
+        self._pinned.add(key)
+        if not self.shared:
+            return
+        path = self._pin_path(key)
+        try:
+            os.makedirs(self._pin_dir(), exist_ok=True)
+            with open(path, "w", encoding="utf-8"):
+                pass
+        except OSError:  # a failed pin degrades to local-only protection
+            pass
 
     def get(self, key: str) -> Optional[Any]:
         """The cached payload for ``key``, or ``None`` (counted as a miss)."""
@@ -182,7 +250,7 @@ class ArtifactCache:
             self.misses += 1
             return None
         self.hits += 1
-        self._pinned.add(key)
+        self._pin(key)
         try:
             os.utime(path, None)  # refresh LRU recency
         except OSError:
@@ -207,18 +275,23 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
-        self._pinned.add(key)
+        self._pin(key)
         self._evict_to_fit()
 
     # -- eviction ----------------------------------------------------------
 
     def _entries(self):
-        """Every stored entry as ``(mtime, size, key, path)``."""
+        """Every stored entry as ``(mtime, size, key, path)``.
+
+        In-progress temp files (``.tmp-*.pkl``) are not entries: another
+        process's eviction sweep must never unlink one mid-write (its
+        ``os.replace`` would crash on the vanished source).
+        """
         out = []
         objects = os.path.join(self.root, "objects")
         for dirpath, _, filenames in os.walk(objects):
             for name in filenames:
-                if not name.endswith(".pkl"):
+                if not name.endswith(".pkl") or name.startswith(".tmp-"):
                     continue
                 path = os.path.join(dirpath, name)
                 try:
@@ -232,31 +305,195 @@ class ArtifactCache:
         """Bytes currently stored."""
         return sum(size for _, size, _, _ in self._entries())
 
+    def _disk_pinned_keys(self) -> set:
+        """Keys pinned on disk by any live process (shared mode).
+
+        Markers left behind by dead pids (a worker that crashed holding a
+        pin) are deleted on sight, so one stuck request can never wedge
+        eviction forever.
+        """
+        pinned: set = set()
+        try:
+            names = os.listdir(self._pin_dir())
+        except OSError:
+            return pinned
+        for name in names:
+            if not name.endswith(".pin"):
+                continue
+            stem = name[: -len(".pin")]
+            key, _, pid_text = stem.rpartition(".")
+            if not key:
+                continue
+            try:
+                pid = int(pid_text)
+            except ValueError:
+                continue
+            if pid != os.getpid() and not _pid_alive(pid):
+                try:
+                    os.unlink(os.path.join(self._pin_dir(), name))
+                except OSError:
+                    pass
+                continue
+            pinned.add(key)
+        return pinned
+
+    def _eviction_lock(self):
+        """An exclusive-lock context over ``<root>/.lock`` (shared mode)."""
+        cache = self
+
+        class _Lock:
+            def __enter__(self):
+                self._fd = None
+                if not cache.shared or fcntl is None:
+                    return self
+                try:
+                    os.makedirs(cache.root, exist_ok=True)
+                    self._fd = os.open(
+                        os.path.join(cache.root, ".lock"),
+                        os.O_CREAT | os.O_RDWR,
+                    )
+                    fcntl.flock(self._fd, fcntl.LOCK_EX)
+                except OSError:
+                    if self._fd is not None:
+                        os.close(self._fd)
+                        self._fd = None
+                return self
+
+            def __exit__(self, *exc):
+                if self._fd is not None:
+                    try:
+                        fcntl.flock(self._fd, fcntl.LOCK_UN)
+                    finally:
+                        os.close(self._fd)
+                return False
+
+        return _Lock()
+
     def _evict_to_fit(self) -> int:
         """Drop LRU entries until the store fits ``max_bytes``.
 
         Pinned (in-flight) keys are skipped: a build holding a payload it
-        just read or wrote must never find it vanished.  Returns how many
-        entries were evicted.
+        just read or wrote must never find it vanished.  In shared mode
+        the sweep honours every process's on-disk pins and runs under the
+        eviction file lock so two sweeps never race the scan-and-unlink.
+        Returns how many entries were evicted.
         """
         if self.max_bytes is None:
             return 0
-        entries = sorted(self._entries())  # oldest mtime first
-        total = sum(size for _, size, _, _ in entries)
-        evicted = 0
-        for _, size, key, path in entries:
-            if total <= self.max_bytes:
-                break
-            if key in self._pinned:
+        with self._eviction_lock():
+            pinned = set(self._pinned)
+            if self.shared:
+                pinned |= self._disk_pinned_keys()
+            entries = sorted(self._entries())  # oldest mtime first
+            total = sum(size for _, size, _, _ in entries)
+            evicted = 0
+            for _, size, key, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if key in pinned:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+        self.evictions += evicted
+        if self.shared and evicted:
+            self.sync_counters()
+        return evicted
+
+    # -- shared-mode bookkeeping -------------------------------------------
+
+    def release_pins(self) -> int:
+        """Drop every in-flight pin this process holds; returns the count.
+
+        A long-running daemon calls this at the end of each request:
+        the payloads have been serialized into the response, so nothing
+        references the cache files any more and they become evictable
+        again.  Also mirrors the counters (shared mode) so a request's
+        hits are visible fleet-wide as soon as it completes.
+        """
+        released = len(self._pinned)
+        if self.shared:
+            for key in self._pinned:
+                try:
+                    os.unlink(self._pin_path(key))
+                except OSError:
+                    pass
+            self.sync_counters()
+        self._pinned.clear()
+        return released
+
+    def pinned_count(self) -> int:
+        """Keys this process currently holds in-flight."""
+        return len(self._pinned)
+
+    def pin_files(self) -> List[str]:
+        """Every on-disk pin marker currently present (shared mode)."""
+        try:
+            return sorted(
+                name for name in os.listdir(self._pin_dir())
+                if name.endswith(".pin")
+            )
+        except OSError:
+            return []
+
+    def sync_counters(self) -> None:
+        """Mirror this process's counters to ``counters/<pid>.json``."""
+        if not self.shared:
+            return
+        path = os.path.join(self._counter_dir(), f"{os.getpid()}.json")
+        try:
+            os.makedirs(self._counter_dir(), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self._counter_dir(), prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "pid": os.getpid(),
+                        "hits": self.hits,
+                        "misses": self.misses,
+                        "evictions": self.evictions,
+                    },
+                    handle,
+                )
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def shared_metrics(self) -> Dict[str, int]:
+        """Counters summed over every process that used this cache dir.
+
+        Reads every ``counters/<pid>.json`` mirror; each file carries one
+        process's monotone totals, so the sum converges to the true
+        fleet-wide figures once every process has synced (a torn read of
+        a mid-replace file is impossible — mirrors are written with the
+        same atomic temp+rename as entries).
+        """
+        totals = {"hits": 0, "misses": 0, "evictions": 0}
+        try:
+            names = os.listdir(self._counter_dir())
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".json") or name.startswith(".tmp-"):
                 continue
             try:
-                os.unlink(path)
-            except OSError:
+                with open(
+                    os.path.join(self._counter_dir(), name),
+                    "r",
+                    encoding="utf-8",
+                ) as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError):
                 continue
-            total -= size
-            evicted += 1
-        self.evictions += evicted
-        return evicted
+            for field in totals:
+                value = doc.get(field)
+                if isinstance(value, int):
+                    totals[field] += value
+        return totals
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
@@ -265,7 +502,10 @@ class ArtifactCache:
         count = 0
         objects = os.path.join(self.root, "objects")
         for _, _, filenames in os.walk(objects):
-            count += sum(1 for f in filenames if f.endswith(".pkl"))
+            count += sum(
+                1 for f in filenames
+                if f.endswith(".pkl") and not f.startswith(".tmp-")
+            )
         return count
 
     def clear(self) -> int:
@@ -274,7 +514,7 @@ class ArtifactCache:
         objects = os.path.join(self.root, "objects")
         for dirpath, _, filenames in os.walk(objects):
             for name in filenames:
-                if name.endswith(".pkl"):
+                if name.endswith(".pkl") and not name.startswith(".tmp-"):
                     os.unlink(os.path.join(dirpath, name))
                     removed += 1
         return removed
@@ -309,6 +549,11 @@ class ArtifactCache:
         )
         if self.max_bytes is not None:
             line += f" (max {self.max_bytes})"
+        if self.shared:
+            line += (
+                f"; shared: {len(self.pin_files())} pin(s), "
+                f"{self.pinned_count()} in-flight here"
+            )
         return line
 
     def __str__(self) -> str:

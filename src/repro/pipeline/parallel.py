@@ -21,6 +21,7 @@ historical in-process flow.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -34,6 +35,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
+    "PersistentProcessExecutor",
     "make_executor",
 ]
 
@@ -55,20 +57,32 @@ class ModuleBuildTask:
     profile: Any  # ISAProfile
     params: Any  # CostParams
     context: Optional[TraceContext] = None
+    #: A warm BDD-manager pool (``acquire()``/``release(mgr)``), injected
+    #: only for in-process execution — never pickled across a pool
+    #: boundary, so cross-process tasks leave it ``None``.
+    manager_pool: Any = None
 
     def run(self, keep_result: bool) -> "ModuleBuildOutcome":
         trace = BuildTrace(context=self.context)
-        if self.context is not None:
-            with trace.span(self.machine.name, "module"):
+        manager = (
+            self.manager_pool.acquire() if self.manager_pool is not None
+            else None
+        )
+        try:
+            if self.context is not None:
+                with trace.span(self.machine.name, "module"):
+                    artifacts, result = build_module_artifacts(
+                        self.machine, self.options, self.profile, self.params,
+                        trace=trace, manager=manager,
+                    )
+            else:
                 artifacts, result = build_module_artifacts(
                     self.machine, self.options, self.profile, self.params,
-                    trace=trace,
+                    trace=trace, manager=manager,
                 )
-        else:
-            artifacts, result = build_module_artifacts(
-                self.machine, self.options, self.profile, self.params,
-                trace=trace,
-            )
+        finally:
+            if manager is not None:
+                self.manager_pool.release(manager)
         events = trace.events
         if self.context is not None and self.context.bus_dir is not None:
             from ..obs.bus import TelemetryBus
@@ -143,6 +157,67 @@ class ProcessExecutor(Executor):
             max_workers=workers
         ) as pool:
             return list(pool.map(_worker, tasks))
+
+
+@dataclass
+class _PingTask:
+    """A no-op task used to prewarm pool workers and learn their pids."""
+
+    def run(self, keep_result: bool) -> int:
+        del keep_result
+        return os.getpid()
+
+
+class PersistentProcessExecutor(Executor):
+    """A long-lived process pool with a ``submit`` API.
+
+    The batch executors above spin a pool up per call and tear it down —
+    the right shape for one build, the wrong one for a daemon serving a
+    stream of requests.  This executor keeps its workers alive across
+    submissions (so per-worker warm state — calibrated cost params, BDD
+    manager pools — pays off), accepts the same task protocol
+    (``run(keep_result) -> outcome``), and exposes the worker pids so a
+    service can assert none leaked after shutdown.
+
+    ``initializer`` runs once in each worker as it starts (import and
+    calibration prewarming); :meth:`prewarm` forces all workers into
+    existence up front, which a server should do *before* starting its
+    event loop so no fork happens while other threads run.
+    """
+
+    def __init__(self, jobs: int, initializer=None, initargs=()):
+        import concurrent.futures
+
+        self.jobs = max(1, int(jobs))
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def submit(self, task: Any):
+        """Schedule one task; returns its ``concurrent.futures.Future``."""
+        return self._pool.submit(_worker, task)
+
+    def run(self, tasks: List[Any]) -> List[Any]:
+        futures = [self.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def prewarm(self) -> List[int]:
+        """Spin up every worker now; returns the distinct pids seen."""
+        futures = [self.submit(_PingTask()) for _ in range(self.jobs)]
+        return sorted({future.result() for future in futures})
+
+    def worker_pids(self) -> List[int]:
+        """Pids of the workers currently alive in the pool."""
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sorted(
+            process.pid for process in processes.values()
+            if process.pid is not None
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
 
 
 def make_executor(jobs: int = 1) -> Executor:

@@ -1,0 +1,86 @@
+"""A small blocking client for the `repro serve` daemon.
+
+One :class:`ServeClient` owns one connection and speaks strict
+request/response (no pipelining) — concurrency tests and benchmarks open
+one client per thread, which also exercises the server's multi-connection
+path.  :func:`request_once` is the one-shot convenience the CLI uses.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from .protocol import recv_frame, send_frame
+
+__all__ = ["ServeClient", "ServeError", "request_once"]
+
+
+class ServeError(RuntimeError):
+    """An ``error`` response, raised by the ``*_or_raise`` helpers."""
+
+
+class ServeClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._next_id = 0
+
+    def request(self, kind: str, params: Optional[Dict[str, Any]] = None,
+                request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Send one request and block for its response document."""
+        self._next_id += 1
+        doc: Dict[str, Any] = {
+            "kind": kind,
+            "id": request_id or f"c{self._next_id}",
+        }
+        if params:
+            doc["params"] = params
+        send_frame(self._sock, doc)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return response
+
+    def request_or_raise(self, kind: str,
+                         params: Optional[Dict[str, Any]] = None
+                         ) -> Dict[str, Any]:
+        """Like :meth:`request` but raises unless the status is ``ok``."""
+        response = self.request(kind, params)
+        if response.get("status") != "ok":
+            raise ServeError(
+                f"{kind} failed ({response.get('status')}): "
+                f"{response.get('error')}"
+            )
+        return response
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request_or_raise("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request_or_raise("stats")["result"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request_or_raise("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def request_once(host: str, port: int, kind: str,
+                 params: Optional[Dict[str, Any]] = None,
+                 timeout: float = 300.0) -> Dict[str, Any]:
+    """Connect, send one request, return its response, disconnect."""
+    with ServeClient(host, port, timeout=timeout) as client:
+        return client.request(kind, params)

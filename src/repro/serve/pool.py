@@ -1,0 +1,81 @@
+"""A warm :class:`~repro.bdd.BddManager` pool for request-to-request reuse.
+
+Creating a BDD manager is cheap; *warming* one is not — the unique table,
+operation caches, and variable order all grow with use, and a daemon that
+rebuilds them per request throws that work away.  The pool keeps managers
+alive across requests and hands out a :meth:`~repro.bdd.BddManager.reset`
+one when it can.
+
+``reset()`` refuses while any external :class:`~repro.bdd.Function`
+handle is still alive (a previous request's results may not have been
+collected yet), so :meth:`acquire` rotates through the free list looking
+for a resettable manager, falls back to one ``gc.collect()`` to break
+reference cycles pinning old results, and only then pays for a fresh
+manager.  Un-resettable managers stay in the pool — they become
+resettable as soon as the prior request's build objects die.
+
+The PR 7 invariant makes all of this safe: artifacts are byte-identical
+whatever the manager's internal slot layout, so a reused manager can
+never change a response.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Any, Dict, List
+
+__all__ = ["ManagerPool"]
+
+
+class ManagerPool:
+    """Rotate warm BDD managers through consecutive (serial) requests.
+
+    Not thread-safe by design: each serve worker process owns exactly one
+    pool and runs one request at a time.
+    """
+
+    def __init__(self, capacity: int = 4):
+        self.capacity = max(1, int(capacity))
+        self._free: List[Any] = []
+        self.created = 0
+        self.reused = 0
+        self.reset_failures = 0
+
+    def _try_reuse(self) -> Any:
+        for _ in range(len(self._free)):
+            manager = self._free.pop(0)
+            if manager.reset():
+                self.reused += 1
+                return manager
+            self.reset_failures += 1
+            self._free.append(manager)
+        return None
+
+    def acquire(self) -> Any:
+        """A pristine manager: reused and reset when possible, else fresh."""
+        manager = self._try_reuse()
+        if manager is None and self._free:
+            # Cyclic garbage (SystemBuild <-> results) can keep old
+            # handles alive past their last reference; one collection
+            # usually frees them and makes a pooled manager resettable.
+            gc.collect()
+            manager = self._try_reuse()
+        if manager is not None:
+            return manager
+        from ..bdd import BddManager
+
+        self.created += 1
+        return BddManager()
+
+    def release(self, manager: Any) -> None:
+        """Return a manager after a request; dropped when the pool is full."""
+        if len(self._free) < self.capacity:
+            self._free.append(manager)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "reset_failures": self.reset_failures,
+            "free": len(self._free),
+        }

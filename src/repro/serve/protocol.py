@@ -1,0 +1,156 @@
+"""The `repro serve` wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Both directions use the same framing; a request is
+``{"kind": ..., "id": ..., "params": {...}}`` and a response echoes the
+``id`` with a ``status`` of ``ok``, ``error``, or ``rejected`` (the
+backpressure signal, carrying ``retry_after_ms``).
+
+*Work* kinds (synthesize, estimate, simulate, fleet, fuzz, sleep) go
+through the server's bounded queue onto the worker pool; *control* kinds
+(ping, stats, shutdown) are answered inline by the coordinator and never
+queue — which is what makes backpressure observable (and testable) even
+while every worker is busy.
+
+Sync helpers speak over a plain ``socket`` (the blocking client), async
+helpers over asyncio streams (the server).  Framing is deliberately dumb:
+no compression, no multiplexing — one connection can pipeline requests,
+and responses carry ids so callers can match them.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "SERVE_FORMAT",
+    "MAX_FRAME_BYTES",
+    "WORK_KINDS",
+    "CONTROL_KINDS",
+    "REQUEST_KINDS",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_REJECTED",
+    "FrameError",
+    "encode_frame",
+    "decode_payload",
+    "send_frame",
+    "recv_frame",
+    "read_frame",
+    "write_frame",
+]
+
+SERVE_FORMAT = "repro-serve/v1"
+
+#: Hard ceiling on one frame's JSON payload.  Large enough for any build
+#: response (C sources, traces); small enough that a corrupt length
+#: prefix fails fast instead of allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+WORK_KINDS = ("synthesize", "estimate", "simulate", "fleet", "fuzz", "sleep")
+CONTROL_KINDS = ("ping", "stats", "shutdown")
+REQUEST_KINDS = WORK_KINDS + CONTROL_KINDS
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_REJECTED = "rejected"
+
+
+class FrameError(ValueError):
+    """A frame that violates the protocol (too big, bad length, bad JSON)."""
+
+
+def encode_frame(doc: Dict[str, Any]) -> bytes:
+    """Serialize one document to its wire form (header + JSON payload)."""
+    payload = json.dumps(
+        doc, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse a frame payload; the document must be a JSON object."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return doc
+
+
+def _checked_length(header: bytes) -> int:
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+# -- blocking socket side (client) ----------------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, doc: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(doc))
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; None when the peer closed between frames."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    payload = _recv_exact(sock, _checked_length(header))
+    if payload is None:
+        raise FrameError("connection closed before frame payload")
+    return decode_payload(payload)
+
+
+# -- asyncio stream side (server) -----------------------------------------
+
+
+async def read_frame(reader) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid-header") from exc
+    try:
+        payload = await reader.readexactly(_checked_length(header))
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed before frame payload") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(writer, doc: Dict[str, Any]) -> None:
+    writer.write(encode_frame(doc))
+    await writer.drain()

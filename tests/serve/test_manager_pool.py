@@ -1,0 +1,73 @@
+"""Warm BDD-manager reuse must be invisible in the artifacts."""
+
+from repro.bdd import BddManager
+from repro.estimation import calibrate
+from repro.pipeline import build_module_artifacts, synthesis_options
+from repro.serve import ManagerPool
+from repro.target import K11
+
+from ..conftest import make_counter_cfsm, make_modal_cfsm
+
+
+def _build(machine, manager=None):
+    cost = calibrate(K11)
+    options = synthesis_options(scheme="sift", params=cost)
+    artifacts, _ = build_module_artifacts(
+        machine, options, K11, cost, manager=manager
+    )
+    return artifacts
+
+
+def test_acquire_release_acquire_reuses_one_manager():
+    pool = ManagerPool(capacity=2)
+    first = pool.acquire()
+    pool.release(first)
+    second = pool.acquire()
+    assert second is first
+    stats = pool.stats()
+    assert stats["created"] == 1
+    assert stats["reused"] == 1
+
+
+def test_release_beyond_capacity_drops_managers():
+    pool = ManagerPool(capacity=1)
+    a, b = pool.acquire(), pool.acquire()
+    pool.release(a)
+    pool.release(b)  # over capacity: parked list stays at 1
+    assert pool.stats()["free"] == 1
+    assert pool.stats()["created"] == 2
+
+
+def test_reused_manager_produces_identical_artifacts():
+    """The serve worker's warm pool must not leak state between requests."""
+    fresh = _build(make_counter_cfsm(), manager=BddManager())
+
+    pool = ManagerPool()
+    manager = pool.acquire()
+    # Dirty the manager with an unrelated build, park it, take it back.
+    _build(make_modal_cfsm(), manager=manager)
+    pool.release(manager)
+    reused = pool.acquire()
+    warm = _build(make_counter_cfsm(), manager=reused)
+    pool.release(reused)
+
+    assert warm.c_source == fresh.c_source
+    assert warm.estimate == fresh.estimate
+    assert warm.measured == fresh.measured
+    assert pool.stats()["reused"] >= 1
+
+
+def test_pool_survives_unresettable_manager():
+    """A manager with live external handles rotates, the pool still serves."""
+    pool = ManagerPool(capacity=2)
+    manager = pool.acquire()
+    held = manager.var(manager.new_var())  # a live handle blocks reset()
+    pool.release(manager)
+    replacement = pool.acquire()
+    assert replacement is not manager
+    stats = pool.stats()
+    assert stats["reset_failures"] >= 1
+    assert stats["created"] == 2
+    artifacts = _build(make_counter_cfsm(), manager=replacement)
+    assert artifacts.c_source
+    del held
